@@ -1,0 +1,70 @@
+//! Exact brute-force search: the correctness baseline the approximate
+//! indexes are measured against.
+
+use crate::index::{dot, AnnIndex, Hit, TopK};
+
+/// A flat, exact inner-product index.
+#[derive(Clone, Debug)]
+pub struct BruteForceIndex {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl BruteForceIndex {
+    /// Builds from a row-major buffer of `n * dim` floats.
+    pub fn new(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        BruteForceIndex { data, dim }
+    }
+
+    fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+}
+
+impl AnnIndex for BruteForceIndex {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut top = TopK::new(k);
+        for r in 0..self.len() {
+            top.push(r as u32, dot(query, self.row(r)));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_top_k() {
+        let data = vec![
+            1.0, 0.0, // id 0
+            0.0, 1.0, // id 1
+            0.7, 0.7, // id 2
+            -1.0, 0.0, // id 3
+        ];
+        let ix = BruteForceIndex::new(data, 2);
+        let hits = ix.search(&[1.0, 0.1], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let ix = BruteForceIndex::new(vec![1.0, 0.0], 2);
+        let hits = ix.search(&[1.0, 0.0], 10);
+        assert_eq!(hits.len(), 1);
+    }
+}

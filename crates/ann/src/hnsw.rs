@@ -1,0 +1,275 @@
+//! HNSW (hierarchical navigable small world) graph index for
+//! maximum-inner-product search over unit vectors.
+//!
+//! A faithful, compact implementation of Malkov & Yashunin's algorithm:
+//! exponentially-thinned layers, greedy descent from the top layer, and a
+//! beam (`ef`) search on layer 0.
+
+use crate::index::{dot, AnnIndex, Hit, TopK};
+use rand::Rng;
+
+/// HNSW build/search parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HnswConfig {
+    /// Max neighbours per node on upper layers (layer 0 gets `2 * m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search.
+    pub ef_search: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 100, ef_search: 50 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct HnswNode {
+    /// Neighbour lists, one per layer the node participates in.
+    neighbours: Vec<Vec<u32>>,
+}
+
+/// The HNSW index.
+#[derive(Clone, Debug)]
+pub struct HnswIndex {
+    data: Vec<f32>,
+    dim: usize,
+    nodes: Vec<HnswNode>,
+    entry: u32,
+    max_layer: usize,
+    cfg: HnswConfig,
+}
+
+impl HnswIndex {
+    /// Builds the graph by inserting every row.
+    pub fn build(data: Vec<f32>, dim: usize, cfg: HnswConfig, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot build HNSW over an empty set");
+        let mut index = HnswIndex {
+            data,
+            dim,
+            nodes: Vec::with_capacity(n),
+            entry: 0,
+            max_layer: 0,
+            cfg,
+        };
+        let ml = 1.0 / (cfg.m as f64).ln();
+        for r in 0..n {
+            let level = (-rng.gen_range(f64::EPSILON..1.0).ln() * ml).floor() as usize;
+            index.insert(r as u32, level);
+        }
+        index
+    }
+
+    fn row(&self, r: u32) -> &[f32] {
+        &self.data[r as usize * self.dim..(r as usize + 1) * self.dim]
+    }
+
+    fn score(&self, q: &[f32], r: u32) -> f32 {
+        dot(q, self.row(r))
+    }
+
+    /// Greedy beam search on one layer; returns up to `ef` best (score desc).
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Hit> {
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(entry);
+        let mut candidates = std::collections::BinaryHeap::new(); // max-heap by score
+        let entry_score = self.score(q, entry);
+        candidates.push(ScoredId(entry_score, entry));
+        let mut best = TopK::new(ef);
+        best.push(entry, entry_score);
+
+        while let Some(ScoredId(score, id)) = candidates.pop() {
+            if score < best.threshold() {
+                break;
+            }
+            if layer >= self.nodes[id as usize].neighbours.len() {
+                continue;
+            }
+            for &nb in &self.nodes[id as usize].neighbours[layer] {
+                if visited.insert(nb) {
+                    let s = self.score(q, nb);
+                    if s > best.threshold() {
+                        best.push(nb, s);
+                        candidates.push(ScoredId(s, nb));
+                    }
+                }
+            }
+        }
+        best.into_sorted()
+    }
+
+    fn insert(&mut self, id: u32, level: usize) {
+        let node = HnswNode { neighbours: vec![Vec::new(); level + 1] };
+        if self.nodes.is_empty() {
+            self.nodes.push(node);
+            self.entry = id;
+            self.max_layer = level;
+            return;
+        }
+        self.nodes.push(node);
+        let q: Vec<f32> = self.row(id).to_vec();
+
+        // descend from the top to level+1 greedily
+        let mut ep = self.entry;
+        let mut layer = self.max_layer;
+        while layer > level {
+            let found = self.search_layer(&q, ep, 1, layer);
+            if let Some(h) = found.first() {
+                ep = h.id;
+            }
+            layer -= 1;
+        }
+
+        // connect on layers min(level, max_layer)..=0
+        let top = level.min(self.max_layer);
+        for l in (0..=top).rev() {
+            let found = self.search_layer(&q, ep, self.cfg.ef_construction, l);
+            let m_max = if l == 0 { 2 * self.cfg.m } else { self.cfg.m };
+            let selected: Vec<u32> =
+                found.iter().take(m_max).map(|h| h.id).filter(|&n| n != id).collect();
+            for &nb in &selected {
+                self.nodes[id as usize].neighbours[l].push(nb);
+                let nb_list = &mut self.nodes[nb as usize].neighbours[l];
+                nb_list.push(id);
+                if nb_list.len() > m_max {
+                    // prune the neighbour's list back to its best m_max
+                    let origin: Vec<f32> = self.row(nb).to_vec();
+                    let mut list = std::mem::take(&mut self.nodes[nb as usize].neighbours[l]);
+                    list.sort_by(|&a, &b| {
+                        let sa = dot(&origin, self.row(a));
+                        let sb = dot(&origin, self.row(b));
+                        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    list.truncate(m_max);
+                    self.nodes[nb as usize].neighbours[l] = list;
+                }
+            }
+            if let Some(h) = found.first() {
+                ep = h.id;
+            }
+        }
+
+        if level > self.max_layer {
+            self.max_layer = level;
+            self.entry = id;
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct ScoredId(f32, u32);
+
+impl Eq for ScoredId {}
+
+impl Ord for ScoredId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for ScoredId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl AnnIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut ep = self.entry;
+        for layer in (1..=self.max_layer).rev() {
+            if let Some(h) = self.search_layer(query, ep, 1, layer).first() {
+                ep = h.id;
+            }
+        }
+        let ef = self.cfg.ef_search.max(k);
+        let mut hits = self.search_layer(query, ep, ef, 0);
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+    use rand::SeedableRng;
+
+    fn unit_cloud(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+            data.extend(v.into_iter().map(|x| x / norm));
+        }
+        data
+    }
+
+    #[test]
+    fn single_vector() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ix = HnswIndex::build(vec![1.0, 0.0], 2, HnswConfig::default(), &mut rng);
+        let hits = ix.search(&[1.0, 0.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn exact_on_small_sets() {
+        // With ef >= n the beam covers everything reachable; on a small
+        // connected graph that is exact.
+        let data = unit_cloud(50, 8, 1);
+        let bf = BruteForceIndex::new(data.clone(), 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = HnswConfig { m: 8, ef_construction: 64, ef_search: 64 };
+        let hnsw = HnswIndex::build(data, 8, cfg, &mut rng);
+        let q = unit_cloud(1, 8, 3);
+        let exact: Vec<u32> = bf.search(&q, 5).iter().map(|h| h.id).collect();
+        let approx: Vec<u32> = hnsw.search(&q, 5).iter().map(|h| h.id).collect();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn good_recall_on_larger_set() {
+        let data = unit_cloud(2000, 16, 4);
+        let bf = BruteForceIndex::new(data.clone(), 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let hnsw = HnswIndex::build(data, 16, HnswConfig::default(), &mut rng);
+        let queries = unit_cloud(20, 16, 6);
+        let mut hit_count = 0;
+        for q in queries.chunks(16) {
+            let exact: std::collections::HashSet<u32> =
+                bf.search(q, 10).iter().map(|h| h.id).collect();
+            hit_count += hnsw.search(q, 10).iter().filter(|h| exact.contains(&h.id)).count();
+        }
+        let recall = hit_count as f64 / 200.0;
+        assert!(recall > 0.85, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let data = unit_cloud(300, 8, 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let ix = HnswIndex::build(data, 8, HnswConfig::default(), &mut rng);
+        let q = unit_cloud(1, 8, 9);
+        let hits = ix.search(&q, 10);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

@@ -1,0 +1,139 @@
+//! The common index interface: maximum-inner-product / cosine top-k search
+//! over unit-normalized embeddings.
+
+/// A scored search hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// Row id of the matched vector.
+    pub id: u32,
+    /// Inner-product score (cosine similarity for unit vectors).
+    pub score: f32,
+}
+
+/// A top-k nearest-neighbour index over a fixed set of vectors.
+///
+/// UniMatch's two-tower separation exists precisely so serving can run
+/// through an index like this (Sec. III-B1): item embeddings are indexed
+/// once, user queries arrive online (IR); or vice versa (UT).
+pub trait AnnIndex {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// True when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// The `k` highest-inner-product vectors for `query`, best first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+}
+
+/// Shared helper: maintain the top-k of a score stream with a small binary
+/// heap of the *worst* retained hit.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>>,
+}
+
+#[derive(Debug, PartialEq)]
+pub(crate) struct HeapHit(pub f32, pub u32);
+
+impl Eq for HeapHit {}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    pub fn push(&mut self, id: u32, score: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
+        } else if let Some(worst) = self.heap.peek() {
+            if score > worst.0 .0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
+            }
+        }
+    }
+
+    /// Current k-th best score (lower bound for admission).
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0 .0)
+        }
+    }
+
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut v: Vec<Hit> = self
+            .heap
+            .into_iter()
+            .map(|std::cmp::Reverse(HeapHit(score, id))| Hit { id, score })
+            .collect();
+        v.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+/// Dot product over slices.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_best() {
+        let mut t = TopK::new(2);
+        for (id, s) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.7)] {
+            t.push(id, s);
+        }
+        let hits = t.into_sorted();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 3);
+    }
+
+    #[test]
+    fn topk_threshold_tracks_worst_kept() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        t.push(0, 0.3);
+        t.push(1, 0.8);
+        assert_eq!(t.threshold(), 0.3);
+        t.push(2, 0.5);
+        assert_eq!(t.threshold(), 0.5);
+    }
+
+    #[test]
+    fn topk_fewer_candidates_than_k() {
+        let mut t = TopK::new(5);
+        t.push(7, 0.2);
+        let hits = t.into_sorted();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! IVF (inverted file) index: spherical k-means coarse quantizer +
+//! per-centroid inverted lists. Queries probe the `nprobe` closest
+//! centroids and scan only their lists.
+
+use crate::index::{dot, AnnIndex, Hit, TopK};
+use rand::Rng;
+
+/// IVF build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfConfig {
+    /// Number of coarse centroids.
+    pub nlist: usize,
+    /// Centroids probed per query.
+    pub nprobe: usize,
+    /// Lloyd iterations for k-means.
+    pub kmeans_iters: usize,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig { nlist: 32, nprobe: 4, kmeans_iters: 10 }
+    }
+}
+
+/// An IVF index over unit vectors.
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    data: Vec<f32>,
+    dim: usize,
+    centroids: Vec<f32>,
+    lists: Vec<Vec<u32>>,
+    nprobe: usize,
+}
+
+impl IvfIndex {
+    /// Builds the index (k-means over the rows, then list assignment).
+    pub fn build(data: Vec<f32>, dim: usize, cfg: IvfConfig, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot build IVF over an empty set");
+        let nlist = cfg.nlist.min(n).max(1);
+        let row = |r: usize| &data[r * dim..(r + 1) * dim];
+
+        // k-means++ -lite seeding: random distinct rows
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < nlist {
+            chosen.insert(rng.gen_range(0..n));
+        }
+        let mut centroids: Vec<f32> = Vec::with_capacity(nlist * dim);
+        for &c in &chosen {
+            centroids.extend_from_slice(row(c));
+        }
+
+        let mut assign = vec![0usize; n];
+        for _ in 0..cfg.kmeans_iters {
+            // assignment by max inner product (spherical k-means)
+            for (r, slot) in assign.iter_mut().enumerate() {
+                let mut best = f32::NEG_INFINITY;
+                for c in 0..nlist {
+                    let s = dot(row(r), &centroids[c * dim..(c + 1) * dim]);
+                    if s > best {
+                        best = s;
+                        *slot = c;
+                    }
+                }
+            }
+            // update: mean then renormalize
+            let mut sums = vec![0.0f32; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (r, &c) in assign.iter().enumerate() {
+                counts[c] += 1;
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row(r)) {
+                    *s += x;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    // re-seed empty centroid on a random row
+                    let r = rng.gen_range(0..n);
+                    sums[c * dim..(c + 1) * dim].copy_from_slice(row(r));
+                    counts[c] = 1;
+                }
+                let slice = &mut sums[c * dim..(c + 1) * dim];
+                let norm = slice.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                for s in slice.iter_mut() {
+                    *s /= norm;
+                }
+            }
+            centroids = sums;
+        }
+
+        // final assignment into inverted lists
+        let mut lists = vec![Vec::new(); nlist];
+        for r in 0..n {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_c = 0;
+            for c in 0..nlist {
+                let s = dot(row(r), &centroids[c * dim..(c + 1) * dim]);
+                if s > best {
+                    best = s;
+                    best_c = c;
+                }
+            }
+            lists[best_c].push(r as u32);
+        }
+
+        IvfIndex { data, dim, centroids, lists, nprobe: cfg.nprobe.min(nlist).max(1) }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+}
+
+impl AnnIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        // rank centroids
+        let nlist = self.lists.len();
+        let mut order: Vec<usize> = (0..nlist).collect();
+        let scores: Vec<f32> = (0..nlist)
+            .map(|c| dot(query, &self.centroids[c * self.dim..(c + 1) * self.dim]))
+            .collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut top = TopK::new(k);
+        for &c in order.iter().take(self.nprobe) {
+            for &r in &self.lists[c] {
+                top.push(r, dot(query, self.row(r as usize)));
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+    use rand::SeedableRng;
+
+    fn unit_cloud(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+            data.extend(v.into_iter().map(|x| x / norm));
+        }
+        data
+    }
+
+    #[test]
+    fn partitions_all_rows() {
+        let data = unit_cloud(200, 8, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ix = IvfIndex::build(data, 8, IvfConfig::default(), &mut rng);
+        let total: usize = (0..ix.nlist()).map(|c| ix.lists[c].len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn high_nprobe_matches_bruteforce() {
+        let data = unit_cloud(300, 8, 3);
+        let bf = BruteForceIndex::new(data.clone(), 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let cfg = IvfConfig { nlist: 16, nprobe: 16, kmeans_iters: 5 };
+        let ivf = IvfIndex::build(data, 8, cfg, &mut rng);
+        let q = unit_cloud(1, 8, 5);
+        let exact: Vec<u32> = bf.search(&q, 10).iter().map(|h| h.id).collect();
+        let approx: Vec<u32> = ivf.search(&q, 10).iter().map(|h| h.id).collect();
+        assert_eq!(exact, approx, "full probe must be exact");
+    }
+
+    #[test]
+    fn partial_probe_has_decent_recall() {
+        let data = unit_cloud(1000, 16, 6);
+        let bf = BruteForceIndex::new(data.clone(), 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cfg = IvfConfig { nlist: 32, nprobe: 8, kmeans_iters: 8 };
+        let ivf = IvfIndex::build(data, 16, cfg, &mut rng);
+        let queries = unit_cloud(20, 16, 8);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in queries.chunks(16) {
+            let exact: std::collections::HashSet<u32> =
+                bf.search(q, 10).iter().map(|h| h.id).collect();
+            for h in ivf.search(q, 10) {
+                if exact.contains(&h.id) {
+                    hits += 1;
+                }
+            }
+            total += 10;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.55, "recall@10 = {recall}");
+    }
+}

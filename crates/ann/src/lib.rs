@@ -1,0 +1,25 @@
+//! # unimatch-ann
+//!
+//! Approximate nearest-neighbour indexes for serving UniMatch embeddings:
+//! the two-tower architecture keeps user and item representations
+//! separable precisely so retrieval can run through an index like these
+//! (Sec. III-B1 of the paper, citing \[25\]).
+//!
+//! * [`BruteForceIndex`] — exact scan, the correctness baseline;
+//! * [`IvfIndex`] — spherical k-means inverted lists with `nprobe` tuning;
+//! * [`HnswIndex`] — hierarchical navigable small-world graph.
+//!
+//! All indexes perform maximum-inner-product top-k over unit vectors
+//! (equivalently cosine similarity).
+
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod hnsw;
+pub mod index;
+pub mod ivf;
+
+pub use bruteforce::BruteForceIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use index::{AnnIndex, Hit};
+pub use ivf::{IvfConfig, IvfIndex};

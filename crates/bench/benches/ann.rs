@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the serving path: index build and query
+//! latency of brute force vs. IVF vs. HNSW on unit embeddings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use unimatch_ann::{AnnIndex, BruteForceIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex};
+
+fn unit_cloud(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+        data.extend(v.into_iter().map(|x| x / norm));
+    }
+    data
+}
+
+fn bench_query(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const D: usize = 16;
+    let data = unit_cloud(N, D, 1);
+    let query = unit_cloud(1, D, 2);
+    let bf = BruteForceIndex::new(data.clone(), D);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let ivf = IvfIndex::build(data.clone(), D, IvfConfig::default(), &mut rng);
+    let hnsw = HnswIndex::build(data, D, HnswConfig::default(), &mut rng);
+    c.bench_function("bruteforce top-10 of 10k x16", |b| {
+        b.iter(|| black_box(bf.search(&query, 10)))
+    });
+    c.bench_function("ivf(nprobe=4) top-10 of 10k x16", |b| {
+        b.iter(|| black_box(ivf.search(&query, 10)))
+    });
+    c.bench_function("hnsw(ef=50) top-10 of 10k x16", |b| {
+        b.iter(|| black_box(hnsw.search(&query, 10)))
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    const N: usize = 3_000;
+    const D: usize = 16;
+    let data = unit_cloud(N, D, 4);
+    let mut group = c.benchmark_group("index build 3k x16");
+    group.sample_size(10);
+    group.bench_function("ivf", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            black_box(IvfIndex::build(data.clone(), D, IvfConfig::default(), &mut rng))
+        })
+    });
+    group.bench_function("hnsw", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            black_box(HnswIndex::build(data.clone(), D, HnswConfig::default(), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the data pipeline: synthetic generation,
+//! windowing, batching and negative sampling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use unimatch_data::batch::multinomial_batches;
+use unimatch_data::windowing::{build_samples, WindowConfig};
+use unimatch_data::{DatasetProfile, Marginals, NegativeSampler, NegativeStrategy};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthetic generation");
+    group.sample_size(10);
+    for profile in DatasetProfile::ALL {
+        group.bench_function(profile.name(), |b| {
+            b.iter(|| black_box(profile.generate(0.5, 9)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let log = DatasetProfile::Books.generate(0.5, 10).filter_min_interactions(3);
+    c.bench_function("windowing Books(0.5)", |b| {
+        b.iter(|| {
+            black_box(build_samples(
+                &log,
+                &WindowConfig { max_seq_len: 20, min_history: 1 },
+            ))
+        })
+    });
+    let samples = build_samples(&log, &WindowConfig { max_seq_len: 20, min_history: 1 });
+    let marginals = Marginals::from_samples(&samples, log.num_users(), log.num_items());
+    c.bench_function("multinomial batching (full pass)", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            black_box(multinomial_batches(&samples, &marginals, 64, 20, &mut rng))
+        })
+    });
+    let sampler = NegativeSampler::new(&samples, log.num_items());
+    c.bench_function("bce batching w/ uniform negatives (full pass)", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+            black_box(sampler.bce_batches(NegativeStrategy::Uniform, 128, 20, &mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generate, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the evaluation path: embedding inference and
+//! ranked-metric computation at protocol scale (1 positive + 99 negatives).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use unimatch_data::SeqBatch;
+use unimatch_eval::{case_metrics, evaluate_single_positive_cases, rank_relevance, EmbeddingMatrix};
+use unimatch_models::{ModelConfig, TwoTower};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let scores: Vec<f32> = (0..100).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    c.bench_function("rank_relevance + case_metrics (100 candidates)", |b| {
+        b.iter(|| {
+            let rel = rank_relevance(&scores, &[0]);
+            black_box(case_metrics(&rel, 1, 10))
+        })
+    });
+}
+
+fn bench_case_evaluation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    const CASES: usize = 1000;
+    const D: usize = 16;
+    let queries: Vec<f32> = (0..CASES * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let items: Vec<f32> = (0..5000 * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let candidates: Vec<Vec<u32>> = (0..CASES)
+        .map(|_| (0..100).map(|_| rng.gen_range(0..5000u32)).collect())
+        .collect();
+    c.bench_function("evaluate 1000 cases x 100 candidates", |b| {
+        b.iter(|| {
+            black_box(evaluate_single_positive_cases(
+                EmbeddingMatrix::new(&queries, D),
+                EmbeddingMatrix::new(&items, D),
+                &candidates,
+                10,
+            ))
+        })
+    });
+}
+
+fn bench_user_inference(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let model = TwoTower::new(ModelConfig::youtube_dnn_mean(5000, 20, 0.125), &mut rng);
+    let histories: Vec<Vec<u32>> = (0..256)
+        .map(|_| (0..rng.gen_range(1..20)).map(|_| rng.gen_range(0..5000u32)).collect())
+        .collect();
+    let refs: Vec<&[u32]> = histories.iter().map(|h| h.as_slice()).collect();
+    let batch = SeqBatch::from_histories(&refs, 20);
+    c.bench_function("infer 256 user embeddings (YoutubeDNN)", |b| {
+        b.iter(|| black_box(model.infer_users(&batch)))
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_case_evaluation, bench_user_inference);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the loss family at the paper's batch size —
+//! backing the Sec. IV-B1 claim that bbcNCE costs about as much per step
+//! as BCE while extracting log2(B) bits instead of 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use unimatch_losses::{bce_loss, nce_loss, ssm_loss, BiasConfig};
+use unimatch_tensor::{Graph, Tensor};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(2)
+}
+
+fn bench_nce_family(c: &mut Criterion) {
+    let mut r = rng();
+    let logits = Tensor::rand_normal([64, 64], 0.0, 2.0, &mut r);
+    let log_pu = vec![-8.0f32; 64];
+    let log_pi: Vec<f32> = (0..64).map(|i| -6.0 - (i as f32) * 0.05).collect();
+    for (name, cfg) in [
+        ("infonce", BiasConfig::infonce()),
+        ("bbcnce", BiasConfig::bbcnce()),
+    ] {
+        c.bench_function(&format!("{name} fwd+bwd B=64"), |bench| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let l = g.input(logits.clone());
+                let loss = nce_loss(&mut g, l, &log_pu, &log_pi, &cfg);
+                g.backward(loss);
+                black_box(g.value(loss).item())
+            })
+        });
+    }
+}
+
+fn bench_bce(c: &mut Criterion) {
+    let mut r = rng();
+    let logits = Tensor::rand_normal([128], 0.0, 2.0, &mut r);
+    let labels: Vec<f32> = (0..128).map(|i| (i % 2) as f32).collect();
+    c.bench_function("bce fwd+bwd R=128 (64 pos + 64 neg)", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let l = g.input(logits.clone());
+            let loss = bce_loss(&mut g, l, &labels);
+            g.backward(loss);
+            black_box(g.value(loss).item())
+        })
+    });
+}
+
+fn bench_ssm(c: &mut Criterion) {
+    let mut r = rng();
+    let pos = Tensor::rand_normal([64], 0.0, 2.0, &mut r);
+    let neg = Tensor::rand_normal([64, 64], 0.0, 2.0, &mut r);
+    let q = vec![-6.0f32; 64];
+    c.bench_function("ssm fwd+bwd B=64 n=64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let p = g.input(pos.clone());
+            let n = g.input(neg.clone());
+            let loss = ssm_loss(&mut g, p, n, &q, &q);
+            g.backward(loss);
+            black_box(g.value(loss).item())
+        })
+    });
+}
+
+criterion_group!(benches, bench_nce_family, bench_bce, bench_ssm);
+criterion_main!(benches);

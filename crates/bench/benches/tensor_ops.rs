@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the tensor engine's hot kernels at the shapes
+//! UniMatch training actually uses (B = 64, L = 20, d = 16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use unimatch_tensor::{Graph, ParamSet, Tensor};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(1)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut r = rng();
+    let a = Tensor::rand_normal([64, 16], 0.0, 1.0, &mut r);
+    let b = Tensor::rand_normal([64, 16], 0.0, 1.0, &mut r);
+    c.bench_function("matmul_transpose_b 64x16 @ 64x16^T (in-batch logits)", |bench| {
+        bench.iter(|| black_box(a.matmul_transpose_b(&b)))
+    });
+    let w = Tensor::rand_normal([16, 16], 0.0, 1.0, &mut r);
+    c.bench_function("matmul 64x16 @ 16x16 (dense layer)", |bench| {
+        bench.iter(|| black_box(a.matmul(&w)))
+    });
+}
+
+fn bench_softmax_family(c: &mut Criterion) {
+    let mut r = rng();
+    let logits = Tensor::rand_normal([64, 64], 0.0, 2.0, &mut r);
+    c.bench_function("log_softmax + diag fwd+bwd on 64x64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let l = g.input(logits.clone());
+            let ls = g.log_softmax(l);
+            let d = g.diag(ls);
+            let m = g.mean_all(d);
+            let loss = g.scale(m, -1.0);
+            g.backward(loss);
+            black_box(g.grad(l).is_some())
+        })
+    });
+}
+
+fn bench_embedding_sparse_grad(c: &mut Criterion) {
+    let mut r = rng();
+    let mut params = ParamSet::new();
+    let table = params.add("emb", Tensor::rand_normal([20_000, 16], 0.0, 0.25, &mut r));
+    let indices: Vec<u32> = (0..64 * 20).map(|k| (k * 131 % 20_000) as u32).collect();
+    c.bench_function("embedding gather + sparse backward (64x20 of 20k vocab)", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let e = g.embedding(&params, table, &indices);
+            let sq = g.mul(e, e);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            black_box(g.sparse_grads().len())
+        })
+    });
+}
+
+fn bench_conv_and_pool(c: &mut Criterion) {
+    let mut r = rng();
+    let x = Tensor::rand_normal([64, 20, 16], 0.0, 1.0, &mut r);
+    let w = Tensor::rand_normal([3, 16, 16], 0.0, 0.3, &mut r);
+    let mask = vec![1.0f32; 64 * 20];
+    c.bench_function("conv1d_same fwd 64x20x16 k3", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let wv = g.constant(w.clone());
+            black_box(g.conv1d_same(xv, wv))
+        })
+    });
+    c.bench_function("mean_pool_masked 64x20x16", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            black_box(g.mean_pool_masked(xv, &mask))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax_family,
+    bench_embedding_sparse_grad,
+    bench_conv_and_pool
+);
+criterion_main!(benches);

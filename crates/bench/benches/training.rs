@@ -1,0 +1,123 @@
+//! Criterion benchmarks for full training steps and epochs — the numbers
+//! behind the cost analysis: a bbcNCE step vs. a BCE step vs. an SSM step
+//! at the paper's hyperparameters, and per-extractor step costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use unimatch_data::batch::multinomial_batches;
+use unimatch_data::windowing::{build_samples, WindowConfig};
+use unimatch_data::{DatasetProfile, Marginals, NegativeSampler, NegativeStrategy};
+use unimatch_losses::{BiasConfig, MultinomialLoss};
+use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
+use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
+
+struct Setup {
+    samples: Vec<unimatch_data::Sample>,
+    marginals: Marginals,
+    num_items: usize,
+}
+
+fn setup() -> Setup {
+    let log = DatasetProfile::EComp.generate(0.3, 5).filter_min_interactions(2);
+    let samples = build_samples(&log, &WindowConfig { max_seq_len: 20, min_history: 1 });
+    let marginals = Marginals::from_samples(&samples, log.num_users(), log.num_items());
+    Setup { samples, marginals, num_items: log.num_items() as usize }
+}
+
+fn trainer(s: &Setup, loss: TrainLoss, extractor: ContextExtractor) -> Trainer {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let model = TwoTower::new(
+        ModelConfig {
+            num_items: s.num_items,
+            embed_dim: 16,
+            max_seq_len: 20,
+            extractor,
+            aggregator: Aggregator::Mean,
+            temperature: 0.125,
+            normalize: true,
+        },
+        &mut rng,
+    );
+    Trainer::new(
+        model,
+        TrainConfig {
+            batch_size: 64,
+            epochs_per_month: 1,
+            max_seq_len: 20,
+            optimizer: AdamConfig::default(),
+            loss,
+            seed: 4,
+        },
+    )
+}
+
+fn bench_step_by_loss(c: &mut Criterion) {
+    let s = setup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let batches = multinomial_batches(&s.samples, &s.marginals, 64, 20, &mut rng);
+    let nce = MultinomialLoss::Nce(BiasConfig::bbcnce());
+    let mut t = trainer(&s, TrainLoss::Multinomial(nce), ContextExtractor::YoutubeDnn);
+    c.bench_function("train step bbcNCE B=64 (YoutubeDNN)", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let batch = &batches[i % batches.len()];
+            i += 1;
+            black_box(t.step_multinomial(batch, &nce, None))
+        })
+    });
+
+    let sampler = NegativeSampler::new(&s.samples, s.num_items as u32);
+    let bce_batches = sampler.bce_batches(NegativeStrategy::Uniform, 128, 20, &mut rng);
+    let mut t = trainer(&s, TrainLoss::Bce(NegativeStrategy::Uniform), ContextExtractor::YoutubeDnn);
+    c.bench_function("train step BCE R=128 (YoutubeDNN)", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let batch = &bce_batches[i % bce_batches.len()];
+            i += 1;
+            black_box(t.step_bce(batch))
+        })
+    });
+}
+
+fn bench_step_by_extractor(c: &mut Criterion) {
+    let s = setup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let batches = multinomial_batches(&s.samples, &s.marginals, 64, 20, &mut rng);
+    let nce = MultinomialLoss::Nce(BiasConfig::bbcnce());
+    for extractor in ContextExtractor::ALL {
+        let mut t = trainer(&s, TrainLoss::Multinomial(nce), extractor);
+        c.bench_function(&format!("train step bbcNCE B=64 ({})", extractor.label()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let batch = &batches[i % batches.len()];
+                i += 1;
+                black_box(t.step_multinomial(batch, &nce, None))
+            })
+        });
+    }
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("train epoch bbcNCE on e_comp(0.3)", |b| {
+        b.iter_batched(
+            || {
+                trainer(
+                    &s,
+                    TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())),
+                    ContextExtractor::YoutubeDnn,
+                )
+            },
+            |mut t| black_box(t.train_epochs(&s.samples, &s.marginals, 1)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step_by_loss, bench_step_by_extractor, bench_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (temperature, normalization, batch
+//! size, embedding dim, BCE negative ratio). See DESIGN.md §4.
+fn main() {
+    let args = unimatch_bench::Args::parse();
+    print!("{}", unimatch_bench::experiments::ablations::run(&args));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Tab. 07 from scratch. See DESIGN.md §4.
+fn main() {
+    let args = unimatch_bench::Args::parse();
+    print!("{}", unimatch_bench::experiments::table07::run(&args));
+}

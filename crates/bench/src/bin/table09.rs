@@ -1,0 +1,6 @@
+//! Regenerates Tab. IX (multinomial losses on the Amazon profiles).
+fn main() {
+    let args = unimatch_bench::Args::parse();
+    let reports = unimatch_bench::experiments::table09_10_11::run_all(&args);
+    print!("{}", reports.table09);
+}

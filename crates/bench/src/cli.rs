@@ -1,0 +1,56 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Common experiment arguments.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Dataset down-scaling factor (1.0 ≈ 1/100 of the paper's sizes).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Run a cheaper variant (fewer steps/epochs) for smoke testing.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { scale: 1.0, seed: 42, quick: false }
+    }
+}
+
+impl Args {
+    /// Parses `--scale <f64>`, `--seed <u64>`, `--quick` from the process
+    /// arguments; anything else aborts with a usage message.
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    out.scale = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a float"));
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--quick" => out.quick = true,
+                other => usage(&format!("unknown argument {other}")),
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--quick]");
+    std::process::exit(2);
+}

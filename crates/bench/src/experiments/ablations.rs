@@ -1,0 +1,223 @@
+//! Ablations of the design choices DESIGN.md calls out, beyond the paper's
+//! own tables:
+//!
+//! * **temperature** τ — the paper's most sensitive hyperparameter;
+//! * **L2 normalization** — Eq. 13's claim that normalize+rescale is
+//!   "better and robust";
+//! * **batch size** — in-batch losses get `B−1` negatives per positive, so
+//!   batch size doubles as negative-pool size;
+//! * **embedding dimension** d;
+//! * **BCE negative ratio** — the paper fixes 1:1; what does more buy?
+
+use crate::cli::Args;
+use unimatch_core::{
+    run_experiment_on, ExperimentOptions, ExperimentSpec, Hyperparams, Pathway, PreparedData,
+};
+use unimatch_data::{DatasetProfile, NegativeStrategy};
+use unimatch_eval::Table;
+use unimatch_losses::{BiasConfig, MultinomialLoss};
+use unimatch_train::TrainLoss;
+
+fn bbcnce() -> TrainLoss {
+    TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce()))
+}
+
+/// Runs all ablations and renders the report.
+pub fn run(args: &Args) -> String {
+    let profile = DatasetProfile::EComp;
+    let prepared = PreparedData::synthetic(profile, args.scale, args.seed);
+    let base_hp = Hyperparams::paper(profile, Pathway::Multinomial);
+    let mut out = String::new();
+
+    // ---- temperature -------------------------------------------------------
+    let temps: &[f32] = if args.quick { &[0.125, 0.5] } else { &[0.05, 0.1, 0.125, 0.25, 0.5, 1.0] };
+    let mut t = Table::new(
+        format!("ablation: temperature τ (bbcNCE on {}, NDCG %)", profile.name()),
+        &["τ", "IR", "UT", "AVG"],
+    );
+    for &temp in temps {
+        let spec = ExperimentSpec {
+            hyper: Some(Hyperparams { temperature: temp, ..base_hp }),
+            ..ExperimentSpec::baseline(profile, args.scale, args.seed, bbcnce())
+        };
+        let o = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+        t.row(vec![
+            format!("{temp}"),
+            format!("{:.2}", 100.0 * o.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * o.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * o.eval.avg_ndcg()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- normalization ------------------------------------------------------
+    let mut t = Table::new(
+        "ablation: L2 normalization of tower outputs (Eq. 13)",
+        &["variant", "IR", "UT", "AVG"],
+    );
+    for (label, normalize) in [("normalized + τ (paper)", true), ("raw dot product", false)] {
+        let spec = ExperimentSpec {
+            normalize,
+            ..ExperimentSpec::baseline(profile, args.scale, args.seed, bbcnce())
+        };
+        let o = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+        t.row(vec![
+            label.into(),
+            format!("{:.2}", 100.0 * o.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * o.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * o.eval.avg_ndcg()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- batch size (= in-batch negative pool) ------------------------------
+    let batches: &[usize] = if args.quick { &[64] } else { &[16, 32, 64, 128, 256] };
+    let mut t = Table::new(
+        "ablation: batch size (bbcNCE sees B-1 in-batch negatives)",
+        &["B", "IR", "UT", "AVG"],
+    );
+    for &b in batches {
+        let spec = ExperimentSpec {
+            hyper: Some(Hyperparams { batch_size: b, ..base_hp }),
+            ..ExperimentSpec::baseline(profile, args.scale, args.seed, bbcnce())
+        };
+        let o = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+        t.row(vec![
+            b.to_string(),
+            format!("{:.2}", 100.0 * o.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * o.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * o.eval.avg_ndcg()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- embedding dimension -------------------------------------------------
+    let dims: &[usize] = if args.quick { &[16] } else { &[4, 8, 16, 32] };
+    let mut t = Table::new("ablation: embedding dimension d (paper: 16)", &["d", "IR", "UT", "AVG"]);
+    for &d in dims {
+        let spec = ExperimentSpec {
+            embed_dim: d,
+            ..ExperimentSpec::baseline(profile, args.scale, args.seed, bbcnce())
+        };
+        let o = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+        t.row(vec![
+            d.to_string(),
+            format!("{:.2}", 100.0 * o.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * o.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * o.eval.avg_ndcg()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // ---- BCE negative ratio (records consumed scale with 1 + ratio) ----------
+    let ratios: &[usize] = if args.quick { &[1] } else { &[1, 3, 7] };
+    let mut t = Table::new(
+        "ablation: BCE negatives per positive (paper fixes 1:1)",
+        &["ratio", "IR", "UT", "AVG", "records"],
+    );
+    for &ratio in ratios {
+        let hp = Hyperparams::paper(profile, Pathway::Bernoulli);
+        let spec = ExperimentSpec {
+            hyper: Some(Hyperparams {
+                batch_size: 64 * (1 + ratio),
+                ..hp
+            }),
+            ..ExperimentSpec::baseline(
+                profile,
+                args.scale,
+                args.seed,
+                TrainLoss::Bce(NegativeStrategy::Uniform),
+            )
+        };
+        // ratio > 1 uses the generalized batcher through a custom epoch
+        // loop; ratio == 1 runs the standard pathway.
+        let o = if ratio == 1 {
+            run_experiment_on(&spec, &ExperimentOptions::default(), &prepared)
+        } else {
+            run_bce_with_ratio(&spec, &prepared, ratio)
+        };
+        t.row(vec![
+            format!("1:{ratio}"),
+            format!("{:.2}", 100.0 * o.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * o.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * o.eval.avg_ndcg()),
+            o.stats.records_consumed.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nReading guide: AVG should peak near the paper's τ cell and be flat-to-\n\
+         declining in extra BCE negatives per unit of compute — the data-\n\
+         efficiency argument behind choosing bbcNCE (Sec. IV-B1-iii).\n",
+    );
+    out
+}
+
+/// Custom BCE run with `ratio` negatives per positive (the standard
+/// trainer pathway fixes 1:1, matching the paper).
+fn run_bce_with_ratio(
+    spec: &ExperimentSpec,
+    prepared: &PreparedData,
+    ratio: usize,
+) -> unimatch_core::ExperimentOutcome {
+    use rand::SeedableRng;
+    use unimatch_data::NegativeSampler;
+    use unimatch_models::{ModelConfig, TwoTower};
+    use unimatch_train::{AdamConfig, TrainConfig, Trainer};
+
+    let hp = spec.hyperparams();
+    let model_cfg = ModelConfig {
+        num_items: prepared.num_items(),
+        embed_dim: spec.embed_dim,
+        max_seq_len: prepared.max_seq_len,
+        extractor: spec.extractor,
+        aggregator: spec.aggregator,
+        temperature: hp.temperature,
+        normalize: spec.normalize,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let model = TwoTower::new(model_cfg, &mut rng);
+    let cfg = TrainConfig {
+        batch_size: hp.batch_size,
+        epochs_per_month: hp.epochs,
+        max_seq_len: prepared.max_seq_len,
+        optimizer: AdamConfig::with_lr(hp.lr),
+        loss: spec.loss,
+        seed: spec.seed ^ 0xabcd,
+    };
+    let mut trainer = Trainer::new(model, cfg);
+    let mut batch_rng = rand::rngs::StdRng::seed_from_u64(spec.seed ^ 0xabcd);
+    let t0 = std::time::Instant::now();
+    for month in prepared.split.train_months() {
+        let month_samples = prepared.split.train_month(month);
+        if month_samples.is_empty() {
+            continue;
+        }
+        let sampler = NegativeSampler::new(&month_samples, prepared.log.num_items());
+        for _ in 0..hp.epochs {
+            for batch in sampler.bce_batches_with_ratio(
+                unimatch_data::NegativeStrategy::Uniform,
+                ratio,
+                hp.batch_size,
+                prepared.max_seq_len,
+                &mut batch_rng,
+            ) {
+                trainer.step_bce(&batch);
+            }
+        }
+    }
+    let train_secs = t0.elapsed().as_secs_f64();
+    let stats = *trainer.stats();
+    let eval = unimatch_core::evaluate(
+        &trainer.model,
+        &prepared.split,
+        &spec.protocol(),
+        prepared.max_seq_len,
+        spec.seed ^ 0x5eed,
+    );
+    unimatch_core::ExperimentOutcome { eval, stats, curve: vec![], audit: None, train_secs }
+}

@@ -1,0 +1,70 @@
+//! Fig. 3 — incremental training: NDCG of monthly checkpoints against the
+//! fixed final-month test set, as a function of how many months of data
+//! the checkpoint is missing.
+
+use crate::cli::Args;
+use unimatch_core::{run_experiment_on, ExperimentOptions, ExperimentSpec, PreparedData};
+use unimatch_data::DatasetProfile;
+use unimatch_eval::Table;
+use unimatch_losses::{BiasConfig, MultinomialLoss};
+use unimatch_train::TrainLoss;
+
+/// Runs the experiment and renders the report.
+pub fn run(args: &Args) -> String {
+    let mut out = String::new();
+    let profiles: Vec<DatasetProfile> = if args.quick {
+        vec![DatasetProfile::EComp]
+    } else {
+        DatasetProfile::ALL.to_vec()
+    };
+    let points = 4;
+    let mut gains = Vec::new();
+    for profile in profiles {
+        let prepared = PreparedData::synthetic(profile, args.scale, args.seed);
+        let spec = ExperimentSpec::baseline(
+            profile,
+            args.scale,
+            args.seed,
+            TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())),
+        );
+        let outcome = run_experiment_on(
+            &spec,
+            &ExperimentOptions { curve_points: points, audit: false },
+            &prepared,
+        );
+        let mut t = Table::new(
+            format!("Figure 3 — {} (NDCG@{} vs months of data missing)", profile.name(), profile.top_n()),
+            &["months behind", "IR NDCG", "UT NDCG", "AVG"],
+        );
+        for p in &outcome.curve {
+            t.row(vec![
+                p.months_behind.to_string(),
+                format!("{:.2}", 100.0 * p.ir_ndcg),
+                format!("{:.2}", 100.0 * p.ut_ndcg),
+                format!("{:.2}", 100.0 * (p.ir_ndcg + p.ut_ndcg) / 2.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        if let (Some(first), Some(last)) = (outcome.curve.first(), outcome.curve.last()) {
+            let gain = ((last.ir_ndcg + last.ut_ndcg) - (first.ir_ndcg + first.ut_ndcg)) / 2.0;
+            gains.push((profile, gain));
+        }
+    }
+    out.push_str("Incremental gain (AVG NDCG, freshest minus stalest checkpoint):\n");
+    for (p, g) in &gains {
+        out.push_str(&format!("  {:<18} {:+.2} pts\n", p.name(), 100.0 * g));
+    }
+    out.push_str(
+        "Paper shape: metric rises as training data approaches the test \
+         month — strongly for the trendy datasets (Books, e_comp), mildly \
+         for the stable ones (Electronics, w_comp).\n\
+         Scale caveat: at ~1/100 data volume, later checkpoints also simply \
+         have MORE data, which inflates the gain on data-starved profiles \
+         (visible on Electronics: ~2 actions/user). The paper's full-size \
+         Electronics is volume-saturated, isolating the freshness effect; \
+         the trendy-vs-stable contrast here is cleanest between the \
+         similarly-sized e_comp (trendy, gains) and w_comp (stable, flat).\n",
+    );
+    out
+}

@@ -1,0 +1,64 @@
+//! Tabs. IV & V — the two training-record formats: multinomial records
+//! carry pre-computed `log p(u)` / `log p(i)` bias terms; Bernoulli
+//! records carry sampled negatives with 0/1 labels.
+
+use crate::cli::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unimatch_core::PreparedData;
+use unimatch_data::batch::multinomial_batches;
+use unimatch_data::{DatasetProfile, NegativeSampler, NegativeStrategy};
+use unimatch_eval::Table;
+
+fn seq_str(items: &[u32]) -> String {
+    items.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// Runs the experiment and renders the report.
+pub fn run(args: &Args) -> String {
+    let prepared = PreparedData::synthetic(DatasetProfile::Books, args.scale, args.seed);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    let mut t4 = Table::new(
+        "Table IV — multinomial training records (in-batch negatives; bias terms precomputed)",
+        &["user_id", "item_seq", "item_id", "log p(u)", "log p(i)"],
+    );
+    let batches = multinomial_batches(&prepared.split.train, &prepared.marginals, 8, 8, &mut rng);
+    let b = &batches[0];
+    for r in 0..5.min(b.items.len()) {
+        let l = b.histories.l;
+        let hist: Vec<u32> = b.histories.indices[r * l..(r + 1) * l]
+            .iter()
+            .zip(&b.histories.mask[r * l..(r + 1) * l])
+            .filter(|(_, &m)| m > 0.5)
+            .map(|(&i, _)| i)
+            .collect();
+        t4.row(vec![
+            b.users[r].to_string(),
+            seq_str(&hist),
+            b.items[r].to_string(),
+            format!("{:.5}", b.log_pu[r]),
+            format!("{:.5}", b.log_pi[r]),
+        ]);
+    }
+
+    let mut t5 = Table::new(
+        "Table V — Bernoulli training records (explicit negatives, 1:1 ratio)",
+        &["item_seq", "item_id", "label"],
+    );
+    let sampler = NegativeSampler::new(&prepared.split.train, prepared.log.num_items());
+    let bce = sampler.bce_batches(NegativeStrategy::Uniform, 8, 8, &mut rng);
+    let b = &bce[0];
+    for r in 0..6.min(b.items.len()) {
+        let l = b.histories.l;
+        let hist: Vec<u32> = b.histories.indices[r * l..(r + 1) * l]
+            .iter()
+            .zip(&b.histories.mask[r * l..(r + 1) * l])
+            .filter(|(_, &m)| m > 0.5)
+            .map(|(&i, _)| i)
+            .collect();
+        t5.row(vec![seq_str(&hist), b.items[r].to_string(), format!("{}", b.labels[r] as u8)]);
+    }
+
+    format!("{}\n{}\n", t4.render(), t5.render())
+}

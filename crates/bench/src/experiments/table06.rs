@@ -1,0 +1,50 @@
+//! Tab. VI — train/test split statistics and evaluation-protocol
+//! parameters per dataset.
+
+use crate::cli::Args;
+use unimatch_core::PreparedData;
+use unimatch_data::stats::SplitStats;
+use unimatch_data::DatasetProfile;
+use unimatch_eval::Table;
+
+/// Runs the experiment and renders the report.
+pub fn run(args: &Args) -> String {
+    let mut t = Table::new(
+        format!("Table VI (ours, scale {}) — split statistics & protocol", args.scale),
+        &[
+            "Data",
+            "train",
+            "IR #test users",
+            "IR item pool",
+            "UT #test items",
+            "UT user pool",
+            "top-n",
+            "#neg",
+        ],
+    );
+    for profile in DatasetProfile::ALL {
+        let prepared = PreparedData::synthetic(profile, args.scale, args.seed);
+        let s = SplitStats::from_split(
+            &prepared.split,
+            profile.top_n(),
+            profile.num_eval_negatives(),
+        );
+        t.row(vec![
+            profile.name().into(),
+            s.train_records.to_string(),
+            s.ir_test_users.to_string(),
+            s.ir_item_pool.to_string(),
+            s.ut_test_items.to_string(),
+            s.ut_user_pool.to_string(),
+            s.top_n.to_string(),
+            s.negatives.to_string(),
+        ]);
+    }
+    format!(
+        "{}\nPaper reference (Books): 2,985,163 train / 43,867 IR test users / \
+         67,967 item pool / 27,541 UT test items / 317,667 user pool; our \
+         pools shrink with the generator scale but keep the orderings \
+         (user pool >> test users; item pool >= test items).\n",
+        t.render()
+    )
+}

@@ -1,0 +1,50 @@
+//! Tab. VIII — bbcNCE versus BCE under the four negative-sampling
+//! strategies: NDCG for IR, UT and their average, on all four datasets.
+
+use crate::cli::Args;
+use crate::experiments::{mark_best, table8_losses};
+use unimatch_core::{run_experiment_on, ExperimentOptions, ExperimentSpec, PreparedData};
+use unimatch_data::DatasetProfile;
+use unimatch_eval::Table;
+
+/// Runs the experiment and renders the report.
+pub fn run(args: &Args) -> String {
+    let mut out = String::new();
+    let profiles: Vec<DatasetProfile> = if args.quick {
+        vec![DatasetProfile::EComp]
+    } else {
+        DatasetProfile::ALL.to_vec()
+    };
+    for profile in profiles {
+        let prepared = PreparedData::synthetic(profile, args.scale, args.seed);
+        let metric_n = profile.top_n();
+        let mut t = Table::new(
+            format!("Table VIII — {} (NDCG@{metric_n}; * best, _ second)", profile.name()),
+            &["loss", "IR", "UT", "AVG"],
+        );
+        let mut rows = Vec::new();
+        for (label, loss) in table8_losses() {
+            let spec = ExperimentSpec::baseline(profile, args.scale, args.seed, loss);
+            let outcome = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+            rows.push((label, outcome.eval.ir.ndcg, outcome.eval.ut.ndcg, outcome.eval.avg_ndcg()));
+        }
+        let ir_marked = mark_best(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let ut_marked = mark_best(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        let avg_marked = mark_best(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
+        for (i, (label, ..)) in rows.iter().enumerate() {
+            t.row(vec![
+                label.clone(),
+                ir_marked[i].clone(),
+                ut_marked[i].clone(),
+                avg_marked[i].clone(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper shape: BCE p(u) strong at IR, BCE p(i) strong at UT, uniform \
+         decent at both, bbcNCE best or second-best on AVG everywhere.\n",
+    );
+    out
+}

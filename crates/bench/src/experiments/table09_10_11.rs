@@ -1,0 +1,148 @@
+//! Tabs. IX, X and XI — the six multinomial-family losses compared on all
+//! four datasets (Recall + NDCG for IR/UT/AVG), and the popularity /
+//! activeness audit of what each loss retrieves.
+//!
+//! One training run per (profile, loss) feeds all three tables, as in the
+//! paper.
+
+use crate::cli::Args;
+use crate::experiments::{amazon_profiles, mark_best, multinomial_losses, qa_profiles};
+use unimatch_core::{run_experiment_on, ExperimentOptions, ExperimentSpec, PreparedData};
+use unimatch_data::DatasetProfile;
+use unimatch_eval::Table;
+
+/// One (profile, loss) result.
+struct Cell {
+    label: String,
+    ir_recall: f64,
+    ir_ndcg: f64,
+    ut_recall: f64,
+    ut_ndcg: f64,
+    ir_pop_med: f64,
+    ir_pop_avg: f64,
+    ut_act_med: f64,
+    ut_act_avg: f64,
+}
+
+fn run_profile(profile: DatasetProfile, args: &Args) -> Vec<Cell> {
+    let prepared = PreparedData::synthetic(profile, args.scale, args.seed);
+    let mut cells = Vec::new();
+    for (label, loss) in multinomial_losses(64) {
+        let spec = ExperimentSpec::baseline(profile, args.scale, args.seed, loss);
+        let outcome = run_experiment_on(
+            &spec,
+            &ExperimentOptions { curve_points: 0, audit: true },
+            &prepared,
+        );
+        let audit = outcome.audit.expect("audit requested");
+        cells.push(Cell {
+            label,
+            ir_recall: outcome.eval.ir.recall,
+            ir_ndcg: outcome.eval.ir.ndcg,
+            ut_recall: outcome.eval.ut.recall,
+            ut_ndcg: outcome.eval.ut.ndcg,
+            ir_pop_med: audit.ir_item_popularity.median,
+            ir_pop_avg: audit.ir_item_popularity.mean,
+            ut_act_med: audit.ut_user_activeness.median,
+            ut_act_avg: audit.ut_user_activeness.mean,
+        });
+    }
+    cells
+}
+
+fn metrics_table(profile: DatasetProfile, cells: &[Cell]) -> String {
+    let n = profile.top_n();
+    let mut t = Table::new(
+        format!("{} (Recall@{n} / NDCG@{n}; * best, _ second)", profile.name()),
+        &["loss", "IR Recall", "IR NDCG", "UT Recall", "UT NDCG", "AVG Recall", "AVG NDCG"],
+    );
+    let col = |f: &dyn Fn(&Cell) -> f64| mark_best(&cells.iter().map(f).collect::<Vec<_>>());
+    let cols = [
+        col(&|c: &Cell| c.ir_recall),
+        col(&|c: &Cell| c.ir_ndcg),
+        col(&|c: &Cell| c.ut_recall),
+        col(&|c: &Cell| c.ut_ndcg),
+        col(&|c: &Cell| (c.ir_recall + c.ut_recall) / 2.0),
+        col(&|c: &Cell| (c.ir_ndcg + c.ut_ndcg) / 2.0),
+    ];
+    for (i, c) in cells.iter().enumerate() {
+        t.row(vec![
+            c.label.clone(),
+            cols[0][i].clone(),
+            cols[1][i].clone(),
+            cols[2][i].clone(),
+            cols[3][i].clone(),
+            cols[4][i].clone(),
+            cols[5][i].clone(),
+        ]);
+    }
+    t.render()
+}
+
+fn audit_table(profile: DatasetProfile, cells: &[Cell]) -> String {
+    let mut t = Table::new(
+        format!("{} — retrieved popularity/activeness (Tab. XI)", profile.name()),
+        &["loss", "IR med", "IR avg", "UT med", "UT avg"],
+    );
+    for c in cells {
+        t.row(vec![
+            c.label.clone(),
+            format!("{:.0}", c.ir_pop_med),
+            format!("{:.0}", c.ir_pop_avg),
+            format!("{:.0}", c.ut_act_med),
+            format!("{:.0}", c.ut_act_avg),
+        ]);
+    }
+    t.render()
+}
+
+/// Result bundle: the Tab. IX, Tab. X and Tab. XI report strings.
+pub struct Reports {
+    /// Amazon profiles metrics (Tab. IX).
+    pub table09: String,
+    /// QA profiles metrics (Tab. X).
+    pub table10: String,
+    /// Popularity audit (Tab. XI).
+    pub table11: String,
+}
+
+/// Runs all three tables from shared training runs.
+pub fn run_all(args: &Args) -> Reports {
+    let amazon: Vec<(DatasetProfile, Vec<Cell>)> = if args.quick {
+        vec![]
+    } else {
+        amazon_profiles().iter().map(|&p| (p, run_profile(p, args))).collect()
+    };
+    let qa: Vec<(DatasetProfile, Vec<Cell>)> = {
+        let ps: Vec<DatasetProfile> =
+            if args.quick { vec![DatasetProfile::EComp] } else { qa_profiles().to_vec() };
+        ps.iter().map(|&p| (p, run_profile(p, args))).collect()
+    };
+
+    let shape9 = "Paper shape (Tab. IX): row-bcNCE tops IR, col-bcNCE tops UT, \
+                  bbcNCE best/second on AVG; InfoNCE ≈ SimCLR and weaker on IR.\n";
+    let shape11 = "Paper shape (Tab. XI): InfoNCE/SimCLR retrieve markedly less \
+                   popular items (low IR medians) than the bias-corrected \
+                   losses and SSM.\n";
+
+    let render = |groups: &[(DatasetProfile, Vec<Cell>)]| -> String {
+        groups
+            .iter()
+            .map(|(p, cells)| metrics_table(*p, cells))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let render_audit = |groups: &[(DatasetProfile, Vec<Cell>)]| -> String {
+        groups
+            .iter()
+            .map(|(p, cells)| audit_table(*p, cells))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    Reports {
+        table09: format!("{}\n{shape9}", render(&amazon)),
+        table10: format!("{}\n{shape9}", render(&qa)),
+        table11: format!("{}\n{}\n{shape11}", render_audit(&amazon), render_audit(&qa)),
+    }
+}

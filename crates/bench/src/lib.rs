@@ -1,0 +1,17 @@
+//! # unimatch-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! UniMatch paper's evaluation (see `DESIGN.md` §4 for the index), plus
+//! criterion performance benchmarks.
+//!
+//! Each `src/bin/tableNN.rs` binary prints the paper's table shape from
+//! freshly trained models; `--bin all_experiments` runs the full suite and
+//! writes `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod convergence;
+pub mod experiments;
+
+pub use cli::Args;

@@ -1,0 +1,127 @@
+//! Offline batch inference: the QuickAudience-style nightly job.
+//!
+//! Private-domain campaigns run weekly/monthly, so in production the
+//! scores are not computed per online query — the whole top-k-items-per-
+//! user (and top-k-users-per-item) matrix is materialized offline. This
+//! module does that with blocked exact matmuls over the embedding
+//! matrices, the right tool when you need *every* row's top-k anyway
+//! (ANN indexes win only for sparse online lookups).
+
+use unimatch_eval::{top_n_candidates, EmbeddingMatrix};
+
+/// How many query rows to score per block (bounds the score-buffer size).
+const BLOCK: usize = 128;
+
+/// Top-k per query row of `queries` against all of `targets`, exact.
+/// Returns one `(target_id, score)` list per query row, best first.
+pub fn top_k_blocked(
+    queries: EmbeddingMatrix<'_>,
+    targets: EmbeddingMatrix<'_>,
+    k: usize,
+) -> Vec<Vec<(u32, f32)>> {
+    assert_eq!(queries.dim(), targets.dim(), "embedding dim mismatch");
+    assert!(k >= 1, "k must be >= 1");
+    let n_targets = targets.rows();
+    let mut out = Vec::with_capacity(queries.rows());
+    let mut scores = vec![0.0f32; n_targets];
+    for block_start in (0..queries.rows()).step_by(BLOCK) {
+        let block_end = (block_start + BLOCK).min(queries.rows());
+        for q in block_start..block_end {
+            let query = queries.row(q);
+            for (t, s) in scores.iter_mut().enumerate() {
+                let row = targets.row(t);
+                *s = query.iter().zip(row).map(|(a, b)| a * b).sum();
+            }
+            let top = top_n_candidates(&scores, k.min(n_targets));
+            out.push(top.into_iter().map(|ix| (ix as u32, scores[ix])).collect());
+        }
+    }
+    out
+}
+
+/// The materialized nightly artifact: every pool user's item list and
+/// every item's user list, from one pass over the embeddings.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRecommendations {
+    /// `per_user[u]` = top-k `(item, score)` for pool user index `u`.
+    pub per_user: Vec<Vec<(u32, f32)>>,
+    /// `per_item[i]` = top-k `(pool user index, score)` for item `i`.
+    pub per_item: Vec<Vec<(u32, f32)>>,
+}
+
+/// Materializes both directions.
+pub fn materialize(
+    user_embeddings: EmbeddingMatrix<'_>,
+    item_embeddings: EmbeddingMatrix<'_>,
+    k_items_per_user: usize,
+    k_users_per_item: usize,
+) -> BatchRecommendations {
+    BatchRecommendations {
+        per_user: top_k_blocked(user_embeddings, item_embeddings, k_items_per_user),
+        per_item: top_k_blocked(item_embeddings, user_embeddings, k_users_per_item),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: &[f32]) -> Vec<f32> {
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter().map(|x| x / n).collect()
+    }
+
+    #[test]
+    fn top_k_matches_exhaustive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let d = 8;
+        let queries: Vec<f32> = (0..300 * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let targets: Vec<f32> = (0..500 * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let qm = EmbeddingMatrix::new(&queries, d);
+        let tm = EmbeddingMatrix::new(&targets, d);
+        let lists = top_k_blocked(qm, tm, 5);
+        assert_eq!(lists.len(), 300);
+        for (q, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 5);
+            assert!(list.windows(2).all(|w| w[0].1 >= w[1].1));
+            // exhaustive check of the best hit
+            let query = qm.row(q);
+            let best_exhaustive = (0..500)
+                .map(|t| query.iter().zip(tm.row(t)).map(|(a, b)| a * b).sum::<f32>())
+                .fold(f32::NEG_INFINITY, f32::max);
+            assert!((list[0].1 - best_exhaustive).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_targets_truncates() {
+        let queries = unit(&[1.0, 0.0]);
+        let targets = [unit(&[1.0, 0.0]), unit(&[0.0, 1.0])].concat();
+        let lists = top_k_blocked(
+            EmbeddingMatrix::new(&queries, 2),
+            EmbeddingMatrix::new(&targets, 2),
+            10,
+        );
+        assert_eq!(lists[0].len(), 2);
+        assert_eq!(lists[0][0].0, 0);
+    }
+
+    #[test]
+    fn materialize_is_consistent_between_directions() {
+        // if item i is user u's #1, then u appears in i's list whenever the
+        // lists are long enough to be exhaustive
+        let users = [unit(&[1.0, 0.1]), unit(&[0.1, 1.0])].concat();
+        let items = [unit(&[1.0, 0.0]), unit(&[0.0, 1.0])].concat();
+        let rec = materialize(
+            EmbeddingMatrix::new(&users, 2),
+            EmbeddingMatrix::new(&items, 2),
+            2,
+            2,
+        );
+        assert_eq!(rec.per_user[0][0].0, 0);
+        assert_eq!(rec.per_user[1][0].0, 1);
+        assert_eq!(rec.per_item[0][0].0, 0);
+        assert_eq!(rec.per_item[1][0].0, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! `unimatch-cli` — the framework as a command-line tool.
+//!
+//! ```text
+//! unimatch-cli generate  --profile ecomp --scale 0.5 --seed 7 --out log.csv
+//! unimatch-cli fit       --log log.csv --out model.json
+//! unimatch-cli recommend --model model.json --log log.csv --user <id> --k 10
+//! unimatch-cli target    --model model.json --log log.csv --item <id> --k 10
+//! unimatch-cli evaluate  --model model.json --log log.csv
+//! ```
+//!
+//! Logs are CSV with a `user,item,day` header; user and item ids may be
+//! arbitrary strings — they are interned to dense ids and the vocabularies
+//! are persisted next to the model (`<model>.users.json`,
+//! `<model>.items.json`) so results translate back.
+
+use std::collections::HashMap;
+use std::process::exit;
+use unimatch_core::{evaluate, load_model, save_model, UniMatch, UniMatchConfig};
+use unimatch_data::vocab::Vocab;
+use unimatch_data::{DatasetProfile, InteractionLog};
+use unimatch_eval::ProtocolConfig;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        usage("missing command");
+    };
+    let flags = parse_flags(&argv[1..]);
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "fit" => cmd_fit(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "target" => cmd_target(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        other => usage(&format!("unknown command {other}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: unimatch-cli <generate|fit|recommend|target|evaluate> [--flag value]...\n\
+         \n\
+         generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
+         fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
+         recommend --model FILE --log FILE --user ID [--k N]\n\
+         target    --model FILE --log FILE --item ID [--k N]\n\
+         evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--").unwrap_or_else(|| usage(&format!("expected flag, got {}", args[i])));
+        let Some(value) = args.get(i + 1) else {
+            usage(&format!("flag --{key} needs a value"));
+        };
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    out
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).unwrap_or_else(|| usage(&format!("missing required --{key}"))).as_str()
+}
+
+fn flag_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("invalid value for --{key}: {v}"))),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) {
+    let profile = match flag(flags, "profile").to_ascii_lowercase().as_str() {
+        "books" => DatasetProfile::Books,
+        "electronics" => DatasetProfile::Electronics,
+        "ecomp" | "e_comp" => DatasetProfile::EComp,
+        "wcomp" | "w_comp" => DatasetProfile::WComp,
+        other => usage(&format!("unknown profile {other}")),
+    };
+    let scale: f64 = flag_or(flags, "scale", 0.5);
+    let seed: u64 = flag_or(flags, "seed", 42);
+    let out = flag(flags, "out");
+    let log = profile.generate(scale, seed);
+    let csv = unimatch_data::csv::log_to_csv(&log, None, None);
+    std::fs::write(out, csv).unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {} interactions ({} users, {} items, {} months) to {out}",
+        log.len(),
+        log.distinct_users(),
+        log.distinct_items(),
+        log.span_months()
+    );
+}
+
+fn read_log(path: &str) -> (InteractionLog, Vocab, Vocab) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    unimatch_data::csv::log_from_csv(&text).unwrap_or_else(|e| usage(&e.to_string()))
+}
+
+fn vocab_paths(model_path: &str) -> (String, String) {
+    (format!("{model_path}.users.json"), format!("{model_path}.items.json"))
+}
+
+fn cmd_fit(flags: &HashMap<String, String>) {
+    let (log, users, items) = read_log(flag(flags, "log"));
+    let out = flag(flags, "out");
+    let config = UniMatchConfig {
+        epochs_per_month: flag_or(flags, "epochs", 2),
+        temperature: flag_or(flags, "temperature", 0.15),
+        batch_size: flag_or(flags, "batch", 64),
+        seed: flag_or(flags, "seed", 42),
+        ..Default::default()
+    };
+    let filtered = log.filter_min_interactions(3);
+    println!(
+        "fitting on {} interactions ({} after min-count filtering)…",
+        log.len(),
+        filtered.len()
+    );
+    let fitted = UniMatch::new(config).fit(filtered);
+    save_model(&fitted.model, out).unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
+    let (up, ip) = vocab_paths(out);
+    std::fs::write(&up, serde_json::to_vec(&users).expect("vocab json"))
+        .unwrap_or_else(|e| usage(&format!("cannot write {up}: {e}")));
+    std::fs::write(&ip, serde_json::to_vec(&items).expect("vocab json"))
+        .unwrap_or_else(|e| usage(&format!("cannot write {ip}: {e}")));
+    println!(
+        "model ({} parameters) saved to {out}; vocabularies alongside",
+        fitted.model.num_parameters()
+    );
+}
+
+fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMatch, Vocab, Vocab) {
+    let model_path = flag(flags, "model");
+    let model = load_model(model_path)
+        .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
+    let (log, _, _) = read_log(flag(flags, "log"));
+    let (up, ip) = vocab_paths(model_path);
+    let users: Vocab = serde_json::from_slice(
+        &std::fs::read(&up).unwrap_or_else(|e| usage(&format!("cannot read {up}: {e}"))),
+    )
+    .unwrap_or_else(|e| usage(&format!("bad vocab {up}: {e}")));
+    let items: Vocab = serde_json::from_slice(
+        &std::fs::read(&ip).unwrap_or_else(|e| usage(&format!("cannot read {ip}: {e}"))),
+    )
+    .unwrap_or_else(|e| usage(&format!("bad vocab {ip}: {e}")));
+    let fitted = UniMatch::default().serve(model, log.filter_min_interactions(3));
+    (fitted, users, items)
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) {
+    let (fitted, users, items) = load_serving(flags);
+    let user_ext = flag(flags, "user");
+    let k: usize = flag_or(flags, "k", 10);
+    let Some(user) = users.get(user_ext) else {
+        usage(&format!("unknown user id {user_ext}"));
+    };
+    let Some(ix) = fitted.user_pool.index_of(user) else {
+        usage(&format!("user {user_ext} has no usable history"));
+    };
+    let history = fitted.user_pool.history(ix).to_vec();
+    println!("top {k} items for user {user_ext} (history of {} purchases):", history.len());
+    for hit in fitted.recommend_items(&history, k) {
+        let name = items.external(hit.id).unwrap_or("?");
+        println!("  {name:<12} score {:+.4}", hit.score);
+    }
+}
+
+fn cmd_target(flags: &HashMap<String, String>) {
+    let (fitted, users, items) = load_serving(flags);
+    let item_ext = flag(flags, "item");
+    let k: usize = flag_or(flags, "k", 10);
+    let Some(item) = items.get(item_ext) else {
+        usage(&format!("unknown item id {item_ext}"));
+    };
+    println!("top {k} users to target for item {item_ext}:");
+    for (user, score) in fitted.target_users(item, k) {
+        let name = users.external(user).unwrap_or("?");
+        println!("  {name:<12} score {score:+.4}");
+    }
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) {
+    let model_path = flag(flags, "model");
+    let model = load_model(model_path)
+        .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
+    let (log, _, _) = read_log(flag(flags, "log"));
+    let prepared = unimatch_core::PreparedData::from_log(
+        log.filter_min_interactions(3),
+        model.config().max_seq_len,
+    );
+    let protocol = ProtocolConfig {
+        top_n: flag_or(flags, "top-n", 10),
+        negatives: flag_or(flags, "negatives", 99),
+    };
+    let seed: u64 = flag_or(flags, "seed", 7);
+    let out = evaluate(&model, &prepared.split, &protocol, prepared.max_seq_len, seed);
+    println!(
+        "IR : Recall@{} {:.2}%  NDCG@{} {:.2}%  ({} cases)",
+        protocol.top_n,
+        100.0 * out.ir.recall,
+        protocol.top_n,
+        100.0 * out.ir.ndcg,
+        out.ir_cases
+    );
+    println!(
+        "UT : Recall@{} {:.2}%  NDCG@{} {:.2}%  ({} cases)",
+        protocol.top_n,
+        100.0 * out.ut.recall,
+        protocol.top_n,
+        100.0 * out.ut.ndcg,
+        out.ut_cases
+    );
+    println!("AVG NDCG {:.2}%", 100.0 * out.avg_ndcg());
+}

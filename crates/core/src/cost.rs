@@ -1,0 +1,132 @@
+//! The cost model of Sec. IV-B5: how the framework's four choices compound
+//! into the ≥ 94 % total-cost saving the paper reports.
+//!
+//! The paper's arithmetic, reproduced exactly:
+//!
+//! 1. **bbcNCE over BCE**: BCE needs 3–5× the epochs (Tab. VII) over 2×
+//!    the records (1:1 negatives) — training cost ratio 1/10 to 1/5.
+//! 2. **One model for IR + UT**: halves training, inference and
+//!    maintenance versus the two-model status quo.
+//! 3. **Incremental training**: 1 month of data from a checkpoint versus a
+//!    12-month from-scratch retrain — 1/12.
+//! 4. Training is ~90 % of the total, inference the rest.
+
+/// Cost description of one training regime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Regime {
+    /// Epochs per (re)training.
+    pub epochs: f64,
+    /// Records consumed per epoch relative to the positive count (BCE's
+    /// 1:1 negatives ⇒ 2.0; multinomial ⇒ 1.0).
+    pub record_factor: f64,
+    /// Independent models to train/serve (IR-only + UT-only ⇒ 2).
+    pub models: f64,
+    /// Months of data consumed per retraining cycle.
+    pub months_of_data: f64,
+}
+
+impl Regime {
+    /// The status-quo regime the paper compares against: separate IR and UT
+    /// BCE models retrained monthly from scratch over a year of data.
+    pub fn status_quo(bce_epochs: f64) -> Self {
+        Regime { epochs: bce_epochs, record_factor: 2.0, models: 2.0, months_of_data: 12.0 }
+    }
+
+    /// The UniMatch regime: one bbcNCE model incrementally trained on the
+    /// latest month.
+    pub fn unimatch(mult_epochs: f64) -> Self {
+        Regime { epochs: mult_epochs, record_factor: 1.0, models: 1.0, months_of_data: 1.0 }
+    }
+
+    /// Relative training cost (product of the factors).
+    pub fn training_cost(&self) -> f64 {
+        self.epochs * self.record_factor * self.models * self.months_of_data
+    }
+}
+
+/// The full cost comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CostComparison {
+    /// Baseline regime.
+    pub baseline: Regime,
+    /// Proposed regime.
+    pub proposed: Regime,
+    /// Share of total cost that is training (paper: ~0.9).
+    pub training_share: f64,
+}
+
+impl CostComparison {
+    /// The paper's comparison for a dataset with the given Tab. VII epochs.
+    pub fn paper(bce_epochs: f64, mult_epochs: f64) -> Self {
+        CostComparison {
+            baseline: Regime::status_quo(bce_epochs),
+            proposed: Regime::unimatch(mult_epochs),
+            training_share: 0.9,
+        }
+    }
+
+    /// Training-cost ratio (proposed / baseline).
+    pub fn training_ratio(&self) -> f64 {
+        self.proposed.training_cost() / self.baseline.training_cost()
+    }
+
+    /// Inference-cost ratio: one model instead of `baseline.models`.
+    pub fn inference_ratio(&self) -> f64 {
+        self.proposed.models / self.baseline.models
+    }
+
+    /// Total-cost ratio: training share × training ratio + inference share
+    /// × inference ratio.
+    pub fn total_ratio(&self) -> f64 {
+        self.training_share * self.training_ratio()
+            + (1.0 - self.training_share) * self.inference_ratio()
+    }
+
+    /// Fraction of total cost saved.
+    pub fn total_saving(&self) -> f64 {
+        1.0 - self.total_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_books_numbers() {
+        // Books: BCE 8 epochs vs multinomial 3 epochs (Tab. VII).
+        let c = CostComparison::paper(8.0, 3.0);
+        // training: (3·1·1·1)/(8·2·2·12) = 3/384
+        assert!((c.training_ratio() - 3.0 / 384.0).abs() < 1e-12);
+        assert!((c.inference_ratio() - 0.5).abs() < 1e-12);
+        // total saving must exceed the paper's 94 %
+        assert!(c.total_saving() > 0.94, "saving {}", c.total_saving());
+    }
+
+    #[test]
+    fn every_profile_cell_saves_at_least_94_percent() {
+        // Tab. VII epoch pairs: (8,3), (6,2), (6,2), (10,2)
+        for (b, m) in [(8.0, 3.0), (6.0, 2.0), (6.0, 2.0), (10.0, 2.0)] {
+            let c = CostComparison::paper(b, m);
+            assert!(c.total_saving() > 0.94, "({b},{m}): {}", c.total_saving());
+        }
+    }
+
+    #[test]
+    fn loss_change_alone_gives_five_to_ten_x() {
+        // isolating choice (1): same months, same model count
+        for (b, m) in [(8.0, 3.0), (10.0, 2.0)] {
+            let lone = Regime { epochs: m, record_factor: 1.0, models: 1.0, months_of_data: 1.0 }
+                .training_cost()
+                / Regime { epochs: b, record_factor: 2.0, models: 1.0, months_of_data: 1.0 }
+                    .training_cost();
+            assert!((0.08..=0.22).contains(&lone), "ratio {lone}");
+        }
+    }
+
+    #[test]
+    fn training_cost_is_multiplicative() {
+        let r = Regime { epochs: 2.0, record_factor: 2.0, models: 2.0, months_of_data: 2.0 };
+        assert_eq!(r.training_cost(), 16.0);
+    }
+}

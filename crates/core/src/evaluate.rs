@@ -1,0 +1,287 @@
+//! Model evaluation under the paper's protocol: embeds test users/items
+//! with the trained towers and runs the IR / UT ranking tasks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unimatch_data::{SeqBatch, TemporalSplit};
+use unimatch_eval::{
+    build_ir_cases, build_ut_cases, evaluate_single_positive_cases, popularity_stats,
+    retrieved_popularity, score_candidates, top_n_candidates, CaseMetrics, EmbeddingMatrix,
+    PopularityStats, ProtocolConfig, UserPool,
+};
+use unimatch_models::TwoTower;
+use unimatch_tensor::ParamSet;
+
+/// How many pseudo-users to embed per forward pass during evaluation.
+const EMBED_CHUNK: usize = 256;
+
+/// IR + UT metrics of one evaluation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalOutcome {
+    /// Item-recommendation metrics.
+    pub ir: CaseMetrics,
+    /// User-targeting metrics.
+    pub ut: CaseMetrics,
+    /// Number of IR cases.
+    pub ir_cases: usize,
+    /// Number of UT cases.
+    pub ut_cases: usize,
+}
+
+impl EvalOutcome {
+    /// The paper's AVG column: mean of IR and UT NDCG.
+    pub fn avg_ndcg(&self) -> f64 {
+        (self.ir.ndcg + self.ut.ndcg) / 2.0
+    }
+
+    /// Mean of IR and UT recall.
+    pub fn avg_recall(&self) -> f64 {
+        (self.ir.recall + self.ut.recall) / 2.0
+    }
+}
+
+/// Tab. XI popularity audit of one run's retrievals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetrievalAudit {
+    /// Popularity of items retrieved in IR.
+    pub ir_item_popularity: PopularityStats,
+    /// Activeness of users retrieved in UT.
+    pub ut_user_activeness: PopularityStats,
+}
+
+/// Embeds a list of histories into a flat `[N * d]` buffer, chunked.
+pub fn embed_histories(model: &TwoTower, histories: &[&[u32]], max_seq_len: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(histories.len() * model.config().embed_dim);
+    for chunk in histories.chunks(EMBED_CHUNK) {
+        let batch = SeqBatch::from_histories(chunk, max_seq_len);
+        out.extend_from_slice(model.infer_users(&batch).data());
+    }
+    out
+}
+
+/// Full evaluation of a model (or of checkpoint parameters via
+/// [`evaluate_params`]) on a split.
+pub fn evaluate(
+    model: &TwoTower,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    max_seq_len: usize,
+    seed: u64,
+) -> EvalOutcome {
+    evaluate_inner(model, split, protocol, max_seq_len, seed, None).0
+}
+
+/// Evaluation that additionally audits the popularity/activeness of
+/// retrieved entities (Tab. XI). `trailing_counts` are the interaction
+/// counts of items (`.0`) and users (`.1`) over the trailing window.
+pub fn evaluate_with_audit(
+    model: &TwoTower,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    max_seq_len: usize,
+    seed: u64,
+    trailing_counts: (&[u64], &[u64]),
+) -> (EvalOutcome, RetrievalAudit) {
+    let (outcome, audit) =
+        evaluate_inner(model, split, protocol, max_seq_len, seed, Some(trailing_counts));
+    (outcome, audit.expect("audit requested"))
+}
+
+/// Multi-positive IR evaluation (Eq. 14's full set-based formulation):
+/// each test user's ground truth is every distinct test-month purchase.
+pub fn evaluate_multi_ir_model(
+    model: &TwoTower,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    max_seq_len: usize,
+    seed: u64,
+) -> CaseMetrics {
+    use unimatch_eval::{build_multi_ir_cases, evaluate_multi_ir};
+    let dim = model.config().embed_dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let protocol = protocol.clamped(unimatch_eval::item_pool(split).len());
+    let cases = build_multi_ir_cases(split, &protocol, &mut rng);
+    let item_matrix_t = model.infer_items();
+    let item_matrix = EmbeddingMatrix::new(item_matrix_t.data(), dim);
+    let histories: Vec<&[u32]> = cases.iter().map(|c| c.history.as_slice()).collect();
+    let queries = embed_histories(model, &histories, max_seq_len);
+    let query_matrix = EmbeddingMatrix::new(&queries, dim);
+    evaluate_multi_ir(query_matrix, item_matrix, &cases, protocol.top_n)
+}
+
+/// Evaluates checkpoint parameters by temporarily swapping them into the
+/// model (the Fig. 3 pathway).
+pub fn evaluate_params(
+    model: &mut TwoTower,
+    params: &ParamSet,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    max_seq_len: usize,
+    seed: u64,
+) -> EvalOutcome {
+    let saved = std::mem::replace(&mut model.params, params.clone());
+    let outcome = evaluate(model, split, protocol, max_seq_len, seed);
+    model.params = saved;
+    outcome
+}
+
+fn evaluate_inner(
+    model: &TwoTower,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    max_seq_len: usize,
+    seed: u64,
+    trailing_counts: Option<(&[u64], &[u64])>,
+) -> (EvalOutcome, Option<RetrievalAudit>) {
+    let dim = model.config().embed_dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // ---- IR ---------------------------------------------------------------
+    let ir_protocol = protocol.clamped(unimatch_eval::item_pool(split).len());
+    let ir_cases = build_ir_cases(split, &ir_protocol, &mut rng);
+    let item_matrix_t = model.infer_items();
+    let item_matrix = EmbeddingMatrix::new(item_matrix_t.data(), dim);
+    let histories: Vec<&[u32]> = ir_cases.iter().map(|c| c.history.as_slice()).collect();
+    let user_queries = embed_histories(model, &histories, max_seq_len);
+    let query_matrix = EmbeddingMatrix::new(&user_queries, dim);
+    let ir_candidates: Vec<Vec<u32>> = ir_cases.iter().map(|c| c.candidates.clone()).collect();
+    let ir =
+        evaluate_single_positive_cases(query_matrix, item_matrix, &ir_candidates, ir_protocol.top_n);
+
+    // ---- UT ---------------------------------------------------------------
+    let pool = UserPool::build(split, max_seq_len);
+    let ut_protocol = protocol.clamped(pool.len());
+    let ut_cases = build_ut_cases(split, &pool, &ut_protocol, &mut rng);
+    let pool_histories: Vec<&[u32]> = pool.histories().iter().map(|h| h.as_slice()).collect();
+    let pool_embeddings = embed_histories(model, &pool_histories, max_seq_len);
+    let pool_matrix = EmbeddingMatrix::new(&pool_embeddings, dim);
+    let ut_candidates: Vec<Vec<u32>> = ut_cases
+        .iter()
+        .map(|c| c.candidates.iter().map(|&ix| ix as u32).collect())
+        .collect();
+    let ut_query_buf: Vec<f32> = ut_cases
+        .iter()
+        .flat_map(|c| item_matrix.row(c.item as usize).iter().copied())
+        .collect();
+    let ut_query_matrix = EmbeddingMatrix::new(&ut_query_buf, dim);
+    let ut = evaluate_single_positive_cases(
+        ut_query_matrix,
+        pool_matrix,
+        &ut_candidates,
+        ut_protocol.top_n,
+    );
+
+    let outcome = EvalOutcome {
+        ir,
+        ut,
+        ir_cases: ir_cases.len(),
+        ut_cases: ut_cases.len(),
+    };
+
+    let audit = trailing_counts.map(|(item_counts, user_counts)| {
+        // collect top-n retrieved entity ids across all cases
+        let mut ir_retrieved: Vec<u32> = Vec::new();
+        for (q, c) in ir_cases.iter().enumerate() {
+            let scores = score_candidates(query_matrix.row(q), item_matrix, &c.candidates);
+            for ix in top_n_candidates(&scores, ir_protocol.top_n) {
+                ir_retrieved.push(c.candidates[ix]);
+            }
+        }
+        let mut ut_retrieved: Vec<u32> = Vec::new();
+        for (q, c) in ut_cases.iter().enumerate() {
+            let cands: Vec<u32> = c.candidates.iter().map(|&ix| ix as u32).collect();
+            let scores = score_candidates(ut_query_matrix.row(q), pool_matrix, &cands);
+            for ix in top_n_candidates(&scores, ut_protocol.top_n) {
+                ut_retrieved.push(pool.user(c.candidates[ix]));
+            }
+        }
+        RetrievalAudit {
+            ir_item_popularity: popularity_stats(&retrieved_popularity(&ir_retrieved, item_counts)),
+            ut_user_activeness: popularity_stats(&retrieved_popularity(&ut_retrieved, user_counts)),
+        }
+    });
+
+    (outcome, audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PreparedData;
+    use rand::SeedableRng;
+    use unimatch_data::DatasetProfile;
+    use unimatch_models::{ModelConfig, TwoTower};
+
+    fn setup() -> (PreparedData, TwoTower) {
+        let p = PreparedData::synthetic(DatasetProfile::EComp, 0.15, 11);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = TwoTower::new(
+            ModelConfig::youtube_dnn_mean(p.num_items(), p.max_seq_len, 0.2),
+            &mut rng,
+        );
+        (p, model)
+    }
+
+    #[test]
+    fn untrained_model_produces_valid_metrics() {
+        // NOTE: an *untrained* two-tower can still beat chance here —
+        // repurchase-heavy histories overlap their own targets, so a mean
+        // of random item embeddings correlates with the positive. We only
+        // assert validity, not chance-level performance.
+        let (p, model) = setup();
+        let protocol = ProtocolConfig { top_n: 10, negatives: 49 };
+        let out = evaluate(&model, &p.split, &protocol, p.max_seq_len, 5);
+        assert!(out.ir_cases > 0 && out.ut_cases > 0);
+        for m in [out.ir, out.ut] {
+            assert!((0.0..=1.0).contains(&m.recall));
+            assert!((0.0..=1.0).contains(&m.ndcg));
+            assert!(m.ndcg <= m.recall + 1e-9, "NDCG cannot exceed recall for 1 positive");
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let (p, model) = setup();
+        let protocol = ProtocolConfig { top_n: 5, negatives: 20 };
+        let a = evaluate(&model, &p.split, &protocol, p.max_seq_len, 7);
+        let b = evaluate(&model, &p.split, &protocol, p.max_seq_len, 7);
+        assert_eq!(a.ir, b.ir);
+        assert_eq!(a.ut, b.ut);
+    }
+
+    #[test]
+    fn audit_returns_positive_popularity() {
+        let (p, model) = setup();
+        let protocol = ProtocolConfig { top_n: 5, negatives: 20 };
+        let item_counts = p.log.item_counts();
+        let user_counts = p.log.user_counts();
+        let (_, audit) = evaluate_with_audit(
+            &model,
+            &p.split,
+            &protocol,
+            p.max_seq_len,
+            9,
+            (&item_counts, &user_counts),
+        );
+        assert!(audit.ir_item_popularity.mean > 0.0);
+        assert!(audit.ut_user_activeness.mean > 0.0);
+    }
+
+    #[test]
+    fn evaluate_params_restores_model() {
+        let (p, mut model) = setup();
+        let protocol = ProtocolConfig { top_n: 5, negatives: 20 };
+        let fresh = model.params.clone();
+        let other = {
+            let mut rng = StdRng::seed_from_u64(99);
+            TwoTower::new(
+                ModelConfig::youtube_dnn_mean(p.num_items(), p.max_seq_len, 0.2),
+                &mut rng,
+            )
+            .params
+        };
+        let _ = evaluate_params(&mut model, &other, &p.split, &protocol, p.max_seq_len, 3);
+        let id = fresh.ids().next().expect("params");
+        assert_eq!(model.params.get(id).data(), fresh.get(id).data());
+    }
+}

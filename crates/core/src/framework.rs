@@ -1,0 +1,286 @@
+//! The user-facing UniMatch framework: one model, both marketing tasks.
+//!
+//! ```text
+//! raw logs ──► prepare ──► incremental bbcNCE training ──► embeddings
+//!                                                      ├─► item ANN index ──► recommend_items (IR)
+//!                                                      └─► user ANN index ──► target_users    (UT)
+//! ```
+
+use crate::evaluate::embed_histories;
+use crate::hyper::{Hyperparams, Pathway};
+use crate::prepare::PreparedData;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unimatch_ann::{AnnIndex, Hit, HnswConfig, HnswIndex};
+use unimatch_data::{InteractionLog, SeqBatch};
+use unimatch_eval::UserPool;
+use unimatch_losses::{BiasConfig, MultinomialLoss};
+use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
+use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
+
+/// Framework configuration. Defaults follow the paper's production choice:
+/// Youtube-DNN + mean pooling trained with bbcNCE, d = 16.
+#[derive(Clone, Debug)]
+pub struct UniMatchConfig {
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Softmax temperature τ.
+    pub temperature: f32,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Epochs per incremental month.
+    pub epochs_per_month: usize,
+    /// History truncation length.
+    pub max_seq_len: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Loss (defaults to bbcNCE — the whole point of the framework).
+    pub loss: TrainLoss,
+    /// Context extractor.
+    pub extractor: ContextExtractor,
+    /// Aggregator.
+    pub aggregator: Aggregator,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for UniMatchConfig {
+    fn default() -> Self {
+        UniMatchConfig {
+            embed_dim: 16,
+            temperature: 0.15,
+            batch_size: 64,
+            epochs_per_month: 2,
+            max_seq_len: 20,
+            lr: 0.01,
+            loss: TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())),
+            extractor: ContextExtractor::YoutubeDnn,
+            aggregator: Aggregator::Mean,
+            seed: 42,
+        }
+    }
+}
+
+impl UniMatchConfig {
+    /// Injects a tuned hyperparameter cell (e.g. from Tab. VII or a grid
+    /// search).
+    pub fn with_hyperparams(mut self, hp: Hyperparams) -> Self {
+        self.batch_size = hp.batch_size;
+        self.temperature = hp.temperature;
+        self.epochs_per_month = hp.epochs;
+        self.lr = hp.lr;
+        self
+    }
+
+    /// The pathway implied by the configured loss.
+    pub fn pathway(&self) -> Pathway {
+        match self.loss {
+            TrainLoss::Bce(_) => Pathway::Bernoulli,
+            TrainLoss::Multinomial(_) => Pathway::Multinomial,
+        }
+    }
+}
+
+/// A trained UniMatch deployment: the model plus serving indexes over both
+/// towers' embeddings.
+pub struct FittedUniMatch {
+    /// The trained model.
+    pub model: TwoTower,
+    /// One pseudo-user per distinct user, aligned with `user_index` ids.
+    pub user_pool: UserPool,
+    /// ANN index over item embeddings (serves IR).
+    item_index: HnswIndex,
+    /// ANN index over pool-user embeddings (serves UT).
+    user_index: HnswIndex,
+    max_seq_len: usize,
+}
+
+/// The framework: configure once, [`UniMatch::fit`] per merchant.
+#[derive(Clone, Debug, Default)]
+pub struct UniMatch {
+    /// Configuration.
+    pub config: UniMatchConfig,
+}
+
+impl UniMatch {
+    /// A framework with the default (paper production) configuration.
+    pub fn new(config: UniMatchConfig) -> Self {
+        UniMatch { config }
+    }
+
+    /// Trains on a merchant's interaction log and builds both serving
+    /// indexes. One `fit` serves IR *and* UT — the paper's cost story.
+    pub fn fit(&self, log: InteractionLog) -> FittedUniMatch {
+        let cfg = &self.config;
+        let prepared = PreparedData::from_log(log, cfg.max_seq_len);
+        let model_cfg = ModelConfig {
+            num_items: prepared.num_items(),
+            embed_dim: cfg.embed_dim,
+            max_seq_len: cfg.max_seq_len,
+            extractor: cfg.extractor,
+            aggregator: cfg.aggregator,
+            temperature: cfg.temperature,
+            normalize: true,
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let model = TwoTower::new(model_cfg, &mut rng);
+        self.fit_continue(model, prepared, None)
+    }
+
+    /// The production monthly update: resumes training from last cycle's
+    /// model, consuming only the months strictly after `trained_through`,
+    /// and rebuilds the serving indexes. One month of data from a
+    /// checkpoint instead of a yearly from-scratch retrain — the 1/12
+    /// factor of Sec. IV-B5.
+    ///
+    /// The log must use the same dense item universe the model was trained
+    /// on (new items require a fresh `fit`).
+    pub fn resume(
+        &self,
+        model: TwoTower,
+        log: InteractionLog,
+        trained_through: u32,
+    ) -> FittedUniMatch {
+        let cfg = &self.config;
+        assert!(
+            (log.num_items() as usize) <= model.config().num_items,
+            "log contains items outside the model's vocabulary; refit instead"
+        );
+        let prepared = PreparedData::from_log(log, cfg.max_seq_len);
+        self.fit_continue(model, prepared, Some(trained_through))
+    }
+
+    /// Builds the serving indexes around an existing model WITHOUT any
+    /// training — the CLI / serving-only path (e.g. reloading a persisted
+    /// checkpoint to answer queries).
+    pub fn serve(&self, model: TwoTower, log: InteractionLog) -> FittedUniMatch {
+        let prepared = PreparedData::from_log(log, self.config.max_seq_len);
+        self.fit_continue(model, prepared, Some(u32::MAX))
+    }
+
+    fn fit_continue(
+        &self,
+        model: TwoTower,
+        prepared: PreparedData,
+        resume_after: Option<u32>,
+    ) -> FittedUniMatch {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
+        let train_cfg = TrainConfig {
+            batch_size: cfg.batch_size,
+            epochs_per_month: cfg.epochs_per_month,
+            max_seq_len: cfg.max_seq_len,
+            optimizer: AdamConfig::with_lr(cfg.lr),
+            loss: cfg.loss,
+            seed: cfg.seed ^ 0x7ea1,
+        };
+        let mut trainer = Trainer::new(model, train_cfg);
+        trainer.train_incremental_from(&prepared.split, &prepared.marginals, resume_after);
+        let model = trainer.model;
+
+        // serving indexes over both towers
+        let items = model.infer_items();
+        let item_index = HnswIndex::build(
+            items.data().to_vec(),
+            cfg.embed_dim,
+            HnswConfig::default(),
+            &mut rng,
+        );
+        let user_pool = UserPool::build(&prepared.split, cfg.max_seq_len);
+        let histories: Vec<&[u32]> = user_pool.histories().iter().map(|h| h.as_slice()).collect();
+        let user_embeddings = embed_histories(&model, &histories, cfg.max_seq_len);
+        let user_index =
+            HnswIndex::build(user_embeddings, cfg.embed_dim, HnswConfig::default(), &mut rng);
+
+        FittedUniMatch {
+            model,
+            user_pool,
+            item_index,
+            user_index,
+            max_seq_len: cfg.max_seq_len,
+        }
+    }
+}
+
+impl FittedUniMatch {
+    /// IR: top-k items for a user's purchase history.
+    pub fn recommend_items(&self, history: &[u32], k: usize) -> Vec<Hit> {
+        assert!(!history.is_empty(), "recommend_items needs a non-empty history");
+        let query = self.user_embedding(history);
+        self.item_index.search(&query, k)
+    }
+
+    /// UT: top-k `(user_id, score)` targets for an item.
+    pub fn target_users(&self, item: u32, k: usize) -> Vec<(u32, f32)> {
+        let items = self.model.infer_items();
+        self.target_users_by_embedding(items.row(item as usize), k)
+    }
+
+    /// UT against an arbitrary query embedding (e.g. a bundle blend built
+    /// by [`crate::audience`]).
+    pub fn target_users_by_embedding(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        self.user_index
+            .search(query, k)
+            .into_iter()
+            .map(|h| (self.user_pool.user(h.id as usize), h.score))
+            .collect()
+    }
+
+    /// The normalized user embedding for an arbitrary history.
+    pub fn user_embedding(&self, history: &[u32]) -> Vec<f32> {
+        let batch = SeqBatch::from_histories(&[history], self.max_seq_len);
+        self.model.infer_users(&batch).into_vec()
+    }
+
+    /// Number of indexed items.
+    pub fn num_items(&self) -> usize {
+        self.item_index.len()
+    }
+
+    /// Number of pool users.
+    pub fn num_pool_users(&self) -> usize {
+        self.user_index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_data::DatasetProfile;
+
+    fn fitted() -> FittedUniMatch {
+        let log = DatasetProfile::EComp.generate(0.15, 21).filter_min_interactions(3);
+        let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+        UniMatch::new(cfg).fit(log)
+    }
+
+    #[test]
+    fn fit_serves_both_tasks() {
+        let f = fitted();
+        assert!(f.num_items() > 10);
+        assert!(f.num_pool_users() > 50);
+
+        let recs = f.recommend_items(&[1, 2, 3], 5);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(recs.iter().all(|h| (h.id as usize) < f.num_items()));
+
+        let targets = f.target_users(recs[0].id, 5);
+        assert_eq!(targets.len(), 5);
+        assert!(targets.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn user_embedding_is_unit_norm() {
+        let f = fitted();
+        let e = f.user_embedding(&[4, 5]);
+        let n: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty history")]
+    fn empty_history_rejected() {
+        fitted().recommend_items(&[], 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! The Tab. VII hyperparameters: per-dataset, per-distribution settings
+//! found by the paper's grid search, reused as our defaults.
+
+use unimatch_data::DatasetProfile;
+
+/// Which modeling distribution a training run uses (the two columns of
+/// Tab. VII).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pathway {
+    /// BCE / labeled pairs.
+    Bernoulli,
+    /// In-batch NCE family / SSM over positive-only pairs.
+    Multinomial,
+}
+
+/// A tuned hyperparameter triple plus the optimizer learning rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hyperparams {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Softmax temperature τ.
+    pub temperature: f32,
+    /// Epochs per incremental month.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Hyperparams {
+    /// The paper's Tab. VII cell for `(profile, pathway)`.
+    pub fn paper(profile: DatasetProfile, pathway: Pathway) -> Self {
+        use DatasetProfile::*;
+        use Pathway::*;
+        let (batch_size, temperature, epochs) = match (profile, pathway) {
+            (Books, Bernoulli) => (128, 0.1667, 8),
+            (Books, Multinomial) => (64, 0.1667, 3),
+            (Electronics, Bernoulli) => (256, 0.5, 6),
+            (Electronics, Multinomial) => (64, 0.5, 2),
+            (EComp, Bernoulli) => (128, 0.25, 6),
+            (EComp, Multinomial) => (64, 0.125, 2),
+            (WComp, Bernoulli) => (128, 0.125, 10),
+            (WComp, Multinomial) => (64, 0.1, 2),
+        };
+        Hyperparams { batch_size, temperature, epochs, lr: 0.01 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multinomial_always_needs_fewer_epochs() {
+        for p in DatasetProfile::ALL {
+            let b = Hyperparams::paper(p, Pathway::Bernoulli);
+            let m = Hyperparams::paper(p, Pathway::Multinomial);
+            assert!(m.epochs < b.epochs, "{p:?}");
+            assert_eq!(m.batch_size, 64);
+        }
+    }
+
+    #[test]
+    fn books_matches_table_vii() {
+        let h = Hyperparams::paper(DatasetProfile::Books, Pathway::Bernoulli);
+        assert_eq!(h.batch_size, 128);
+        assert!((h.temperature - 0.1667).abs() < 1e-6);
+        assert_eq!(h.epochs, 8);
+    }
+}

@@ -1,0 +1,52 @@
+//! # unimatch-core
+//!
+//! The UniMatch framework (Zhao et al., ICDE 2023): **one** two-tower
+//! model trained with the bidirectional bias-corrected NCE loss (bbcNCE)
+//! serves both of a merchant's marketing tasks —
+//!
+//! * **item recommendation (IR)**: given a user, rank items (`p(i|u)`);
+//! * **user targeting (UT)**: given an item, rank users (`p(u|i)`).
+//!
+//! bbcNCE drives the similarity `φ_θ(u,i)` toward the joint probability
+//! `log p̂(u,i)`, whose rankings agree with both conditionals, so one set
+//! of embeddings — served through ANN indexes — answers both directions.
+//!
+//! ```no_run
+//! use unimatch_core::{UniMatch, UniMatchConfig};
+//! use unimatch_data::DatasetProfile;
+//!
+//! let log = DatasetProfile::EComp.generate(0.2, 42).filter_min_interactions(3);
+//! let fitted = UniMatch::new(UniMatchConfig::default()).fit(log);
+//!
+//! let recs = fitted.recommend_items(&[3, 17, 42], 10);   // IR
+//! let targets = fitted.target_users(recs[0].id, 10);     // UT — same model
+//! ```
+//!
+//! Besides the serving facade, this crate hosts the experiment machinery
+//! regenerating the paper's evaluation: [`experiment`] (Tabs. VIII–XII,
+//! Fig. 3), [`grid`] (Tab. VII), and [`cost`] (the ≥94 % saving of
+//! Sec. IV-B5).
+
+#![warn(missing_docs)]
+
+pub mod audience;
+pub mod batch_inference;
+pub mod cost;
+pub mod evaluate;
+pub mod experiment;
+pub mod framework;
+pub mod grid;
+pub mod hyper;
+pub mod persist;
+pub mod prepare;
+
+pub use audience::{build_targeting_list, plan_campaigns, CampaignSpec, CampaignSubject, TargetingList};
+pub use batch_inference::{materialize, top_k_blocked, BatchRecommendations};
+pub use cost::{CostComparison, Regime};
+pub use evaluate::{evaluate, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RetrievalAudit};
+pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
+pub use framework::{FittedUniMatch, UniMatch, UniMatchConfig};
+pub use grid::{grid_search, GridPoint, GridSpec};
+pub use hyper::{Hyperparams, Pathway};
+pub use persist::{load_model, model_from_json, model_to_json, save_model};
+pub use prepare::PreparedData;

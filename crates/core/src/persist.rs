@@ -1,0 +1,156 @@
+//! Model checkpoint persistence.
+//!
+//! The incremental-training story of Sec. III-B3 only works in production
+//! if last month's parameters survive to this month: a bundle of
+//! `(ModelConfig, ParamSet)` is serialized as JSON (human-inspectable,
+//! diff-able; the models are small enough — tens of thousands of floats —
+//! that a binary format buys nothing).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::path::Path;
+use unimatch_models::{ModelConfig, TwoTower};
+use unimatch_tensor::ParamSet;
+
+/// A serializable model checkpoint.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Bundle {
+    format_version: u32,
+    config: ModelConfig,
+    params: ParamSet,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Serializes a model to JSON bytes.
+pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
+    let bundle = Bundle {
+        format_version: FORMAT_VERSION,
+        config: model.config().clone(),
+        params: model.params.clone(),
+    };
+    serde_json::to_vec(&bundle).expect("model serialization cannot fail")
+}
+
+/// Reconstructs a model from JSON bytes: rebuilds the architecture from
+/// the stored config (parameter registration order is deterministic), then
+/// verifies every stored parameter matches the rebuilt structure by name
+/// and shape before swapping it in.
+pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
+    let bundle: Bundle = serde_json::from_slice(bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if bundle.format_version != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {}", bundle.format_version),
+        ));
+    }
+    // the RNG only initializes weights we immediately overwrite
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = TwoTower::new(bundle.config, &mut rng);
+    if model.params.len() != bundle.params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint has {} parameters, architecture expects {}",
+                bundle.params.len(),
+                model.params.len()
+            ),
+        ));
+    }
+    for (fresh, stored) in model.params.iter().zip(bundle.params.iter()) {
+        let (fresh, stored) = (fresh.1, stored.1);
+        if fresh.name != stored.name || fresh.value.shape() != stored.value.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint parameter {} {} does not match architecture {} {}",
+                    stored.name,
+                    stored.value.shape(),
+                    fresh.name,
+                    fresh.value.shape()
+                ),
+            ));
+        }
+    }
+    model.params = bundle.params;
+    Ok(model)
+}
+
+/// Saves a model checkpoint to a file.
+pub fn save_model(model: &TwoTower, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, model_to_json(model))
+}
+
+/// Loads a model checkpoint from a file.
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<TwoTower> {
+    model_from_json(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_data::SeqBatch;
+    use unimatch_models::{Aggregator, ContextExtractor};
+
+    fn model(extractor: ContextExtractor) -> TwoTower {
+        let mut rng = StdRng::seed_from_u64(77);
+        TwoTower::new(
+            ModelConfig {
+                num_items: 20,
+                embed_dim: 8,
+                max_seq_len: 6,
+                extractor,
+                aggregator: Aggregator::Attention,
+                temperature: 0.2,
+                normalize: true,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_inference() {
+        for extractor in ContextExtractor::ALL {
+            let m = model(extractor);
+            let restored = model_from_json(&model_to_json(&m)).expect("round trip");
+            let h = vec![1u32, 5, 9];
+            let batch = SeqBatch::from_histories(&[&h], 6);
+            assert_eq!(
+                m.infer_users(&batch).data(),
+                restored.infer_users(&batch).data(),
+                "{}",
+                extractor.label()
+            );
+            assert_eq!(m.infer_items().data(), restored.infer_items().data());
+        }
+    }
+
+    #[test]
+    fn corrupted_checkpoint_rejected() {
+        assert!(model_from_json(b"not json").is_err());
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        // serialize a GRU model, then tamper with the config to claim LSTM:
+        // the parameter names will not match and loading must fail
+        let m = model(ContextExtractor::Gru);
+        let json = String::from_utf8(model_to_json(&m)).expect("utf8");
+        let tampered = json.replace("\"Gru\"", "\"Lstm\"");
+        assert!(model_from_json(tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("unimatch_persist_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.json");
+        let m = model(ContextExtractor::YoutubeDnn);
+        save_model(&m, &path).expect("save");
+        let restored = load_model(&path).expect("load");
+        assert_eq!(m.params.num_scalars(), restored.params.num_scalars());
+        std::fs::remove_file(&path).ok();
+    }
+}

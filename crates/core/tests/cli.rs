@@ -1,0 +1,100 @@
+//! End-to-end test of the `unimatch-cli` binary: generate → fit →
+//! recommend → target → evaluate over a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_unimatch-cli"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("unimatch_cli_test_{name}"));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = tmp_dir("workflow");
+    let log = dir.join("log.csv");
+    let model = dir.join("model.json");
+
+    let out = cli()
+        .args(["generate", "--profile", "ecomp", "--scale", "0.2", "--seed", "9"])
+        .args(["--out", log.to_str().expect("utf8 path")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let csv = std::fs::read_to_string(&log).expect("log written");
+    assert!(csv.starts_with("user,item,day\n"));
+    assert!(csv.lines().count() > 100);
+
+    let out = cli()
+        .args(["fit", "--log", log.to_str().expect("utf8")])
+        .args(["--out", model.to_str().expect("utf8"), "--epochs", "1"])
+        .output()
+        .expect("run fit");
+    assert!(out.status.success(), "fit failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    assert!(dir.join("model.json.users.json").exists());
+    assert!(dir.join("model.json.items.json").exists());
+
+    // pick a user that survives filtering: take one with many rows
+    let mut counts = std::collections::HashMap::new();
+    for line in csv.lines().skip(1) {
+        let user = line.split(',').next().expect("user column");
+        *counts.entry(user.to_string()).or_insert(0u32) += 1;
+    }
+    let busy_user = counts
+        .iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(u, _)| u.clone())
+        .expect("non-empty log");
+
+    let out = cli()
+        .args(["recommend", "--model", model.to_str().expect("utf8")])
+        .args(["--log", log.to_str().expect("utf8"), "--user", &busy_user, "--k", "3"])
+        .output()
+        .expect("run recommend");
+    assert!(out.status.success(), "recommend failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top 3 items"), "{text}");
+    assert!(text.matches("score").count() == 3, "{text}");
+
+    let out = cli()
+        .args(["target", "--model", model.to_str().expect("utf8")])
+        .args(["--log", log.to_str().expect("utf8"), "--item", "i0", "--k", "3"])
+        .output()
+        .expect("run target");
+    assert!(out.status.success(), "target failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("users to target"));
+
+    let out = cli()
+        .args(["evaluate", "--model", model.to_str().expect("utf8")])
+        .args(["--log", log.to_str().expect("utf8"), "--negatives", "20"])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IR :") && text.contains("UT :"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    let out = cli().args(["bogus"]).output().expect("run");
+    assert!(!out.status.success());
+
+    let dir = tmp_dir("badinput");
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "wrong,header\n1,2\n").expect("write");
+    let out = cli()
+        .args(["fit", "--log", bad.to_str().expect("utf8"), "--out", "/dev/null"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected header"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,115 @@
+//! Walker's alias method: O(1) sampling from an arbitrary categorical
+//! distribution, used for the empirical negative samplers of Tab. I and the
+//! sampled-softmax negative pool.
+
+use rand::Rng;
+
+/// An alias table over `n` categories.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from unnormalized non-negative weights. At least one
+    /// weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one category");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // leftover buckets are numerically ~1
+        for &s in small.iter().chain(large.iter()) {
+            prob[s as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when empty (never: construction requires ≥ 1 category).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!((got - expected).abs() < 0.01, "cat {i}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! CSV import/export of interaction logs.
+//!
+//! The interchange format is deliberately minimal — a `user,item,day`
+//! header and one record per line, with arbitrary string ids (interned via
+//! [`crate::vocab`]). No external CSV dependency: the format has no
+//! quoting or escaping, and ids containing commas are rejected loudly.
+
+use crate::vocab::{intern_log, RawRecord, Vocab};
+use crate::InteractionLog;
+
+/// The required header line.
+pub const HEADER: &str = "user,item,day";
+
+/// Errors from CSV parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The first line was not the expected header.
+    BadHeader(String),
+    /// A data line did not have exactly three fields.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The day field failed to parse.
+    BadDay {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader(h) => write!(f, "expected header '{HEADER}', got '{h}'"),
+            CsvError::BadLine { line, content } => {
+                write!(f, "line {line}: expected 'user,item,day', got '{content}'")
+            }
+            CsvError::BadDay { line, value } => write!(f, "line {line}: bad day '{value}'"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a CSV document into a dense log plus the user/item vocabularies.
+pub fn log_from_csv(text: &str) -> Result<(InteractionLog, Vocab, Vocab), CsvError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header.trim() != HEADER {
+        return Err(CsvError::BadHeader(header.to_string()));
+    }
+    let mut records = Vec::new();
+    for (ix, line) in lines.enumerate() {
+        let line_no = ix + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(CsvError::BadLine { line: line_no, content: line.to_string() });
+        }
+        let day: u32 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadDay { line: line_no, value: fields[2].to_string() })?;
+        records.push(RawRecord { user: fields[0].trim(), item: fields[1].trim(), day });
+    }
+    Ok(intern_log(&records))
+}
+
+/// Serializes a log to CSV using the given vocabularies (ids without a
+/// vocabulary entry are written as `u<id>` / `i<id>`).
+pub fn log_to_csv(log: &InteractionLog, users: Option<&Vocab>, items: Option<&Vocab>) -> String {
+    let mut out = String::with_capacity(16 + log.len() * 16);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in log.records() {
+        let user = users
+            .and_then(|v| v.external(r.user).map(str::to_string))
+            .unwrap_or_else(|| format!("u{}", r.user));
+        let item = items
+            .and_then(|v| v.external(r.item).map(str::to_string))
+            .unwrap_or_else(|| format!("i{}", r.item));
+        out.push_str(&format!("{user},{item},{}\n", r.day));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let csv = "user,item,day\nalice,book-1,3\nbob,book-2,5\nalice,book-2,9\n";
+        let (log, users, items) = log_from_csv(csv).expect("parse");
+        assert_eq!(log.len(), 3);
+        let back = log_to_csv(&log, Some(&users), Some(&items));
+        let (log2, ..) = log_from_csv(&back).expect("reparse");
+        assert_eq!(log.records(), log2.records());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "user,item,day\n\na,b,1\n\n";
+        let (log, ..) = log_from_csv(csv).expect("parse");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn header_enforced() {
+        let err = log_from_csv("uid,item,day\n").expect_err("bad header");
+        assert_eq!(err, CsvError::BadHeader("uid,item,day".into()));
+        assert!(matches!(log_from_csv(""), Err(CsvError::BadHeader(_))));
+    }
+
+    #[test]
+    fn field_count_enforced() {
+        let err = log_from_csv("user,item,day\na,b\n").expect_err("too few fields");
+        assert!(matches!(err, CsvError::BadLine { line: 2, .. }));
+        let err = log_from_csv("user,item,day\na,b,1,extra\n").expect_err("too many fields");
+        assert!(matches!(err, CsvError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_day_reported_with_line() {
+        let err = log_from_csv("user,item,day\na,b,notaday\n").expect_err("bad day");
+        assert_eq!(err, CsvError::BadDay { line: 2, value: "notaday".into() });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn export_without_vocab_uses_synthetic_names() {
+        let log = InteractionLog::new(vec![crate::Interaction { user: 3, item: 7, day: 1 }]);
+        let csv = log_to_csv(&log, None, None);
+        assert!(csv.contains("u3,i7,1"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the synthetic generator under arbitrary (valid)
+//! configurations: universe bounds, temporal bounds, volume sanity,
+//! determinism, and the repurchase invariant.
+
+use proptest::prelude::*;
+use unimatch_data::calendar::month_of;
+use unimatch_data::synthetic::{generate, SyntheticConfig};
+
+fn arbitrary_config() -> impl Strategy<Value = (SyntheticConfig, u64)> {
+    (
+        20usize..200,   // users
+        8usize..60,     // items
+        200usize..2000, // interactions
+        4u32..10,       // months
+        2usize..6,      // clusters
+        0.3f64..1.2,    // zipf
+        0.0f64..1.2,    // activity sigma
+        0.0f64..0.95,   // preference focus
+        0.0f64..0.8,    // sequence coherence
+        0.0f64..1.0,    // trend
+        proptest::bool::ANY,
+        proptest::num::u64::ANY,
+    )
+        .prop_map(
+            |(users, items, inter, months, clusters, zipf, sigma, focus, coh, trend, repeat, seed)| {
+                (
+                    SyntheticConfig {
+                        name: "prop".into(),
+                        num_users: users,
+                        num_items: items.max(clusters),
+                        target_interactions: inter,
+                        months,
+                        num_clusters: clusters,
+                        zipf_exponent: zipf,
+                        activity_sigma: sigma,
+                        preference_focus: focus,
+                        sequence_coherence: coh,
+                        trend_strength: trend,
+                        max_user_events: 50,
+                        repeat_purchases: repeat,
+                    },
+                    seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_logs_respect_bounds((cfg, seed) in arbitrary_config()) {
+        let log = generate(&cfg, seed);
+        prop_assert!(!log.is_empty());
+        prop_assert!((log.num_users() as usize) <= cfg.num_users);
+        prop_assert!((log.num_items() as usize) <= cfg.num_items);
+        for r in log.records() {
+            prop_assert!(month_of(r.day) < cfg.months);
+        }
+        // every user has at least 1 and at most max_user_events records
+        for (_, timeline) in log.timelines() {
+            prop_assert!(!timeline.is_empty());
+            prop_assert!(timeline.len() <= cfg.max_user_events);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic((cfg, seed) in arbitrary_config()) {
+        let a = generate(&cfg, seed);
+        let b = generate(&cfg, seed);
+        prop_assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn volume_lands_near_target((cfg, seed) in arbitrary_config()) {
+        let log = generate(&cfg, seed);
+        let got = log.len() as f64;
+        let want = cfg.target_interactions as f64;
+        // lognormal clamping skews volume; stay within a loose band
+        prop_assert!(got > want * 0.2 && got < want * 4.0, "{got} vs {want}");
+    }
+
+    #[test]
+    fn repurchase_free_mode_rarely_repeats((mut cfg, seed) in arbitrary_config()) {
+        cfg.repeat_purchases = false;
+        // make collisions avoidable: enough items per cluster, and keep
+        // timelines far below catalog size (else repeats are pigeonholed)
+        cfg.num_items = cfg.num_items.max(cfg.num_clusters * 10);
+        cfg.max_user_events = (cfg.num_items / cfg.num_clusters / 2).max(2);
+        let log = generate(&cfg, seed);
+        let mut repeats = 0usize;
+        let mut total = 0usize;
+        for (_, timeline) in log.timelines() {
+            let mut seen = std::collections::HashSet::new();
+            for r in timeline {
+                total += 1;
+                if !seen.insert(r.item) {
+                    repeats += 1;
+                }
+            }
+        }
+        // bounded resampling can still collide on tiny popular clusters;
+        // demand repeats be rare rather than impossible
+        prop_assert!(
+            (repeats as f64) < 0.05 * total as f64 + 2.0,
+            "{repeats} repeats of {total}"
+        );
+    }
+}

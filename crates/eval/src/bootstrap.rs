@@ -1,0 +1,152 @@
+//! Bootstrap confidence intervals for ranking metrics.
+//!
+//! The paper reports point estimates; on small (scaled-down) test sets the
+//! loss orderings can sit within sampling noise, so this module provides
+//! percentile-bootstrap CIs over per-case metric values — used to decide
+//! whether a win in a table is meaningful.
+
+use rand::Rng;
+
+/// A two-sided confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Point estimate (mean over cases).
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether two intervals overlap (overlapping ⇒ the difference is not
+    /// resolved at this confidence level).
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Percentile bootstrap over per-case values: resamples `values` with
+/// replacement `iterations` times and takes the `alpha/2` and `1-alpha/2`
+/// quantiles of the resampled means.
+pub fn bootstrap_ci(
+    values: &[f64],
+    iterations: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Interval {
+    assert!(!values.is_empty(), "cannot bootstrap an empty sample");
+    assert!(iterations >= 10, "need at least 10 bootstrap iterations");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let mut means = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += values[rng.gen_range(0..n)];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |p: f64| -> f64 {
+        let ix = ((iterations as f64 - 1.0) * p).round() as usize;
+        means[ix.min(iterations - 1)]
+    };
+    Interval { mean, lo: q(alpha / 2.0), hi: q(1.0 - alpha / 2.0) }
+}
+
+/// Paired bootstrap test of "A beats B": resamples case indices shared by
+/// both metric vectors and returns the fraction of resamples where A's
+/// mean exceeds B's (≈ one-sided posterior probability of superiority).
+pub fn paired_superiority(
+    a: &[f64],
+    b: &[f64],
+    iterations: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired test needs aligned cases");
+    assert!(!a.is_empty(), "cannot test an empty sample");
+    let n = a.len();
+    let mut wins = 0usize;
+    for _ in 0..iterations {
+        let (mut sa, mut sb) = (0.0, 0.0);
+        for _ in 0..n {
+            let ix = rng.gen_range(0..n);
+            sa += a[ix];
+            sb += b[ix];
+        }
+        if sa > sb {
+            wins += 1;
+        }
+    }
+    wins as f64 / iterations as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn interval_contains_mean_and_shrinks_with_n() {
+        let mut r = rng();
+        let small: Vec<f64> = (0..20).map(|i| (i % 2) as f64).collect();
+        let big: Vec<f64> = (0..2000).map(|i| (i % 2) as f64).collect();
+        let ci_small = bootstrap_ci(&small, 500, 0.05, &mut r);
+        let ci_big = bootstrap_ci(&big, 500, 0.05, &mut r);
+        for ci in [ci_small, ci_big] {
+            assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+            assert!((ci.mean - 0.5).abs() < 0.1);
+        }
+        assert!(ci_big.half_width() < ci_small.half_width());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let mut r = rng();
+        let ci = bootstrap_ci(&[0.7; 50], 200, 0.05, &mut r);
+        // float summation noise only
+        assert!((ci.lo - 0.7).abs() < 1e-12);
+        assert!((ci.hi - 0.7).abs() < 1e-12);
+        assert!(ci.half_width() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Interval { mean: 0.5, lo: 0.4, hi: 0.6 };
+        let b = Interval { mean: 0.55, lo: 0.45, hi: 0.65 };
+        let c = Interval { mean: 0.9, lo: 0.85, hi: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn paired_test_detects_clear_superiority() {
+        let mut r = rng();
+        let a: Vec<f64> = (0..200).map(|i| 0.6 + 0.001 * (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.4 + 0.001 * (i % 5) as f64).collect();
+        assert!(paired_superiority(&a, &b, 400, &mut r) > 0.99);
+        assert!(paired_superiority(&b, &a, 400, &mut r) < 0.01);
+    }
+
+    #[test]
+    fn paired_test_is_uncertain_for_ties() {
+        let mut r = rng();
+        let a: Vec<f64> = (0..300).map(|i| ((i * 17) % 100) as f64 / 100.0).collect();
+        let mut b = a.clone();
+        b.reverse(); // same distribution, different pairing
+        let p = paired_superiority(&a, &b, 500, &mut r);
+        assert!((0.2..0.8).contains(&p), "p = {p}");
+    }
+}

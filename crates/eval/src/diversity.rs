@@ -1,0 +1,106 @@
+//! Aggregate-recommendation diversity metrics — an extension beyond the
+//! paper's popularity audit (Tab. XI). Merchants running campaigns care
+//! whether the recommender concentrates all traffic on a handful of SKUs;
+//! catalog coverage and the Gini coefficient of exposure quantify that.
+
+use std::collections::HashMap;
+
+/// Fraction of the catalog that appears at least once across all
+/// recommendation lists.
+pub fn catalog_coverage(retrieved: &[u32], catalog_size: usize) -> f64 {
+    assert!(catalog_size > 0, "empty catalog");
+    let distinct: std::collections::HashSet<u32> = retrieved.iter().copied().collect();
+    distinct.len() as f64 / catalog_size as f64
+}
+
+/// Gini coefficient of exposure over the *retrieved* entities: 0 = every
+/// retrieved entity shown equally often, → 1 = exposure concentrated on
+/// one entity.
+pub fn exposure_gini(retrieved: &[u32]) -> f64 {
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &id in retrieved {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    let mut values: Vec<u64> = counts.into_values().collect();
+    values.sort_unstable();
+    let n = values.len() as f64;
+    let total: f64 = values.iter().map(|&v| v as f64).sum();
+    if total == 0.0 || n < 2.0 {
+        return 0.0;
+    }
+    // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n with x ascending, i from 1
+    let weighted: f64 = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v as f64)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Mean intra-list distinctness: 1 − (duplicate fraction) within each
+/// recommendation list, averaged (lists are `k` consecutive entries).
+pub fn mean_list_distinctness(retrieved: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(retrieved.len() % k, 0, "retrieved length must be a multiple of k");
+    if retrieved.is_empty() {
+        return 1.0;
+    }
+    let lists = retrieved.len() / k;
+    let mut sum = 0.0;
+    for l in 0..lists {
+        let slice = &retrieved[l * k..(l + 1) * k];
+        let distinct: std::collections::HashSet<u32> = slice.iter().copied().collect();
+        sum += distinct.len() as f64 / k as f64;
+    }
+    sum / lists as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_distinct() {
+        assert_eq!(catalog_coverage(&[1, 1, 2, 3], 10), 0.3);
+        assert_eq!(catalog_coverage(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        assert!(exposure_gini(&[1, 2, 3, 4]).abs() < 1e-12);
+        assert!(exposure_gini(&[5, 5, 6, 6, 7, 7]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_concentration_is_high() {
+        // one item gets 97 exposures, three get 1 each
+        let mut v = vec![0u32; 97];
+        v.extend([1, 2, 3]);
+        let g = exposure_gini(&v);
+        assert!(g > 0.7, "gini {g}");
+    }
+
+    #[test]
+    fn gini_bounds() {
+        for case in [vec![1u32], vec![1, 1, 2], vec![1, 2, 2, 2, 2, 2]] {
+            let g = exposure_gini(&case);
+            assert!((0.0..1.0).contains(&g), "{case:?} -> {g}");
+        }
+    }
+
+    #[test]
+    fn list_distinctness() {
+        assert_eq!(mean_list_distinctness(&[1, 2, 3, 4], 2), 1.0);
+        assert_eq!(mean_list_distinctness(&[1, 1, 2, 3], 2), 0.75);
+        assert_eq!(mean_list_distinctness(&[], 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn ragged_lists_rejected() {
+        mean_list_distinctness(&[1, 2, 3], 2);
+    }
+}

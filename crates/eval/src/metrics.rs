@@ -1,0 +1,170 @@
+//! Ranking metrics: Recall@N (Eq. 14), NDCG@N (Eq. 15), HitRate@N, MRR.
+//!
+//! All metrics operate on a ranked list of candidates with binary
+//! relevance. In the paper's protocol each case has exactly one positive,
+//! making Recall@N equal HitRate@N, but the implementations handle the
+//! general multi-positive case of Eqs. 14–15.
+
+/// Metrics for a single evaluation case.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CaseMetrics {
+    /// Recall@N per Eq. 14: hits / min(#positives, N).
+    pub recall: f64,
+    /// NDCG@N per Eq. 15.
+    pub ndcg: f64,
+    /// 1.0 iff any positive ranks within the top N.
+    pub hitrate: f64,
+    /// Reciprocal rank of the first positive (0 when absent entirely).
+    pub mrr: f64,
+}
+
+/// Computes metrics from a relevance-ordered list: `relevant[k]` tells
+/// whether the k-th *ranked* candidate is a ground-truth positive.
+/// `num_positives` is the ground-truth set size `|I_u|`.
+pub fn case_metrics(relevant: &[bool], num_positives: usize, top_n: usize) -> CaseMetrics {
+    assert!(top_n >= 1, "top_n must be >= 1");
+    assert!(num_positives >= 1, "a case needs at least one positive");
+    let hits = relevant.iter().take(top_n).filter(|&&r| r).count();
+    let recall = hits as f64 / num_positives.min(top_n) as f64;
+    let hitrate = if hits > 0 { 1.0 } else { 0.0 };
+
+    let mut dcg = 0.0;
+    for (k, &r) in relevant.iter().take(top_n).enumerate() {
+        if r {
+            dcg += 1.0 / ((k + 2) as f64).log2();
+        }
+    }
+    let ideal: f64 = (0..num_positives.min(top_n))
+        .map(|k| 1.0 / ((k + 2) as f64).log2())
+        .sum();
+    let ndcg = dcg / ideal;
+
+    let mrr = relevant
+        .iter()
+        .position(|&r| r)
+        .map_or(0.0, |k| 1.0 / (k + 1) as f64);
+
+    CaseMetrics { recall, ndcg, hitrate, mrr }
+}
+
+/// Ranks candidates by score (descending, stable) and returns the
+/// relevance ordering for [`case_metrics`]. `positives` are candidate
+/// indices (not ids).
+pub fn rank_relevance(scores: &[f32], positives: &[usize]) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let pos: std::collections::HashSet<usize> = positives.iter().copied().collect();
+    order.into_iter().map(|ix| pos.contains(&ix)).collect()
+}
+
+/// Streaming mean over many cases.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricAccumulator {
+    sum: CaseMetrics,
+    count: usize,
+}
+
+impl MetricAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one case.
+    pub fn add(&mut self, m: CaseMetrics) {
+        self.sum.recall += m.recall;
+        self.sum.ndcg += m.ndcg;
+        self.sum.hitrate += m.hitrate;
+        self.sum.mrr += m.mrr;
+        self.count += 1;
+    }
+
+    /// Number of cases accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean metrics (zeros when empty).
+    pub fn mean(&self) -> CaseMetrics {
+        if self.count == 0 {
+            return CaseMetrics::default();
+        }
+        let n = self.count as f64;
+        CaseMetrics {
+            recall: self.sum.recall / n,
+            ndcg: self.sum.ndcg / n,
+            hitrate: self.sum.hitrate / n,
+            mrr: self.sum.mrr / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_positive_at_top() {
+        let rel = [true, false, false, false];
+        let m = case_metrics(&rel, 1, 3);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+        assert_eq!(m.hitrate, 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn single_positive_at_rank_two() {
+        let rel = [false, true, false, false];
+        let m = case_metrics(&rel, 1, 3);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.ndcg - 1.0 / 3f64.log2()).abs() < 1e-12);
+        assert_eq!(m.mrr, 0.5);
+    }
+
+    #[test]
+    fn positive_outside_top_n() {
+        let rel = [false, false, false, true];
+        let m = case_metrics(&rel, 1, 3);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+        assert_eq!(m.hitrate, 0.0);
+        assert_eq!(m.mrr, 0.25); // MRR counts the full list
+    }
+
+    #[test]
+    fn multi_positive_recall_denominator() {
+        // 3 positives, top 2: best possible recall is 2/2 per Eq. 14's min
+        let rel = [true, true, false, true];
+        let m = case_metrics(&rel, 3, 2);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+    }
+
+    #[test]
+    fn ndcg_between_zero_and_one() {
+        let rel = [false, true, true, false, true];
+        let m = case_metrics(&rel, 3, 5);
+        assert!(m.ndcg > 0.0 && m.ndcg < 1.0);
+    }
+
+    #[test]
+    fn rank_relevance_orders_by_score() {
+        let scores = [0.1, 0.9, 0.5];
+        let rel = rank_relevance(&scores, &[2]);
+        // order: idx1 (0.9), idx2 (0.5), idx0 (0.1)
+        assert_eq!(rel, vec![false, true, false]);
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut acc = MetricAccumulator::new();
+        acc.add(case_metrics(&[true, false], 1, 1));
+        acc.add(case_metrics(&[false, true], 1, 1));
+        let m = acc.mean();
+        assert_eq!(acc.count(), 2);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.hitrate, 0.5);
+        assert_eq!(m.mrr, 0.75);
+    }
+}

@@ -1,0 +1,114 @@
+//! The user pool for UT evaluation: one (latest) pseudo-user per distinct
+//! user across train and test, mirroring the paper's large user pools
+//! (Tab. VI: 317,667 pool users vs. 43,867 test users on Books).
+
+use std::collections::HashMap;
+use unimatch_data::TemporalSplit;
+
+/// One pseudo-user per distinct user, with a reverse index by user id.
+#[derive(Clone, Debug, Default)]
+pub struct UserPool {
+    users: Vec<u32>,
+    histories: Vec<Vec<u32>>,
+    by_user: HashMap<u32, usize>,
+}
+
+impl UserPool {
+    /// Builds the pool from a split, keeping each user's most recent
+    /// history (by sample day) truncated to `max_seq_len`.
+    pub fn build(split: &TemporalSplit, max_seq_len: usize) -> Self {
+        let mut latest: HashMap<u32, (u32, &Vec<u32>)> = HashMap::new();
+        for s in split.train.iter().chain(split.test.iter()) {
+            match latest.get(&s.user) {
+                Some(&(day, _)) if day >= s.day => {}
+                _ => {
+                    latest.insert(s.user, (s.day, &s.history));
+                }
+            }
+        }
+        let mut entries: Vec<(u32, &Vec<u32>)> =
+            latest.into_iter().map(|(u, (_, h))| (u, h)).collect();
+        entries.sort_by_key(|&(u, _)| u);
+        let mut pool = UserPool::default();
+        for (u, h) in entries {
+            let start = h.len().saturating_sub(max_seq_len);
+            pool.by_user.insert(u, pool.users.len());
+            pool.users.push(u);
+            pool.histories.push(h[start..].to_vec());
+        }
+        pool
+    }
+
+    /// Number of pooled users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The user id at a pool index.
+    pub fn user(&self, ix: usize) -> u32 {
+        self.users[ix]
+    }
+
+    /// The pseudo-user history at a pool index.
+    pub fn history(&self, ix: usize) -> &[u32] {
+        &self.histories[ix]
+    }
+
+    /// All histories in pool order (for batch embedding).
+    pub fn histories(&self) -> &[Vec<u32>] {
+        &self.histories
+    }
+
+    /// Pool index of a user id.
+    pub fn index_of(&self, user: u32) -> Option<usize> {
+        self.by_user.get(&user).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_data::{Sample, TemporalSplit};
+
+    fn split() -> TemporalSplit {
+        TemporalSplit {
+            train: vec![
+                Sample { user: 1, history: vec![10], target: 11, day: 5 },
+                Sample { user: 1, history: vec![10, 11], target: 12, day: 40 },
+                Sample { user: 2, history: vec![20, 21, 22, 23], target: 24, day: 50 },
+            ],
+            val: vec![],
+            test: vec![Sample { user: 3, history: vec![30], target: 31, day: 95 }],
+            val_month: 2,
+            test_month: 3,
+        }
+    }
+
+    #[test]
+    fn keeps_latest_history_per_user() {
+        let pool = UserPool::build(&split(), 8);
+        assert_eq!(pool.len(), 3);
+        let ix = pool.index_of(1).expect("user 1");
+        assert_eq!(pool.history(ix), &[10, 11]);
+        assert_eq!(pool.user(ix), 1);
+    }
+
+    #[test]
+    fn truncates_to_max_len() {
+        let pool = UserPool::build(&split(), 2);
+        let ix = pool.index_of(2).expect("user 2");
+        assert_eq!(pool.history(ix), &[22, 23]);
+    }
+
+    #[test]
+    fn includes_test_users() {
+        let pool = UserPool::build(&split(), 8);
+        assert!(pool.index_of(3).is_some());
+        assert!(pool.index_of(99).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Scoring and case evaluation over raw embedding buffers.
+//!
+//! The eval crate is deliberately model-free: callers supply embeddings as
+//! `&[f32]` matrices (row-major, unit-normalized by the towers), and this
+//! module does the dot-product ranking. That keeps the protocol reusable
+//! for any scorer, including the ANN indexes.
+
+use crate::metrics::{case_metrics, rank_relevance, CaseMetrics, MetricAccumulator};
+
+/// A row-major embedding matrix view.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingMatrix<'a> {
+    data: &'a [f32],
+    dim: usize,
+}
+
+impl<'a> EmbeddingMatrix<'a> {
+    /// Wraps a buffer of `rows * dim` floats.
+    pub fn new(data: &'a [f32], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        EmbeddingMatrix { data, dim }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `r`.
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+}
+
+/// Dot-product scores of one query against selected candidate rows.
+pub fn score_candidates(query: &[f32], matrix: EmbeddingMatrix<'_>, candidates: &[u32]) -> Vec<f32> {
+    assert_eq!(query.len(), matrix.dim(), "query dim mismatch");
+    candidates
+        .iter()
+        .map(|&c| {
+            let row = matrix.row(c as usize);
+            query.iter().zip(row).map(|(a, b)| a * b).sum()
+        })
+        .collect()
+}
+
+/// Evaluates a batch of single-positive cases: each case is a query
+/// embedding plus candidate indices into `matrix`, positive first.
+/// Returns mean metrics.
+pub fn evaluate_single_positive_cases(
+    queries: EmbeddingMatrix<'_>,
+    matrix: EmbeddingMatrix<'_>,
+    candidate_lists: &[Vec<u32>],
+    top_n: usize,
+) -> CaseMetrics {
+    assert_eq!(queries.rows(), candidate_lists.len(), "query/case count mismatch");
+    let mut acc = MetricAccumulator::new();
+    for (q, cands) in candidate_lists.iter().enumerate() {
+        let scores = score_candidates(queries.row(q), matrix, cands);
+        let relevance = rank_relevance(&scores, &[0]);
+        acc.add(case_metrics(&relevance, 1, top_n));
+    }
+    acc.mean()
+}
+
+/// The indices (into the candidate list) of the top-N scored candidates,
+/// for popularity audits (Tab. XI).
+pub fn top_n_candidates(scores: &[f32], top_n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.truncate(top_n);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_dot_products() {
+        let items = [1.0, 0.0, 0.0, 1.0, 0.5, 0.5];
+        let m = EmbeddingMatrix::new(&items, 2);
+        assert_eq!(m.rows(), 3);
+        let scores = score_candidates(&[2.0, 4.0], m, &[0, 1, 2]);
+        assert_eq!(scores, vec![2.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // query aligned with candidate 0 (the positive)
+        let queries = [1.0, 0.0];
+        let items = [1.0, 0.0, -1.0, 0.0, 0.0, -1.0];
+        let qm = EmbeddingMatrix::new(&queries, 2);
+        let im = EmbeddingMatrix::new(&items, 2);
+        let m = evaluate_single_positive_cases(qm, im, &[vec![0, 1, 2]], 2);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let queries = [1.0, 0.0];
+        let items = [-1.0, 0.0, 1.0, 0.0, 0.9, 0.0];
+        let qm = EmbeddingMatrix::new(&queries, 2);
+        let im = EmbeddingMatrix::new(&items, 2);
+        let m = evaluate_single_positive_cases(qm, im, &[vec![0, 1, 2]], 2);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.hitrate, 0.0);
+    }
+
+    #[test]
+    fn top_n_selection() {
+        let scores = [0.3, 0.9, 0.1, 0.7];
+        assert_eq!(top_n_candidates(&scores, 2), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_matrix_rejected() {
+        EmbeddingMatrix::new(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! The binary cross-entropy loss (Eq. 1) — the Bernoulli pathway.
+//!
+//! Combined with the negative-sampling strategies of
+//! `unimatch_data::negative`, the BCE loss realizes the optima of Tab. I:
+//! under uniform sampling `φ_θ(u,i)` converges to `log p̂(u,i)` (up to a
+//! constant), making one model usable for both IR and UT — the Bernoulli
+//! counterpart of bbcNCE.
+
+use unimatch_tensor::{Graph, Tensor, Var};
+
+/// Clamp inside the logs for numerical safety (logits are bounded by
+/// `1/τ`, so sigmoids never truly saturate, but stay defensive).
+const EPS: f32 = 1e-7;
+
+/// Computes the mean BCE loss over per-pair logits.
+///
+/// * `pair_logits` — `[R]` with `φ_θ(u_r, i_r)`.
+/// * `labels` — `[R]`, 1.0 for positives and 0.0 for sampled negatives.
+pub fn bce_loss(g: &mut Graph, pair_logits: Var, labels: &[f32]) -> Var {
+    let n = g.value(pair_logits).shape().numel();
+    assert_eq!(labels.len(), n, "labels length mismatch");
+    assert!(
+        labels.iter().all(|&y| y == 0.0 || y == 1.0),
+        "labels must be binary"
+    );
+    let y = g.constant(Tensor::vector(labels));
+    let s = g.sigmoid(pair_logits);
+    // y·ln(σ+ε)
+    let s_safe = g.add_scalar(s, EPS);
+    let ln_s = g.ln(s_safe);
+    let pos_term = g.mul(y, ln_s);
+    // (1−y)·ln(1−σ+ε)
+    let neg_s = g.scale(s, -1.0);
+    let one_minus = g.add_scalar(neg_s, 1.0 + EPS);
+    let ln_1ms = g.ln(one_minus);
+    let inv_labels: Vec<f32> = labels.iter().map(|&v| 1.0 - v).collect();
+    let y_inv = g.constant(Tensor::vector(&inv_labels));
+    let neg_term = g.mul(y_inv, ln_1ms);
+    let total = g.add(pos_term, neg_term);
+    let m = g.mean_all(total);
+    g.scale(m, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::vector(&[0.0, 2.0]));
+        let loss = bce_loss(&mut g, logits, &[1.0, 0.0]);
+        let s0 = 0.5f32;
+        let s1 = 1.0 / (1.0 + (-2.0f32).exp());
+        let expected = -((s0.ln() + (1.0 - s1).ln()) / 2.0);
+        assert!((g.value(loss).item() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perfect_predictions_near_zero_loss() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::vector(&[8.0, -8.0, 8.0]));
+        let loss = bce_loss(&mut g, logits, &[1.0, 0.0, 1.0]);
+        assert!(g.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    fn wrong_predictions_high_loss() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::vector(&[-8.0, 8.0]));
+        let loss = bce_loss(&mut g, logits, &[1.0, 0.0]);
+        assert!(g.value(loss).item() > 5.0);
+    }
+
+    #[test]
+    fn gradient_signs() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::vector(&[0.0, 0.0]));
+        let loss = bce_loss(&mut g, logits, &[1.0, 0.0]);
+        g.backward(loss);
+        let grad = g.grad(logits).expect("grad");
+        // positive label wants the logit up (negative gradient), negative
+        // label wants it down
+        assert!(grad.data()[0] < 0.0);
+        assert!(grad.data()[1] > 0.0);
+        // d/dx BCE at x=0 is ∓0.5 / n
+        assert!((grad.data()[0] + 0.25).abs() < 1e-4);
+        assert!((grad.data()[1] - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_labels_rejected() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::vector(&[0.0]));
+        bce_loss(&mut g, logits, &[0.5]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sampled softmax (SSM) with logQ correction — the classical solution to
+//! the intractable partition function of Eq. 3 (\[17\] in the paper).
+//!
+//! Unlike the in-batch NCE family, SSM draws its negatives from the *whole
+//! item vocabulary* (here: proportionally to the empirical unigram
+//! distribution `q(i)`), and corrects each logit by `−log q(i)` so the
+//! corrected softmax is an unbiased estimate of the full softmax — in
+//! theory converging to `log p̂(i|u)` like row-bcNCE. The paper's "SSM
+//! w. n." normalizes both representations, which our towers always do.
+
+use unimatch_tensor::{Graph, Tensor, Var};
+
+/// Computes the SSM loss.
+///
+/// * `pos_logits` — `[B]`, `φ_θ(u_b, i_b⁺)` for each row's positive.
+/// * `neg_logits` — `[B, n]`, `φ_θ(u_b, i_j⁻)` against `n` shared sampled
+///   negatives.
+/// * `log_q_pos[b]` — `log q(i_b⁺)` of each positive under the sampling
+///   distribution.
+/// * `log_q_neg[j]` — `log q(i_j⁻)` of each shared negative.
+pub fn ssm_loss(
+    g: &mut Graph,
+    pos_logits: Var,
+    neg_logits: Var,
+    log_q_pos: &[f32],
+    log_q_neg: &[f32],
+) -> Var {
+    let b = g.value(pos_logits).shape().numel();
+    let dims = g.value(neg_logits).shape().dims().to_vec();
+    assert_eq!(dims.len(), 2, "neg_logits must be [B, n]");
+    assert_eq!(dims[0], b, "batch mismatch between pos and neg logits");
+    let n = dims[1];
+    assert_eq!(log_q_pos.len(), b, "log_q_pos length mismatch");
+    assert_eq!(log_q_neg.len(), n, "log_q_neg length mismatch");
+
+    // corrected logits: subtract log q per candidate
+    let pos2d = g.reshape(pos_logits, [b, 1]);
+    let all = g.concat_last(pos2d, neg_logits); // [B, 1+n]
+    let mut corr = Vec::with_capacity(b * (n + 1));
+    for lq_pos in log_q_pos.iter().take(b) {
+        corr.push(-lq_pos);
+        corr.extend(log_q_neg.iter().map(|&x| -x));
+    }
+    let corr = g.constant(Tensor::from_vec([b, n + 1], corr));
+    let corrected = g.add(all, corr);
+    let ls = g.log_softmax(corrected);
+    let picked = g.pick_per_row(ls, &vec![0; b]);
+    let m = g.mean_all(picked);
+    g.scale(m, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_q_reduces_to_plain_softmax_ce() {
+        let mut g = Graph::new();
+        let pos = g.input(Tensor::vector(&[2.0]));
+        let neg = g.input(Tensor::from_vec([1, 2], vec![1.0, 0.0]));
+        let q = (1.0f32 / 3.0).ln();
+        let loss = ssm_loss(&mut g, pos, neg, &[q], &[q, q]);
+        let z = 2.0f32.exp() + 1.0f32.exp() + 1.0;
+        let expected = -(2.0 - z.ln());
+        assert!((g.value(loss).item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn logq_correction_penalizes_popular_negatives() {
+        // A popular negative (high q) gets its logit reduced, so the same
+        // raw logits give a *lower* loss than under uniform q: the model is
+        // not blamed for scoring popular items highly.
+        let mut g = Graph::new();
+        let pos = g.input(Tensor::vector(&[1.0]));
+        let neg = g.input(Tensor::from_vec([1, 1], vec![1.0]));
+        let uni = (0.5f32).ln();
+        let skew_pop = (0.9f32).ln();
+        let l_uni = ssm_loss(&mut g, pos, neg, &[uni], &[uni]);
+        let pos2 = g.input(Tensor::vector(&[1.0]));
+        let neg2 = g.input(Tensor::from_vec([1, 1], vec![1.0]));
+        let l_skew = ssm_loss(&mut g, pos2, neg2, &[(0.1f32).ln()], &[skew_pop]);
+        assert!(g.value(l_skew).item() < g.value(l_uni).item());
+    }
+
+    #[test]
+    fn gradients_push_positive_up() {
+        let mut g = Graph::new();
+        let pos = g.input(Tensor::vector(&[0.0, 0.0]));
+        let neg = g.input(Tensor::from_vec([2, 3], vec![0.0; 6]));
+        let q = (0.25f32).ln();
+        let loss = ssm_loss(&mut g, pos, neg, &[q, q], &[q, q, q]);
+        g.backward(loss);
+        assert!(g.grad(pos).expect("pos grad").data().iter().all(|&x| x < 0.0));
+        assert!(g.grad(neg).expect("neg grad").data().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn shape_mismatch_rejected() {
+        let mut g = Graph::new();
+        let pos = g.input(Tensor::vector(&[0.0, 0.0]));
+        let neg = g.input(Tensor::from_vec([3, 1], vec![0.0; 3]));
+        ssm_loss(&mut g, pos, neg, &[0.0, 0.0], &[0.0]);
+    }
+}

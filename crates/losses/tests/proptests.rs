@@ -1,0 +1,116 @@
+//! Property tests for the loss family: bounds, invariances, and
+//! relationships that must hold for arbitrary logits and marginals.
+
+use proptest::prelude::*;
+use unimatch_losses::{bce_loss, nce_loss, ssm_loss, BiasConfig};
+use unimatch_tensor::{Graph, Tensor};
+
+fn logits_and_marginals() -> impl Strategy<Value = (usize, Vec<f32>, Vec<f32>, Vec<f32>)> {
+    (2usize..6).prop_flat_map(|b| {
+        (
+            Just(b),
+            proptest::collection::vec(-5.0f32..5.0, b * b),
+            proptest::collection::vec(-10.0f32..-0.1, b),
+            proptest::collection::vec(-10.0f32..-0.1, b),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn nce_losses_are_nonnegative((b, vals, pu, pi) in logits_and_marginals()) {
+        // every configuration is a (weighted sum of) cross-entropies over
+        // softmax distributions => >= 0
+        let mut g = Graph::new();
+        for cfg in [
+            BiasConfig::infonce(),
+            BiasConfig::simclr(),
+            BiasConfig::row_bcnce(),
+            BiasConfig::col_bcnce(),
+            BiasConfig::bbcnce(),
+        ] {
+            let l = g.input(Tensor::from_vec([b, b], vals.clone()));
+            let loss = nce_loss(&mut g, l, &pu, &pi, &cfg);
+            prop_assert!(g.value(loss).item() >= -1e-5, "{cfg:?}: {}", g.value(loss).item());
+        }
+    }
+
+    #[test]
+    fn nce_invariant_to_global_logit_shift((b, vals, pu, pi) in logits_and_marginals(), shift in -20.0f32..20.0) {
+        // softmax losses are shift invariant: adding a constant to every
+        // logit must not change any configuration's loss
+        let mut g = Graph::new();
+        for cfg in [BiasConfig::infonce(), BiasConfig::bbcnce()] {
+            let l1 = g.input(Tensor::from_vec([b, b], vals.clone()));
+            let loss1 = nce_loss(&mut g, l1, &pu, &pi, &cfg);
+            let shifted: Vec<f32> = vals.iter().map(|x| x + shift).collect();
+            let l2 = g.input(Tensor::from_vec([b, b], shifted));
+            let loss2 = nce_loss(&mut g, l2, &pu, &pi, &cfg);
+            let (a, c) = (g.value(loss1).item(), g.value(loss2).item());
+            prop_assert!((a - c).abs() < 1e-3 * (1.0 + a.abs()), "{cfg:?}: {a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_marginals_make_bbcnce_equal_simclr((b, vals, _, _) in logits_and_marginals()) {
+        // constant marginals shift logits uniformly => corrections no-op
+        let mut g = Graph::new();
+        let flat_pu = vec![-(b as f32).ln(); b];
+        let flat_pi = vec![-(b as f32).ln(); b];
+        let l1 = g.input(Tensor::from_vec([b, b], vals.clone()));
+        let bbc = nce_loss(&mut g, l1, &flat_pu, &flat_pi, &BiasConfig::bbcnce());
+        let l2 = g.input(Tensor::from_vec([b, b], vals.clone()));
+        let sim = nce_loss(&mut g, l2, &flat_pu, &flat_pi, &BiasConfig::simclr());
+        let (a, c) = (g.value(bbc).item(), g.value(sim).item());
+        prop_assert!((a - c).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {c}");
+    }
+
+    #[test]
+    fn nce_gradient_rows_sum_to_zero((b, vals, pu, pi) in logits_and_marginals()) {
+        // the row term's gradient per row sums to 0 (softmax CE property);
+        // for bbcNCE each row's gradient sums over both terms' contributions,
+        // so check the row-only loss
+        let mut g = Graph::new();
+        let l = g.input(Tensor::from_vec([b, b], vals.clone()));
+        let loss = nce_loss(&mut g, l, &pu, &pi, &BiasConfig::row_bcnce());
+        g.backward(loss);
+        let grad = g.grad(l).expect("grad");
+        for r in 0..b {
+            let row_sum: f32 = grad.row(r).iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {r} gradient sum {row_sum}");
+        }
+    }
+
+    #[test]
+    fn bce_bounds_and_symmetry(vals in proptest::collection::vec(-6.0f32..6.0, 2..12)) {
+        let labels: Vec<f32> = (0..vals.len()).map(|i| (i % 2) as f32).collect();
+        let mut g = Graph::new();
+        let l = g.input(Tensor::vector(&vals));
+        let loss = bce_loss(&mut g, l, &labels);
+        let v = g.value(loss).item();
+        prop_assert!(v >= 0.0, "negative BCE {v}");
+        // symmetry: negating logits and flipping labels preserves the loss
+        let neg: Vec<f32> = vals.iter().map(|x| -x).collect();
+        let flipped: Vec<f32> = labels.iter().map(|y| 1.0 - y).collect();
+        let l2 = g.input(Tensor::vector(&neg));
+        let loss2 = bce_loss(&mut g, l2, &flipped);
+        let v2 = g.value(loss2).item();
+        prop_assert!((v - v2).abs() < 1e-3 * (1.0 + v.abs()), "{v} vs {v2}");
+    }
+
+    #[test]
+    fn ssm_loss_decreases_in_positive_logit(
+        base in -3.0f32..3.0,
+        neg in proptest::collection::vec(-3.0f32..3.0, 4),
+    ) {
+        let q = vec![-2.0f32; 4];
+        let run = |pos_val: f32| {
+            let mut g = Graph::new();
+            let p = g.input(Tensor::vector(&[pos_val]));
+            let n = g.input(Tensor::from_vec([1, 4], neg.clone()));
+            let loss = ssm_loss(&mut g, p, n, &[-2.0], &q);
+            g.value(loss).item()
+        };
+        prop_assert!(run(base + 1.0) < run(base), "loss not decreasing in positive logit");
+    }
+}

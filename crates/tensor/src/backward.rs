@@ -1,0 +1,496 @@
+//! Reverse-mode gradient accumulation.
+//!
+//! The tape is traversed in reverse insertion order, which is a valid
+//! topological order because node inputs always precede the node. For each
+//! visited node we *compute* the input deltas under immutable borrows, then
+//! *apply* them — keeping the borrow checker happy without `RefCell`.
+
+use crate::graph::{Graph, Op, Var};
+use crate::param::SparseGrad;
+use crate::tensor::{dot, Tensor};
+
+impl Graph {
+    fn add_grad(&mut self, v: Var, delta: Tensor) {
+        if !self.requires(v) {
+            return;
+        }
+        debug_assert_eq!(
+            self.nodes[v.0].value.shape(),
+            delta.shape(),
+            "gradient shape mismatch for node {}",
+            v.0
+        );
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs backpropagation from the scalar node `loss`, accumulating
+    /// gradients into every reachable node that requires them (including the
+    /// sparse embedding-table gradients).
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape().numel(),
+            1,
+            "backward requires a scalar loss, got {}",
+            self.value(loss).shape()
+        );
+        assert!(self.requires(loss), "loss does not depend on any differentiable input");
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad || self.nodes[i].grad.is_none() {
+                continue;
+            }
+            let g = self.nodes[i].grad.take().expect("checked above");
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+            self.step(&op, Var(i), &g);
+            self.nodes[i].op = op;
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn step(&mut self, op: &Op, node: Var, g: &Tensor) {
+        match op {
+            Op::Leaf => {}
+            Op::Embedding { table, indices } => {
+                let dim = g.shape().last_dim();
+                let entry = self
+                    .sparse_grads
+                    .entry(*table)
+                    .or_insert_with(|| SparseGrad::new(dim));
+                for (r, &ix) in indices.iter().enumerate() {
+                    entry.accumulate(ix, g.row(r));
+                }
+            }
+            Op::Add(a, b) => {
+                self.add_grad(*a, g.clone());
+                self.add_grad(*b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(*a, g.clone());
+                self.add_grad(*b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let da = self.value(*b).zip(g, |bv, gv| bv * gv);
+                let db = self.value(*a).zip(g, |av, gv| av * gv);
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::Scale(a, c) => self.add_grad(*a, g.map(|x| x * c)),
+            Op::AddScalar(a, _) => self.add_grad(*a, g.clone()),
+            Op::Matmul(a, b) => {
+                // out = a @ b; da = g @ b^T ; db = a^T @ g
+                let da = g.matmul_transpose_b(self.value(*b));
+                let db = self.value(*a).transpose().matmul(g);
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::MatmulTransB(a, b) => {
+                // out = a @ b^T; dout/da = g @ b ; dout/db = g^T @ a
+                let da = g.matmul(self.value(*b));
+                let db = g.transpose().matmul(self.value(*a));
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::BatchMatmul(a, b) => {
+                let (ta, tb) = (self.value(*a), self.value(*b));
+                let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
+                let n = tb.shape().dim(2);
+                let mut da = Tensor::zeros([bs, m, k]);
+                let mut db = Tensor::zeros([bs, k, n]);
+                for s in 0..bs {
+                    // da[s] = g[s] @ b[s]^T ; db[s] = a[s]^T @ g[s]
+                    for i in 0..m {
+                        let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
+                        for p in 0..k {
+                            let brow = &tb.data()[s * k * n + p * n..s * k * n + (p + 1) * n];
+                            da.data_mut()[s * m * k + i * k + p] += dot(grow, brow);
+                        }
+                    }
+                    for p in 0..k {
+                        for i in 0..m {
+                            let av = ta.data()[s * m * k + i * k + p];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
+                            let dbrow = &mut db.data_mut()[s * k * n + p * n..s * k * n + (p + 1) * n];
+                            for (o, &gv) in dbrow.iter_mut().zip(grow) {
+                                *o += av * gv;
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::BatchMatmulTransB(a, b) => {
+                // out[s] = a[s] @ b[s]^T ; da[s] = g[s] @ b[s] ; db[s] = g[s]^T @ a[s]
+                let (ta, tb) = (self.value(*a), self.value(*b));
+                let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
+                let n = tb.shape().dim(1);
+                let mut da = Tensor::zeros([bs, m, k]);
+                let mut db = Tensor::zeros([bs, n, k]);
+                for s in 0..bs {
+                    for i in 0..m {
+                        let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
+                        let darow = &mut da.data_mut()[s * m * k + i * k..s * m * k + (i + 1) * k];
+                        for (j, &gv) in grow.iter().enumerate() {
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let brow = &tb.data()[s * n * k + j * k..s * n * k + (j + 1) * k];
+                            for (o, &bv) in darow.iter_mut().zip(brow) {
+                                *o += gv * bv;
+                            }
+                        }
+                    }
+                    for j in 0..n {
+                        let dbrow_start = s * n * k + j * k;
+                        for i in 0..m {
+                            let gv = g.data()[s * m * n + i * n + j];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let arow = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
+                            for (p, &av) in arow.iter().enumerate() {
+                                db.data_mut()[dbrow_start + p] += gv * av;
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+            Op::Transpose(a) => self.add_grad(*a, g.transpose()),
+            Op::Reshape(a) => {
+                let shape = self.value(*a).shape().clone();
+                self.add_grad(*a, g.clone().reshape(shape));
+            }
+            Op::Sigmoid(a) => {
+                let y = self.value(node).clone();
+                self.add_grad(*a, y.zip(g, |yv, gv| gv * yv * (1.0 - yv)));
+            }
+            Op::Tanh(a) => {
+                let y = self.value(node).clone();
+                self.add_grad(*a, y.zip(g, |yv, gv| gv * (1.0 - yv * yv)));
+            }
+            Op::Relu(a) => {
+                let x = self.value(*a).zip(g, |xv, gv| if xv > 0.0 { gv } else { 0.0 });
+                self.add_grad(*a, x);
+            }
+            Op::Exp(a) => {
+                let y = self.value(node).clone();
+                self.add_grad(*a, y.zip(g, |yv, gv| gv * yv));
+            }
+            Op::Ln(a) => {
+                let x = self.value(*a).zip(g, |xv, gv| gv / xv);
+                self.add_grad(*a, x);
+            }
+            Op::SumAll(a) => {
+                let shape = self.value(*a).shape().clone();
+                self.add_grad(*a, Tensor::full(shape, g.item()));
+            }
+            Op::MeanAll(a) => {
+                let shape = self.value(*a).shape().clone();
+                let n = shape.numel() as f32;
+                self.add_grad(*a, Tensor::full(shape, g.item() / n));
+            }
+            Op::LogSoftmax(a) => {
+                // y = x - lse(x); dx = g - softmax(x) * Σ_row g
+                let y = self.value(node);
+                let rows = y.shape().outer_numel();
+                let d = y.shape().last_dim();
+                let mut dx = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let gsum: f32 = gr.iter().sum();
+                    let yr = y.row(r);
+                    for j in 0..d {
+                        dx[r * d + j] = gr[j] - yr[j].exp() * gsum;
+                    }
+                }
+                let shape = y.shape().clone();
+                self.add_grad(*a, Tensor::from_vec(shape, dx));
+            }
+            Op::Softmax(a, _mask) => {
+                // dx = y ⊙ (g - Σ_row g⊙y); masked entries have y = 0.
+                let y = self.value(node);
+                let rows = y.shape().outer_numel();
+                let d = y.shape().last_dim();
+                let mut dx = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let yr = y.row(r);
+                    let inner = dot(gr, yr);
+                    for j in 0..d {
+                        dx[r * d + j] = yr[j] * (gr[j] - inner);
+                    }
+                }
+                let shape = y.shape().clone();
+                self.add_grad(*a, Tensor::from_vec(shape, dx));
+            }
+            Op::L2NormalizeRows(a, eps) => {
+                let x = self.value(*a);
+                let y = self.value(node);
+                let rows = x.shape().outer_numel();
+                let d = x.shape().last_dim();
+                let mut dx = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let xr = x.row(r);
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let norm = dot(xr, xr).sqrt();
+                    if norm <= *eps {
+                        for j in 0..d {
+                            dx[r * d + j] = gr[j] / eps;
+                        }
+                    } else {
+                        let yr = y.row(r);
+                        let yg = dot(yr, gr);
+                        for j in 0..d {
+                            dx[r * d + j] = (gr[j] - yr[j] * yg) / norm;
+                        }
+                    }
+                }
+                let shape = x.shape().clone();
+                self.add_grad(*a, Tensor::from_vec(shape, dx));
+            }
+            Op::LayerNorm { x, eps } => {
+                let xt = self.value(*x);
+                let y = self.value(node);
+                let rows = xt.shape().outer_numel();
+                let d = xt.shape().last_dim();
+                let df = d as f32;
+                let mut dx = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let xr = xt.row(r);
+                    let yr = y.row(r);
+                    let gr = &g.data()[r * d..(r + 1) * d];
+                    let mean = xr.iter().sum::<f32>() / df;
+                    let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / df;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    let gmean = gr.iter().sum::<f32>() / df;
+                    let gy = dot(gr, yr) / df;
+                    for j in 0..d {
+                        dx[r * d + j] = inv * (gr[j] - gmean - yr[j] * gy);
+                    }
+                }
+                let shape = xt.shape().clone();
+                self.add_grad(*x, Tensor::from_vec(shape, dx));
+            }
+            Op::AddRowBroadcast(a, b) => {
+                self.add_grad(*a, g.clone());
+                let d = g.shape().last_dim();
+                let rows = g.shape().outer_numel();
+                let mut db = vec![0.0f32; d];
+                for r in 0..rows {
+                    for (o, &gv) in db.iter_mut().zip(g.row(r)) {
+                        *o += gv;
+                    }
+                }
+                self.add_grad(*b, Tensor::from_vec([d], db));
+            }
+            Op::MulRowBroadcast(a, b) => {
+                let bt = self.value(*b);
+                let at = self.value(*a);
+                let d = g.shape().last_dim();
+                let rows = g.shape().outer_numel();
+                let mut da = vec![0.0f32; rows * d];
+                let mut db = vec![0.0f32; d];
+                for r in 0..rows {
+                    let gr = g.row(r);
+                    let ar = at.row(r);
+                    for j in 0..d {
+                        da[r * d + j] = gr[j] * bt.data()[j];
+                        db[j] += gr[j] * ar[j];
+                    }
+                }
+                let shape = at.shape().clone();
+                self.add_grad(*a, Tensor::from_vec(shape, da));
+                self.add_grad(*b, Tensor::from_vec([d], db));
+            }
+            Op::ScaleRows(a, s) => {
+                let at = self.value(*a);
+                let st = self.value(*s);
+                let rows = at.shape().outer_numel();
+                let d = at.shape().last_dim();
+                let mut da = vec![0.0f32; rows * d];
+                let mut ds = vec![0.0f32; rows];
+                for r in 0..rows {
+                    let gr = g.row(r);
+                    let c = st.data()[r];
+                    for j in 0..d {
+                        da[r * d + j] = gr[j] * c;
+                    }
+                    ds[r] = dot(gr, at.row(r));
+                }
+                let shape = at.shape().clone();
+                self.add_grad(*a, Tensor::from_vec(shape, da));
+                self.add_grad(*s, Tensor::from_vec([rows], ds));
+            }
+            Op::PickPerRow(a, indices) => {
+                let at = self.value(*a);
+                let d = at.shape().last_dim();
+                let mut da = Tensor::zeros(at.shape().clone());
+                for (r, &j) in indices.iter().enumerate() {
+                    da.data_mut()[r * d + j] = g.data()[r];
+                }
+                self.add_grad(*a, da);
+            }
+            Op::Diag(a) => {
+                let at = self.value(*a);
+                let n = at.shape().rows();
+                let mut da = Tensor::zeros(at.shape().clone());
+                for i in 0..n {
+                    da.data_mut()[i * n + i] = g.data()[i];
+                }
+                self.add_grad(*a, da);
+            }
+            Op::MeanPoolMasked { x, mask } => {
+                let xt = self.value(*x);
+                let (b, l, d) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let mut dx = Tensor::zeros([b, l, d]);
+                for bi in 0..b {
+                    let cnt: f32 = mask[bi * l..(bi + 1) * l].iter().sum();
+                    if cnt == 0.0 {
+                        continue;
+                    }
+                    let gr = g.row(bi);
+                    for li in 0..l {
+                        if mask[bi * l + li] > 0.5 {
+                            let dst = dx.row_mut(bi * l + li);
+                            for (o, &gv) in dst.iter_mut().zip(gr) {
+                                *o += gv / cnt;
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*x, dx);
+            }
+            Op::MaxPoolMasked { x, argmax } => {
+                let xt = self.value(*x);
+                let (b, l, d) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let mut dx = Tensor::zeros([b, l, d]);
+                for bi in 0..b {
+                    for j in 0..d {
+                        let src = argmax[bi * d + j];
+                        if src != usize::MAX {
+                            dx.data_mut()[src * d + j] += g.data()[bi * d + j];
+                        }
+                    }
+                }
+                self.add_grad(*x, dx);
+            }
+            Op::LastPool { x, lengths } => {
+                let xt = self.value(*x);
+                let (b, l, d) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let mut dx = Tensor::zeros([b, l, d]);
+                for (bi, &len) in lengths.iter().enumerate() {
+                    let dst = dx.row_mut(bi * l + len - 1);
+                    dst.copy_from_slice(g.row(bi));
+                }
+                self.add_grad(*x, dx);
+            }
+            Op::WeightedSumPool { w, x } => {
+                let xt = self.value(*x);
+                let wt = self.value(*w);
+                let (b, l, d) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let mut dx = Tensor::zeros([b, l, d]);
+                let mut dw = Tensor::zeros([b, l]);
+                for bi in 0..b {
+                    let gr = g.row(bi);
+                    for li in 0..l {
+                        let c = wt.data()[bi * l + li];
+                        let xr = xt.row(bi * l + li);
+                        dw.data_mut()[bi * l + li] = dot(gr, xr);
+                        if c != 0.0 {
+                            let dst = dx.row_mut(bi * l + li);
+                            for (o, &gv) in dst.iter_mut().zip(gr) {
+                                *o += c * gv;
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*x, dx);
+                self.add_grad(*w, dw);
+            }
+            Op::SliceTime { x, t } => {
+                let xt = self.value(*x);
+                let (b, l, d) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let mut dx = Tensor::zeros([b, l, d]);
+                for bi in 0..b {
+                    dx.row_mut(bi * l + t).copy_from_slice(g.row(bi));
+                }
+                self.add_grad(*x, dx);
+            }
+            Op::StackTime(parts) => {
+                let l = parts.len();
+                let (b, d) = (g.shape().dim(0), g.shape().dim(2));
+                for (li, &p) in parts.iter().enumerate() {
+                    let mut dp = Tensor::zeros([b, d]);
+                    for bi in 0..b {
+                        dp.row_mut(bi).copy_from_slice(g.row(bi * l + li));
+                    }
+                    self.add_grad(p, dp);
+                }
+            }
+            Op::Conv1dSame { x, w } => {
+                let xt = self.value(*x);
+                let wt = self.value(*w);
+                let (b, l, din) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
+                let (k, _, dout) = (wt.shape().dim(0), wt.shape().dim(1), wt.shape().dim(2));
+                let half = k / 2;
+                let mut dx = Tensor::zeros([b, l, din]);
+                let mut dw = Tensor::zeros([k, din, dout]);
+                for bi in 0..b {
+                    for t in 0..l {
+                        let gr = &g.data()[(bi * l + t) * dout..(bi * l + t + 1) * dout];
+                        for kk in 0..k {
+                            let src = t as isize + kk as isize - half as isize;
+                            if src < 0 || src >= l as isize {
+                                continue;
+                            }
+                            let src = src as usize;
+                            let xr = xt.row(bi * l + src);
+                            for (c, &xv) in xr.iter().enumerate().take(din) {
+                                let wrow = &wt.data()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                                dx.data_mut()[(bi * l + src) * din + c] += dot(gr, wrow);
+                                let dwrow =
+                                    &mut dw.data_mut()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                                if xv != 0.0 {
+                                    for (o, &gv) in dwrow.iter_mut().zip(gr) {
+                                        *o += xv * gv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.add_grad(*x, dx);
+                self.add_grad(*w, dw);
+            }
+            Op::ConcatLast(a, b) => {
+                let (da_w, db_w) = (
+                    self.value(*a).shape().last_dim(),
+                    self.value(*b).shape().last_dim(),
+                );
+                let rows = g.shape().outer_numel();
+                let (sa, sb) = (
+                    self.value(*a).shape().clone(),
+                    self.value(*b).shape().clone(),
+                );
+                let mut da = Tensor::zeros(sa);
+                let mut db = Tensor::zeros(sb);
+                for r in 0..rows {
+                    let gr = g.row(r);
+                    da.row_mut(r).copy_from_slice(&gr[..da_w]);
+                    db.row_mut(r).copy_from_slice(&gr[da_w..da_w + db_w]);
+                }
+                self.add_grad(*a, da);
+                self.add_grad(*b, db);
+            }
+        }
+    }
+}

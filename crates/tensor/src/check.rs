@@ -1,0 +1,86 @@
+//! Gradient-checking utilities shared by the test suites of every crate
+//! that builds graphs on top of this engine.
+
+use crate::graph::{Graph, Var};
+use crate::param::{ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// Numeric gradient of `loss_fn` with respect to parameter `id`, by central
+/// finite differences. `loss_fn` must build a fresh graph from the given
+/// `ParamSet` and return the scalar loss value.
+pub fn finite_diff_param(
+    params: &mut ParamSet,
+    id: ParamId,
+    eps: f32,
+    mut loss_fn: impl FnMut(&ParamSet) -> f32,
+) -> Tensor {
+    let n = params.get(id).shape().numel();
+    let shape = params.get(id).shape().clone();
+    let mut grad = vec![0.0f32; n];
+    for (i, g) in grad.iter_mut().enumerate() {
+        let orig = params.get(id).data()[i];
+        params.get_mut(id).data_mut()[i] = orig + eps;
+        let up = loss_fn(params);
+        params.get_mut(id).data_mut()[i] = orig - eps;
+        let down = loss_fn(params);
+        params.get_mut(id).data_mut()[i] = orig;
+        *g = (up - down) / (2.0 * eps);
+    }
+    Tensor::from_vec(shape, grad)
+}
+
+/// Analytic gradient of every parameter of a single-loss graph, as
+/// `(dense, sparse-as-dense)` merged per parameter.
+pub fn analytic_grads(
+    params: &ParamSet,
+    build: impl FnOnce(&mut Graph, &ParamSet) -> Var,
+) -> std::collections::HashMap<ParamId, Tensor> {
+    let mut g = Graph::new();
+    let loss = build(&mut g, params);
+    g.backward(loss);
+    let mut out = g.dense_grads();
+    for (&id, sg) in g.sparse_grads() {
+        let vocab = params.get(id).shape().dim(0);
+        let dense = sg.to_dense(vocab);
+        out.entry(id)
+            .and_modify(|t| t.axpy(1.0, &dense))
+            .or_insert(dense);
+    }
+    out
+}
+
+/// Asserts two tensors agree elementwise within a combined absolute /
+/// relative tolerance, with a helpful failure message.
+pub fn assert_close(actual: &Tensor, expected: &Tensor, atol: f32, rtol: f32, what: &str) {
+    assert_eq!(actual.shape(), expected.shape(), "{what}: shape mismatch");
+    for (i, (&a, &e)) in actual.data().iter().zip(expected.data().iter()).enumerate() {
+        let tol = atol + rtol * e.abs().max(a.abs());
+        assert!(
+            (a - e).abs() <= tol,
+            "{what}: element {i} differs: analytic {a} vs numeric {e} (tol {tol})"
+        );
+    }
+}
+
+/// End-to-end gradient check: builds the graph twice per perturbed entry,
+/// comparing analytic backward gradients against central differences for
+/// every parameter in `params`.
+pub fn gradcheck(
+    params: &mut ParamSet,
+    atol: f32,
+    rtol: f32,
+    mut build: impl FnMut(&mut Graph, &ParamSet) -> Var,
+) {
+    let analytic = analytic_grads(params, &mut build);
+    for id in params.ids().collect::<Vec<_>>() {
+        let numeric = finite_diff_param(params, id, 1e-2, |p| {
+            let mut g = Graph::new();
+            let loss = build(&mut g, p);
+            g.value(loss).item()
+        });
+        let zero = Tensor::zeros(params.get(id).shape().clone());
+        let a = analytic.get(&id).unwrap_or(&zero);
+        let name = params.name(id).to_owned();
+        assert_close(a, &numeric, atol, rtol, &format!("grad of {name}"));
+    }
+}

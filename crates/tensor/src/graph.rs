@@ -1,0 +1,347 @@
+//! Tape-based reverse-mode autograd.
+//!
+//! A [`Graph`] is an append-only arena of nodes. Building an expression
+//! pushes nodes and immediately computes forward values; [`Graph::backward`]
+//! walks the arena in reverse insertion order (a valid topological order)
+//! accumulating gradients. One graph is built per training step and dropped
+//! afterwards — there are no reference cycles and no interior mutability.
+
+use std::collections::HashMap;
+
+use crate::param::{ParamId, ParamSet, SparseGrad};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node, with whatever auxiliary state its
+/// backward pass needs (saved at forward time).
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Input node (constant or dense parameter copy).
+    Leaf,
+    /// Rows gathered from an external embedding table.
+    Embedding { table: ParamId, indices: Vec<u32> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// Elementwise product of same-shaped tensors.
+    Mul(Var, Var),
+    /// Multiply by a compile-time constant.
+    Scale(Var, f32),
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `a[m,k] @ b[k,n]`.
+    Matmul(Var, Var),
+    /// `a[m,k] @ b[n,k]^T` — the in-batch logit matrix shape.
+    MatmulTransB(Var, Var),
+    /// `a[B,m,k] @ b[B,k,n]` batched.
+    BatchMatmul(Var, Var),
+    /// `a[B,m,k] @ b[B,n,k]^T` batched.
+    BatchMatmulTransB(Var, Var),
+    Transpose(Var),
+    Reshape(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Exp(Var),
+    Ln(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Log-softmax over the last axis.
+    LogSoftmax(Var),
+    /// Softmax over the last axis, with an optional 0/1 keep-mask of the
+    /// same length as the input (masked entries get probability 0).
+    Softmax(Var, Option<Vec<f32>>),
+    /// L2-normalize each row (last axis) with an epsilon floor.
+    L2NormalizeRows(Var, f32),
+    /// `a[..., d] + b[d]`, `b` broadcast over all outer axes.
+    AddRowBroadcast(Var, Var),
+    /// `a[..., d] * b[d]`, `b` broadcast over all outer axes.
+    MulRowBroadcast(Var, Var),
+    /// Viewing `a` as `[R, d]`: `out[r, :] = a[r, :] * s[r]` with `s: [R]`.
+    ScaleRows(Var, Var),
+    /// Viewing `a` as `[R, d]`: `out[r] = a[r, idx[r]]`.
+    PickPerRow(Var, Vec<usize>),
+    /// Diagonal of a square matrix.
+    Diag(Var),
+    /// Mean over valid (mask=1) positions: `[B,L,d] -> [B,d]`.
+    MeanPoolMasked { x: Var, mask: Vec<f32> },
+    /// Max over valid positions; `argmax[b*d+j]` saved for backward.
+    MaxPoolMasked { x: Var, argmax: Vec<usize> },
+    /// Pick position `lengths[b]-1` of each sequence: `[B,L,d] -> [B,d]`.
+    LastPool { x: Var, lengths: Vec<usize> },
+    /// `out[b,:] = Σ_l w[b,l] · x[b,l,:]` with `w: [B,L]`, `x: [B,L,d]`.
+    WeightedSumPool { w: Var, x: Var },
+    /// Time slice `[B,L,d] -> [B,d]` at step `t`.
+    SliceTime { x: Var, t: usize },
+    /// Stack `L` tensors of `[B,d]` into `[B,L,d]`.
+    StackTime(Vec<Var>),
+    /// Same-padded 1-D convolution over the sequence axis:
+    /// `x[B,L,din] * w[k,din,dout] -> [B,L,dout]`.
+    Conv1dSame { x: Var, w: Var },
+    /// Normalize the last axis to zero mean / unit variance (no affine).
+    LayerNorm { x: Var, eps: f32 },
+    /// Concatenate two tensors along the last axis (equal outer dims).
+    ConcatLast(Var, Var),
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// An append-only autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    /// Dense parameter leaves created this step: `(param, leaf var)`.
+    pub(crate) param_leaves: Vec<(ParamId, Var)>,
+    /// Sparse gradients accumulated for embedding tables.
+    pub(crate) sparse_grads: HashMap<ParamId, SparseGrad>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        let v = Var(self.nodes.len());
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        v
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v` (`None` before `backward`, or if `v`
+    /// does not require grad / received no gradient).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    pub(crate) fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// A constant input: participates in forward only.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// A non-parameter leaf that still wants a gradient (used by gradient
+    /// checks and by losses probing intermediate sensitivities).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Copies a dense parameter onto the tape as a differentiable leaf and
+    /// remembers the association so the optimizer can collect its gradient.
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        let v = self.push(params.get(id).clone(), Op::Leaf, true);
+        self.param_leaves.push((id, v));
+        v
+    }
+
+    /// Gathers rows of an embedding table: `indices.len()` rows of width
+    /// `d`, returned as `[len, d]`. The table itself stays outside the
+    /// graph; its gradient is accumulated sparsely.
+    pub fn embedding(&mut self, params: &ParamSet, table: ParamId, indices: &[u32]) -> Var {
+        let t = params.get(table);
+        assert_eq!(t.shape().rank(), 2, "embedding table must be [vocab, d]");
+        let (vocab, d) = (t.shape().dim(0), t.shape().dim(1));
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &ix in indices {
+            assert!((ix as usize) < vocab, "embedding index {ix} out of vocab {vocab}");
+            data.extend_from_slice(t.row(ix as usize));
+        }
+        let value = Tensor::from_vec([indices.len(), d], data);
+        self.push(value, Op::Embedding { table, indices: indices.to_vec() }, true)
+    }
+
+    /// Dense gradients of this step's parameter leaves, summed per id when a
+    /// parameter was placed on the tape more than once.
+    pub fn dense_grads(&self) -> HashMap<ParamId, Tensor> {
+        let mut out: HashMap<ParamId, Tensor> = HashMap::new();
+        for &(id, v) in &self.param_leaves {
+            if let Some(g) = self.grad(v) {
+                out.entry(id)
+                    .and_modify(|acc| acc.axpy(1.0, g))
+                    .or_insert_with(|| g.clone());
+            }
+        }
+        out
+    }
+
+    /// Sparse embedding gradients accumulated by `backward`.
+    pub fn sparse_grads(&self) -> &HashMap<ParamId, SparseGrad> {
+        &self.sparse_grads
+    }
+
+    // ---- basic arithmetic -------------------------------------------------
+
+    fn binary_same_shape(&mut self, a: Var, b: Var, op: fn(Var, Var) -> Op, f: fn(f32, f32) -> f32) -> Var {
+        let value = self.value(a).zip(self.value(b), f);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, op(a, b), rg)
+    }
+
+    /// Elementwise sum of same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape(a, b, Op::Add, |x, y| x + y)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape(a, b, Op::Sub, |x, y| x - y)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.binary_same_shape(a, b, Op::Mul, |x, y| x * y)
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x * c);
+        let rg = self.requires(a);
+        self.push(value, Op::Scale(a, c), rg)
+    }
+
+    /// Addition of a constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        let rg = self.requires(a);
+        self.push(value, Op::AddScalar(a, c), rg)
+    }
+
+    /// Matrix product `a[m,k] @ b[k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Matmul(a, b), rg)
+    }
+
+    /// Matrix product against a transposed right operand: `a[m,k] @ b[n,k]^T`.
+    pub fn matmul_transpose_b(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_transpose_b(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::MatmulTransB(a, b), rg)
+    }
+
+    /// Transpose of a matrix.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        let rg = self.requires(a);
+        self.push(value, Op::Transpose(a), rg)
+    }
+
+    /// Reinterpret under a new shape (same element count).
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let value = self.value(a).clone().reshape(shape);
+        let rg = self.requires(a);
+        self.push(value, Op::Reshape(a), rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        let rg = self.requires(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).shape().numel() as f32;
+        let value = Tensor::scalar(self.value(a).sum() / n);
+        let rg = self.requires(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Concatenates along the last axis; outer dimensions must agree.
+    pub fn concat_last(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape().outer_numel(), tb.shape().outer_numel(), "concat outer mismatch");
+        assert_eq!(ta.shape().rank(), tb.shape().rank(), "concat rank mismatch");
+        let rows = ta.shape().outer_numel();
+        let (da, db) = (ta.shape().last_dim(), tb.shape().last_dim());
+        let mut data = Vec::with_capacity(rows * (da + db));
+        for r in 0..rows {
+            data.extend_from_slice(ta.row(r));
+            data.extend_from_slice(tb.row(r));
+        }
+        let mut dims = ta.shape().dims().to_vec();
+        *dims.last_mut().expect("non-empty") = da + db;
+        let value = Tensor::from_vec(dims.as_slice(), data);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::ConcatLast(a, b), rg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::vector(&[1.0, 2.0]));
+        let b = g.constant(Tensor::vector(&[3.0, 4.0]));
+        let c = g.add(a, b);
+        let d = g.mul(c, c);
+        assert_eq!(g.value(d).data(), &[16.0, 36.0]);
+        let s = g.sum_all(d);
+        assert_eq!(g.value(s).item(), 52.0);
+    }
+
+    #[test]
+    fn requires_grad_propagates() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::vector(&[1.0]));
+        let b = g.input(Tensor::vector(&[2.0]));
+        let c = g.add(a, b);
+        assert!(g.requires(c));
+        let d = g.constant(Tensor::vector(&[1.0]));
+        let e = g.add(a, d);
+        assert!(!g.requires(e));
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut ps = ParamSet::new();
+        let table = ps.add(
+            "emb",
+            Tensor::from_vec([3, 2], vec![0., 1., 10., 11., 20., 21.]),
+        );
+        let mut g = Graph::new();
+        let e = g.embedding(&ps, table, &[2, 0, 2]);
+        assert_eq!(g.value(e).shape().dims(), &[3, 2]);
+        assert_eq!(g.value(e).data(), &[20., 21., 0., 1., 20., 21.]);
+    }
+
+    #[test]
+    fn concat_last_works() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]));
+        let b = g.constant(Tensor::from_vec([2, 1], vec![9., 8.]));
+        let c = g.concat_last(a, b);
+        assert_eq!(g.value(c).shape().dims(), &[2, 3]);
+        assert_eq!(g.value(c).data(), &[1., 2., 9., 3., 4., 8.]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform([fan_in, fan_out], -limit, limit, rng)
+}
+
+/// Xavier/Glorot uniform for an arbitrary shape, treating the first axis as
+/// fan-in and the product of the rest as fan-out (used by conv kernels).
+pub fn xavier_uniform_shaped(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let fan_in = shape.dim(0).max(1);
+    let fan_out = shape.numel() / fan_in;
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+/// Small-Gaussian initialization for embedding tables (`σ = 1/√d`), the
+/// standard choice for retrieval models where logits are dot products.
+pub fn embedding_normal(vocab: usize, dim: usize, rng: &mut impl Rng) -> Tensor {
+    Tensor::rand_normal([vocab, dim], 0.0, 1.0 / (dim as f32).sqrt(), rng)
+}
+
+/// Orthogonal-ish recurrent weight init: scaled Gaussian (full QR is not
+/// worth the code for d = 16 hidden sizes).
+pub fn recurrent_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    Tensor::rand_normal([rows, cols], 0.0, 1.0 / (cols as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = xavier_uniform(64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn embedding_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = embedding_normal(1000, 16, &mut rng);
+        let std = (t.norm_sq() / (1000.0 * 16.0)).sqrt();
+        assert!((std - 0.25).abs() < 0.02, "std {std}");
+    }
+}

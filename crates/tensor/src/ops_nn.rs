@@ -1,0 +1,411 @@
+//! Neural-network forward ops: activations, softmaxes, normalizations,
+//! broadcasts, batched matmuls, convolution.
+
+use crate::graph::{Graph, Op, Var};
+
+use crate::tensor::{dot, Tensor};
+
+impl Graph {
+    fn unary(&mut self, a: Var, op: fn(Var) -> Op, f: fn(f32) -> f32) -> Var {
+        let value = self.value(a).map(f);
+        let rg = self.requires(a);
+        self.push(value, op(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Sigmoid, |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Tanh, f32::tanh)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Relu, |x| x.max(0.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Exp, f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Ln, f32::ln)
+    }
+
+    /// Numerically stable log-softmax over the last axis.
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let rows = t.shape().outer_numel();
+        let d = t.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            let row = t.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            data.extend(row.iter().map(|&x| x - lse));
+        }
+        let value = Tensor::from_vec(t.shape().dims(), data);
+        let rg = self.requires(a);
+        self.push(value, Op::LogSoftmax(a), rg)
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        self.softmax_impl(a, None)
+    }
+
+    /// Softmax over the last axis with a 0/1 keep-mask (same total length as
+    /// the input). Masked positions receive probability exactly 0; rows with
+    /// an all-zero mask produce a uniform-over-nothing row of zeros.
+    pub fn masked_softmax(&mut self, a: Var, mask: &[f32]) -> Var {
+        assert_eq!(mask.len(), self.value(a).shape().numel(), "mask length mismatch");
+        self.softmax_impl(a, Some(mask.to_vec()))
+    }
+
+    fn softmax_impl(&mut self, a: Var, mask: Option<Vec<f32>>) -> Var {
+        let t = self.value(a);
+        let rows = t.shape().outer_numel();
+        let d = t.shape().last_dim();
+        let mut data = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let row = t.row(r);
+            let mrow = mask.as_deref().map(|m| &m[r * d..(r + 1) * d]);
+            let keep = |j: usize| mrow.is_none_or(|m| m[j] > 0.5);
+            let m = (0..d)
+                .filter(|&j| keep(j))
+                .map(|j| row[j])
+                .fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                continue; // fully masked row stays zero
+            }
+            let mut z = 0.0;
+            for j in 0..d {
+                if keep(j) {
+                    let e = (row[j] - m).exp();
+                    data[r * d + j] = e;
+                    z += e;
+                }
+            }
+            for j in 0..d {
+                data[r * d + j] /= z;
+            }
+        }
+        let value = Tensor::from_vec(t.shape().dims(), data);
+        let rg = self.requires(a);
+        self.push(value, Op::Softmax(a, mask), rg)
+    }
+
+    /// L2-normalizes each row (last axis): `x / max(‖x‖₂, eps)`.
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let t = self.value(a);
+        let rows = t.shape().outer_numel();
+        let d = t.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            let row = t.row(r);
+            let n = dot(row, row).sqrt().max(eps);
+            data.extend(row.iter().map(|&x| x / n));
+        }
+        let value = Tensor::from_vec(t.shape().dims(), data);
+        let rg = self.requires(a);
+        self.push(value, Op::L2NormalizeRows(a, eps), rg)
+    }
+
+    /// Layer normalization over the last axis (zero mean, unit variance; no
+    /// affine — compose with [`Graph::mul_row_broadcast`] /
+    /// [`Graph::add_row_broadcast`] for gain and bias).
+    pub fn layer_norm(&mut self, a: Var, eps: f32) -> Var {
+        let t = self.value(a);
+        let rows = t.shape().outer_numel();
+        let d = t.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            let row = t.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            data.extend(row.iter().map(|&x| (x - mean) * inv));
+        }
+        let value = Tensor::from_vec(t.shape().dims(), data);
+        let rg = self.requires(a);
+        self.push(value, Op::LayerNorm { x: a, eps }, rg)
+    }
+
+    /// Broadcast-add a `[d]` vector to every row of an `[..., d]` tensor.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(tb.shape().rank(), 1, "broadcast operand must be rank 1");
+        assert_eq!(ta.shape().last_dim(), tb.shape().dim(0), "broadcast width mismatch");
+        let rows = ta.shape().outer_numel();
+        let d = ta.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            data.extend(ta.row(r).iter().zip(tb.data().iter()).map(|(&x, &y)| x + y));
+        }
+        let value = Tensor::from_vec(ta.shape().dims(), data);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::AddRowBroadcast(a, b), rg)
+    }
+
+    /// Broadcast-multiply every row of an `[..., d]` tensor by a `[d]` vector.
+    pub fn mul_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(tb.shape().rank(), 1, "broadcast operand must be rank 1");
+        assert_eq!(ta.shape().last_dim(), tb.shape().dim(0), "broadcast width mismatch");
+        let rows = ta.shape().outer_numel();
+        let d = ta.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            data.extend(ta.row(r).iter().zip(tb.data().iter()).map(|(&x, &y)| x * y));
+        }
+        let value = Tensor::from_vec(ta.shape().dims(), data);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::MulRowBroadcast(a, b), rg)
+    }
+
+    /// Scales row `r` (of the `[R, d]` flattened view) by `s[r]`.
+    pub fn scale_rows(&mut self, a: Var, s: Var) -> Var {
+        let (ta, ts) = (self.value(a), self.value(s));
+        assert_eq!(ts.shape().rank(), 1, "scale vector must be rank 1");
+        let rows = ta.shape().outer_numel();
+        assert_eq!(rows, ts.shape().dim(0), "scale_rows length mismatch");
+        let d = ta.shape().last_dim();
+        let mut data = Vec::with_capacity(rows * d);
+        for r in 0..rows {
+            let c = ts.data()[r];
+            data.extend(ta.row(r).iter().map(|&x| x * c));
+        }
+        let value = Tensor::from_vec(ta.shape().dims(), data);
+        let rg = self.requires(a) || self.requires(s);
+        self.push(value, Op::ScaleRows(a, s), rg)
+    }
+
+    /// `out[r] = a[r, idx[r]]` over the `[R, d]` flattened view.
+    pub fn pick_per_row(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t = self.value(a);
+        let rows = t.shape().outer_numel();
+        assert_eq!(indices.len(), rows, "pick_per_row index count mismatch");
+        let d = t.shape().last_dim();
+        let data: Vec<f32> = indices
+            .iter()
+            .enumerate()
+            .map(|(r, &j)| {
+                assert!(j < d, "pick index {j} out of width {d}");
+                t.row(r)[j]
+            })
+            .collect();
+        let value = Tensor::from_vec([rows], data);
+        let rg = self.requires(a);
+        self.push(value, Op::PickPerRow(a, indices.to_vec()), rg)
+    }
+
+    /// Diagonal of a square matrix.
+    pub fn diag(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.shape().rank(), 2, "diag requires a matrix");
+        let n = t.shape().rows();
+        assert_eq!(n, t.shape().cols(), "diag requires a square matrix");
+        let data: Vec<f32> = (0..n).map(|i| t.at(&[i, i])).collect();
+        let value = Tensor::from_vec([n], data);
+        let rg = self.requires(a);
+        self.push(value, Op::Diag(a), rg)
+    }
+
+    /// Batched matmul `a[B,m,k] @ b[B,k,n] -> [B,m,n]`.
+    pub fn batch_matmul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape().rank(), 3, "batch_matmul lhs must be rank 3");
+        assert_eq!(tb.shape().rank(), 3, "batch_matmul rhs must be rank 3");
+        let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
+        let (bs2, k2, n) = (tb.shape().dim(0), tb.shape().dim(1), tb.shape().dim(2));
+        assert_eq!(bs, bs2, "batch size mismatch");
+        assert_eq!(k, k2, "inner dim mismatch");
+        let mut data = vec![0.0f32; bs * m * n];
+        for s in 0..bs {
+            for i in 0..m {
+                let a_row = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
+                let o_row = &mut data[s * m * n + i * n..s * m * n + (i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &tb.data()[s * k * n + p * n..s * k * n + (p + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        let value = Tensor::from_vec([bs, m, n], data);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::BatchMatmul(a, b), rg)
+    }
+
+    /// Batched matmul against transposed right operand:
+    /// `a[B,m,k] @ b[B,n,k]^T -> [B,m,n]` (attention scores).
+    pub fn batch_matmul_transpose_b(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape().rank(), 3);
+        assert_eq!(tb.shape().rank(), 3);
+        let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
+        let (bs2, n, k2) = (tb.shape().dim(0), tb.shape().dim(1), tb.shape().dim(2));
+        assert_eq!(bs, bs2, "batch size mismatch");
+        assert_eq!(k, k2, "inner dim mismatch");
+        let mut data = vec![0.0f32; bs * m * n];
+        for s in 0..bs {
+            for i in 0..m {
+                let a_row = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
+                for j in 0..n {
+                    let b_row = &tb.data()[s * n * k + j * k..s * n * k + (j + 1) * k];
+                    data[s * m * n + i * n + j] = dot(a_row, b_row);
+                }
+            }
+        }
+        let value = Tensor::from_vec([bs, m, n], data);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::BatchMatmulTransB(a, b), rg)
+    }
+
+    /// Same-padded 1-D convolution along the sequence axis:
+    /// `x[B,L,din] * w[k,din,dout] -> [B,L,dout]` with zero padding of
+    /// `(k-1)/2` on each side (odd `k` required so "same" is exact).
+    pub fn conv1d_same(&mut self, x: Var, w: Var) -> Var {
+        let (tx, tw) = (self.value(x), self.value(w));
+        assert_eq!(tx.shape().rank(), 3, "conv input must be [B,L,din]");
+        assert_eq!(tw.shape().rank(), 3, "conv weight must be [k,din,dout]");
+        let (bs, l, din) = (tx.shape().dim(0), tx.shape().dim(1), tx.shape().dim(2));
+        let (k, din2, dout) = (tw.shape().dim(0), tw.shape().dim(1), tw.shape().dim(2));
+        assert_eq!(din, din2, "conv channel mismatch");
+        assert_eq!(k % 2, 1, "conv1d_same requires odd kernel size, got {k}");
+        let half = k / 2;
+        let mut data = vec![0.0f32; bs * l * dout];
+        for b in 0..bs {
+            for t in 0..l {
+                let out = &mut data[(b * l + t) * dout..(b * l + t + 1) * dout];
+                for kk in 0..k {
+                    let src = t as isize + kk as isize - half as isize;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    let xin = &tx.data()[(b * l + src as usize) * din..(b * l + src as usize + 1) * din];
+                    for (c, &xv) in xin.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let wrow = &tw.data()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                        for (o, &wv) in out.iter_mut().zip(wrow) {
+                            *o += xv * wv;
+                        }
+                    }
+                }
+            }
+        }
+        let value = Tensor::from_vec([bs, l, dout], data);
+        let rg = self.requires(x) || self.requires(w);
+        self.push(value, Op::Conv1dSame { x, w }, rg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([2, 3], vec![1., 2., 3., -1., 0., 1.]));
+        let s = g.softmax(a);
+        let t = g.value(s);
+        assert!((t.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((t.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([1, 4], vec![0.5, -2.0, 3.0, 1.0]));
+        let ls = g.log_softmax(a);
+        let s = g.softmax(a);
+        let logs: Vec<f32> = g.value(s).data().iter().map(|x| x.ln()).collect();
+        close(g.value(ls).data(), &logs, 1e-5);
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([1, 4], vec![10.0, 1.0, 2.0, 3.0]));
+        let s = g.masked_softmax(a, &[0.0, 1.0, 1.0, 1.0]);
+        let t = g.value(s);
+        assert_eq!(t.data()[0], 0.0);
+        assert!((t.data().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([2, 2], vec![3., 4., 0.3, 0.4]));
+        let n = g.l2_normalize_rows(a, 1e-12);
+        let t = g.value(n);
+        close(t.row(0), &[0.6, 0.8], 1e-6);
+        close(t.row(1), &[0.6, 0.8], 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_moments() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([1, 4], vec![1., 2., 3., 4.]));
+        let n = g.layer_norm(a, 1e-6);
+        let row = g.value(n).data();
+        let mean = row.iter().sum::<f32>() / 4.0;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pick_and_diag() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]));
+        let d = g.diag(a);
+        assert_eq!(g.value(d).data(), &[1., 4.]);
+        let p = g.pick_per_row(a, &[1, 0]);
+        assert_eq!(g.value(p).data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_slice() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([2, 1, 2], vec![1., 2., 3., 4.]));
+        let b = g.constant(Tensor::from_vec([2, 2, 1], vec![5., 6., 7., 8.]));
+        let c = g.batch_matmul(a, b);
+        assert_eq!(g.value(c).data(), &[17., 53.]);
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        let mut g = Graph::new();
+        // kernel size 1, identity channel map => output equals input
+        let x = g.constant(Tensor::from_vec([1, 3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let w = g.constant(Tensor::from_vec([1, 2, 2], vec![1., 0., 0., 1.]));
+        let y = g.conv1d_same(x, w);
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+
+    #[test]
+    fn conv1d_averaging_kernel_pads_with_zero() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([1, 3, 1], vec![1., 2., 3.]));
+        let w = g.constant(Tensor::from_vec([3, 1, 1], vec![1., 1., 1.]));
+        let y = g.conv1d_same(x, w);
+        assert_eq!(g.value(y).data(), &[3., 6., 5.]);
+    }
+}

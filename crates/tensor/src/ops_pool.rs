@@ -1,0 +1,200 @@
+//! Sequence pooling and time-axis structural ops used by the user encoder
+//! (aggregation layer of Fig. 2) and by the recurrent context extractors.
+
+use crate::graph::{Graph, Op, Var};
+use crate::tensor::Tensor;
+
+impl Graph {
+    fn check_seq(&self, x: Var) -> (usize, usize, usize) {
+        let t = self.value(x);
+        assert_eq!(t.shape().rank(), 3, "sequence ops need [B,L,d], got {}", t.shape());
+        (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2))
+    }
+
+    /// Mean over valid (mask = 1) positions of a padded `[B,L,d]` batch.
+    /// Rows whose mask is all zero yield a zero vector.
+    pub fn mean_pool_masked(&mut self, x: Var, mask: &[f32]) -> Var {
+        let (b, l, d) = self.check_seq(x);
+        assert_eq!(mask.len(), b * l, "mask must be [B,L]");
+        let t = self.value(x);
+        let mut data = vec![0.0f32; b * d];
+        for bi in 0..b {
+            let cnt: f32 = mask[bi * l..(bi + 1) * l].iter().sum();
+            if cnt == 0.0 {
+                continue;
+            }
+            let out = &mut data[bi * d..(bi + 1) * d];
+            for li in 0..l {
+                if mask[bi * l + li] > 0.5 {
+                    let row = t.row(bi * l + li);
+                    for (o, &v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+            }
+            for o in out.iter_mut() {
+                *o /= cnt;
+            }
+        }
+        let value = Tensor::from_vec([b, d], data);
+        let rg = self.requires(x);
+        self.push(value, Op::MeanPoolMasked { x, mask: mask.to_vec() }, rg)
+    }
+
+    /// Max over valid positions of a padded `[B,L,d]` batch. Fully masked
+    /// rows yield zeros.
+    pub fn max_pool_masked(&mut self, x: Var, mask: &[f32]) -> Var {
+        let (b, l, d) = self.check_seq(x);
+        assert_eq!(mask.len(), b * l, "mask must be [B,L]");
+        let t = self.value(x);
+        let mut data = vec![0.0f32; b * d];
+        // argmax[b*d + j] = flat row index (b*l + li) the max came from, or
+        // usize::MAX when the whole sequence is masked.
+        let mut argmax = vec![usize::MAX; b * d];
+        for bi in 0..b {
+            for j in 0..d {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_at = usize::MAX;
+                for li in 0..l {
+                    if mask[bi * l + li] > 0.5 {
+                        let v = t.row(bi * l + li)[j];
+                        if v > best {
+                            best = v;
+                            best_at = bi * l + li;
+                        }
+                    }
+                }
+                if best_at != usize::MAX {
+                    data[bi * d + j] = best;
+                    argmax[bi * d + j] = best_at;
+                }
+            }
+        }
+        let value = Tensor::from_vec([b, d], data);
+        let rg = self.requires(x);
+        self.push(value, Op::MaxPoolMasked { x, argmax }, rg)
+    }
+
+    /// "Last" pooling: picks position `lengths[b] - 1` of each sequence
+    /// (the paper's last-pooling aggregator). `lengths[b]` must be ≥ 1.
+    pub fn last_pool(&mut self, x: Var, lengths: &[usize]) -> Var {
+        let (b, l, d) = self.check_seq(x);
+        assert_eq!(lengths.len(), b, "lengths must be [B]");
+        let t = self.value(x);
+        let mut data = Vec::with_capacity(b * d);
+        for (bi, &len) in lengths.iter().enumerate() {
+            assert!(len >= 1 && len <= l, "length {len} out of range 1..={l}");
+            data.extend_from_slice(t.row(bi * l + len - 1));
+        }
+        let value = Tensor::from_vec([b, d], data);
+        let rg = self.requires(x);
+        self.push(value, Op::LastPool { x, lengths: lengths.to_vec() }, rg)
+    }
+
+    /// Attention-style pooling: `out[b,:] = Σ_l w[b,l] · x[b,l,:]`.
+    pub fn weighted_sum_pool(&mut self, w: Var, x: Var) -> Var {
+        let (b, l, d) = self.check_seq(x);
+        let tw = self.value(w);
+        assert_eq!(tw.shape().dims(), &[b, l], "weights must be [B,L]");
+        let tx = self.value(x);
+        let mut data = vec![0.0f32; b * d];
+        for bi in 0..b {
+            let out = &mut data[bi * d..(bi + 1) * d];
+            for li in 0..l {
+                let c = tw.data()[bi * l + li];
+                if c == 0.0 {
+                    continue;
+                }
+                for (o, &v) in out.iter_mut().zip(tx.row(bi * l + li)) {
+                    *o += c * v;
+                }
+            }
+        }
+        let value = Tensor::from_vec([b, d], data);
+        let rg = self.requires(x) || self.requires(w);
+        self.push(value, Op::WeightedSumPool { w, x }, rg)
+    }
+
+    /// Extracts time step `t`: `[B,L,d] -> [B,d]`.
+    pub fn slice_time(&mut self, x: Var, t: usize) -> Var {
+        let (b, l, d) = self.check_seq(x);
+        assert!(t < l, "time index {t} out of length {l}");
+        let tx = self.value(x);
+        let mut data = Vec::with_capacity(b * d);
+        for bi in 0..b {
+            data.extend_from_slice(tx.row(bi * l + t));
+        }
+        let value = Tensor::from_vec([b, d], data);
+        let rg = self.requires(x);
+        self.push(value, Op::SliceTime { x, t }, rg)
+    }
+
+    /// Stacks `L` tensors of shape `[B,d]` into `[B,L,d]`.
+    pub fn stack_time(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_time needs at least one part");
+        let first = self.value(parts[0]);
+        assert_eq!(first.shape().rank(), 2, "stack_time parts must be [B,d]");
+        let (b, d) = (first.shape().dim(0), first.shape().dim(1));
+        let l = parts.len();
+        let mut data = vec![0.0f32; b * l * d];
+        for (li, &p) in parts.iter().enumerate() {
+            let t = self.value(p);
+            assert_eq!(t.shape().dims(), &[b, d], "stack_time shape mismatch at {li}");
+            for bi in 0..b {
+                data[(bi * l + li) * d..(bi * l + li + 1) * d].copy_from_slice(t.row(bi));
+            }
+        }
+        let value = Tensor::from_vec([b, l, d], data);
+        let rg = parts.iter().any(|&p| self.requires(p));
+        self.push(value, Op::StackTime(parts.to_vec()), rg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pool_ignores_masked() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([1, 3, 2], vec![1., 2., 3., 4., 100., 100.]));
+        let p = g.mean_pool_masked(x, &[1., 1., 0.]);
+        assert_eq!(g.value(p).data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn max_pool_ignores_masked() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([1, 3, 2], vec![1., 5., 3., 4., 100., 100.]));
+        let p = g.max_pool_masked(x, &[1., 1., 0.]);
+        assert_eq!(g.value(p).data(), &[3., 5.]);
+    }
+
+    #[test]
+    fn last_pool_uses_lengths() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([2, 2, 1], vec![1., 2., 3., 4.]));
+        let p = g.last_pool(x, &[1, 2]);
+        assert_eq!(g.value(p).data(), &[1., 4.]);
+    }
+
+    #[test]
+    fn weighted_sum_pool_values() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([1, 2, 2], vec![1., 0., 0., 1.]));
+        let w = g.constant(Tensor::from_vec([1, 2], vec![0.25, 0.75]));
+        let p = g.weighted_sum_pool(w, x);
+        assert_eq!(g.value(p).data(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn slice_stack_round_trip() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([2, 3, 2], (0..12).map(|i| i as f32).collect()));
+        let s0 = g.slice_time(x, 0);
+        let s1 = g.slice_time(x, 1);
+        let s2 = g.slice_time(x, 2);
+        let y = g.stack_time(&[s0, s1, s2]);
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+}

@@ -1,0 +1,413 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! Each test builds a small graph ending in a scalar loss and compares the
+//! analytic backward gradients against central finite differences.
+
+use rand::{Rng, SeedableRng};
+use unimatch_tensor::check::gradcheck;
+use unimatch_tensor::{Graph, ParamSet, Tensor, Var};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn param(ps: &mut ParamSet, name: &str, dims: &[usize], rng: &mut impl Rng) -> unimatch_tensor::ParamId {
+    ps.add(name, Tensor::rand_uniform(dims, -0.9, 0.9, rng))
+}
+
+/// Standard harness: builds params, runs gradcheck with a shared tolerance.
+fn check(ps: &mut ParamSet, build: impl FnMut(&mut Graph, &ParamSet) -> Var) {
+    gradcheck(ps, 2e-2, 2e-2, build);
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let mut r = rng(1);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let b = param(&mut ps, "b", &[3, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let s = g.add(av, bv);
+        let d = g.sub(s, bv);
+        let m = g.mul(d, s);
+        g.mean_all(m)
+    });
+}
+
+#[test]
+fn grad_scale_add_scalar() {
+    let mut r = rng(2);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[5], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let s = g.scale(av, 3.0);
+        let t = g.add_scalar(s, -0.5);
+        let m = g.mul(t, t);
+        g.sum_all(m)
+    });
+}
+
+#[test]
+fn grad_matmul() {
+    let mut r = rng(3);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let b = param(&mut ps, "b", &[4, 2], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let c = g.matmul(av, bv);
+        let sq = g.mul(c, c);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_transpose_b() {
+    let mut r = rng(4);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let b = param(&mut ps, "b", &[5, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let c = g.matmul_transpose_b(av, bv);
+        let sq = g.mul(c, c);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_batch_matmul_both_kinds() {
+    let mut r = rng(5);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 3, 4], &mut r);
+    let b = param(&mut ps, "b", &[2, 4, 3], &mut r);
+    let c = param(&mut ps, "c", &[2, 5, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let cv = g.param(p, c);
+        let m1 = g.batch_matmul(av, bv); // [2,3,3]
+        let m2 = g.batch_matmul_transpose_b(av, cv); // [2,3,5]
+        let s1 = g.mean_all(m1);
+        let sq = g.mul(m2, m2);
+        let s2 = g.mean_all(sq);
+        g.add(s1, s2)
+    });
+}
+
+#[test]
+fn grad_transpose_reshape() {
+    let mut r = rng(6);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let t = g.transpose(av);
+        let rr = g.reshape(t, [2, 6]);
+        let sq = g.mul(rr, rr);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    let mut r = rng(7);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 5], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let s = g.sigmoid(av);
+        let t = g.tanh(s);
+        let e = g.exp(t);
+        let m = g.mul(e, e);
+        g.mean_all(m)
+    });
+}
+
+#[test]
+fn grad_relu_away_from_kink() {
+    let mut r = rng(8);
+    let mut ps = ParamSet::new();
+    // Keep values away from 0 so finite differences are valid.
+    let vals = Tensor::rand_uniform([3, 3], 0.2, 1.0, &mut r);
+    let neg = Tensor::rand_uniform([3, 3], -1.0, -0.2, &mut r);
+    let a = ps.add("a", vals.zip(&neg, |x, y| if x > 0.6 { y } else { x }));
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let rl = g.relu(av);
+        let sq = g.mul(rl, rl);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_ln() {
+    let mut r = rng(9);
+    let mut ps = ParamSet::new();
+    let a = ps.add("a", Tensor::rand_uniform([4], 0.5, 2.0, &mut r));
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let l = g.ln(av);
+        g.sum_all(l)
+    });
+}
+
+#[test]
+fn grad_log_softmax_and_softmax() {
+    let mut r = rng(10);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 5], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let ls = g.log_softmax(av);
+        let picked = g.pick_per_row(ls, &[0, 2, 4]);
+        let s1 = g.mean_all(picked);
+        let sm = g.softmax(av);
+        let sq = g.mul(sm, sm);
+        let s2 = g.mean_all(sq);
+        g.add(s1, s2)
+    });
+}
+
+#[test]
+fn grad_masked_softmax() {
+    let mut r = rng(11);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 4], &mut r);
+    let mask = vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0];
+    check(&mut ps, move |g, p| {
+        let av = g.param(p, a);
+        let sm = g.masked_softmax(av, &mask);
+        let sq = g.mul(sm, sm);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_l2_normalize() {
+    let mut r = rng(12);
+    let mut ps = ParamSet::new();
+    let a = ps.add("a", Tensor::rand_uniform([3, 4], 0.3, 1.0, &mut r));
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let n = g.l2_normalize_rows(av, 1e-12);
+        let w = g.constant(Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng(99)));
+        let m = g.mul(n, w);
+        g.sum_all(m)
+    });
+}
+
+#[test]
+fn grad_layer_norm() {
+    let mut r = rng(13);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 6], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let n = g.layer_norm(av, 1e-5);
+        let w = g.constant(Tensor::rand_uniform([2, 6], -1.0, 1.0, &mut rng(98)));
+        let m = g.mul(n, w);
+        g.sum_all(m)
+    });
+}
+
+#[test]
+fn grad_row_broadcasts() {
+    let mut r = rng(14);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let b = param(&mut ps, "b", &[4], &mut r);
+    let c = param(&mut ps, "c", &[4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let cv = g.param(p, c);
+        let s = g.add_row_broadcast(av, bv);
+        let m = g.mul_row_broadcast(s, cv);
+        let sq = g.mul(m, m);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_scale_rows_and_pick() {
+    let mut r = rng(15);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let s = param(&mut ps, "s", &[3], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let sv = g.param(p, s);
+        let scaled = g.scale_rows(av, sv);
+        let picked = g.pick_per_row(scaled, &[3, 1, 0]);
+        let sq = g.mul(picked, picked);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_diag() {
+    let mut r = rng(16);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[4, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let d = g.diag(av);
+        let sq = g.mul(d, d);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mean_pool_masked() {
+    let mut r = rng(17);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 3, 4], &mut r);
+    let mask = vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+    check(&mut ps, move |g, p| {
+        let av = g.param(p, a);
+        let pool = g.mean_pool_masked(av, &mask);
+        let sq = g.mul(pool, pool);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_max_pool_masked() {
+    let mut r = rng(18);
+    let mut ps = ParamSet::new();
+    // well-separated values so the argmax is stable under ±eps
+    let mut vals = Tensor::zeros([1, 3, 2]);
+    let noise = Tensor::rand_uniform([1, 3, 2], -0.05, 0.05, &mut r);
+    for (i, v) in vals.data_mut().iter_mut().enumerate() {
+        *v = (i as f32) * 0.7 + noise.data()[i];
+    }
+    let a = ps.add("a", vals);
+    let mask = vec![1.0, 1.0, 1.0];
+    check(&mut ps, move |g, p| {
+        let av = g.param(p, a);
+        let pool = g.max_pool_masked(av, &mask);
+        let sq = g.mul(pool, pool);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_last_pool_slice_stack() {
+    let mut r = rng(19);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 3, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let last = g.last_pool(av, &[2, 3]);
+        let t0 = g.slice_time(av, 0);
+        let t2 = g.slice_time(av, 2);
+        let st = g.stack_time(&[t0, last, t2]);
+        let sq = g.mul(st, st);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_weighted_sum_pool() {
+    let mut r = rng(20);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[2, 3, 4], &mut r);
+    let w = param(&mut ps, "w", &[2, 3], &mut r);
+    check(&mut ps, |g, p| {
+        let xv = g.param(p, x);
+        let wv = g.param(p, w);
+        let pool = g.weighted_sum_pool(wv, xv);
+        let sq = g.mul(pool, pool);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_same() {
+    let mut r = rng(21);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[2, 5, 3], &mut r);
+    let w = param(&mut ps, "w", &[3, 3, 2], &mut r);
+    check(&mut ps, |g, p| {
+        let xv = g.param(p, x);
+        let wv = g.param(p, w);
+        let y = g.conv1d_same(xv, wv);
+        let sq = g.mul(y, y);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_concat_last() {
+    let mut r = rng(22);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 2], &mut r);
+    let b = param(&mut ps, "b", &[3, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let bv = g.param(p, b);
+        let c = g.concat_last(av, bv);
+        let sq = g.mul(c, c);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_embedding_sparse() {
+    let mut r = rng(23);
+    let mut ps = ParamSet::new();
+    let table = ps.add("emb", Tensor::rand_uniform([6, 3], -0.9, 0.9, &mut r));
+    check(&mut ps, |g, p| {
+        // repeated index 2 exercises sparse accumulation
+        let e = g.embedding(p, table, &[2, 0, 2, 5]);
+        let sq = g.mul(e, e);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_param_reused_twice_accumulates() {
+    let mut r = rng(24);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 2], &mut r);
+    check(&mut ps, |g, p| {
+        let a1 = g.param(p, a);
+        let a2 = g.param(p, a);
+        let s = g.mul(a1, a2);
+        g.sum_all(s)
+    });
+}
+
+#[test]
+fn grad_two_tower_similarity_pipeline() {
+    // An end-to-end miniature of the UniMatch forward pass: embeddings →
+    // mean pool → l2 norm → temperature-scaled in-batch logits → log-softmax
+    // diagonal NLL. If this gradient checks, the whole training path does.
+    let mut r = rng(25);
+    let mut ps = ParamSet::new();
+    let table = ps.add("emb", Tensor::rand_uniform([8, 4], -0.5, 0.5, &mut r));
+    let proj = ps.add("proj", Tensor::rand_uniform([4, 4], -0.5, 0.5, &mut r));
+    let mask = vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+    gradcheck(&mut ps, 3e-2, 3e-2, move |g, p| {
+        let seq = g.embedding(p, table, &[1, 2, 3, 4, 0, 0]);
+        let seq = g.reshape(seq, [2, 3, 4]);
+        let pooled = g.mean_pool_masked(seq, &mask);
+        let pv = g.param(p, proj);
+        let users = g.matmul(pooled, pv);
+        let users = g.l2_normalize_rows(users, 1e-12);
+        let items = g.embedding(p, table, &[5, 6]);
+        let items = g.l2_normalize_rows(items, 1e-12);
+        let logits = g.matmul_transpose_b(users, items);
+        let logits = g.scale(logits, 1.0 / 0.2);
+        let ls = g.log_softmax(logits);
+        let d = g.diag(ls);
+        let nll = g.mean_all(d);
+        g.scale(nll, -1.0)
+    });
+}

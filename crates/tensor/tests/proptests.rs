@@ -1,0 +1,120 @@
+//! Property-based tests for tensor kernels and graph invariants.
+
+use proptest::prelude::*;
+use unimatch_tensor::{Graph, Shape, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| (m, n, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn shape_offset_is_bijective((m, n, _v) in small_matrix()) {
+        let s = Shape::matrix(m, n);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!(seen.insert(s.offset(&[i, j])));
+            }
+        }
+        prop_assert_eq!(seen.len(), s.numel());
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n, v) in small_matrix()) {
+        let t = Tensor::from_vec([m, n], v);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (m, k, a) in small_matrix(),
+        extra in proptest::collection::vec(-10.0f32..10.0, 1..36),
+    ) {
+        // b, c share shape [k, n] with n derived from extra's length
+        let n = (extra.len() % 5) + 1;
+        let b = Tensor::from_vec([k, n], (0..k * n).map(|i| extra[i % extra.len()]).collect());
+        let c = Tensor::from_vec([k, n], (0..k * n).map(|i| extra[(i * 7 + 3) % extra.len()]).collect());
+        let a = Tensor::from_vec([m, k], a);
+        let lhs = a.matmul(&b.zip(&c, |x, y| x + y));
+        let rhs = a.matmul(&b).zip(&a.matmul(&c), |x, y| x + y);
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions((m, n, v) in small_matrix()) {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([m, n], v));
+        let s = g.softmax(a);
+        let t = g.value(s);
+        for r in 0..m {
+            let sum: f32 = t.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(t.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_shift_invariant((m, n, v) in small_matrix(), shift in -50.0f32..50.0) {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([m, n], v.clone()));
+        let shifted = g.constant(Tensor::from_vec([m, n], v.iter().map(|x| x + shift).collect()));
+        let l1 = g.log_softmax(a);
+        let l2 = g.log_softmax(shifted);
+        for (x, y) in g.value(l1).data().iter().zip(g.value(l2).data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn l2_normalize_yields_unit_rows((m, n, v) in small_matrix()) {
+        prop_assume!(v.iter().any(|x| x.abs() > 0.1));
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec([m, n], v));
+        let s = g.l2_normalize_rows(a, 1e-12);
+        let t = g.value(s);
+        for r in 0..m {
+            let norm: f32 = t.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            // rows that were ~zero stay ~zero; others become unit
+            prop_assert!(norm < 1e-3 || (norm - 1.0).abs() < 1e-3, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn backward_leaves_values_unchanged((m, n, v) in small_matrix()) {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec([m, n], v.clone()));
+        let sq = g.mul(a, a);
+        let loss = g.sum_all(sq);
+        let before = g.value(sq).clone();
+        g.backward(loss);
+        prop_assert_eq!(g.value(sq), &before);
+        // d(sum a^2)/da = 2a
+        let grad = g.grad(a).expect("input grad");
+        for (gv, xv) in grad.data().iter().zip(v.iter()) {
+            prop_assert!((gv - 2.0 * xv).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mean_pool_masked_bounded_by_extremes(v in proptest::collection::vec(-5.0f32..5.0, 12)) {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec([2, 3, 2], v.clone()));
+        let mask = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let p = g.mean_pool_masked(x, &mask);
+        let t = g.value(p);
+        for b in 0..2 {
+            for j in 0..2 {
+                let vals: Vec<f32> = (0..3).map(|l| v[(b * 3 + l) * 2 + j]).collect();
+                let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let got = t.row(b)[j];
+                prop_assert!(got >= lo - 1e-4 && got <= hi + 1e-4);
+            }
+        }
+    }
+}

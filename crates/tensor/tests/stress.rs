@@ -1,0 +1,202 @@
+//! Stress and edge-case tests for the tensor engine at realistic model
+//! shapes, plus cross-checks of composite ops against naive definitions.
+
+use rand::{Rng, SeedableRng};
+use unimatch_tensor::{Graph, ParamSet, Tensor};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn matmul_matches_naive_on_odd_shapes() {
+    let mut r = rng(1);
+    for (m, k, n) in [(1, 1, 1), (1, 7, 3), (5, 1, 9), (13, 17, 11)] {
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut r);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut r);
+        let fast = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let naive: f32 = (0..k).map(|p| a.at(&[i, p]) * b.at(&[p, j])).sum();
+                let got = fast.at(&[i, j]);
+                assert!(
+                    (naive - got).abs() < 1e-4 * (1.0 + naive.abs()),
+                    "({m},{k},{n}) at [{i},{j}]: {got} vs {naive}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conv1d_matches_naive_definition() {
+    let mut r = rng(2);
+    let (b, l, din, dout, k) = (2, 7, 3, 4, 5);
+    let x = Tensor::rand_normal([b, l, din], 0.0, 1.0, &mut r);
+    let w = Tensor::rand_normal([k, din, dout], 0.0, 1.0, &mut r);
+    let mut g = Graph::new();
+    let xv = g.constant(x.clone());
+    let wv = g.constant(w.clone());
+    let y = g.conv1d_same(xv, wv);
+    let half = (k / 2) as isize;
+    for bi in 0..b {
+        for t in 0..l {
+            for o in 0..dout {
+                let mut naive = 0.0f32;
+                for kk in 0..k {
+                    let src = t as isize + kk as isize - half;
+                    if src < 0 || src >= l as isize {
+                        continue;
+                    }
+                    for c in 0..din {
+                        naive += x.at(&[bi, src as usize, c]) * w.at(&[kk, c, o]);
+                    }
+                }
+                let got = g.value(y).at(&[bi, t, o]);
+                assert!((naive - got).abs() < 1e-4, "[{bi},{t},{o}]: {got} vs {naive}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_attention_matches_unbatched() {
+    // batch_matmul over B slices must equal per-slice matmul
+    let mut r = rng(3);
+    let (bs, m, k, n) = (3, 4, 5, 6);
+    let a = Tensor::rand_normal([bs, m, k], 0.0, 1.0, &mut r);
+    let b = Tensor::rand_normal([bs, k, n], 0.0, 1.0, &mut r);
+    let mut g = Graph::new();
+    let av = g.constant(a.clone());
+    let bv = g.constant(b.clone());
+    let c = g.batch_matmul(av, bv);
+    for s in 0..bs {
+        let a_slice =
+            Tensor::from_vec([m, k], a.data()[s * m * k..(s + 1) * m * k].to_vec());
+        let b_slice =
+            Tensor::from_vec([k, n], b.data()[s * k * n..(s + 1) * k * n].to_vec());
+        let expect = a_slice.matmul(&b_slice);
+        for i in 0..m {
+            for j in 0..n {
+                let got = g.value(c).at(&[s, i, j]);
+                assert!((got - expect.at(&[i, j])).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_graph_backward_is_stable() {
+    // 200 chained tanh layers: gradients vanish but must stay finite and
+    // the tape must handle thousands of nodes.
+    let mut ps = ParamSet::new();
+    let x = ps.add("x", Tensor::full([4], 0.5));
+    let mut g = Graph::new();
+    let mut v = g.param(&ps, x);
+    for _ in 0..200 {
+        v = g.tanh(v);
+    }
+    let loss = g.sum_all(v);
+    g.backward(loss);
+    let grads = g.dense_grads();
+    let grad = &grads[&x];
+    assert!(grad.data().iter().all(|x| x.is_finite()));
+    assert!(g.len() > 200);
+}
+
+#[test]
+fn production_shape_training_step_smoke() {
+    // the largest realistic step: B=256, L=36, d=16, vocab=20k
+    let mut r = rng(4);
+    let mut ps = ParamSet::new();
+    let table = ps.add("emb", Tensor::rand_normal([20_000, 16], 0.0, 0.25, &mut r));
+    let indices: Vec<u32> = (0..256 * 36).map(|_| r.gen_range(0..20_000)).collect();
+    let mask: Vec<f32> = (0..256 * 36).map(|k| if k % 36 < 20 { 1.0 } else { 0.0 }).collect();
+    let items: Vec<u32> = (0..256).map(|_| r.gen_range(0..20_000)).collect();
+
+    let mut g = Graph::new();
+    let e = g.embedding(&ps, table, &indices);
+    let e = g.reshape(e, [256, 36, 16]);
+    let pooled = g.mean_pool_masked(e, &mask);
+    let users = g.l2_normalize_rows(pooled, 1e-12);
+    let iv = g.embedding(&ps, table, &items);
+    let iv = g.l2_normalize_rows(iv, 1e-12);
+    let logits = g.matmul_transpose_b(users, iv);
+    let logits = g.scale(logits, 1.0 / 0.1667);
+    let ls = g.log_softmax(logits);
+    let d = g.diag(ls);
+    let m = g.mean_all(d);
+    let loss = g.scale(m, -1.0);
+    g.backward(loss);
+
+    let sparse = g.sparse_grads();
+    let touched = sparse.values().map(|s| s.touched()).sum::<usize>();
+    assert!(touched > 1000, "sparse rows touched: {touched}");
+    assert!(g.value(loss).item().is_finite());
+}
+
+#[test]
+fn fully_masked_sequence_rows_are_neutral() {
+    // pooling over a fully padded row must output zeros and propagate no
+    // gradient into that row's positions
+    let mut ps = ParamSet::new();
+    let x = ps.add("x", Tensor::ones([2, 3, 2]));
+    let mask = vec![1., 1., 1., 0., 0., 0.]; // row 1 fully masked
+    let mut g = Graph::new();
+    let xv = g.param(&ps, x);
+    let pooled = g.mean_pool_masked(xv, &mask);
+    assert_eq!(g.value(pooled).row(1), &[0.0, 0.0]);
+    let sq = g.mul(pooled, pooled);
+    let loss = g.sum_all(sq);
+    g.backward(loss);
+    let grads = g.dense_grads();
+    let grad = &grads[&x];
+    for pos in 3..6 {
+        assert_eq!(grad.row(pos), &[0.0, 0.0], "masked position {pos} received gradient");
+    }
+}
+
+#[test]
+fn gradient_accumulation_order_does_not_matter() {
+    // using a var twice in different subtrees must sum gradients exactly
+    let mut ps = ParamSet::new();
+    let x = ps.add("x", Tensor::vector(&[2.0]));
+    let mut g = Graph::new();
+    let xv = g.param(&ps, x);
+    let a = g.scale(xv, 3.0);
+    let b = g.mul(xv, xv);
+    let sum = g.add(a, b);
+    let loss = g.sum_all(sum);
+    g.backward(loss);
+    // d/dx (3x + x^2) = 3 + 2x = 7
+    let grads = g.dense_grads();
+    assert!((grads[&x].data()[0] - 7.0).abs() < 1e-5);
+}
+
+#[test]
+fn extreme_temperature_logits_stay_stable() {
+    // τ = 0.01 gives |logits| up to 100; log_softmax must not overflow
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec([2, 3], vec![100.0, -100.0, 0.0, 99.9, 100.0, -50.0]));
+    let ls = g.log_softmax(x);
+    assert!(g.value(ls).data().iter().all(|v| v.is_finite()));
+    let d = g.pick_per_row(ls, &[0, 1]);
+    let m = g.mean_all(d);
+    let loss = g.scale(m, -1.0);
+    g.backward(loss);
+    assert!(g.grad(x).expect("grad").data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn reshape_chains_preserve_gradients() {
+    let mut ps = ParamSet::new();
+    let x = ps.add("x", Tensor::rand_normal([2, 3, 4], 0.0, 1.0, &mut rng(5)));
+    unimatch_tensor::check::gradcheck(&mut ps, 2e-2, 2e-2, |g, p| {
+        let v = g.param(p, x);
+        let a = g.reshape(v, [6, 4]);
+        let b = g.transpose(a);
+        let c = g.reshape(b, [2, 12]);
+        let sq = g.mul(c, c);
+        g.mean_all(sq)
+    });
+}

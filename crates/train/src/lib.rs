@@ -1,0 +1,19 @@
+//! # unimatch-train
+//!
+//! Optimizers (SGD, Adam with lazy sparse embedding updates), the training
+//! loop for every loss pathway of the paper (bbcNCE family, SSM, BCE with
+//! all four negative-sampling strategies), and the month-by-month
+//! **incremental training** schedule of Sec. III-B3 with per-month
+//! checkpoints (the input of the Fig. 3 experiment).
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod optim;
+pub mod schedule;
+pub mod trainer;
+
+pub use checkpoint::MonthCheckpoint;
+pub use optim::{global_grad_norm, Adam, AdamConfig, Sgd};
+pub use schedule::Schedule;
+pub use trainer::{SsmContext, TrainConfig, TrainLoss, TrainStats, Trainer};

@@ -1,0 +1,330 @@
+//! Optimizers: SGD and Adam, both aware of the engine's dense/sparse
+//! gradient split. Embedding tables receive **lazy** updates — only rows
+//! touched by the step pay any cost, which is what makes large-vocabulary
+//! training tractable.
+
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+use unimatch_tensor::{Graph, ParamId, ParamSet, Tensor};
+
+/// Global L2 norm of every gradient (dense and sparse) on a graph.
+pub fn global_grad_norm(graph: &Graph) -> f32 {
+    let mut sq = 0.0f64;
+    for grad in graph.dense_grads().values() {
+        sq += grad.norm_sq() as f64;
+    }
+    for sparse in graph.sparse_grads().values() {
+        for row in sparse.rows.values() {
+            sq += row.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+        }
+    }
+    (sq as f32).sqrt()
+}
+
+/// Plain SGD (optionally used by convergence experiments where Adam's
+/// per-parameter scaling would distort the fitted optimum).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one step from the gradients accumulated in `graph`.
+    pub fn step(&mut self, params: &mut ParamSet, graph: &Graph) {
+        for (id, grad) in graph.dense_grads() {
+            params.get_mut(id).axpy(-self.lr, &grad);
+        }
+        for (&id, sparse) in graph.sparse_grads() {
+            let table = params.get_mut(id);
+            for (&row, grad) in &sparse.rows {
+                let dst = table.row_mut(row as usize);
+                for (d, &g) in dst.iter_mut().zip(grad.iter()) {
+                    *d -= self.lr * g;
+                }
+            }
+        }
+    }
+}
+
+/// Adam configuration.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator floor.
+    pub eps: f32,
+    /// Optional global-norm gradient clipping threshold.
+    pub clip_norm: Option<f32>,
+    /// Learning-rate schedule applied on top of `lr`.
+    pub schedule: Schedule,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: None,
+            schedule: Schedule::Constant,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Default Adam with a custom learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        AdamConfig { lr, ..AdamConfig::default() }
+    }
+}
+
+/// Adam with dense state for dense parameters and per-row lazy state for
+/// embedding tables.
+#[derive(Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+    m: HashMap<ParamId, Tensor>,
+    v: HashMap<ParamId, Tensor>,
+    sparse_m: HashMap<ParamId, HashMap<u32, Vec<f32>>>,
+    sparse_v: HashMap<ParamId, HashMap<u32, Vec<f32>>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Adam {
+            cfg,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+            sparse_m: HashMap::new(),
+            sparse_v: HashMap::new(),
+        }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &AdamConfig {
+        &self.cfg
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one step from the gradients accumulated in `graph`.
+    pub fn step(&mut self, params: &mut ParamSet, graph: &Graph) {
+        self.t += 1;
+        let (b1, b2) = (self.cfg.beta1, self.cfg.beta2);
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.cfg.lr * self.cfg.schedule.multiplier(self.t);
+        // global-norm clipping rescales the *effective* gradients by
+        // folding the factor into the step size-independent moments input
+        let clip = match self.cfg.clip_norm {
+            Some(max) => {
+                let norm = global_grad_norm(graph);
+                if norm > max {
+                    max / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let scale = lr * bias2.sqrt() / bias1;
+
+        for (id, grad) in graph.dense_grads() {
+            let shape = params.get(id).shape().clone();
+            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(shape.clone()));
+            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(shape));
+            let p = params.get_mut(id);
+            for ((pd, gd), (md, vd)) in p
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                let gd = gd * clip;
+                *md = b1 * *md + (1.0 - b1) * gd;
+                *vd = b2 * *vd + (1.0 - b2) * gd * gd;
+                *pd -= scale * *md / (vd.sqrt() + self.cfg.eps);
+            }
+        }
+
+        for (&id, sparse) in graph.sparse_grads() {
+            let dim = sparse.dim;
+            let sm = self.sparse_m.entry(id).or_default();
+            let sv = self.sparse_v.entry(id).or_default();
+            let table = params.get_mut(id);
+            for (&row, grad) in &sparse.rows {
+                let m = sm.entry(row).or_insert_with(|| vec![0.0; dim]);
+                let v = sv.entry(row).or_insert_with(|| vec![0.0; dim]);
+                let dst = table.row_mut(row as usize);
+                for (((pd, &gd), md), vd) in
+                    dst.iter_mut().zip(grad.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+                {
+                    let gd = gd * clip;
+                    *md = b1 * *md + (1.0 - b1) * gd;
+                    *vd = b2 * *vd + (1.0 - b2) * gd * gd;
+                    *pd -= scale * *md / (vd.sqrt() + self.cfg.eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_tensor::Graph;
+
+    /// Minimizes (x - 3)^2 with each optimizer.
+    fn quadratic_target(opt_step: &mut dyn FnMut(&mut ParamSet, &Graph)) -> f32 {
+        let mut params = ParamSet::new();
+        let x = params.add("x", Tensor::vector(&[0.0]));
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let xv = g.param(&params, x);
+            let shifted = g.add_scalar(xv, -3.0);
+            let sq = g.mul(shifted, shifted);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            opt_step(&mut params, &g);
+        }
+        params.get(x).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = quadratic_target(&mut |p, g| sgd.step(p, g));
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(AdamConfig::with_lr(0.05));
+        let x = quadratic_target(&mut |p, g| adam.step(p, g));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn grad_clipping_bounds_update_magnitude() {
+        // A huge-gradient step with clip_norm must move parameters no more
+        // than an equivalent small-gradient step would.
+        let run = |clip: Option<f32>| -> f32 {
+            let mut params = ParamSet::new();
+            let x = params.add("x", Tensor::vector(&[0.0]));
+            let mut adam = Adam::new(AdamConfig { lr: 0.1, clip_norm: clip, ..Default::default() });
+            let mut g = Graph::new();
+            let xv = g.param(&params, x);
+            let big = g.scale(xv, 1.0);
+            let shifted = g.add_scalar(big, -1000.0);
+            let sq = g.mul(shifted, shifted);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            adam.step(&mut params, &g);
+            params.get(x).data()[0].abs()
+        };
+        // Adam normalizes by sqrt(v), so single-step displacement is ~lr in
+        // both cases; clipping must not break that and must stay finite.
+        let clipped = run(Some(1.0));
+        let unclipped = run(None);
+        assert!(clipped.is_finite() && unclipped.is_finite());
+        assert!(clipped <= unclipped + 1e-6);
+    }
+
+    #[test]
+    fn schedule_scales_first_step() {
+        // warmup over 10 steps: first step uses lr/10
+        let displacement = |schedule| -> f32 {
+            let mut params = ParamSet::new();
+            let x = params.add("x", Tensor::vector(&[0.0]));
+            let mut adam = Adam::new(AdamConfig { lr: 0.1, schedule, ..Default::default() });
+            let mut g = Graph::new();
+            let xv = g.param(&params, x);
+            let shifted = g.add_scalar(xv, -3.0);
+            let sq = g.mul(shifted, shifted);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            adam.step(&mut params, &g);
+            params.get(x).data()[0].abs()
+        };
+        let warm = displacement(crate::schedule::Schedule::Warmup { steps: 10 });
+        let full = displacement(crate::schedule::Schedule::Constant);
+        assert!((warm - full / 10.0).abs() < full * 0.02, "warm {warm} vs full {full}");
+    }
+
+    #[test]
+    fn global_grad_norm_covers_dense_and_sparse() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::vector(&[1.0]));
+        let table = params.add("emb", Tensor::ones([4, 1]));
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let e = g.embedding(&params, table, &[2]);
+        let flat = g.reshape(e, [1]);
+        let both = g.mul(wv, flat);
+        let loss = g.sum_all(both);
+        g.backward(loss);
+        // d/dw = e[2] = 1, d/de[2] = w = 1 -> norm = sqrt(2)
+        let n = global_grad_norm(&g);
+        assert!((n - 2f32.sqrt()).abs() < 1e-5, "norm {n}");
+    }
+
+    #[test]
+    fn adam_sparse_only_touches_gathered_rows() {
+        let mut params = ParamSet::new();
+        let table = params.add("emb", Tensor::ones([4, 2]));
+        let before_row3 = params.get(table).row(3).to_vec();
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut g = Graph::new();
+        let e = g.embedding(&params, table, &[0, 2]);
+        let sq = g.mul(e, e);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        adam.step(&mut params, &g);
+        // rows 0 and 2 moved, rows 1 and 3 untouched
+        assert_ne!(params.get(table).row(0), [1.0, 1.0]);
+        assert_ne!(params.get(table).row(2), [1.0, 1.0]);
+        assert_eq!(params.get(table).row(1), [1.0, 1.0]);
+        assert_eq!(params.get(table).row(3), before_row3.as_slice());
+    }
+
+    #[test]
+    fn sparse_embedding_regression_converges() {
+        // Fit embedding rows so row r matches target t_r under MSE.
+        let mut params = ParamSet::new();
+        let table = params.add("emb", Tensor::zeros([3, 2]));
+        let targets = [[1.0f32, -1.0], [0.5, 2.0], [-2.0, 0.25]];
+        let mut adam = Adam::new(AdamConfig::with_lr(0.05));
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let e = g.embedding(&params, table, &[0, 1, 2]);
+            let t = g.constant(Tensor::from_vec([3, 2], targets.concat()));
+            let diff = g.sub(e, t);
+            let sq = g.mul(diff, diff);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            adam.step(&mut params, &g);
+        }
+        for (r, target) in targets.iter().enumerate() {
+            for (a, b) in params.get(table).row(r).iter().zip(target) {
+                assert!((a - b).abs() < 0.05, "row {r}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The training loop: per-batch steps for every loss pathway, epoch
+//! driving, and the paper's month-by-month incremental schedule.
+
+use crate::checkpoint::MonthCheckpoint;
+use crate::optim::{Adam, AdamConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unimatch_data::alias::AliasTable;
+use unimatch_data::batch::multinomial_batches;
+use unimatch_data::{
+    BceBatch, Marginals, MultinomialBatch, NegativeSampler, NegativeStrategy, Sample,
+    TemporalSplit,
+};
+use unimatch_losses::{bce_loss, nce_loss, ssm_loss, MultinomialLoss};
+use unimatch_models::TwoTower;
+use unimatch_tensor::Graph;
+
+/// Which loss pathway to train with.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TrainLoss {
+    /// A multinomial-family loss over positive-only batches (Tab. IV data).
+    Multinomial(MultinomialLoss),
+    /// BCE over labeled batches (Tab. V data) with the given negative
+    /// sampling strategy.
+    Bce(NegativeStrategy),
+}
+
+impl TrainLoss {
+    /// Display label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            TrainLoss::Multinomial(m) => m.label().to_string(),
+            TrainLoss::Bce(s) => format!("BCE {}", s.label()),
+        }
+    }
+}
+
+/// Training configuration (the Tab. VII hyperparameters plus plumbing).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TrainConfig {
+    /// Batch size (row count; for BCE this includes the 1:1 negatives).
+    pub batch_size: usize,
+    /// Epochs per month of incremental training.
+    pub epochs_per_month: usize,
+    /// History truncation length.
+    pub max_seq_len: usize,
+    /// Optimizer settings.
+    pub optimizer: AdamConfig,
+    /// Loss pathway.
+    pub loss: TrainLoss,
+    /// RNG seed for shuffling/sampling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Sensible defaults for the multinomial pathway (paper: batch 64).
+    pub fn multinomial(loss: MultinomialLoss, max_seq_len: usize) -> Self {
+        TrainConfig {
+            batch_size: 64,
+            epochs_per_month: 2,
+            max_seq_len,
+            optimizer: AdamConfig::default(),
+            loss: TrainLoss::Multinomial(loss),
+            seed: 17,
+        }
+    }
+
+    /// Sensible defaults for the Bernoulli pathway (paper: batch 128–256,
+    /// more epochs).
+    pub fn bce(strategy: NegativeStrategy, max_seq_len: usize) -> Self {
+        TrainConfig {
+            batch_size: 128,
+            epochs_per_month: 6,
+            max_seq_len,
+            optimizer: AdamConfig::default(),
+            loss: TrainLoss::Bce(strategy),
+            seed: 17,
+        }
+    }
+}
+
+/// Shared negative pool context for the SSM loss: the vocabulary-wide
+/// unigram sampler plus its log-probabilities for the logQ correction.
+pub struct SsmContext {
+    alias: AliasTable,
+    log_q: Vec<f32>,
+    negatives: usize,
+}
+
+impl SsmContext {
+    /// Builds the unigram sampler from training marginals.
+    pub fn new(marginals: &Marginals, negatives: usize) -> Self {
+        let probs = marginals.item_probs();
+        SsmContext {
+            alias: AliasTable::new(&probs),
+            log_q: marginals.log_pi_all().to_vec(),
+            negatives,
+        }
+    }
+}
+
+/// Counters describing how much data a training run consumed — the raw
+/// material of the paper's cost analysis (Sec. IV-B5).
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainStats {
+    /// Optimization steps taken.
+    pub steps: u64,
+    /// Total records (rows) consumed, negatives included.
+    pub records_consumed: u64,
+    /// Sum of per-step losses (for averaging).
+    pub loss_sum: f64,
+}
+
+impl TrainStats {
+    /// Mean loss over all steps.
+    pub fn mean_loss(&self) -> f32 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            (self.loss_sum / self.steps as f64) as f32
+        }
+    }
+}
+
+/// Drives a [`TwoTower`] model through a [`TrainConfig`].
+pub struct Trainer {
+    /// The model under training.
+    pub model: TwoTower,
+    cfg: TrainConfig,
+    opt: Adam,
+    rng: StdRng,
+    stats: TrainStats,
+}
+
+impl Trainer {
+    /// Creates a trainer around a freshly initialized model.
+    pub fn new(model: TwoTower, cfg: TrainConfig) -> Self {
+        let opt = Adam::new(cfg.optimizer);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Trainer { model, cfg, opt, rng, stats: TrainStats::default() }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Cumulative consumption statistics.
+    pub fn stats(&self) -> &TrainStats {
+        &self.stats
+    }
+
+    /// One step on a multinomial batch. Returns the loss value.
+    pub fn step_multinomial(
+        &mut self,
+        batch: &MultinomialBatch,
+        kind: &MultinomialLoss,
+        ssm: Option<&SsmContext>,
+    ) -> f32 {
+        let mut g = Graph::new();
+        let users = self.model.user_tower(&mut g, &batch.histories);
+        let loss = match kind {
+            MultinomialLoss::Nce(cfg) => {
+                let items = self.model.item_tower(&mut g, &batch.items);
+                let logits = self.model.inbatch_logits(&mut g, users, items);
+                nce_loss(&mut g, logits, &batch.log_pu, &batch.log_pi, cfg)
+            }
+            MultinomialLoss::Ssm { negatives } => {
+                let ctx = ssm.expect("SSM training requires an SsmContext");
+                assert_eq!(ctx.negatives, *negatives, "SsmContext negatives mismatch");
+                let pos_items = self.model.item_tower(&mut g, &batch.items);
+                let pos = self.model.pair_logits(&mut g, users, pos_items);
+                let neg_ids: Vec<u32> =
+                    (0..ctx.negatives).map(|_| ctx.alias.sample(&mut self.rng)).collect();
+                let neg_items = self.model.item_tower(&mut g, &neg_ids);
+                let neg = self.model.inbatch_logits(&mut g, users, neg_items);
+                let log_q_pos: Vec<f32> =
+                    batch.items.iter().map(|&i| ctx.log_q[i as usize]).collect();
+                let log_q_neg: Vec<f32> =
+                    neg_ids.iter().map(|&i| ctx.log_q[i as usize]).collect();
+                ssm_loss(&mut g, pos, neg, &log_q_pos, &log_q_neg)
+            }
+        };
+        g.backward(loss);
+        self.opt.step(&mut self.model.params, &g);
+        let value = g.value(loss).item();
+        self.stats.steps += 1;
+        self.stats.records_consumed += batch.items.len() as u64;
+        self.stats.loss_sum += value as f64;
+        value
+    }
+
+    /// One step on a labeled BCE batch. Returns the loss value.
+    pub fn step_bce(&mut self, batch: &BceBatch) -> f32 {
+        let mut g = Graph::new();
+        let users = self.model.user_tower(&mut g, &batch.histories);
+        let items = self.model.item_tower(&mut g, &batch.items);
+        let logits = self.model.pair_logits(&mut g, users, items);
+        let loss = bce_loss(&mut g, logits, &batch.labels);
+        g.backward(loss);
+        self.opt.step(&mut self.model.params, &g);
+        let value = g.value(loss).item();
+        self.stats.steps += 1;
+        self.stats.records_consumed += batch.labels.len() as u64;
+        self.stats.loss_sum += value as f64;
+        value
+    }
+
+    /// Trains `epochs` passes over `samples` (shuffled per epoch). Returns
+    /// the mean loss per epoch.
+    pub fn train_epochs(
+        &mut self,
+        samples: &[Sample],
+        marginals: &Marginals,
+        epochs: usize,
+    ) -> Vec<f32> {
+        if samples.is_empty() {
+            return vec![0.0; epochs];
+        }
+        let mut out = Vec::with_capacity(epochs);
+        match self.cfg.loss {
+            TrainLoss::Multinomial(kind) => {
+                let ssm = match kind {
+                    MultinomialLoss::Ssm { negatives } => {
+                        Some(SsmContext::new(marginals, negatives))
+                    }
+                    MultinomialLoss::Nce(_) => None,
+                };
+                for _ in 0..epochs {
+                    let batches = multinomial_batches(
+                        samples,
+                        marginals,
+                        self.cfg.batch_size,
+                        self.cfg.max_seq_len,
+                        &mut self.rng,
+                    );
+                    let mut sum = 0.0;
+                    for b in &batches {
+                        sum += self.step_multinomial(b, &kind, ssm.as_ref());
+                    }
+                    out.push(sum / batches.len().max(1) as f32);
+                }
+            }
+            TrainLoss::Bce(strategy) => {
+                let num_items = self.model.config().num_items as u32;
+                let sampler = NegativeSampler::new(samples, num_items);
+                for _ in 0..epochs {
+                    let batches = sampler.bce_batches(
+                        strategy,
+                        self.cfg.batch_size,
+                        self.cfg.max_seq_len,
+                        &mut self.rng,
+                    );
+                    let mut sum = 0.0;
+                    for b in &batches {
+                        sum += self.step_bce(b);
+                    }
+                    out.push(sum / batches.len().max(1) as f32);
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's incremental training: consume training months in
+    /// calendar order, running `epochs_per_month` passes over each month's
+    /// data from the latest parameters, checkpointing after every month.
+    /// Marginals are computed over the full training window once, as the
+    /// pre-calculated bias terms of Tab. IV.
+    pub fn train_incremental(
+        &mut self,
+        split: &TemporalSplit,
+        marginals: &Marginals,
+    ) -> Vec<MonthCheckpoint> {
+        self.train_incremental_from(split, marginals, None)
+    }
+
+    /// Resumes incremental training from a saved checkpoint: trains only
+    /// months strictly after `resume_after` (None ⇒ all training months).
+    /// This is the production monthly update — last month's parameters +
+    /// one new month of data instead of a from-scratch yearly retrain, the
+    /// 1/12 factor of the paper's cost analysis.
+    pub fn train_incremental_from(
+        &mut self,
+        split: &TemporalSplit,
+        marginals: &Marginals,
+        resume_after: Option<u32>,
+    ) -> Vec<MonthCheckpoint> {
+        let mut checkpoints = Vec::new();
+        for month in split
+            .train_months()
+            .into_iter()
+            .filter(|&m| resume_after.is_none_or(|after| m > after))
+        {
+            let month_samples = split.train_month(month);
+            let losses = self.train_epochs(&month_samples, marginals, self.cfg.epochs_per_month);
+            checkpoints.push(MonthCheckpoint {
+                month,
+                params: self.model.params.clone(),
+                mean_loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
+            });
+        }
+        checkpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_data::windowing::{build_samples, WindowConfig};
+    use unimatch_data::{temporal_split, DatasetProfile};
+    use unimatch_losses::BiasConfig;
+    use unimatch_models::ModelConfig;
+
+    fn tiny_setup(loss: TrainLoss) -> (Trainer, Vec<Sample>, Marginals) {
+        let log = DatasetProfile::EComp.generate(0.1, 3).filter_min_interactions(2);
+        let samples = build_samples(&log, &WindowConfig { max_seq_len: 8, min_history: 1 });
+        let marginals = Marginals::from_samples(&samples, log.num_users(), log.num_items());
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = TwoTower::new(
+            ModelConfig::youtube_dnn_mean(log.num_items() as usize, 8, 0.2),
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            batch_size: 32,
+            epochs_per_month: 1,
+            max_seq_len: 8,
+            optimizer: AdamConfig::with_lr(0.05),
+            loss,
+            seed: 2,
+        };
+        (Trainer::new(model, cfg), samples, marginals)
+    }
+
+    #[test]
+    fn nce_training_reduces_loss() {
+        let (mut t, samples, marg) =
+            tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())));
+        let losses = t.train_epochs(&samples, &marg, 3);
+        assert!(losses[2] < losses[0], "losses {losses:?}");
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn ssm_training_reduces_loss() {
+        let (mut t, samples, marg) =
+            tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Ssm { negatives: 32 }));
+        let losses = t.train_epochs(&samples, &marg, 3);
+        assert!(losses[2] < losses[0], "losses {losses:?}");
+    }
+
+    #[test]
+    fn bce_training_reduces_loss() {
+        let (mut t, samples, marg) = tiny_setup(TrainLoss::Bce(NegativeStrategy::Uniform));
+        let losses = t.train_epochs(&samples, &marg, 3);
+        assert!(losses[2] < losses[0], "losses {losses:?}");
+        // BCE consumes 2x records per positive (1:1 negatives)
+        assert!(t.stats().records_consumed as usize >= samples.len() * 2 * 3 - 64);
+    }
+
+    #[test]
+    fn incremental_training_checkpoints_every_month() {
+        let log = DatasetProfile::EComp.generate(0.1, 5).filter_min_interactions(2);
+        let samples = build_samples(&log, &WindowConfig { max_seq_len: 8, min_history: 1 });
+        let split = temporal_split(&samples, log.span_months());
+        let marginals = Marginals::from_samples(&split.train, log.num_users(), log.num_items());
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = TwoTower::new(
+            ModelConfig::youtube_dnn_mean(log.num_items() as usize, 8, 0.2),
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            batch_size: 32,
+            epochs_per_month: 1,
+            max_seq_len: 8,
+            optimizer: AdamConfig::with_lr(0.05),
+            loss: TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())),
+            seed: 5,
+        };
+        let mut trainer = Trainer::new(model, cfg);
+        let checkpoints = trainer.train_incremental(&split, &marginals);
+        assert_eq!(checkpoints.len(), split.train_months().len());
+        assert!(checkpoints.windows(2).all(|w| w[0].month < w[1].month));
+        // parameters actually evolve between checkpoints
+        let a = &checkpoints[0].params;
+        let b = &checkpoints[checkpoints.len() - 1].params;
+        let first_id = a.ids().next().expect("params");
+        assert_ne!(a.get(first_id).data(), b.get(first_id).data());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (mut t, samples, marg) =
+                tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::infonce())));
+            t.train_epochs(&samples, &marg, 1)
+        };
+        assert_eq!(run(), run());
+    }
+}

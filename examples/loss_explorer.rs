@@ -1,0 +1,61 @@
+//! Why bbcNCE? Train the same two-tower model under several losses on one
+//! dataset and compare IR/UT quality plus the popularity profile of what
+//! each loss retrieves — a miniature of the paper's Tabs. IX–XI.
+//!
+//! ```text
+//! cargo run --release --example loss_explorer
+//! ```
+
+use unimatch::core::{run_experiment_on, ExperimentOptions, ExperimentSpec, PreparedData};
+use unimatch::data::DatasetProfile;
+use unimatch::eval::Table;
+use unimatch::losses::{BiasConfig, MultinomialLoss};
+use unimatch::train::TrainLoss;
+
+fn main() {
+    let profile = DatasetProfile::EComp;
+    let scale = 0.6;
+    let prepared = PreparedData::synthetic(profile, scale, 11);
+    println!(
+        "dataset: {} at scale {scale} — {} train samples, test month {}\n",
+        profile.name(),
+        prepared.split.train.len(),
+        prepared.split.test_month
+    );
+
+    let losses = [
+        ("InfoNCE (no correction)", MultinomialLoss::Nce(BiasConfig::infonce())),
+        ("row-bcNCE (IR specialist)", MultinomialLoss::Nce(BiasConfig::row_bcnce())),
+        ("col-bcNCE (UT specialist)", MultinomialLoss::Nce(BiasConfig::col_bcnce())),
+        ("bbcNCE (unified)", MultinomialLoss::Nce(BiasConfig::bbcnce())),
+    ];
+
+    let mut table = Table::new(
+        format!("loss comparison on {} (NDCG@{} %)", profile.name(), profile.top_n()),
+        &["loss", "IR", "UT", "AVG", "IR pop med", "train secs"],
+    );
+    for (label, loss) in losses {
+        let spec = ExperimentSpec::baseline(profile, scale, 11, TrainLoss::Multinomial(loss));
+        let out = run_experiment_on(
+            &spec,
+            &ExperimentOptions { curve_points: 0, audit: true },
+            &prepared,
+        );
+        let audit = out.audit.expect("audit");
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", 100.0 * out.eval.ir.ndcg),
+            format!("{:.2}", 100.0 * out.eval.ut.ndcg),
+            format!("{:.2}", 100.0 * out.eval.avg_ndcg()),
+            format!("{:.0}", audit.ir_item_popularity.median),
+            format!("{:.1}", out.train_secs),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reading guide: the row specialist should lead IR, the column\n\
+         specialist UT, and bbcNCE should sit at/near the top of BOTH —\n\
+         that is what lets one model replace two. InfoNCE's low 'IR pop\n\
+         med' shows its bias toward unpopular items (paper Tab. XI)."
+    );
+}

@@ -1,0 +1,77 @@
+//! A realistic private-domain marketing cycle, as the paper's introduction
+//! motivates: a merchant runs monthly campaigns over their own channels —
+//! a personalized recommendation mail-out for loyal customers (IR) and a
+//! targeted promotion list for a newly trending product (UT) — from one
+//! incrementally-trained model.
+//!
+//! ```text
+//! cargo run --release --example merchant_campaign
+//! ```
+
+use unimatch::core::{evaluate, PreparedData, UniMatch, UniMatchConfig};
+use unimatch::data::DatasetProfile;
+use unimatch::eval::ProtocolConfig;
+
+fn main() {
+    // The merchant: a "w_comp"-like client — small catalog, huge audience.
+    let profile = DatasetProfile::WComp;
+    let log = profile.generate(0.5, 7).filter_min_interactions(3);
+    println!("== {} — monthly campaign cycle ==", profile.name());
+    println!(
+        "{} purchases by {} customers over {} items\n",
+        log.len(),
+        log.distinct_users(),
+        log.distinct_items()
+    );
+
+    // Fit once. Incremental training means next month we'd resume from
+    // the checkpoint with one extra month of data — see the Fig. 3
+    // experiment for what that buys.
+    let framework = UniMatch::new(UniMatchConfig {
+        max_seq_len: profile.max_seq_len(),
+        ..UniMatchConfig::default()
+    });
+    let fitted = framework.fit(log.clone());
+
+    // Campaign 1 (IR): a personalized mail-out. For three loyal customers
+    // (longest histories), pick their top-3 items.
+    println!("campaign 1 — personalized recommendation mail-out:");
+    let mut loyal: Vec<(u32, Vec<u32>)> = log
+        .timelines()
+        .map(|(u, t)| (u, t.iter().map(|r| r.item).collect::<Vec<_>>()))
+        .collect();
+    loyal.sort_by_key(|(_, h)| std::cmp::Reverse(h.len()));
+    for (user, history) in loyal.iter().take(3) {
+        let recs: Vec<u32> = fitted
+            .recommend_items(history, 3)
+            .iter()
+            .map(|h| h.id)
+            .collect();
+        println!("  dear customer {user:>5} ({} purchases): consider items {recs:?}", history.len());
+    }
+
+    // Campaign 2 (UT): the most popular recent item gets a push
+    // notification to the 5 most receptive customers.
+    let counts = log.item_counts();
+    let hot_item = (0..counts.len()).max_by_key(|&i| counts[i]).expect("items") as u32;
+    println!("\ncampaign 2 — targeting list for trending item {hot_item}:");
+    for (user, score) in fitted.target_users(hot_item, 5) {
+        println!("  push to customer {user:>5} (affinity {score:+.3})");
+    }
+
+    // Offline sanity: next-month metrics under the paper's protocol.
+    let prepared = PreparedData::from_log(log, profile.max_seq_len());
+    let protocol = ProtocolConfig {
+        top_n: profile.top_n(),
+        negatives: profile.num_eval_negatives(),
+    };
+    let outcome = evaluate(&fitted.model, &prepared.split, &protocol, profile.max_seq_len(), 99);
+    println!(
+        "\noffline check (next-month holdout): IR NDCG@{} = {:.1}%, UT NDCG@{} = {:.1}%",
+        profile.top_n(),
+        100.0 * outcome.ir.ndcg,
+        profile.top_n(),
+        100.0 * outcome.ut.ndcg
+    );
+    println!("one model, two campaign types — that is the 1/2 of the paper's cost story.");
+}

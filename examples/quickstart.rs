@@ -1,0 +1,47 @@
+//! Quickstart: train one UniMatch model and serve *both* marketing tasks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use unimatch::core::{UniMatch, UniMatchConfig};
+use unimatch::data::DatasetProfile;
+
+fn main() {
+    // A merchant's purchase log. Here we synthesize one shaped like the
+    // paper's "QA e_comp" client; in production you'd build an
+    // `InteractionLog` from your own (user, item, day) records.
+    let log = DatasetProfile::EComp.generate(0.5, 42).filter_min_interactions(3);
+    println!(
+        "merchant log: {} interactions, {} users, {} items, {} months",
+        log.len(),
+        log.distinct_users(),
+        log.distinct_items(),
+        log.span_months()
+    );
+
+    // One `fit` = one model = both tasks. Defaults follow the paper's
+    // production setup: Youtube-DNN + mean pooling, d = 16, bbcNCE loss,
+    // month-by-month incremental training.
+    let fitted = UniMatch::new(UniMatchConfig::default()).fit(log);
+    println!(
+        "trained; serving {} items and {} pool users through HNSW indexes\n",
+        fitted.num_items(),
+        fitted.num_pool_users()
+    );
+
+    // Item recommendation (IR): "what should we promote to this user?"
+    let history = [3u32, 17, 42];
+    println!("IR — top 5 items for a user who bought {history:?}:");
+    for hit in fitted.recommend_items(&history, 5) {
+        println!("  item {:>4}  score {:+.4}", hit.id, hit.score);
+    }
+
+    // User targeting (UT): "who should hear about this item?" — answered
+    // by the SAME model, which is the point of the framework.
+    let item = fitted.recommend_items(&history, 1)[0].id;
+    println!("\nUT — top 5 users to target for item {item}:");
+    for (user, score) in fitted.target_users(item, 5) {
+        println!("  user {user:>5}  score {score:+.4}");
+    }
+}

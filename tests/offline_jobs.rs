@@ -1,0 +1,96 @@
+//! Integration of the offline production paths: nightly batch inference
+//! and the multi-positive evaluation variant, on trained models.
+
+use rand::SeedableRng;
+use unimatch::core::{
+    evaluate_multi_ir_model, materialize, run_experiment_on, ExperimentOptions, ExperimentSpec,
+    PreparedData, UniMatch, UniMatchConfig,
+};
+use unimatch::data::DatasetProfile;
+use unimatch::eval::{EmbeddingMatrix, ProtocolConfig};
+use unimatch::losses::{BiasConfig, MultinomialLoss};
+use unimatch::models::{ModelConfig, TwoTower};
+use unimatch::train::TrainLoss;
+
+#[test]
+fn nightly_batch_job_agrees_with_online_serving() {
+    let log = DatasetProfile::EComp.generate(0.3, 61).filter_min_interactions(3);
+    let fitted = UniMatch::new(UniMatchConfig { epochs_per_month: 1, ..Default::default() }).fit(log);
+
+    // materialize the full per-user top-5 offline
+    let items_t = fitted.model.infer_items();
+    let dim = items_t.shape().dim(1);
+    let histories: Vec<&[u32]> = (0..fitted.user_pool.len())
+        .map(|ix| fitted.user_pool.history(ix))
+        .collect();
+    let user_emb = unimatch::core::evaluate::embed_histories(&fitted.model, &histories, 20);
+    let rec = materialize(
+        EmbeddingMatrix::new(&user_emb, dim),
+        EmbeddingMatrix::new(items_t.data(), dim),
+        5,
+        5,
+    );
+    assert_eq!(rec.per_user.len(), fitted.user_pool.len());
+    assert_eq!(rec.per_item.len(), items_t.shape().dim(0));
+
+    // online HNSW answers must overlap the exact offline lists heavily
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for ix in (0..fitted.user_pool.len()).step_by(37) {
+        let online: std::collections::HashSet<u32> = fitted
+            .recommend_items(fitted.user_pool.history(ix), 5)
+            .iter()
+            .map(|h| h.id)
+            .collect();
+        for &(item, _) in &rec.per_user[ix] {
+            total += 1;
+            if online.contains(&item) {
+                agree += 1;
+            }
+        }
+    }
+    let overlap = agree as f64 / total as f64;
+    assert!(overlap > 0.85, "offline/online overlap {overlap}");
+}
+
+#[test]
+fn multi_positive_eval_tracks_single_positive() {
+    let profile = DatasetProfile::EComp;
+    let prepared = PreparedData::synthetic(profile, 0.5, 71);
+    let spec = ExperimentSpec::baseline(
+        profile,
+        0.5,
+        71,
+        TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())),
+    );
+    let trained = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+
+    // re-create the trained model is awkward; instead compare trained vs
+    // untrained under the multi-positive protocol directly
+    let protocol = ProtocolConfig { top_n: 10, negatives: 99 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let untrained = TwoTower::new(
+        ModelConfig::youtube_dnn_mean(prepared.num_items(), prepared.max_seq_len, 0.125),
+        &mut rng,
+    );
+    let base = evaluate_multi_ir_model(&untrained, &prepared.split, &protocol, prepared.max_seq_len, 9);
+
+    // fit a model through the framework for the trained comparison
+    let fitted = UniMatch::new(UniMatchConfig {
+        max_seq_len: prepared.max_seq_len,
+        ..Default::default()
+    })
+    .fit(prepared.log.clone());
+    let multi =
+        evaluate_multi_ir_model(&fitted.model, &prepared.split, &protocol, prepared.max_seq_len, 9);
+
+    assert!(
+        multi.recall > base.recall,
+        "trained multi-positive recall {:.4} <= untrained {:.4}",
+        multi.recall,
+        base.recall
+    );
+    // the single-positive experiment should agree directionally
+    assert!(trained.eval.ir.recall > 0.1);
+    assert!((0.0..=1.0).contains(&multi.ndcg));
+}

@@ -1,0 +1,74 @@
+//! The paper's headline claim, as an executable test: ONE bbcNCE model is
+//! competitive with BOTH task-specialized models.
+//!
+//! Metrics are averaged over three seeds; single-seed UT orderings between
+//! the specialists sit within noise on synthetic data (a documented
+//! deviation — see EXPERIMENTS.md), so the UT-side claim is asserted in
+//! its robust *relative* form: the row specialist's advantage over the
+//! column specialist must be larger on IR than on UT (the corrections are
+//! task-aligned).
+
+use unimatch::core::{run_experiment_on, ExperimentOptions, ExperimentSpec, PreparedData};
+use unimatch::data::DatasetProfile;
+use unimatch::losses::{BiasConfig, MultinomialLoss};
+use unimatch::train::TrainLoss;
+
+const SCALE: f64 = 0.4;
+const SEEDS: [u64; 3] = [13, 21, 34];
+
+fn mean_metrics(profile: DatasetProfile, cfg: BiasConfig) -> (f64, f64) {
+    let (mut ir, mut ut) = (0.0, 0.0);
+    for &seed in &SEEDS {
+        let prepared = PreparedData::synthetic(profile, SCALE, seed);
+        let spec = ExperimentSpec::baseline(
+            profile,
+            SCALE,
+            seed,
+            TrainLoss::Multinomial(MultinomialLoss::Nce(cfg)),
+        );
+        let out = run_experiment_on(&spec, &ExperimentOptions::default(), &prepared);
+        ir += out.eval.ir.ndcg;
+        ut += out.eval.ut.ndcg;
+    }
+    (ir / SEEDS.len() as f64, ut / SEEDS.len() as f64)
+}
+
+#[test]
+fn one_bbcnce_model_serves_both_tasks() {
+    // Books: the dense-user profile where the paper says the user-bias
+    // correction is most reliable.
+    let profile = DatasetProfile::Books;
+    let (row_ir, row_ut) = mean_metrics(profile, BiasConfig::row_bcnce());
+    let (col_ir, col_ut) = mean_metrics(profile, BiasConfig::col_bcnce());
+    let (bbc_ir, bbc_ut) = mean_metrics(profile, BiasConfig::bbcnce());
+
+    // The IR specialist clearly beats the UT specialist at IR.
+    assert!(
+        row_ir > 1.1 * col_ir,
+        "row-bcNCE IR {row_ir:.4} should clearly beat col-bcNCE IR {col_ir:.4}"
+    );
+
+    // The corrections are task-aligned: row's advantage over col must be
+    // decisively larger on IR than on UT.
+    let ir_gap = row_ir - col_ir;
+    let ut_gap = row_ut - col_ut;
+    assert!(
+        ir_gap > ut_gap + 0.02,
+        "row-over-col gap should shrink from IR ({ir_gap:.4}) to UT ({ut_gap:.4})"
+    );
+
+    // The unified model stays within a modest margin of each specialist on
+    // its home turf (the paper reports parity/second-best)…
+    assert!(bbc_ir > 0.9 * row_ir, "bbcNCE IR {bbc_ir:.4} << row-bcNCE {row_ir:.4}");
+    assert!(bbc_ut > 0.9 * col_ut, "bbcNCE UT {bbc_ut:.4} << col-bcNCE {col_ut:.4}");
+
+    // …and its average matches or beats both single-purpose models — the
+    // one-model-for-two-tasks argument.
+    let bbc_avg = (bbc_ir + bbc_ut) / 2.0;
+    let row_avg = (row_ir + row_ut) / 2.0;
+    let col_avg = (col_ir + col_ut) / 2.0;
+    assert!(
+        bbc_avg >= 0.98 * row_avg.max(col_avg),
+        "bbcNCE AVG {bbc_avg:.4} below specialists ({row_avg:.4}, {col_avg:.4})"
+    );
+}
