@@ -1,0 +1,22 @@
+#!/bin/sh
+# The repository's verification pipeline, runnable locally or in CI.
+#
+#   ./ci.sh
+#
+# 1. release build of every workspace target
+# 2. the full test suite (tier-1)
+# 3. rustdoc for the workspace's own crates, failing on any doc warning
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> ci.sh: all green"

@@ -1,5 +1,17 @@
 //! The common index interface: maximum-inner-product / cosine top-k search
 //! over unit-normalized embeddings.
+//!
+//! Every index implements [`AnnIndex`]; serving code (the `unimatch-core`
+//! batch-inference pipeline, the examples, the bench harness) programs
+//! against the trait so brute force, IVF, and HNSW are interchangeable.
+//! Besides the per-query [`AnnIndex::search`], the trait provides
+//! [`AnnIndex::search_batch`], which answers many queries in one call and
+//! fans them out across threads via `unimatch-parallel` when the total
+//! scoring work crosses the configured threshold. The batched results are
+//! *identical* to calling `search` per query — parallelism only changes
+//! which thread scores which query, never the scores or the ordering.
+
+use unimatch_parallel::par_map_indexed;
 
 /// A scored search hit.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -15,7 +27,11 @@ pub struct Hit {
 /// UniMatch's two-tower separation exists precisely so serving can run
 /// through an index like this (Sec. III-B1): item embeddings are indexed
 /// once, user queries arrive online (IR); or vice versa (UT).
-pub trait AnnIndex {
+///
+/// The `Sync` supertrait keeps the trait object-safe (`dyn AnnIndex` is
+/// used by the serving example and pipeline tests) while allowing the
+/// default [`AnnIndex::search_batch`] to share `&self` across threads.
+pub trait AnnIndex: Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;
 
@@ -29,6 +45,32 @@ pub trait AnnIndex {
 
     /// The `k` highest-inner-product vectors for `query`, best first.
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+
+    /// Answers one row-major batch of queries (`queries.len()` must be a
+    /// multiple of [`AnnIndex::dim`]), returning one hit list per query in
+    /// input order.
+    ///
+    /// The default implementation fans the queries out over threads with
+    /// `unimatch-parallel` when `n_queries × len × dim` multiply-adds exceed
+    /// the global work threshold, and falls back to a plain loop otherwise.
+    /// Either way each query is answered by the same [`AnnIndex::search`]
+    /// code, so results are identical to the sequential path.
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        let d = self.dim();
+        assert!(d > 0, "search_batch on an index with zero dimension");
+        assert_eq!(
+            queries.len() % d,
+            0,
+            "query batch length {} is not a multiple of dim {}",
+            queries.len(),
+            d
+        );
+        let nq = queries.len() / d;
+        // 2 flops per multiply-add; exact for brute force, an upper bound
+        // for the pruned indexes (IVF probes a subset, HNSW walks a graph).
+        let work = nq * self.len() * d * 2;
+        par_map_indexed(nq, work, |i| self.search(&queries[i * d..(i + 1) * d], k))
+    }
 }
 
 /// Shared helper: maintain the top-k of a score stream with a small binary

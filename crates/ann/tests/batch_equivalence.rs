@@ -1,0 +1,78 @@
+//! `search_batch` must return exactly what per-query `search` returns, for
+//! every index type, whether the batch runs inline or fans out over
+//! threads.
+//!
+//! The parallel configuration is process-global, so everything lives in a
+//! single `#[test]` — cargo runs test functions of one binary concurrently
+//! and two functions installing different configurations would race.
+
+use rand::{Rng, SeedableRng};
+use unimatch_ann::{
+    AnnIndex, BruteForceIndex, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex,
+};
+use unimatch_parallel::Parallelism;
+
+fn unit_vectors(n: usize, dim: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        data.extend(v.iter().map(|x| x / norm));
+    }
+    data
+}
+
+fn assert_hits_equal(a: &[Vec<Hit>], b: &[Vec<Hit>], index_name: &str) {
+    assert_eq!(a.len(), b.len(), "{index_name}: result count mismatch");
+    for (q, (ha, hb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ha.len(), hb.len(), "{index_name}: query {q} hit count");
+        for (x, y) in ha.iter().zip(hb) {
+            assert_eq!(x.id, y.id, "{index_name}: query {q} id mismatch");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{index_name}: query {q} score mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_batch_matches_per_query_search() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xba7c4);
+    let (n, dim, nq, k) = (400, 12, 37, 8);
+    let data = unit_vectors(n, dim, &mut rng);
+    let queries = unit_vectors(nq, dim, &mut rng);
+
+    let bf = BruteForceIndex::new(data.clone(), dim);
+    let ivf = IvfIndex::build(data.clone(), dim, IvfConfig::default(), &mut rng);
+    let hnsw = HnswIndex::build(data, dim, HnswConfig::default(), &mut rng);
+
+    for (name, index) in
+        [("bruteforce", &bf as &dyn AnnIndex), ("ivf", &ivf), ("hnsw", &hnsw)]
+    {
+        let per_query: Vec<Vec<Hit>> = (0..nq)
+            .map(|i| index.search(&queries[i * dim..(i + 1) * dim], k))
+            .collect();
+
+        // inline path: the whole batch is under the default work threshold
+        // only for tiny inputs, so force both decisions explicitly
+        Parallelism::sequential().install_global();
+        let sequential = index.search_batch(&queries, k);
+        assert_hits_equal(&per_query, &sequential, name);
+
+        // forced fan-out: 4 workers, threshold 1 → every batch splits
+        Parallelism::threads(4).with_min_work(1).install_global();
+        let parallel = index.search_batch(&queries, k);
+        assert_hits_equal(&per_query, &parallel, name);
+
+        Parallelism::auto().install_global();
+    }
+
+    // ragged batches are rejected
+    let bad = std::panic::catch_unwind(|| bf.search_batch(&queries[..dim + 1], k));
+    assert!(bad.is_err(), "ragged query batch must panic");
+
+    // empty batch is a no-op
+    assert!(bf.search_batch(&[], k).is_empty());
+}

@@ -1,5 +1,7 @@
 //! Minimal CLI argument handling shared by the experiment binaries.
 
+use unimatch_parallel::Parallelism;
+
 /// Common experiment arguments.
 #[derive(Clone, Debug)]
 pub struct Args {
@@ -9,17 +11,21 @@ pub struct Args {
     pub seed: u64,
     /// Run a cheaper variant (fewer steps/epochs) for smoke testing.
     pub quick: bool,
+    /// Worker threads for the compute kernels (0 = auto-detect cores,
+    /// 1 = exact sequential execution).
+    pub threads: usize,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 1.0, seed: 42, quick: false }
+        Args { scale: 1.0, seed: 42, quick: false, threads: 0 }
     }
 }
 
 impl Args {
-    /// Parses `--scale <f64>`, `--seed <u64>`, `--quick` from the process
-    /// arguments; anything else aborts with a usage message.
+    /// Parses `--scale <f64>`, `--seed <u64>`, `--threads <usize>`,
+    /// `--quick` from the process arguments and installs the requested
+    /// [`Parallelism`] globally; anything else aborts with a usage message.
     pub fn parse() -> Self {
         let mut out = Args::default();
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -40,17 +46,25 @@ impl Args {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
+                "--threads" => {
+                    i += 1;
+                    out.threads = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs an integer (0 = auto)"));
+                }
                 "--quick" => out.quick = true,
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
         }
+        Parallelism::threads(out.threads).install_global();
         out
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--quick]");
+    eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--threads <usize>] [--quick]");
     std::process::exit(2);
 }

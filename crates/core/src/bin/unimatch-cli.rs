@@ -26,6 +26,9 @@ fn main() {
         usage("missing command");
     };
     let flags = parse_flags(&argv[1..]);
+    // every command funnels through the same compute kernels, so the thread
+    // configuration is installed once, up front (0 = auto-detect)
+    unimatch_parallel::Parallelism::threads(flag_or(&flags, "threads", 0)).install_global();
     match command.as_str() {
         "generate" => cmd_generate(&flags),
         "fit" => cmd_fit(&flags),
@@ -45,7 +48,10 @@ fn usage(msg: &str) -> ! {
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
          recommend --model FILE --log FILE --user ID [--k N]\n\
          target    --model FILE --log FILE --item ID [--k N]\n\
-         evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]"
+         evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
+         \n\
+         every command also accepts --threads N (worker threads for the\n\
+         compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
     );
     exit(2);
 }
@@ -116,6 +122,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         temperature: flag_or(flags, "temperature", 0.15),
         batch_size: flag_or(flags, "batch", 64),
         seed: flag_or(flags, "seed", 42),
+        parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         ..Default::default()
     };
     let filtered = log.filter_min_interactions(3);
@@ -151,7 +158,11 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
         &std::fs::read(&ip).unwrap_or_else(|e| usage(&format!("cannot read {ip}: {e}"))),
     )
     .unwrap_or_else(|e| usage(&format!("bad vocab {ip}: {e}")));
-    let fitted = UniMatch::default().serve(model, log.filter_min_interactions(3));
+    let config = UniMatchConfig {
+        parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+        ..Default::default()
+    };
+    let fitted = UniMatch::new(config).serve(model, log.filter_min_interactions(3));
     (fitted, users, items)
 }
 

@@ -10,6 +10,7 @@ use unimatch_eval::{
     PopularityStats, ProtocolConfig, UserPool,
 };
 use unimatch_models::TwoTower;
+use unimatch_parallel::par_map_indexed;
 use unimatch_tensor::ParamSet;
 
 /// How many pseudo-users to embed per forward pass during evaluation.
@@ -50,11 +51,25 @@ pub struct RetrievalAudit {
 }
 
 /// Embeds a list of histories into a flat `[N * d]` buffer, chunked.
+///
+/// Chunks of 256 histories are embedded independently (the user tower is
+/// read-only during inference), so the chunk queue is distributed over
+/// threads by `unimatch-parallel` once the workload is large enough. The
+/// per-chunk forward pass is unchanged, so the output is identical to the
+/// sequential loop.
 pub fn embed_histories(model: &TwoTower, histories: &[&[u32]], max_seq_len: usize) -> Vec<f32> {
-    let mut out = Vec::with_capacity(histories.len() * model.config().embed_dim);
-    for chunk in histories.chunks(EMBED_CHUNK) {
+    let d = model.config().embed_dim;
+    let n_chunks = histories.len().div_ceil(EMBED_CHUNK);
+    // rough per-user forward cost: seq_len embedding rows pooled into d dims
+    let work = histories.len() * max_seq_len * d * 16;
+    let chunks = par_map_indexed(n_chunks, work, |ci| {
+        let chunk = &histories[ci * EMBED_CHUNK..((ci + 1) * EMBED_CHUNK).min(histories.len())];
         let batch = SeqBatch::from_histories(chunk, max_seq_len);
-        out.extend_from_slice(model.infer_users(&batch).data());
+        model.infer_users(&batch).data().to_vec()
+    });
+    let mut out = Vec::with_capacity(histories.len() * d);
+    for chunk in chunks {
+        out.extend_from_slice(&chunk);
     }
     out
 }
@@ -179,22 +194,40 @@ fn evaluate_inner(
     };
 
     let audit = trailing_counts.map(|(item_counts, user_counts)| {
-        // collect top-n retrieved entity ids across all cases
-        let mut ir_retrieved: Vec<u32> = Vec::new();
-        for (q, c) in ir_cases.iter().enumerate() {
-            let scores = score_candidates(query_matrix.row(q), item_matrix, &c.candidates);
-            for ix in top_n_candidates(&scores, ir_protocol.top_n) {
-                ir_retrieved.push(c.candidates[ix]);
-            }
-        }
-        let mut ut_retrieved: Vec<u32> = Vec::new();
-        for (q, c) in ut_cases.iter().enumerate() {
-            let cands: Vec<u32> = c.candidates.iter().map(|&ix| ix as u32).collect();
-            let scores = score_candidates(ut_query_matrix.row(q), pool_matrix, &cands);
-            for ix in top_n_candidates(&scores, ut_protocol.top_n) {
-                ut_retrieved.push(pool.user(c.candidates[ix]));
-            }
-        }
+        // collect top-n retrieved entity ids across all cases; cases are
+        // independent, so they fan out over threads in input order
+        let neg = protocol.negatives + 1;
+        let ir_retrieved: Vec<u32> = par_map_indexed(
+            ir_cases.len(),
+            ir_cases.len() * neg * dim * 2,
+            |q| {
+                let c = &ir_cases[q];
+                let scores = score_candidates(query_matrix.row(q), item_matrix, &c.candidates);
+                top_n_candidates(&scores, ir_protocol.top_n)
+                    .into_iter()
+                    .map(|ix| c.candidates[ix])
+                    .collect::<Vec<u32>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        let ut_retrieved: Vec<u32> = par_map_indexed(
+            ut_cases.len(),
+            ut_cases.len() * neg * dim * 2,
+            |q| {
+                let c = &ut_cases[q];
+                let cands: Vec<u32> = c.candidates.iter().map(|&ix| ix as u32).collect();
+                let scores = score_candidates(ut_query_matrix.row(q), pool_matrix, &cands);
+                top_n_candidates(&scores, ut_protocol.top_n)
+                    .into_iter()
+                    .map(|ix| pool.user(c.candidates[ix]))
+                    .collect::<Vec<u32>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
         RetrievalAudit {
             ir_item_popularity: popularity_stats(&retrieved_popularity(&ir_retrieved, item_counts)),
             ut_user_activeness: popularity_stats(&retrieved_popularity(&ut_retrieved, user_counts)),

@@ -16,6 +16,7 @@ use unimatch_data::{InteractionLog, SeqBatch};
 use unimatch_eval::UserPool;
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
+use unimatch_parallel::Parallelism;
 use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
 
 /// Framework configuration. Defaults follow the paper's production choice:
@@ -42,6 +43,11 @@ pub struct UniMatchConfig {
     pub aggregator: Aggregator,
     /// Master seed.
     pub seed: u64,
+    /// Thread configuration for the compute kernels, installed globally at
+    /// the start of every `fit`/`resume`/`serve`.
+    /// [`Parallelism::sequential`] reproduces the single-threaded behavior
+    /// exactly; the default auto-detects the core count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for UniMatchConfig {
@@ -57,6 +63,7 @@ impl Default for UniMatchConfig {
             extractor: ContextExtractor::YoutubeDnn,
             aggregator: Aggregator::Mean,
             seed: 42,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -165,6 +172,7 @@ impl UniMatch {
         resume_after: Option<u32>,
     ) -> FittedUniMatch {
         let cfg = &self.config;
+        cfg.parallelism.install_global();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
         let train_cfg = TrainConfig {
             batch_size: cfg.batch_size,
@@ -223,6 +231,41 @@ impl FittedUniMatch {
             .search(query, k)
             .into_iter()
             .map(|h| (self.user_pool.user(h.id as usize), h.score))
+            .collect()
+    }
+
+    /// Batched IR: top-k items for each history, in input order.
+    ///
+    /// Embeds the histories in parallel chunks and answers all queries
+    /// through [`AnnIndex::search_batch`]; results are identical to calling
+    /// [`FittedUniMatch::recommend_items`] per history.
+    pub fn recommend_items_batch(&self, histories: &[&[u32]], k: usize) -> Vec<Vec<Hit>> {
+        assert!(
+            histories.iter().all(|h| !h.is_empty()),
+            "recommend_items_batch needs non-empty histories"
+        );
+        let queries = embed_histories(&self.model, histories, self.max_seq_len);
+        self.item_index.search_batch(&queries, k)
+    }
+
+    /// Batched UT: top-k `(user_id, score)` targets for each item, in input
+    /// order. All item queries go through one [`AnnIndex::search_batch`]
+    /// call; results are identical to calling
+    /// [`FittedUniMatch::target_users`] per item.
+    pub fn target_users_batch(&self, items: &[u32], k: usize) -> Vec<Vec<(u32, f32)>> {
+        let embeddings = self.model.infer_items();
+        let queries: Vec<f32> = items
+            .iter()
+            .flat_map(|&i| embeddings.row(i as usize).iter().copied())
+            .collect();
+        self.user_index
+            .search_batch(&queries, k)
+            .into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|h| (self.user_pool.user(h.id as usize), h.score))
+                    .collect()
+            })
             .collect()
     }
 

@@ -46,6 +46,7 @@ pub use cost::{CostComparison, Regime};
 pub use evaluate::{evaluate, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RetrievalAudit};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
 pub use framework::{FittedUniMatch, UniMatch, UniMatchConfig};
+pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
 pub use persist::{load_model, model_from_json, model_to_json, save_model};

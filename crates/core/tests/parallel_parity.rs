@@ -1,0 +1,40 @@
+//! The blocked offline top-k must not depend on the thread configuration:
+//! `Parallelism { threads: 1 }` and a forced 4-worker fan-out must produce
+//! identical recommendation lists (ids and bitwise scores).
+//!
+//! Single `#[test]`: the parallel configuration is process-global and
+//! cargo runs a binary's test functions concurrently.
+
+use rand::{Rng, SeedableRng};
+use unimatch_core::{materialize, top_k_blocked, Parallelism};
+use unimatch_eval::EmbeddingMatrix;
+
+#[test]
+fn blocked_top_k_is_thread_count_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x70b5);
+    let d = 8;
+    let users: Vec<f32> = (0..700 * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let items: Vec<f32> = (0..450 * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let um = EmbeddingMatrix::new(&users, d);
+    let im = EmbeddingMatrix::new(&items, d);
+
+    Parallelism::sequential().install_global();
+    let seq_lists = top_k_blocked(um, im, 10);
+    let seq_rec = materialize(um, im, 5, 5);
+
+    Parallelism::threads(4).with_min_work(1).install_global();
+    let par_lists = top_k_blocked(um, im, 10);
+    let par_rec = materialize(um, im, 5, 5);
+    Parallelism::auto().install_global();
+
+    assert_eq!(seq_lists.len(), par_lists.len());
+    for (q, (s, p)) in seq_lists.iter().zip(&par_lists).enumerate() {
+        assert_eq!(s.len(), p.len(), "query {q}: list length");
+        for ((sid, ss), (pid, ps)) in s.iter().zip(p) {
+            assert_eq!(sid, pid, "query {q}: id mismatch");
+            assert_eq!(ss.to_bits(), ps.to_bits(), "query {q}: score mismatch");
+        }
+    }
+    assert_eq!(seq_rec.per_user, par_rec.per_user);
+    assert_eq!(seq_rec.per_item, par_rec.per_item);
+}

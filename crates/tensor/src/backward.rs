@@ -8,6 +8,7 @@
 use crate::graph::{Graph, Op, Var};
 use crate::param::SparseGrad;
 use crate::tensor::{dot, Tensor};
+use unimatch_parallel::{is_parallel, par_chunk_rows, par_map_indexed};
 
 impl Graph {
     fn add_grad(&mut self, v: Var, delta: Tensor) {
@@ -98,71 +99,91 @@ impl Graph {
                 let (ta, tb) = (self.value(*a), self.value(*b));
                 let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
                 let n = tb.shape().dim(2);
-                let mut da = Tensor::zeros([bs, m, k]);
-                let mut db = Tensor::zeros([bs, k, n]);
-                for s in 0..bs {
-                    // da[s] = g[s] @ b[s]^T ; db[s] = a[s]^T @ g[s]
-                    for i in 0..m {
-                        let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
-                        for p in 0..k {
-                            let brow = &tb.data()[s * k * n + p * n..s * k * n + (p + 1) * n];
-                            da.data_mut()[s * m * k + i * k + p] += dot(grow, brow);
-                        }
-                    }
-                    for p in 0..k {
+                let (ad, bd, gd) = (ta.data(), tb.data(), g.data());
+                let work = bs * m * n * k * 2;
+                let mut da = vec![0.0f32; bs * m * k];
+                let mut db = vec![0.0f32; bs * k * n];
+                // da[s] = g[s] @ b[s]^T — each batch entry is an independent slab
+                par_chunk_rows(&mut da, bs, work, |start, chunk| {
+                    for (i_s, out_s) in chunk.chunks_mut(m * k).enumerate() {
+                        let s = start + i_s;
                         for i in 0..m {
-                            let av = ta.data()[s * m * k + i * k + p];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
-                            let dbrow = &mut db.data_mut()[s * k * n + p * n..s * k * n + (p + 1) * n];
-                            for (o, &gv) in dbrow.iter_mut().zip(grow) {
-                                *o += av * gv;
+                            let grow = &gd[s * m * n + i * n..s * m * n + (i + 1) * n];
+                            for p in 0..k {
+                                let brow = &bd[s * k * n + p * n..s * k * n + (p + 1) * n];
+                                out_s[i * k + p] += dot(grow, brow);
                             }
                         }
                     }
-                }
-                self.add_grad(*a, da);
-                self.add_grad(*b, db);
+                });
+                // db[s] = a[s]^T @ g[s]
+                par_chunk_rows(&mut db, bs, work, |start, chunk| {
+                    for (i_s, out_s) in chunk.chunks_mut(k * n).enumerate() {
+                        let s = start + i_s;
+                        for p in 0..k {
+                            for i in 0..m {
+                                let av = ad[s * m * k + i * k + p];
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                let grow = &gd[s * m * n + i * n..s * m * n + (i + 1) * n];
+                                let dbrow = &mut out_s[p * n..(p + 1) * n];
+                                for (o, &gv) in dbrow.iter_mut().zip(grow) {
+                                    *o += av * gv;
+                                }
+                            }
+                        }
+                    }
+                });
+                self.add_grad(*a, Tensor::from_vec([bs, m, k], da));
+                self.add_grad(*b, Tensor::from_vec([bs, k, n], db));
             }
             Op::BatchMatmulTransB(a, b) => {
                 // out[s] = a[s] @ b[s]^T ; da[s] = g[s] @ b[s] ; db[s] = g[s]^T @ a[s]
                 let (ta, tb) = (self.value(*a), self.value(*b));
                 let (bs, m, k) = (ta.shape().dim(0), ta.shape().dim(1), ta.shape().dim(2));
                 let n = tb.shape().dim(1);
-                let mut da = Tensor::zeros([bs, m, k]);
-                let mut db = Tensor::zeros([bs, n, k]);
-                for s in 0..bs {
-                    for i in 0..m {
-                        let grow = &g.data()[s * m * n + i * n..s * m * n + (i + 1) * n];
-                        let darow = &mut da.data_mut()[s * m * k + i * k..s * m * k + (i + 1) * k];
-                        for (j, &gv) in grow.iter().enumerate() {
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            let brow = &tb.data()[s * n * k + j * k..s * n * k + (j + 1) * k];
-                            for (o, &bv) in darow.iter_mut().zip(brow) {
-                                *o += gv * bv;
-                            }
-                        }
-                    }
-                    for j in 0..n {
-                        let dbrow_start = s * n * k + j * k;
+                let (ad, bd, gd) = (ta.data(), tb.data(), g.data());
+                let work = bs * m * n * k * 2;
+                let mut da = vec![0.0f32; bs * m * k];
+                let mut db = vec![0.0f32; bs * n * k];
+                par_chunk_rows(&mut da, bs, work, |start, chunk| {
+                    for (i_s, out_s) in chunk.chunks_mut(m * k).enumerate() {
+                        let s = start + i_s;
                         for i in 0..m {
-                            let gv = g.data()[s * m * n + i * n + j];
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            let arow = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
-                            for (p, &av) in arow.iter().enumerate() {
-                                db.data_mut()[dbrow_start + p] += gv * av;
+                            let grow = &gd[s * m * n + i * n..s * m * n + (i + 1) * n];
+                            let darow = &mut out_s[i * k..(i + 1) * k];
+                            for (j, &gv) in grow.iter().enumerate() {
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                let brow = &bd[s * n * k + j * k..s * n * k + (j + 1) * k];
+                                for (o, &bv) in darow.iter_mut().zip(brow) {
+                                    *o += gv * bv;
+                                }
                             }
                         }
                     }
-                }
-                self.add_grad(*a, da);
-                self.add_grad(*b, db);
+                });
+                par_chunk_rows(&mut db, bs, work, |start, chunk| {
+                    for (i_s, out_s) in chunk.chunks_mut(n * k).enumerate() {
+                        let s = start + i_s;
+                        for j in 0..n {
+                            for i in 0..m {
+                                let gv = gd[s * m * n + i * n + j];
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                let arow = &ad[s * m * k + i * k..s * m * k + (i + 1) * k];
+                                for (p, &av) in arow.iter().enumerate() {
+                                    out_s[j * k + p] += gv * av;
+                                }
+                            }
+                        }
+                    }
+                });
+                self.add_grad(*a, Tensor::from_vec([bs, m, k], da));
+                self.add_grad(*b, Tensor::from_vec([bs, n, k], db));
             }
             Op::Transpose(a) => self.add_grad(*a, g.transpose()),
             Op::Reshape(a) => {
@@ -203,15 +224,19 @@ impl Graph {
                 let y = self.value(node);
                 let rows = y.shape().outer_numel();
                 let d = y.shape().last_dim();
+                let (yd, gd) = (y.data(), g.data());
                 let mut dx = vec![0.0f32; rows * d];
-                for r in 0..rows {
-                    let gr = &g.data()[r * d..(r + 1) * d];
-                    let gsum: f32 = gr.iter().sum();
-                    let yr = y.row(r);
-                    for j in 0..d {
-                        dx[r * d + j] = gr[j] - yr[j].exp() * gsum;
+                par_chunk_rows(&mut dx, rows, rows * d * 4, |start, chunk| {
+                    for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                        let r = start + i;
+                        let gr = &gd[r * d..(r + 1) * d];
+                        let yr = &yd[r * d..(r + 1) * d];
+                        let gsum: f32 = gr.iter().sum();
+                        for j in 0..d {
+                            out_row[j] = gr[j] - yr[j].exp() * gsum;
+                        }
                     }
-                }
+                });
                 let shape = y.shape().clone();
                 self.add_grad(*a, Tensor::from_vec(shape, dx));
             }
@@ -220,15 +245,19 @@ impl Graph {
                 let y = self.value(node);
                 let rows = y.shape().outer_numel();
                 let d = y.shape().last_dim();
+                let (yd, gd) = (y.data(), g.data());
                 let mut dx = vec![0.0f32; rows * d];
-                for r in 0..rows {
-                    let gr = &g.data()[r * d..(r + 1) * d];
-                    let yr = y.row(r);
-                    let inner = dot(gr, yr);
-                    for j in 0..d {
-                        dx[r * d + j] = yr[j] * (gr[j] - inner);
+                par_chunk_rows(&mut dx, rows, rows * d * 4, |start, chunk| {
+                    for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                        let r = start + i;
+                        let gr = &gd[r * d..(r + 1) * d];
+                        let yr = &yd[r * d..(r + 1) * d];
+                        let inner = dot(gr, yr);
+                        for j in 0..d {
+                            out_row[j] = yr[j] * (gr[j] - inner);
+                        }
                     }
-                }
+                });
                 let shape = y.shape().clone();
                 self.add_grad(*a, Tensor::from_vec(shape, dx));
             }
@@ -237,23 +266,28 @@ impl Graph {
                 let y = self.value(node);
                 let rows = x.shape().outer_numel();
                 let d = x.shape().last_dim();
+                let (xd, yd, gd) = (x.data(), y.data(), g.data());
+                let eps = *eps;
                 let mut dx = vec![0.0f32; rows * d];
-                for r in 0..rows {
-                    let xr = x.row(r);
-                    let gr = &g.data()[r * d..(r + 1) * d];
-                    let norm = dot(xr, xr).sqrt();
-                    if norm <= *eps {
-                        for j in 0..d {
-                            dx[r * d + j] = gr[j] / eps;
-                        }
-                    } else {
-                        let yr = y.row(r);
-                        let yg = dot(yr, gr);
-                        for j in 0..d {
-                            dx[r * d + j] = (gr[j] - yr[j] * yg) / norm;
+                par_chunk_rows(&mut dx, rows, rows * d * 6, |start, chunk| {
+                    for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                        let r = start + i;
+                        let xr = &xd[r * d..(r + 1) * d];
+                        let gr = &gd[r * d..(r + 1) * d];
+                        let norm = dot(xr, xr).sqrt();
+                        if norm <= eps {
+                            for j in 0..d {
+                                out_row[j] = gr[j] / eps;
+                            }
+                        } else {
+                            let yr = &yd[r * d..(r + 1) * d];
+                            let yg = dot(yr, gr);
+                            for j in 0..d {
+                                out_row[j] = (gr[j] - yr[j] * yg) / norm;
+                            }
                         }
                     }
-                }
+                });
                 let shape = x.shape().clone();
                 self.add_grad(*a, Tensor::from_vec(shape, dx));
             }
@@ -442,34 +476,93 @@ impl Graph {
                 let (b, l, din) = (xt.shape().dim(0), xt.shape().dim(1), xt.shape().dim(2));
                 let (k, _, dout) = (wt.shape().dim(0), wt.shape().dim(1), wt.shape().dim(2));
                 let half = k / 2;
-                let mut dx = Tensor::zeros([b, l, din]);
-                let mut dw = Tensor::zeros([k, din, dout]);
-                for bi in 0..b {
-                    for t in 0..l {
-                        let gr = &g.data()[(bi * l + t) * dout..(bi * l + t + 1) * dout];
-                        for kk in 0..k {
-                            let src = t as isize + kk as isize - half as isize;
-                            if src < 0 || src >= l as isize {
-                                continue;
+                let (xd, wd, gd) = (xt.data(), wt.data(), g.data());
+                let work = b * l * dout * k * din * 2;
+                let mut dx = vec![0.0f32; b * l * din];
+                let mut dw = vec![0.0f32; k * din * dout];
+                if is_parallel(b, work) {
+                    // dx: every write for batch entry `bi` lands in its own
+                    // [l, din] slab, so splitting over `bi` is race-free.
+                    par_chunk_rows(&mut dx, b, work, |start, chunk| {
+                        for (i_b, out_b) in chunk.chunks_mut(l * din).enumerate() {
+                            let bi = start + i_b;
+                            for t in 0..l {
+                                let gr = &gd[(bi * l + t) * dout..(bi * l + t + 1) * dout];
+                                for kk in 0..k {
+                                    let src = t as isize + kk as isize - half as isize;
+                                    if src < 0 || src >= l as isize {
+                                        continue;
+                                    }
+                                    let src = src as usize;
+                                    for c in 0..din {
+                                        let wrow = &wd[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                                        out_b[src * din + c] += dot(gr, wrow);
+                                    }
+                                }
                             }
-                            let src = src as usize;
-                            let xr = xt.row(bi * l + src);
-                            for (c, &xv) in xr.iter().enumerate().take(din) {
-                                let wrow = &wt.data()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
-                                dx.data_mut()[(bi * l + src) * din + c] += dot(gr, wrow);
-                                let dwrow =
-                                    &mut dw.data_mut()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
-                                if xv != 0.0 {
+                        }
+                    });
+                    // dw accumulates across batch entries: compute a partial
+                    // per entry and reduce in `bi` order so the result only
+                    // depends on the split decision, never the thread count.
+                    let partials = par_map_indexed(b, work, |bi| {
+                        let mut part = vec![0.0f32; k * din * dout];
+                        for t in 0..l {
+                            let gr = &gd[(bi * l + t) * dout..(bi * l + t + 1) * dout];
+                            for kk in 0..k {
+                                let src = t as isize + kk as isize - half as isize;
+                                if src < 0 || src >= l as isize {
+                                    continue;
+                                }
+                                let xr = &xd[(bi * l + src as usize) * din
+                                    ..(bi * l + src as usize + 1) * din];
+                                for (c, &xv) in xr.iter().enumerate() {
+                                    if xv == 0.0 {
+                                        continue;
+                                    }
+                                    let dwrow =
+                                        &mut part[(kk * din + c) * dout..(kk * din + c + 1) * dout];
                                     for (o, &gv) in dwrow.iter_mut().zip(gr) {
                                         *o += xv * gv;
                                     }
                                 }
                             }
                         }
+                        part
+                    });
+                    for part in partials {
+                        for (o, v) in dw.iter_mut().zip(part) {
+                            *o += v;
+                        }
+                    }
+                } else {
+                    for bi in 0..b {
+                        for t in 0..l {
+                            let gr = &gd[(bi * l + t) * dout..(bi * l + t + 1) * dout];
+                            for kk in 0..k {
+                                let src = t as isize + kk as isize - half as isize;
+                                if src < 0 || src >= l as isize {
+                                    continue;
+                                }
+                                let src = src as usize;
+                                let xr = &xd[(bi * l + src) * din..(bi * l + src + 1) * din];
+                                for (c, &xv) in xr.iter().enumerate() {
+                                    let wrow = &wd[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                                    dx[(bi * l + src) * din + c] += dot(gr, wrow);
+                                    if xv != 0.0 {
+                                        let dwrow = &mut dw
+                                            [(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                                        for (o, &gv) in dwrow.iter_mut().zip(gr) {
+                                            *o += xv * gv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
-                self.add_grad(*x, dx);
-                self.add_grad(*w, dw);
+                self.add_grad(*x, Tensor::from_vec([b, l, din], dx));
+                self.add_grad(*w, Tensor::from_vec([k, din, dout], dw));
             }
             Op::ConcatLast(a, b) => {
                 let (da_w, db_w) = (

@@ -1,9 +1,18 @@
 //! Neural-network forward ops: activations, softmaxes, normalizations,
 //! broadcasts, batched matmuls, convolution.
+//!
+//! The kernels that dominate training time — the batched matmuls, the
+//! row softmaxes, L2 row normalization and the 1-D convolution — split
+//! their work over rows / batch entries via [`unimatch_parallel`] when the
+//! workload is large enough (see `docs/PERFORMANCE.md` for the cost
+//! model). Every split happens on a row boundary with no cross-row
+//! accumulation, so parallel results are bitwise identical to sequential
+//! ones.
 
 use crate::graph::{Graph, Op, Var};
 
 use crate::tensor::{dot, Tensor};
+use unimatch_parallel::par_chunk_rows;
 
 impl Graph {
     fn unary(&mut self, a: Var, op: fn(Var) -> Op, f: fn(f32) -> f32) -> Var {
@@ -42,13 +51,19 @@ impl Graph {
         let t = self.value(a);
         let rows = t.shape().outer_numel();
         let d = t.shape().last_dim();
-        let mut data = Vec::with_capacity(rows * d);
-        for r in 0..rows {
-            let row = t.row(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            data.extend(row.iter().map(|&x| x - lse));
-        }
+        let src = t.data();
+        let mut data = vec![0.0f32; rows * d];
+        // ~8 scalar ops per element (exp dominates)
+        par_chunk_rows(&mut data, rows, rows * d * 8, |start, chunk| {
+            for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                let row = &src[(start + i) * d..(start + i + 1) * d];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+                for (o, &x) in out_row.iter_mut().zip(row) {
+                    *o = x - lse;
+                }
+            }
+        });
         let value = Tensor::from_vec(t.shape().dims(), data);
         let rg = self.requires(a);
         self.push(value, Op::LogSoftmax(a), rg)
@@ -71,30 +86,36 @@ impl Graph {
         let t = self.value(a);
         let rows = t.shape().outer_numel();
         let d = t.shape().last_dim();
+        let src = t.data();
+        let mask_ref = mask.as_deref();
         let mut data = vec![0.0f32; rows * d];
-        for r in 0..rows {
-            let row = t.row(r);
-            let mrow = mask.as_deref().map(|m| &m[r * d..(r + 1) * d]);
-            let keep = |j: usize| mrow.is_none_or(|m| m[j] > 0.5);
-            let m = (0..d)
-                .filter(|&j| keep(j))
-                .map(|j| row[j])
-                .fold(f32::NEG_INFINITY, f32::max);
-            if m == f32::NEG_INFINITY {
-                continue; // fully masked row stays zero
-            }
-            let mut z = 0.0;
-            for j in 0..d {
-                if keep(j) {
-                    let e = (row[j] - m).exp();
-                    data[r * d + j] = e;
-                    z += e;
+        // ~8 scalar ops per element (exp dominates)
+        par_chunk_rows(&mut data, rows, rows * d * 8, |start, chunk| {
+            for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                let r = start + i;
+                let row = &src[r * d..(r + 1) * d];
+                let mrow = mask_ref.map(|m| &m[r * d..(r + 1) * d]);
+                let keep = |j: usize| mrow.is_none_or(|m| m[j] > 0.5);
+                let m = (0..d)
+                    .filter(|&j| keep(j))
+                    .map(|j| row[j])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                if m == f32::NEG_INFINITY {
+                    continue; // fully masked row stays zero
+                }
+                let mut z = 0.0;
+                for j in 0..d {
+                    if keep(j) {
+                        let e = (row[j] - m).exp();
+                        out_row[j] = e;
+                        z += e;
+                    }
+                }
+                for o in out_row.iter_mut() {
+                    *o /= z;
                 }
             }
-            for j in 0..d {
-                data[r * d + j] /= z;
-            }
-        }
+        });
         let value = Tensor::from_vec(t.shape().dims(), data);
         let rg = self.requires(a);
         self.push(value, Op::Softmax(a, mask), rg)
@@ -105,12 +126,18 @@ impl Graph {
         let t = self.value(a);
         let rows = t.shape().outer_numel();
         let d = t.shape().last_dim();
-        let mut data = Vec::with_capacity(rows * d);
-        for r in 0..rows {
-            let row = t.row(r);
-            let n = dot(row, row).sqrt().max(eps);
-            data.extend(row.iter().map(|&x| x / n));
-        }
+        let src = t.data();
+        let mut data = vec![0.0f32; rows * d];
+        // ~3 scalar ops per element (square, add, divide)
+        par_chunk_rows(&mut data, rows, rows * d * 3, |start, chunk| {
+            for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                let row = &src[(start + i) * d..(start + i + 1) * d];
+                let n = dot(row, row).sqrt().max(eps);
+                for (o, &x) in out_row.iter_mut().zip(row) {
+                    *o = x / n;
+                }
+            }
+        });
         let value = Tensor::from_vec(t.shape().dims(), data);
         let rg = self.requires(a);
         self.push(value, Op::L2NormalizeRows(a, eps), rg)
@@ -225,19 +252,24 @@ impl Graph {
         let (bs2, k2, n) = (tb.shape().dim(0), tb.shape().dim(1), tb.shape().dim(2));
         assert_eq!(bs, bs2, "batch size mismatch");
         assert_eq!(k, k2, "inner dim mismatch");
+        let (da, db) = (ta.data(), tb.data());
         let mut data = vec![0.0f32; bs * m * n];
-        for s in 0..bs {
-            for i in 0..m {
-                let a_row = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
-                let o_row = &mut data[s * m * n + i * n..s * m * n + (i + 1) * n];
-                for (p, &av) in a_row.iter().enumerate() {
-                    let b_row = &tb.data()[s * k * n + p * n..s * k * n + (p + 1) * n];
-                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
+        // 2 flops (mul + add) per inner-product element
+        par_chunk_rows(&mut data, bs, bs * m * n * k * 2, |start, chunk| {
+            for (i_s, out_s) in chunk.chunks_mut(m * n).enumerate() {
+                let s = start + i_s;
+                for i in 0..m {
+                    let a_row = &da[s * m * k + i * k..s * m * k + (i + 1) * k];
+                    let o_row = &mut out_s[i * n..(i + 1) * n];
+                    for (p, &av) in a_row.iter().enumerate() {
+                        let b_row = &db[s * k * n + p * n..s * k * n + (p + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
                     }
                 }
             }
-        }
+        });
         let value = Tensor::from_vec([bs, m, n], data);
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::BatchMatmul(a, b), rg)
@@ -253,16 +285,21 @@ impl Graph {
         let (bs2, n, k2) = (tb.shape().dim(0), tb.shape().dim(1), tb.shape().dim(2));
         assert_eq!(bs, bs2, "batch size mismatch");
         assert_eq!(k, k2, "inner dim mismatch");
+        let (da, db) = (ta.data(), tb.data());
         let mut data = vec![0.0f32; bs * m * n];
-        for s in 0..bs {
-            for i in 0..m {
-                let a_row = &ta.data()[s * m * k + i * k..s * m * k + (i + 1) * k];
-                for j in 0..n {
-                    let b_row = &tb.data()[s * n * k + j * k..s * n * k + (j + 1) * k];
-                    data[s * m * n + i * n + j] = dot(a_row, b_row);
+        // 2 flops (mul + add) per inner-product element
+        par_chunk_rows(&mut data, bs, bs * m * n * k * 2, |start, chunk| {
+            for (i_s, out_s) in chunk.chunks_mut(m * n).enumerate() {
+                let s = start + i_s;
+                for i in 0..m {
+                    let a_row = &da[s * m * k + i * k..s * m * k + (i + 1) * k];
+                    for j in 0..n {
+                        let b_row = &db[s * n * k + j * k..s * n * k + (j + 1) * k];
+                        out_s[i * n + j] = dot(a_row, b_row);
+                    }
                 }
             }
-        }
+        });
         let value = Tensor::from_vec([bs, m, n], data);
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::BatchMatmulTransB(a, b), rg)
@@ -280,28 +317,33 @@ impl Graph {
         assert_eq!(din, din2, "conv channel mismatch");
         assert_eq!(k % 2, 1, "conv1d_same requires odd kernel size, got {k}");
         let half = k / 2;
+        let (dx, dw) = (tx.data(), tw.data());
         let mut data = vec![0.0f32; bs * l * dout];
-        for b in 0..bs {
-            for t in 0..l {
-                let out = &mut data[(b * l + t) * dout..(b * l + t + 1) * dout];
-                for kk in 0..k {
-                    let src = t as isize + kk as isize - half as isize;
-                    if src < 0 || src >= l as isize {
-                        continue;
-                    }
-                    let xin = &tx.data()[(b * l + src as usize) * din..(b * l + src as usize + 1) * din];
-                    for (c, &xv) in xin.iter().enumerate() {
-                        if xv == 0.0 {
+        // 2 flops per (t, kk, c, o) tap; the zero-skip makes this an upper bound
+        par_chunk_rows(&mut data, bs, bs * l * dout * k * din * 2, |start, chunk| {
+            for (i_b, out_b) in chunk.chunks_mut(l * dout).enumerate() {
+                let b = start + i_b;
+                for t in 0..l {
+                    let out = &mut out_b[t * dout..(t + 1) * dout];
+                    for kk in 0..k {
+                        let src = t as isize + kk as isize - half as isize;
+                        if src < 0 || src >= l as isize {
                             continue;
                         }
-                        let wrow = &tw.data()[(kk * din + c) * dout..(kk * din + c + 1) * dout];
-                        for (o, &wv) in out.iter_mut().zip(wrow) {
-                            *o += xv * wv;
+                        let xin = &dx[(b * l + src as usize) * din..(b * l + src as usize + 1) * din];
+                        for (c, &xv) in xin.iter().enumerate() {
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            let wrow = &dw[(kk * din + c) * dout..(kk * din + c + 1) * dout];
+                            for (o, &wv) in out.iter_mut().zip(wrow) {
+                                *o += xv * wv;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
         let value = Tensor::from_vec([bs, l, dout], data);
         let rg = self.requires(x) || self.requires(w);
         self.push(value, Op::Conv1dSame { x, w }, rg)

@@ -1,0 +1,102 @@
+//! Parallel vs sequential kernel equivalence.
+//!
+//! Runs every parallelized forward/backward kernel twice — once under
+//! `Parallelism::sequential()` and once with 4 forced workers and a work
+//! threshold of 1 (so even these modest shapes split) — and compares all
+//! outputs and input gradients. Row-split kernels must agree bitwise; the
+//! conv1d weight gradient re-associates its cross-batch reduction when
+//! parallel, so it gets a 1e-6 tolerance.
+//!
+//! The parallel configuration is process-global, so all assertions live in
+//! one `#[test]`: cargo runs a binary's test functions concurrently, and
+//! two functions installing different configurations would race.
+
+use rand::{Rng, SeedableRng};
+use unimatch_parallel::Parallelism;
+use unimatch_tensor::{Graph, Tensor, Var};
+
+fn rand_tensor(dims: &[usize], rng: &mut impl Rng) -> Tensor {
+    Tensor::rand_uniform(dims, -1.0, 1.0, rng)
+}
+
+/// One kernel run: forward output plus the gradient of `mean(out²)` with
+/// respect to every input.
+fn run_kernel(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Vec<Vec<f32>> {
+    let mut g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.input(t.clone())).collect();
+    let out = build(&mut g, &vars);
+    let sq = g.mul(out, out);
+    let loss = g.mean_all(sq);
+    g.backward(loss);
+    let mut results = vec![g.value(out).data().to_vec()];
+    for &v in &vars {
+        results.push(g.grad(v).expect("input gradient").data().to_vec());
+    }
+    results
+}
+
+/// Runs every parallelized kernel on the same seeded inputs.
+fn run_all_kernels(seed: u64) -> Vec<Vec<Vec<f32>>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+
+    // batch_matmul [4,5,6] @ [4,6,3]
+    let a = rand_tensor(&[4, 5, 6], &mut rng);
+    let b = rand_tensor(&[4, 6, 3], &mut rng);
+    out.push(run_kernel(&[a, b], |g, v| g.batch_matmul(v[0], v[1])));
+
+    // batch_matmul_transpose_b [4,5,6] @ [4,7,6]^T
+    let a = rand_tensor(&[4, 5, 6], &mut rng);
+    let b = rand_tensor(&[4, 7, 6], &mut rng);
+    out.push(run_kernel(&[a, b], |g, v| g.batch_matmul_transpose_b(v[0], v[1])));
+
+    // softmax / log_softmax / l2_normalize over [33, 16]
+    let x = rand_tensor(&[33, 16], &mut rng);
+    out.push(run_kernel(&[x.clone()], |g, v| g.softmax(v[0])));
+    out.push(run_kernel(&[x.clone()], |g, v| g.log_softmax(v[0])));
+    out.push(run_kernel(&[x.clone()], |g, v| g.l2_normalize_rows(v[0], 1e-9)));
+
+    // masked softmax, every row keeping a random non-empty subset
+    let mask: Vec<f32> = {
+        let mut m: Vec<f32> = (0..33 * 16).map(|_| f32::from(rng.gen_bool(0.7))).collect();
+        for r in 0..33 {
+            m[r * 16 + r % 16] = 1.0; // no fully-masked rows
+        }
+        m
+    };
+    out.push(run_kernel(&[x], move |g, v| g.masked_softmax(v[0], &mask)));
+
+    // conv1d_same x[3,10,4] * w[3,4,5]
+    let x = rand_tensor(&[3, 10, 4], &mut rng);
+    let w = rand_tensor(&[3, 4, 5], &mut rng);
+    out.push(run_kernel(&[x, w], |g, v| g.conv1d_same(v[0], v[1])));
+
+    out
+}
+
+#[test]
+fn forced_parallel_kernels_match_sequential() {
+    Parallelism::sequential().install_global();
+    let sequential = run_all_kernels(0x9e1);
+
+    Parallelism::threads(4).with_min_work(1).install_global();
+    let parallel = run_all_kernels(0x9e1);
+    Parallelism::auto().install_global();
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (k, (skr, pkr)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(skr.len(), pkr.len(), "kernel {k}: buffer count");
+        for (b, (sb, pb)) in skr.iter().zip(pkr).enumerate() {
+            assert_eq!(sb.len(), pb.len(), "kernel {k} buffer {b}: length");
+            for (i, (s, p)) in sb.iter().zip(pb).enumerate() {
+                assert!(
+                    (s - p).abs() <= 1e-6,
+                    "kernel {k} buffer {b} element {i}: sequential {s} vs parallel {p}"
+                );
+            }
+        }
+    }
+}
