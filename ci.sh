@@ -5,7 +5,8 @@
 #
 # 1. release build of every workspace target
 # 2. the full test suite (tier-1)
-# 3. rustdoc for the workspace's own crates, failing on any doc warning
+# 3. the serving end-to-end test (real server on a loopback port)
+# 4. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,6 +16,9 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -p unimatch-serve --test e2e (loopback serving)"
+cargo test -q -p unimatch-serve --test e2e
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

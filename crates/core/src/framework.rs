@@ -275,6 +275,34 @@ impl FittedUniMatch {
         self.model.infer_users(&batch).into_vec()
     }
 
+    /// Normalized user embeddings for a batch of histories, flattened in
+    /// input order (`histories.len() × embed_dim`). The batched forward
+    /// pass produces the same values as [`FittedUniMatch::user_embedding`]
+    /// per history, so callers (e.g. the serving layer's embedding cache)
+    /// can mix single and batched embedding lookups freely.
+    pub fn embed_users(&self, histories: &[&[u32]]) -> Vec<f32> {
+        embed_histories(&self.model, histories, self.max_seq_len)
+    }
+
+    /// Batched IR against precomputed user embeddings: `queries` holds
+    /// `n × embed_dim` floats, one row per query, and the result is one
+    /// top-k hit list per row in input order. Combined with
+    /// [`FittedUniMatch::embed_users`], this splits
+    /// [`FittedUniMatch::recommend_items_batch`] into its two halves so a
+    /// serving layer can cache the (expensive) embedding half per user
+    /// while always answering the search half fresh.
+    pub fn recommend_by_embeddings(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        self.item_index.search_batch(queries, k)
+    }
+
+    /// The history truncation length the model was fitted with. Queries
+    /// longer than this are truncated to the most recent
+    /// `max_seq_len` events by the embedding batcher, exactly as during
+    /// training.
+    pub fn max_seq_len(&self) -> usize {
+        self.max_seq_len
+    }
+
     /// Number of indexed items.
     pub fn num_items(&self) -> usize {
         self.item_index.len()
@@ -311,6 +339,17 @@ mod tests {
         let targets = f.target_users(recs[0].id, 5);
         assert_eq!(targets.len(), 5);
         assert!(targets.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn split_embed_and_search_matches_direct_calls() {
+        let f = fitted();
+        let hists: Vec<&[u32]> = vec![&[1, 2, 3], &[4, 5], &[2], &[7, 1]];
+        let direct: Vec<_> = hists.iter().map(|h| f.recommend_items(h, 4)).collect();
+        let batch = f.recommend_items_batch(&hists, 4);
+        let split = f.recommend_by_embeddings(&f.embed_users(&hists), 4);
+        assert_eq!(direct, batch);
+        assert_eq!(direct, split);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod grid;
 pub mod hyper;
 pub mod persist;
 pub mod prepare;
+pub mod serving;
 
 pub use audience::{build_targeting_list, plan_campaigns, CampaignSpec, CampaignSubject, TargetingList};
 pub use batch_inference::{materialize, top_k_blocked, BatchRecommendations};
@@ -51,3 +52,4 @@ pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
 pub use persist::{load_model, model_from_json, model_to_json, save_model};
 pub use prepare::PreparedData;
+pub use serving::{ModelHandle, ServingState};

@@ -5,32 +5,163 @@
 //! `(ModelConfig, ParamSet)` is serialized as JSON (human-inspectable,
 //! diff-able; the models are small enough — tens of thousands of floats —
 //! that a binary format buys nothing).
+//!
+//! Serialization is hand-rolled over [`unimatch_data::json`] rather than
+//! `serde_json` so that checkpoint round-trips work in the offline
+//! verification environment (where the external crates are API stubs) —
+//! the online serving layer's `/reload` depends on this path actually
+//! functioning. The emitted document matches the shape serde would
+//! produce for the same structs, so existing checkpoints keep loading.
+//!
+//! Writes are crash-safe: [`save_model`] writes a `.tmp` sibling and then
+//! `rename`s it into place, so a crash mid-write can never leave a torn
+//! checkpoint behind for a later load (or a serving `/reload`) to trip
+//! over — the destination either holds the old complete checkpoint or the
+//! new complete one.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
 use std::path::Path;
-use unimatch_models::{ModelConfig, TwoTower};
-use unimatch_tensor::ParamSet;
+use unimatch_data::json::Json;
+use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
+use unimatch_tensor::Tensor;
 
-/// A serializable model checkpoint.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct Bundle {
-    format_version: u32,
-    config: ModelConfig,
-    params: ParamSet,
+const FORMAT_VERSION: u64 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-const FORMAT_VERSION: u32 = 1;
+// ---------------------------------------------------------------------------
+// serialization
+// ---------------------------------------------------------------------------
+
+fn extractor_to_json(e: ContextExtractor) -> Json {
+    match e {
+        ContextExtractor::YoutubeDnn => Json::str("YoutubeDnn"),
+        ContextExtractor::Cnn { kernel } => {
+            Json::obj(vec![("Cnn", Json::obj(vec![("kernel", Json::int(kernel))]))])
+        }
+        ContextExtractor::Gru => Json::str("Gru"),
+        ContextExtractor::Lstm => Json::str("Lstm"),
+        ContextExtractor::Transformer => Json::str("Transformer"),
+    }
+}
+
+fn aggregator_to_json(a: Aggregator) -> Json {
+    Json::str(match a {
+        Aggregator::Mean => "Mean",
+        Aggregator::Last => "Last",
+        Aggregator::Max => "Max",
+        Aggregator::Attention => "Attention",
+    })
+}
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    Json::obj(vec![
+        ("shape", Json::Arr(t.shape().dims().iter().map(|&d| Json::int(d)).collect())),
+        ("data", Json::Arr(t.data().iter().map(|&x| Json::F32(x)).collect())),
+    ])
+}
 
 /// Serializes a model to JSON bytes.
 pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
-    let bundle = Bundle {
-        format_version: FORMAT_VERSION,
-        config: model.config().clone(),
-        params: model.params.clone(),
-    };
-    serde_json::to_vec(&bundle).expect("model serialization cannot fail")
+    let cfg = model.config();
+    let config = Json::obj(vec![
+        ("num_items", Json::int(cfg.num_items)),
+        ("embed_dim", Json::int(cfg.embed_dim)),
+        ("max_seq_len", Json::int(cfg.max_seq_len)),
+        ("extractor", extractor_to_json(cfg.extractor)),
+        ("aggregator", aggregator_to_json(cfg.aggregator)),
+        ("temperature", Json::F32(cfg.temperature)),
+        ("normalize", Json::Bool(cfg.normalize)),
+    ]);
+    let params = Json::Arr(
+        model
+            .params
+            .iter()
+            .map(|(_, p)| {
+                Json::obj(vec![
+                    ("name", Json::str(p.name.clone())),
+                    ("value", tensor_to_json(&p.value)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("format_version", Json::int(FORMAT_VERSION as usize)),
+        ("config", config),
+        ("params", Json::obj(vec![("params", params)])),
+    ])
+    .to_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// deserialization
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a Json, key: &str) -> io::Result<&'a Json> {
+    v.get(key).ok_or_else(|| bad(format!("checkpoint missing field {key}")))
+}
+
+fn usize_field(v: &Json, key: &str) -> io::Result<usize> {
+    field(v, key)?
+        .as_u64()
+        .map(|x| x as usize)
+        .ok_or_else(|| bad(format!("checkpoint field {key} is not an integer")))
+}
+
+fn extractor_from_json(v: &Json) -> io::Result<ContextExtractor> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "YoutubeDnn" => Ok(ContextExtractor::YoutubeDnn),
+            "Gru" => Ok(ContextExtractor::Gru),
+            "Lstm" => Ok(ContextExtractor::Lstm),
+            "Transformer" => Ok(ContextExtractor::Transformer),
+            other => Err(bad(format!("unknown extractor {other}"))),
+        };
+    }
+    if let Some(inner) = v.get("Cnn") {
+        return Ok(ContextExtractor::Cnn { kernel: usize_field(inner, "kernel")? });
+    }
+    Err(bad("unrecognized extractor encoding"))
+}
+
+fn aggregator_from_json(v: &Json) -> io::Result<Aggregator> {
+    match v.as_str() {
+        Some("Mean") => Ok(Aggregator::Mean),
+        Some("Last") => Ok(Aggregator::Last),
+        Some("Max") => Ok(Aggregator::Max),
+        Some("Attention") => Ok(Aggregator::Attention),
+        _ => Err(bad("unrecognized aggregator encoding")),
+    }
+}
+
+fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
+    let shape: Vec<usize> = field(v, "shape")?
+        .as_array()
+        .ok_or_else(|| bad("tensor shape is not an array"))?
+        .iter()
+        .map(|d| d.as_u64().map(|x| x as usize).ok_or_else(|| bad("bad tensor dimension")))
+        .collect::<io::Result<_>>()?;
+    let data: Vec<f32> = field(v, "data")?
+        .as_array()
+        .ok_or_else(|| bad("tensor data is not an array"))?
+        .iter()
+        .map(|x| match x {
+            Json::Null => Ok(f32::NAN), // serde_json writes non-finite floats as null
+            _ => x.as_f32().ok_or_else(|| bad("bad tensor element")),
+        })
+        .collect::<io::Result<_>>()?;
+    let numel: usize = shape.iter().product();
+    if shape.is_empty() || shape.iter().any(|&d| d == 0) || numel != data.len() {
+        return Err(bad(format!(
+            "tensor shape {shape:?} does not match {} data elements",
+            data.len()
+        )));
+    }
+    Ok(Tensor::from_vec(shape.as_slice(), data))
 }
 
 /// Reconstructs a model from JSON bytes: rebuilds the architecture from
@@ -38,49 +169,82 @@ pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
 /// verifies every stored parameter matches the rebuilt structure by name
 /// and shape before swapping it in.
 pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
-    let bundle: Bundle = serde_json::from_slice(bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if bundle.format_version != FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {}", bundle.format_version),
-        ));
+    let doc = Json::parse(bytes).map_err(|e| bad(e.to_string()))?;
+    let version = field(&doc, "format_version")?
+        .as_u64()
+        .ok_or_else(|| bad("format_version is not an integer"))?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
     }
+    let cfg = field(&doc, "config")?;
+    let config = ModelConfig {
+        num_items: usize_field(cfg, "num_items")?,
+        embed_dim: usize_field(cfg, "embed_dim")?,
+        max_seq_len: usize_field(cfg, "max_seq_len")?,
+        extractor: extractor_from_json(field(cfg, "extractor")?)?,
+        aggregator: aggregator_from_json(field(cfg, "aggregator")?)?,
+        temperature: field(cfg, "temperature")?
+            .as_f32()
+            .ok_or_else(|| bad("temperature is not a number"))?,
+        normalize: field(cfg, "normalize")?
+            .as_bool()
+            .ok_or_else(|| bad("normalize is not a boolean"))?,
+    };
+    let stored = field(field(&doc, "params")?, "params")?
+        .as_array()
+        .ok_or_else(|| bad("params is not an array"))?;
+
     // the RNG only initializes weights we immediately overwrite
     let mut rng = StdRng::seed_from_u64(0);
-    let mut model = TwoTower::new(bundle.config, &mut rng);
-    if model.params.len() != bundle.params.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "checkpoint has {} parameters, architecture expects {}",
-                bundle.params.len(),
-                model.params.len()
-            ),
-        ));
+    let mut model = TwoTower::new(config, &mut rng);
+    if model.params.len() != stored.len() {
+        return Err(bad(format!(
+            "checkpoint has {} parameters, architecture expects {}",
+            stored.len(),
+            model.params.len()
+        )));
     }
-    for (fresh, stored) in model.params.iter().zip(bundle.params.iter()) {
-        let (fresh, stored) = (fresh.1, stored.1);
-        if fresh.name != stored.name || fresh.value.shape() != stored.value.shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "checkpoint parameter {} {} does not match architecture {} {}",
-                    stored.name,
-                    stored.value.shape(),
-                    fresh.name,
-                    fresh.value.shape()
-                ),
-            ));
+    for (fresh, entry) in model.params.ids().zip(stored.iter()) {
+        let name = field(entry, "name")?
+            .as_str()
+            .ok_or_else(|| bad("parameter name is not a string"))?;
+        let value = tensor_from_json(field(entry, "value")?)?;
+        let expected_name = model.params.name(fresh);
+        let expected_shape = model.params.shape(fresh).clone();
+        if expected_name != name || &expected_shape != value.shape() {
+            return Err(bad(format!(
+                "checkpoint parameter {name} {} does not match architecture {expected_name} {expected_shape}",
+                value.shape(),
+            )));
         }
+        *model.params.get_mut(fresh) = value;
     }
-    model.params = bundle.params;
     Ok(model)
 }
 
-/// Saves a model checkpoint to a file.
+// ---------------------------------------------------------------------------
+// files
+// ---------------------------------------------------------------------------
+
+/// Saves a model checkpoint to a file, atomically.
+///
+/// The bytes are written to a `.tmp` sibling in the same directory and
+/// `rename`d into place, so concurrent readers (and a serving `/reload`
+/// racing a trainer) always observe either the previous complete
+/// checkpoint or the new complete one — never a torn prefix.
 pub fn save_model(model: &TwoTower, path: impl AsRef<Path>) -> io::Result<()> {
-    std::fs::write(path, model_to_json(model))
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, model_to_json(model))?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
 }
 
 /// Loads a model checkpoint from a file.
@@ -91,8 +255,9 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<TwoTower> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
     use unimatch_data::SeqBatch;
-    use unimatch_models::{Aggregator, ContextExtractor};
 
     fn model(extractor: ContextExtractor) -> TwoTower {
         let mut rng = StdRng::seed_from_u64(77);
@@ -108,6 +273,21 @@ mod tests {
             },
             &mut rng,
         )
+    }
+
+    /// A per-test, per-process temp path: parallel test runs (and repeated
+    /// runs of the same binary) never collide on a fixed file name.
+    fn unique_tmp(name: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "unimatch_persist_{}_{}_{}",
+            name,
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
     }
 
     #[test]
@@ -128,8 +308,22 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_is_bit_exact() {
+        let m = model(ContextExtractor::Transformer);
+        let restored = model_from_json(&model_to_json(&m)).expect("round trip");
+        for (id, p) in m.params.iter() {
+            assert_eq!(p.value.data(), restored.params.get(id).data(), "{}", p.name);
+        }
+    }
+
+    #[test]
     fn corrupted_checkpoint_rejected() {
         assert!(model_from_json(b"not json").is_err());
+        // valid JSON, wrong schema
+        assert!(model_from_json(b"{\"format_version\":1}").is_err());
+        // truncated document — what a torn write would have produced
+        let whole = model_to_json(&model(ContextExtractor::YoutubeDnn));
+        assert!(model_from_json(&whole[..whole.len() / 2]).is_err());
     }
 
     #[test]
@@ -144,13 +338,26 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("unimatch_persist_test");
-        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir = unique_tmp("file_round_trip");
         let path = dir.join("model.json");
         let m = model(ContextExtractor::YoutubeDnn);
         save_model(&m, &path).expect("save");
         let restored = load_model(&path).expect("load");
         assert_eq!(m.params.num_scalars(), restored.params.num_scalars());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_sibling() {
+        let dir = unique_tmp("no_tmp");
+        let path = dir.join("model.json");
+        let m = model(ContextExtractor::YoutubeDnn);
+        save_model(&m, &path).expect("save");
+        assert!(path.exists());
+        assert!(!dir.join("model.json.tmp").exists());
+        // overwriting an existing checkpoint is also atomic
+        save_model(&m, &path).expect("re-save");
+        assert!(!dir.join("model.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -28,6 +28,7 @@ pub mod alias;
 pub mod batch;
 pub mod calendar;
 pub mod csv;
+pub mod json;
 pub mod log;
 pub mod marginals;
 pub mod matrix;

@@ -1,0 +1,265 @@
+//! The micro-batching admission queue.
+//!
+//! Connection threads do not call the model directly: they enqueue a job
+//! and block on a per-job reply channel. A single batcher thread per query
+//! route drains the queue, coalescing every job that arrives within a
+//! short window (or until a maximum batch size) into **one** call to the
+//! batched serving APIs — so the `unimatch-parallel` layer amortizes its
+//! thread fan-out across concurrent callers instead of once per request.
+//!
+//! Correctness invariants:
+//!
+//! * one model snapshot per batch — the batcher pins `ModelHandle::current`
+//!   once per batch, so a hot-swap never splits a batch across versions;
+//! * results are identical to unbatched calls — jobs are grouped by `k`
+//!   and answered through `recommend_by_embeddings` / `target_users_batch`,
+//!   whose outputs match the per-request APIs element for element;
+//! * the embedding LRU cache is keyed by history and cleared whenever the
+//!   pinned model version changes.
+
+use crate::cache::LruCache;
+use crate::metrics::{Metrics, Route};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unimatch_ann::Hit;
+use unimatch_core::serving::ServingState;
+use unimatch_core::ModelHandle;
+
+/// A request-level failure, mapped to an HTTP status by the server.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The request is invalid against the current model (→ 400).
+    BadRequest(String),
+    /// Execution failed (→ 500).
+    Internal(String),
+}
+
+/// An enqueued `/recommend` request.
+pub struct RecommendJob {
+    /// The user's purchase history (dense item ids, oldest first).
+    pub history: Vec<u32>,
+    /// Number of items requested.
+    pub k: usize,
+    /// Where the batcher delivers the result.
+    pub reply: Sender<Result<Vec<Hit>, JobError>>,
+}
+
+/// An enqueued `/target` request.
+pub struct TargetJob {
+    /// The dense item id to find an audience for.
+    pub item: u32,
+    /// Number of users requested.
+    pub k: usize,
+    /// Where the batcher delivers the result.
+    pub reply: Sender<Result<Vec<(u32, f32)>, JobError>>,
+}
+
+/// Batching parameters (see `ServeConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// How long the batcher waits for co-travellers after the first job.
+    pub window: Duration,
+    /// Hard cap on jobs per batch.
+    pub max_batch: usize,
+    /// Capacity of the history → embedding LRU cache (0 disables).
+    pub cache_capacity: usize,
+}
+
+/// Collects one batch: blocks for the first job, then drains until the
+/// window closes, the batch is full, or the channel disconnects.
+fn collect_batch<T>(rx: &Receiver<T>, cfg: &BatchConfig) -> Option<Vec<T>> {
+    let first = rx.recv().ok()?;
+    let deadline = Instant::now() + cfg.window;
+    let mut batch = vec![first];
+    while batch.len() < cfg.max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(job) => batch.push(job),
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(batch)
+}
+
+/// Runs until every [`Sender`] for `rx` is dropped **and** the queue is
+/// drained — exactly the graceful-shutdown contract: accepted requests are
+/// answered even while the server is going down.
+pub fn run_recommend_batcher(
+    rx: Receiver<RecommendJob>,
+    handle: Arc<ModelHandle>,
+    metrics: Arc<Metrics>,
+    cfg: BatchConfig,
+) {
+    let mut cache: LruCache<Vec<u32>, Vec<f32>> = LruCache::new(cfg.cache_capacity);
+    let mut cache_version = 0u64;
+    while let Some(batch) = collect_batch(&rx, &cfg) {
+        metrics.batch(Route::Recommend, batch.len());
+        let state = handle.current();
+        if state.version != cache_version {
+            cache.clear();
+            cache_version = state.version;
+        }
+        execute_recommend(batch, &state, &metrics, &mut cache);
+    }
+}
+
+fn execute_recommend(
+    batch: Vec<RecommendJob>,
+    state: &ServingState,
+    metrics: &Metrics,
+    cache: &mut LruCache<Vec<u32>, Vec<f32>>,
+) {
+    let num_items = state.fitted.num_items() as u32;
+    let d = state.fitted.model.config().embed_dim;
+
+    // validate; invalid jobs are answered immediately and drop out
+    let mut valid: Vec<RecommendJob> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.history.is_empty() {
+            let _ = job.reply.send(Err(JobError::BadRequest("history must be non-empty".into())));
+        } else if let Some(&bad) = job.history.iter().find(|&&i| i >= num_items) {
+            let _ = job.reply.send(Err(JobError::BadRequest(format!(
+                "history item {bad} outside the model's {num_items}-item vocabulary"
+            ))));
+        } else if job.k == 0 {
+            let _ = job.reply.send(Err(JobError::BadRequest("k must be at least 1".into())));
+        } else {
+            valid.push(job);
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    // embeddings: cache first, one batched forward pass for the misses
+    let mut queries: Vec<Vec<f32>> = Vec::with_capacity(valid.len());
+    let mut miss_idx: Vec<usize> = Vec::new();
+    for (i, job) in valid.iter().enumerate() {
+        match cache.get(&job.history) {
+            Some(e) => {
+                metrics.cache_hit();
+                queries.push(e.clone());
+            }
+            None => {
+                metrics.cache_miss();
+                miss_idx.push(i);
+                queries.push(Vec::new());
+            }
+        }
+    }
+    if !miss_idx.is_empty() {
+        let histories: Vec<&[u32]> =
+            miss_idx.iter().map(|&i| valid[i].history.as_slice()).collect();
+        let flat = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.fitted.embed_users(&histories)
+        })) {
+            Ok(flat) => flat,
+            Err(_) => {
+                for job in valid {
+                    let _ = job
+                        .reply
+                        .send(Err(JobError::Internal("embedding forward pass panicked".into())));
+                }
+                return;
+            }
+        };
+        for (slot, &i) in miss_idx.iter().enumerate() {
+            let e = flat[slot * d..(slot + 1) * d].to_vec();
+            cache.insert(valid[i].history.clone(), e.clone());
+            queries[i] = e;
+        }
+    }
+
+    // one ANN search per distinct k, jobs kept in arrival order within each
+    let mut by_k: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, job) in valid.iter().enumerate() {
+        by_k.entry(job.k).or_default().push(i);
+    }
+    for (k, indices) in by_k {
+        let mut flat: Vec<f32> = Vec::with_capacity(indices.len() * d);
+        for &i in &indices {
+            flat.extend_from_slice(&queries[i]);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.fitted.recommend_by_embeddings(&flat, k)
+        }));
+        match result {
+            Ok(hits) => {
+                for (&i, h) in indices.iter().zip(hits) {
+                    let _ = valid[i].reply.send(Ok(h));
+                }
+            }
+            Err(_) => {
+                for &i in &indices {
+                    let _ = valid[i]
+                        .reply
+                        .send(Err(JobError::Internal("ANN search panicked".into())));
+                }
+            }
+        }
+    }
+}
+
+/// The `/target` twin of [`run_recommend_batcher`] (no cache: the item
+/// tower is a single embedding-table row, there is nothing to save).
+pub fn run_target_batcher(
+    rx: Receiver<TargetJob>,
+    handle: Arc<ModelHandle>,
+    metrics: Arc<Metrics>,
+    cfg: BatchConfig,
+) {
+    while let Some(batch) = collect_batch(&rx, &cfg) {
+        metrics.batch(Route::Target, batch.len());
+        let state = handle.current();
+        execute_target(batch, &state);
+    }
+}
+
+fn execute_target(batch: Vec<TargetJob>, state: &ServingState) {
+    let num_items = state.fitted.num_items() as u32;
+    let mut valid: Vec<TargetJob> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.item >= num_items {
+            let _ = job.reply.send(Err(JobError::BadRequest(format!(
+                "item {} outside the model's {num_items}-item vocabulary",
+                job.item
+            ))));
+        } else if job.k == 0 {
+            let _ = job.reply.send(Err(JobError::BadRequest("k must be at least 1".into())));
+        } else {
+            valid.push(job);
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+    let mut by_k: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, job) in valid.iter().enumerate() {
+        by_k.entry(job.k).or_default().push(i);
+    }
+    for (k, indices) in by_k {
+        let items: Vec<u32> = indices.iter().map(|&i| valid[i].item).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.fitted.target_users_batch(&items, k)
+        }));
+        match result {
+            Ok(lists) => {
+                for (&i, users) in indices.iter().zip(lists) {
+                    let _ = valid[i].reply.send(Ok(users));
+                }
+            }
+            Err(_) => {
+                for &i in &indices {
+                    let _ = valid[i]
+                        .reply
+                        .send(Err(JobError::Internal("ANN search panicked".into())));
+                }
+            }
+        }
+    }
+}

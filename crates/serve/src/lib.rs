@@ -1,0 +1,51 @@
+//! # unimatch-serve
+//!
+//! The online serving subsystem of the UniMatch reproduction: a
+//! std-only (zero external dependency) HTTP server that answers both
+//! marketing tasks from one hot-swappable model, completing the
+//! production story of Sec. III-B3 — month-by-month incremental
+//! retraining feeding a fleet that serves item recommendation *and* user
+//! targeting from the same embeddings.
+//!
+//! Architecture (details in `docs/ARCHITECTURE.md`):
+//!
+//! * **micro-batching** ([`batcher`]) — concurrent requests arriving
+//!   within a small window are coalesced into one call to the batched
+//!   serving APIs, so the `unimatch-parallel` fan-out amortizes across
+//!   callers; results are identical to unbatched calls;
+//! * **model hot-swap** (`unimatch_core::serving::ModelHandle`) —
+//!   `POST /reload` builds the next serving snapshot off-lock and swaps a
+//!   pointer; in-flight batches finish on the version that admitted them;
+//! * **embedding cache** ([`cache`]) — an exact LRU over user histories
+//!   that removes the user-tower forward pass for hot users;
+//! * **observability** ([`metrics`]) — request/error counters, a latency
+//!   histogram, the batch-size distribution, and the cache hit rate, all
+//!   exposed as text on `GET /metrics`;
+//! * **bounded intake** ([`http`]) — capped header/body sizes, a
+//!   per-connection read timeout, a connection cap, and graceful shutdown
+//!   that drains every admitted request.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use unimatch_core::{ModelHandle, UniMatch};
+//! use unimatch_data::DatasetProfile;
+//! use unimatch_serve::{ServeConfig, Server};
+//!
+//! let log = DatasetProfile::EComp.generate(0.2, 42).filter_min_interactions(3);
+//! let handle = ModelHandle::from_checkpoint(UniMatch::default(), "model.json", log)?;
+//! let server = Server::start("127.0.0.1:7878", Arc::new(handle), ServeConfig::default())?;
+//! println!("serving on {}", server.addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use cache::LruCache;
+pub use metrics::{Metrics, Route};
+pub use server::{recommend_body, target_body, ServeConfig, Server};

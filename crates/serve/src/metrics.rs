@@ -1,0 +1,332 @@
+//! Serving metrics: lock-free counters and histograms with a text
+//! exposition endpoint (`GET /metrics`, Prometheus-style line format).
+//!
+//! Every counter is a relaxed atomic — the hot path pays one `fetch_add`
+//! per observation and the exposition renders a consistent-enough snapshot
+//! without stopping traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The served routes, used as metric labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /recommend` — IR, user history → top-k items.
+    Recommend,
+    /// `POST /target` — UT, item → top-k users.
+    Target,
+    /// `POST /reload` — checkpoint hot-swap.
+    Reload,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+}
+
+impl Route {
+    /// All routes, in exposition order.
+    pub const ALL: [Route; 5] =
+        [Route::Recommend, Route::Target, Route::Reload, Route::Healthz, Route::Metrics];
+
+    /// The metric label for this route.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Recommend => "recommend",
+            Route::Target => "target",
+            Route::Reload => "reload",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Route::Recommend => 0,
+            Route::Target => 1,
+            Route::Reload => 2,
+            Route::Healthz => 3,
+            Route::Metrics => 4,
+        }
+    }
+}
+
+/// A fixed-bucket histogram with cumulative (`le`) exposition.
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// One count per bound plus a final overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            let sep = if labels.is_empty() { "" } else { "," };
+            writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}")
+                .expect("write to String");
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let sep = if labels.is_empty() { "" } else { "," };
+        writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}")
+            .expect("write to String");
+        let braces = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+        writeln!(out, "{name}_sum{braces} {}", self.sum()).expect("write to String");
+        writeln!(out, "{name}_count{braces} {}", self.count()).expect("write to String");
+    }
+}
+
+/// Request latency bucket bounds, microseconds.
+const LATENCY_BOUNDS_US: [u64; 11] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// Micro-batch size bucket bounds (requests coalesced per execution).
+const BATCH_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// All serving metrics, shared across connection and batcher threads.
+pub struct Metrics {
+    requests: [AtomicU64; 5],
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    /// End-to-end request latency (parse → response ready), µs; one
+    /// histogram per query route.
+    latency_recommend_us: Histogram,
+    /// See [`Metrics::latency_recommend_us`].
+    latency_target_us: Histogram,
+    batch_recommend: Histogram,
+    batch_target: Histogram,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    reloads: AtomicU64,
+    connections_rejected: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: Default::default(),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            latency_recommend_us: Histogram::new(&LATENCY_BOUNDS_US),
+            latency_target_us: Histogram::new(&LATENCY_BOUNDS_US),
+            batch_recommend: Histogram::new(&BATCH_BOUNDS),
+            batch_target: Histogram::new(&BATCH_BOUNDS),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Counts one request routed to `route`.
+    pub fn request(&self, route: Route) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests seen so far on `route`.
+    pub fn requests(&self, route: Route) -> u64 {
+        self.requests[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts one response with `status`.
+    pub fn response(&self, status: u16) {
+        match status {
+            400..=499 => {
+                self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Records an end-to-end latency observation for a query route.
+    pub fn latency(&self, route: Route, micros: u64) {
+        match route {
+            Route::Recommend => self.latency_recommend_us.observe(micros),
+            Route::Target => self.latency_target_us.observe(micros),
+            _ => {}
+        }
+    }
+
+    /// Records the size of one executed micro-batch.
+    pub fn batch(&self, route: Route, size: usize) {
+        match route {
+            Route::Recommend => self.batch_recommend.observe(size as u64),
+            Route::Target => self.batch_target.observe(size as u64),
+            _ => {}
+        }
+    }
+
+    /// Batches executed so far for a query route.
+    pub fn batches(&self, route: Route) -> u64 {
+        match route {
+            Route::Recommend => self.batch_recommend.count(),
+            Route::Target => self.batch_target.count(),
+            _ => 0,
+        }
+    }
+
+    /// Counts an embedding-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an embedding-cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a successful checkpoint reload.
+    pub fn reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection turned away at the connection cap.
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the text exposition. `model_version` is sampled by the
+    /// caller from the serving handle at scrape time.
+    pub fn render(&self, model_version: u64) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        for route in Route::ALL {
+            writeln!(
+                out,
+                "unimatch_requests_total{{route=\"{}\"}} {}",
+                route.label(),
+                self.requests(route)
+            )
+            .expect("write to String");
+        }
+        writeln!(
+            out,
+            "unimatch_responses_total{{class=\"4xx\"}} {}",
+            self.responses_4xx.load(Ordering::Relaxed)
+        )
+        .expect("write to String");
+        writeln!(
+            out,
+            "unimatch_responses_total{{class=\"5xx\"}} {}",
+            self.responses_5xx.load(Ordering::Relaxed)
+        )
+        .expect("write to String");
+        self.latency_recommend_us.render(
+            "unimatch_request_latency_us",
+            "route=\"recommend\"",
+            &mut out,
+        );
+        self.latency_target_us.render("unimatch_request_latency_us", "route=\"target\"", &mut out);
+        self.batch_recommend.render("unimatch_batch_size", "route=\"recommend\"", &mut out);
+        self.batch_target.render("unimatch_batch_size", "route=\"target\"", &mut out);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        writeln!(out, "unimatch_embedding_cache_hits_total {hits}").expect("write to String");
+        writeln!(out, "unimatch_embedding_cache_misses_total {misses}").expect("write to String");
+        let ratio = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        writeln!(out, "unimatch_embedding_cache_hit_ratio {ratio}").expect("write to String");
+        writeln!(out, "unimatch_reloads_total {}", self.reloads.load(Ordering::Relaxed))
+            .expect("write to String");
+        writeln!(
+            out,
+            "unimatch_connections_rejected_total {}",
+            self.connections_rejected.load(Ordering::Relaxed)
+        )
+        .expect("write to String");
+        writeln!(out, "unimatch_model_version {model_version}").expect("write to String");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // le="10" is inclusive
+        h.observe(50);
+        h.observe(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+        let mut out = String::new();
+        h.render("x", "", &mut out);
+        assert!(out.contains("x_bucket{le=\"10\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"100\"} 3"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 4"), "{out}");
+        assert!(out.contains("x_count 4"), "{out}");
+    }
+
+    #[test]
+    fn exposition_contains_all_families() {
+        let m = Metrics::new();
+        m.request(Route::Recommend);
+        m.request(Route::Metrics);
+        m.response(404);
+        m.response(500);
+        m.latency(Route::Recommend, 123);
+        m.batch(Route::Recommend, 7);
+        m.cache_hit();
+        m.cache_miss();
+        m.reload();
+        m.connection_rejected();
+        let text = m.render(3);
+        for needle in [
+            "unimatch_requests_total{route=\"recommend\"} 1",
+            "unimatch_requests_total{route=\"metrics\"} 1",
+            "unimatch_responses_total{class=\"4xx\"} 1",
+            "unimatch_responses_total{class=\"5xx\"} 1",
+            "unimatch_request_latency_us_bucket{route=\"recommend\",le=\"250\"} 1",
+            "unimatch_batch_size_bucket{route=\"recommend\",le=\"8\"} 1",
+            "unimatch_embedding_cache_hits_total 1",
+            "unimatch_embedding_cache_hit_ratio 0.5",
+            "unimatch_reloads_total 1",
+            "unimatch_connections_rejected_total 1",
+            "unimatch_model_version 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The TCP accept loop, request routing, and lifecycle management.
+//!
+//! ```text
+//!        TCP accept (cap)        admission queues          batched execution
+//! client ──► connection thread ──► RecommendJob/TargetJob ──► batcher thread ──► reply
+//!                │                                               │
+//!                └── /reload, /healthz, /metrics ── ModelHandle ─┘  (hot-swap snapshot)
+//! ```
+//!
+//! Endpoints:
+//!
+//! | route | method | body | reply |
+//! |---|---|---|---|
+//! | `/recommend` | POST | `{"history":[ids],"k":N}` | `{"k":N,"items":[{"id","score"}]}` |
+//! | `/target` | POST | `{"item":id,"k":N}` | `{"k":N,"users":[{"id","score"}]}` |
+//! | `/reload` | POST | `{}` or `{"checkpoint":"path"}` | `{"version":N,"checkpoint":"path"}` |
+//! | `/healthz` | GET | — | `{"status":"ok","version":N,…}` |
+//! | `/metrics` | GET | — | text exposition |
+//!
+//! All ids are the dense internal universe (the CLI persists the external
+//! ↔ dense vocabularies next to the checkpoint for translation).
+
+use crate::batcher::{
+    run_recommend_batcher, run_target_batcher, BatchConfig, JobError, RecommendJob, TargetJob,
+};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::{Metrics, Route};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use unimatch_ann::Hit;
+use unimatch_core::ModelHandle;
+use unimatch_data::json::Json;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Micro-batching window: how long an admitted request may wait for
+    /// co-travellers before its batch executes.
+    pub batch_window: Duration,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Capacity of the user-history embedding LRU cache (0 disables).
+    pub cache_capacity: usize,
+    /// Maximum concurrently served connections; excess connections are
+    /// answered `503` immediately instead of queueing without bound.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 64,
+            cache_capacity: 4096,
+            max_connections: 256,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything a connection thread needs; dropping the last `Shared` closes
+/// the admission queues, which lets the batchers drain and exit.
+struct Shared {
+    handle: Arc<ModelHandle>,
+    metrics: Arc<Metrics>,
+    recommend_tx: Sender<RecommendJob>,
+    target_tx: Sender<TargetJob>,
+    read_timeout: Duration,
+}
+
+/// A running server. Obtain with [`Server::start`], stop with
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown_flag: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Option<Arc<Shared>>,
+    handle: Arc<ModelHandle>,
+    metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and both batcher threads.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        handle: Arc<ModelHandle>,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+
+        let batch_cfg = BatchConfig {
+            window: config.batch_window,
+            max_batch: config.max_batch.max(1),
+            cache_capacity: config.cache_capacity,
+        };
+        let (recommend_tx, recommend_rx) = channel::<RecommendJob>();
+        let (target_tx, target_rx) = channel::<TargetJob>();
+        let mut batcher_threads = Vec::with_capacity(2);
+        {
+            let (h, m) = (handle.clone(), metrics.clone());
+            batcher_threads.push(
+                std::thread::Builder::new()
+                    .name("unimatch-batch-recommend".into())
+                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg))?,
+            );
+        }
+        {
+            let (h, m) = (handle.clone(), metrics.clone());
+            batcher_threads.push(
+                std::thread::Builder::new()
+                    .name("unimatch-batch-target".into())
+                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg))?,
+            );
+        }
+
+        let shared = Arc::new(Shared {
+            handle: handle.clone(),
+            metrics: metrics.clone(),
+            recommend_tx,
+            target_tx,
+            read_timeout: config.read_timeout,
+        });
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = shared.clone();
+            let shutdown = shutdown_flag.clone();
+            let conn_threads = conn_threads.clone();
+            let max_connections = config.max_connections.max(1);
+            std::thread::Builder::new().name("unimatch-accept".into()).spawn(move || {
+                accept_loop(listener, shared, shutdown, conn_threads, max_connections)
+            })?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown_flag,
+            accept_thread: Some(accept_thread),
+            batcher_threads,
+            conn_threads,
+            shared: Some(shared),
+            handle,
+            metrics,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving metrics, shared with all server threads.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+
+    /// The hot-swappable model handle this server answers from.
+    pub fn model(&self) -> Arc<ModelHandle> {
+        self.handle.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, finish every connection already
+    /// accepted, drain the admission queues, then join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown_flag.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // unblock the accept loop with a no-op connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // every accepted connection runs to completion (bounded by the
+        // read timeout), enqueueing into the still-open queues
+        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn list poisoned"));
+        for t in conns {
+            let _ = t.join();
+        }
+        // dropping the last Shared closes the queues; the batchers answer
+        // what is left and exit
+        self.shared = None;
+        for t in self.batcher_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_connections: usize,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if active.load(Ordering::SeqCst) >= max_connections {
+            shared.metrics.connection_rejected();
+            let body = error_body("server at connection capacity");
+            let _ = write_response(&mut stream, 503, "application/json", &body);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let shared = shared.clone();
+        let active_in_conn = active.clone();
+        let spawned = std::thread::Builder::new().name("unimatch-conn".into()).spawn(move || {
+            handle_connection(stream, &shared);
+            active_in_conn.fetch_sub(1, Ordering::SeqCst);
+        });
+        match spawned {
+            Ok(t) => {
+                let mut conns = conn_threads.lock().expect("conn list poisoned");
+                conns.retain(|t| !t.is_finished());
+                conns.push(t);
+            }
+            Err(_) => {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Serializes a `/recommend` result body. Public so integration tests can
+/// assert the server's bytes are identical to a direct in-process call.
+pub fn recommend_body(k: usize, hits: &[Hit]) -> Vec<u8> {
+    Json::obj(vec![
+        ("k", Json::int(k)),
+        (
+            "items",
+            Json::Arr(
+                hits.iter()
+                    .map(|h| {
+                        Json::obj(vec![
+                            ("id", Json::int(h.id as usize)),
+                            ("score", Json::F32(h.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_bytes()
+}
+
+/// Serializes a `/target` result body (see [`recommend_body`]).
+pub fn target_body(k: usize, users: &[(u32, f32)]) -> Vec<u8> {
+    Json::obj(vec![
+        ("k", Json::int(k)),
+        (
+            "users",
+            Json::Arr(
+                users
+                    .iter()
+                    .map(|&(id, score)| {
+                        Json::obj(vec![
+                            ("id", Json::int(id as usize)),
+                            ("score", Json::F32(score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_bytes()
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    Json::obj(vec![("error", Json::str(message))]).to_bytes()
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(msg)) => {
+            shared.metrics.response(400);
+            let _ = write_response(&mut stream, 400, "application/json", &error_body(msg));
+            return;
+        }
+        Err(HttpError::TooLarge) => {
+            shared.metrics.response(413);
+            let _ =
+                write_response(&mut stream, 413, "application/json", &error_body("body too large"));
+            return;
+        }
+        Err(HttpError::Io(_)) => {
+            // timeout or disconnect: nobody is listening for a reply
+            return;
+        }
+    };
+    let started = Instant::now();
+    let (route, status, content_type, body) = dispatch(&request, shared);
+    if let Some(route) = route {
+        shared.metrics.request(route);
+        shared.metrics.latency(route, started.elapsed().as_micros() as u64);
+    }
+    shared.metrics.response(status);
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+type Dispatch = (Option<Route>, u16, &'static str, Vec<u8>);
+
+fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/recommend") => route_recommend(request, shared),
+        ("POST", "/target") => route_target(request, shared),
+        ("POST", "/reload") => route_reload(request, shared),
+        ("GET", "/healthz") => {
+            let state = shared.handle.current();
+            let body = Json::obj(vec![
+                ("status", Json::str("ok")),
+                ("version", Json::int(state.version as usize)),
+                ("items", Json::int(state.fitted.num_items())),
+                ("pool_users", Json::int(state.fitted.num_pool_users())),
+            ])
+            .to_bytes();
+            (Some(Route::Healthz), 200, "application/json", body)
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render(shared.handle.version()).into_bytes();
+            (Some(Route::Metrics), 200, "text/plain; version=0.0.4", body)
+        }
+        (_, "/recommend" | "/target" | "/reload" | "/healthz" | "/metrics") => {
+            (None, 405, "application/json", error_body("method not allowed"))
+        }
+        _ => (None, 404, "application/json", error_body("no such route")),
+    }
+}
+
+/// Parses `k` with a default of 10, bounded only by the batcher's
+/// validation (k ≥ 1).
+fn parse_k(body: &Json) -> Result<usize, String> {
+    match body.get("k") {
+        None => Ok(10),
+        Some(v) => {
+            v.as_u64().map(|k| k as usize).ok_or_else(|| "k must be an integer".to_string())
+        }
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, String> {
+    Json::parse(&request.body).map_err(|e| e.to_string())
+}
+
+fn route_recommend(request: &Request, shared: &Shared) -> Dispatch {
+    let route = Some(Route::Recommend);
+    let parsed = parse_body(request).and_then(|body| {
+        let k = parse_k(&body)?;
+        let history: Vec<u32> = body
+            .get("history")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "history must be an array of item ids".to_string())?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .filter(|&x| x <= u32::MAX as u64)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| "history entries must be item ids".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((history, k))
+    });
+    let (history, k) = match parsed {
+        Ok(p) => p,
+        Err(msg) => return (route, 400, "application/json", error_body(&msg)),
+    };
+    let (reply_tx, reply_rx) = channel();
+    if shared.recommend_tx.send(RecommendJob { history, k, reply: reply_tx }).is_err() {
+        return (route, 503, "application/json", error_body("server shutting down"));
+    }
+    match reply_rx.recv() {
+        Ok(Ok(hits)) => (route, 200, "application/json", recommend_body(k, &hits)),
+        Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
+        Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
+        Err(_) => (route, 500, "application/json", error_body("batch executor unavailable")),
+    }
+}
+
+fn route_target(request: &Request, shared: &Shared) -> Dispatch {
+    let route = Some(Route::Target);
+    let parsed = parse_body(request).and_then(|body| {
+        let k = parse_k(&body)?;
+        let item = body
+            .get("item")
+            .and_then(Json::as_u64)
+            .filter(|&x| x <= u32::MAX as u64)
+            .ok_or_else(|| "item must be an item id".to_string())?;
+        Ok((item as u32, k))
+    });
+    let (item, k) = match parsed {
+        Ok(p) => p,
+        Err(msg) => return (route, 400, "application/json", error_body(&msg)),
+    };
+    let (reply_tx, reply_rx) = channel();
+    if shared.target_tx.send(TargetJob { item, k, reply: reply_tx }).is_err() {
+        return (route, 503, "application/json", error_body("server shutting down"));
+    }
+    match reply_rx.recv() {
+        Ok(Ok(users)) => (route, 200, "application/json", target_body(k, &users)),
+        Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
+        Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
+        Err(_) => (route, 500, "application/json", error_body("batch executor unavailable")),
+    }
+}
+
+fn route_reload(request: &Request, shared: &Shared) -> Dispatch {
+    let route = Some(Route::Reload);
+    let checkpoint: Option<String> = if request.body.is_empty() {
+        None
+    } else {
+        match parse_body(request) {
+            Ok(body) => match body.get("checkpoint") {
+                None | Some(Json::Null) => None,
+                Some(v) => match v.as_str() {
+                    Some(s) => Some(s.to_string()),
+                    None => {
+                        return (
+                            route,
+                            400,
+                            "application/json",
+                            error_body("checkpoint must be a path string"),
+                        )
+                    }
+                },
+            },
+            Err(msg) => return (route, 400, "application/json", error_body(&msg)),
+        }
+    };
+    match shared.handle.reload(checkpoint.as_deref().map(Path::new)) {
+        Ok(state) => {
+            shared.metrics.reload();
+            let body = Json::obj(vec![
+                ("version", Json::int(state.version as usize)),
+                ("checkpoint", Json::str(state.checkpoint.display().to_string())),
+            ])
+            .to_bytes();
+            (route, 200, "application/json", body)
+        }
+        Err(e) => (route, 500, "application/json", error_body(&e.to_string())),
+    }
+}

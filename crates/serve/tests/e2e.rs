@@ -1,0 +1,216 @@
+//! Loopback end-to-end test of the serving subsystem: a real `Server` on
+//! an ephemeral port, hammered by concurrent client threads, with a model
+//! hot-swap in the middle of traffic.
+//!
+//! The core assertion is *byte identity*: every HTTP response body must
+//! equal the bytes produced by serializing a direct in-process
+//! `FittedUniMatch` call through the same writer — micro-batching, the
+//! embedding cache, and k-grouping must be invisible to clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use unimatch_core::persist::save_model;
+use unimatch_core::{ModelHandle, UniMatch, UniMatchConfig};
+use unimatch_data::DatasetProfile;
+use unimatch_serve::{recommend_body, target_body, ServeConfig, Server};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("unimatch_serve_e2e_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns (status, body).
+/// The server closes every connection after one response, so reading to
+/// EOF is the framing.
+fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send head");
+    stream.write_all(body).expect("send body");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = std::str::from_utf8(&response[..head_end]).expect("utf8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in status line");
+    (status, response[head_end + 4..].to_vec())
+}
+
+/// Reads the value of a single-sample metric line (`name value` or
+/// `name{labels} value`).
+fn metric_value(metrics: &str, prefix: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {prefix} missing from:\n{metrics}"))
+}
+
+#[test]
+fn concurrent_serving_is_byte_identical_and_survives_reload() {
+    let dir = tmp_dir("full");
+    let log = DatasetProfile::EComp.generate(0.15, 21).filter_min_interactions(3);
+    let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+    let model_a = UniMatch::new(cfg.clone()).fit(log.clone());
+    let model_b = UniMatch::new(UniMatchConfig { seed: 77, ..cfg.clone() }).fit(log.clone());
+    let path_a = dir.join("a.json");
+    let path_b = dir.join("b.json");
+    save_model(&model_a.model, &path_a).expect("save a");
+    save_model(&model_b.model, &path_b).expect("save b");
+
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &path_a, log).expect("initial checkpoint"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle.clone(),
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let num_items = handle.current().fitted.num_items() as u32;
+    assert!(num_items > 16, "dataset too small for the test vectors");
+
+    // -- phase 1: concurrent clients, responses byte-identical to direct calls
+    let fitted_a = handle.current();
+    let mut clients = Vec::new();
+    for t in 0..8u32 {
+        // /recommend: distinct histories and k so batches mix k-groups
+        let history: Vec<u32> = (0..3 + t % 3).map(|j| (t * 5 + j) % num_items).collect();
+        let k = 3 + (t as usize % 4);
+        let expected = recommend_body(k, &fitted_a.fitted.recommend_items(&history, k));
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let ids: Vec<String> = history.iter().map(u32::to_string).collect();
+            let body = format!("{{\"history\":[{}],\"k\":{k}}}", ids.join(","));
+            let (status, got) = request(&addr, "POST", "/recommend", body.as_bytes());
+            assert_eq!(status, 200, "recommend {t}: {}", String::from_utf8_lossy(&got));
+            assert_eq!(got, expected, "recommend {t} not byte-identical");
+        }));
+    }
+    for t in 0..8u32 {
+        // /target: distinct items and k
+        let item = (t * 7) % num_items;
+        let k = 2 + (t as usize % 4);
+        let expected = target_body(k, &fitted_a.fitted.target_users(item, k));
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let body = format!("{{\"item\":{item},\"k\":{k}}}");
+            let (status, got) = request(&addr, "POST", "/target", body.as_bytes());
+            assert_eq!(status, 200, "target {t}: {}", String::from_utf8_lossy(&got));
+            assert_eq!(got, expected, "target {t} not byte-identical");
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // repeat one history so the embedding cache sees a hit
+    let history = [1u32, 2, 3];
+    let expected = recommend_body(5, &fitted_a.fitted.recommend_items(&history, 5));
+    for _ in 0..2 {
+        let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+        assert_eq!(status, 200);
+        assert_eq!(got, expected);
+    }
+
+    // -- phase 2: hot-swap mid-traffic; no admitted request may fail
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let (addr, stop) = (addr.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut served = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) =
+                    request(&addr, "POST", "/recommend", b"{\"history\":[4,5,6],\"k\":4}");
+                assert_eq!(
+                    status,
+                    200,
+                    "request failed during reload: {}",
+                    String::from_utf8_lossy(&body)
+                );
+                served += 1;
+            }
+            served
+        })
+    };
+    let reload_body = format!("{{\"checkpoint\":{:?}}}", path_b.to_str().expect("utf8 path"));
+    let (status, body) = request(&addr, "POST", "/reload", reload_body.as_bytes());
+    assert_eq!(status, 200, "reload: {}", String::from_utf8_lossy(&body));
+    let body = String::from_utf8(body).expect("utf8 reload body");
+    assert!(body.contains("\"version\":2"), "{body}");
+    stop.store(true, Ordering::Relaxed);
+    let served_during_reload = hammer.join().expect("hammer thread");
+    assert!(served_during_reload > 0, "hammer never got a request through");
+
+    // post-swap responses come from model B (and stay byte-identical)
+    let fitted_b = handle.current();
+    assert_eq!(fitted_b.version, 2);
+    let expected_b = recommend_body(5, &fitted_b.fitted.recommend_items(&history, 5));
+    let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected_b, "post-reload response must come from the new model");
+    assert_ne!(expected_b, expected, "models a and b should rank differently");
+
+    // -- phase 3: malformed input and unknown routes
+    let (status, _) = request(&addr, "POST", "/recommend", b"{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(&addr, "POST", "/recommend", b"{\"history\":[],\"k\":3}");
+    assert_eq!(status, 400, "empty history must be rejected");
+    let (status, body) =
+        request(&addr, "POST", "/recommend", format!("{{\"history\":[{num_items}]}}").as_bytes());
+    assert_eq!(status, 400, "out-of-vocabulary history must be rejected");
+    assert!(String::from_utf8_lossy(&body).contains("vocabulary"));
+    let (status, _) = request(&addr, "POST", "/target", b"{\"k\":3}");
+    assert_eq!(status, 400, "missing item must be rejected");
+    let (status, _) = request(&addr, "GET", "/recommend", b"");
+    assert_eq!(status, 405);
+    let (status, _) = request(&addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "POST", "/reload", b"{\"checkpoint\":\"/missing.json\"}");
+    assert_eq!(status, 500, "reload of a missing checkpoint must fail without crashing");
+    let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200, "failed reload must leave the server serving");
+    assert_eq!(got, expected_b);
+
+    // -- phase 4: the metrics endpoint reflects everything above
+    let (status, metrics) = request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(metrics).expect("utf8 metrics");
+    assert!(metric_value(&metrics, "unimatch_requests_total{route=\"recommend\"}") >= 14.0);
+    assert!(metric_value(&metrics, "unimatch_requests_total{route=\"target\"}") >= 8.0);
+    assert!(metric_value(&metrics, "unimatch_requests_total{route=\"reload\"}") >= 2.0);
+    assert!(metric_value(&metrics, "unimatch_responses_total{class=\"4xx\"}") >= 4.0);
+    assert!(
+        metric_value(&metrics, "unimatch_batch_size_count{route=\"recommend\"}") >= 1.0,
+        "batch-size histogram must have observations"
+    );
+    assert!(metric_value(&metrics, "unimatch_embedding_cache_hits_total") >= 1.0);
+    assert!(metric_value(&metrics, "unimatch_reloads_total") >= 1.0);
+    assert_eq!(metric_value(&metrics, "unimatch_model_version"), 2.0);
+
+    // -- phase 5: graceful shutdown; the port stops accepting
+    drop(server);
+    assert!(TcpStream::connect(&addr).is_err(), "server still accepting after shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

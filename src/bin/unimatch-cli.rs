@@ -6,19 +6,25 @@
 //! unimatch-cli recommend --model model.json --log log.csv --user <id> --k 10
 //! unimatch-cli target    --model model.json --log log.csv --item <id> --k 10
 //! unimatch-cli evaluate  --model model.json --log log.csv
+//! unimatch-cli serve     --checkpoint model.json --log log.csv --addr 127.0.0.1:7878
 //! ```
 //!
 //! Logs are CSV with a `user,item,day` header; user and item ids may be
 //! arbitrary strings — they are interned to dense ids and the vocabularies
 //! are persisted next to the model (`<model>.users.json`,
-//! `<model>.items.json`) so results translate back.
+//! `<model>.items.json`) so results translate back. The HTTP API exposed
+//! by `serve` speaks the dense ids directly.
 
 use std::collections::HashMap;
 use std::process::exit;
-use unimatch_core::{evaluate, load_model, save_model, UniMatch, UniMatchConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use unimatch_core::{evaluate, load_model, save_model, ModelHandle, UniMatch, UniMatchConfig};
+use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
 use unimatch_data::{DatasetProfile, InteractionLog};
 use unimatch_eval::ProtocolConfig;
+use unimatch_serve::{ServeConfig, Server};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +41,7 @@ fn main() {
         "recommend" => cmd_recommend(&flags),
         "target" => cmd_target(&flags),
         "evaluate" => cmd_evaluate(&flags),
+        "serve" => cmd_serve(&flags),
         other => usage(&format!("unknown command {other}")),
     }
 }
@@ -42,13 +49,15 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: unimatch-cli <generate|fit|recommend|target|evaluate> [--flag value]...\n\
+        "usage: unimatch-cli <generate|fit|recommend|target|evaluate|serve> [--flag value]...\n\
          \n\
          generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
          recommend --model FILE --log FILE --user ID [--k N]\n\
          target    --model FILE --log FILE --item ID [--k N]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
+         serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
+         \u{20}         [--batch-max N] [--cache N] [--max-conns N]\n\
          \n\
          every command also accepts --threads N (worker threads for the\n\
          compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
@@ -114,6 +123,46 @@ fn vocab_paths(model_path: &str) -> (String, String) {
     (format!("{model_path}.users.json"), format!("{model_path}.items.json"))
 }
 
+/// Serializes a vocabulary in the shape serde would emit for it
+/// (`{"forward": {...}, "reverse": [...]}`), via the workspace's own JSON
+/// writer so the CLI works where the external crates are unavailable.
+fn vocab_to_json(vocab: &Vocab) -> Vec<u8> {
+    let reverse: Vec<&str> = (0..vocab.len() as u32)
+        .map(|ix| vocab.external(ix).expect("dense vocab"))
+        .collect();
+    Json::obj(vec![
+        (
+            "forward",
+            Json::Obj(reverse.iter().enumerate().map(|(i, s)| (s.to_string(), Json::int(i))).collect()),
+        ),
+        ("reverse", Json::Arr(reverse.iter().map(|s| Json::str(*s)).collect())),
+    ])
+    .to_bytes()
+}
+
+/// Rebuilds a vocabulary from its JSON form: `reverse` alone determines
+/// the bijection, so files written by serde or by [`vocab_to_json`] both
+/// load.
+fn vocab_from_json(bytes: &[u8]) -> Result<Vocab, String> {
+    let doc = Json::parse(bytes).map_err(|e| e.to_string())?;
+    let reverse = doc
+        .get("reverse")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "vocab file has no reverse list".to_string())?;
+    let mut vocab = Vocab::new();
+    for entry in reverse {
+        let s = entry.as_str().ok_or_else(|| "vocab entries must be strings".to_string())?;
+        vocab.intern(s);
+    }
+    Ok(vocab)
+}
+
+fn read_vocab(path: &str) -> Vocab {
+    let bytes =
+        std::fs::read(path).unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    vocab_from_json(&bytes).unwrap_or_else(|e| usage(&format!("bad vocab {path}: {e}")))
+}
+
 fn cmd_fit(flags: &HashMap<String, String>) {
     let (log, users, items) = read_log(flag(flags, "log"));
     let out = flag(flags, "out");
@@ -134,9 +183,9 @@ fn cmd_fit(flags: &HashMap<String, String>) {
     let fitted = UniMatch::new(config).fit(filtered);
     save_model(&fitted.model, out).unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
     let (up, ip) = vocab_paths(out);
-    std::fs::write(&up, serde_json::to_vec(&users).expect("vocab json"))
+    std::fs::write(&up, vocab_to_json(&users))
         .unwrap_or_else(|e| usage(&format!("cannot write {up}: {e}")));
-    std::fs::write(&ip, serde_json::to_vec(&items).expect("vocab json"))
+    std::fs::write(&ip, vocab_to_json(&items))
         .unwrap_or_else(|e| usage(&format!("cannot write {ip}: {e}")));
     println!(
         "model ({} parameters) saved to {out}; vocabularies alongside",
@@ -150,14 +199,8 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
         .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
     let (log, _, _) = read_log(flag(flags, "log"));
     let (up, ip) = vocab_paths(model_path);
-    let users: Vocab = serde_json::from_slice(
-        &std::fs::read(&up).unwrap_or_else(|e| usage(&format!("cannot read {up}: {e}"))),
-    )
-    .unwrap_or_else(|e| usage(&format!("bad vocab {up}: {e}")));
-    let items: Vocab = serde_json::from_slice(
-        &std::fs::read(&ip).unwrap_or_else(|e| usage(&format!("cannot read {ip}: {e}"))),
-    )
-    .unwrap_or_else(|e| usage(&format!("bad vocab {ip}: {e}")));
+    let users = read_vocab(&up);
+    let items = read_vocab(&ip);
     let config = UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         ..Default::default()
@@ -230,4 +273,41 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
         out.ut_cases
     );
     println!("AVG NDCG {:.2}%", 100.0 * out.avg_ndcg());
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let checkpoint = flag(flags, "checkpoint");
+    let (log, _, _) = read_log(flag(flags, "log"));
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let window_ms: f64 = flag_or(flags, "batch-window-ms", 2.0);
+    if !(0.0..=10_000.0).contains(&window_ms) {
+        usage("--batch-window-ms must be between 0 and 10000");
+    }
+    let serve_cfg = ServeConfig {
+        batch_window: Duration::from_micros((window_ms * 1000.0) as u64),
+        max_batch: flag_or(flags, "batch-max", 64),
+        cache_capacity: flag_or(flags, "cache", 4096),
+        max_connections: flag_or(flags, "max-conns", 256),
+        ..ServeConfig::default()
+    };
+    let framework = UniMatch::new(UniMatchConfig {
+        parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+        ..Default::default()
+    });
+    let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
+        .unwrap_or_else(|e| usage(&format!("cannot serve {checkpoint}: {e}")));
+    let server = Server::start(addr.as_str(), Arc::new(handle), serve_cfg)
+        .unwrap_or_else(|e| usage(&format!("cannot bind {addr}: {e}")));
+    println!(
+        "unimatch-serve listening on http://{} (model version {}, {} items, {} pool users)",
+        server.addr(),
+        server.model().version(),
+        server.model().current().fitted.num_items(),
+        server.model().current().fitted.num_pool_users(),
+    );
+    println!("routes: POST /recommend /target /reload — GET /healthz /metrics");
+    // serve until the process is killed
+    loop {
+        std::thread::park();
+    }
 }

@@ -82,6 +82,75 @@ fn full_cli_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Sends one HTTP/1.1 request over a fresh connection and returns the raw
+/// response (the server always closes the connection after answering).
+fn http_request(addr: &str, method: &str, path: &str, body: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn serve_subcommand_answers_requests() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("serve");
+    let log = dir.join("log.csv");
+    let model = dir.join("model.json");
+
+    let out = cli()
+        .args(["generate", "--profile", "ecomp", "--scale", "0.15", "--seed", "21"])
+        .args(["--out", log.to_str().expect("utf8")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["fit", "--log", log.to_str().expect("utf8")])
+        .args(["--out", model.to_str().expect("utf8"), "--epochs", "1"])
+        .output()
+        .expect("run fit");
+    assert!(out.status.success(), "fit failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Port 0: the kernel picks a free port, the CLI prints the real one.
+    let mut child = cli()
+        .args(["serve", "--checkpoint", model.to_str().expect("utf8")])
+        .args(["--log", log.to_str().expect("utf8"), "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve exited before listening").expect("read stdout");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().expect("addr token").to_string();
+        }
+    };
+
+    let health = http_request(&addr, "GET", "/healthz", "");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let rec = http_request(&addr, "POST", "/recommend", r#"{"history":[0,1,2],"k":3}"#);
+    assert!(rec.starts_with("HTTP/1.1 200"), "{rec}");
+    assert!(rec.contains("\"items\":["), "{rec}");
+
+    let metrics = http_request(&addr, "GET", "/metrics", "");
+    assert!(metrics.contains("unimatch_requests_total"), "{metrics}");
+
+    child.kill().expect("kill serve");
+    child.wait().expect("reap serve");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_rejects_bad_input() {
     let out = cli().args(["bogus"]).output().expect("run");
