@@ -6,7 +6,9 @@
 # 1. release build of every workspace target
 # 2. the full test suite (tier-1)
 # 3. the serving end-to-end test (real server on a loopback port)
-# 4. rustdoc for the workspace's own crates, failing on any doc warning
+# 4. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+#    end) plus a report-only diff against the committed baselines
+# 5. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -19,6 +21,14 @@ cargo test -q
 
 echo "==> cargo test -p unimatch-serve --test e2e (loopback serving)"
 cargo test -q -p unimatch-serve --test e2e
+
+echo "==> bench snapshot --smoke (schema-validated perf baselines)"
+SNAP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SNAP_DIR"' EXIT
+target/release/unimatch-cli bench snapshot --smoke --out "$SNAP_DIR"
+# Report-only: smoke numbers are scaled down, so the diff against the
+# committed full-run baselines informs rather than gates.
+target/release/unimatch-cli bench diff --baseline . --current "$SNAP_DIR" || true
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

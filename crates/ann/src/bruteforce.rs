@@ -2,6 +2,7 @@
 //! indexes are measured against.
 
 use crate::index::{dot, AnnIndex, Hit, TopK};
+use unimatch_obs as obs;
 
 /// A flat, exact inner-product index.
 #[derive(Clone, Debug)]
@@ -34,9 +35,20 @@ impl AnnIndex for BruteForceIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"bruteforce\"");
         let mut top = TopK::new(k);
         for r in 0..self.len() {
             top.push(r as u32, dot(query, self.row(r)));
+        }
+        if obs::enabled() {
+            obs::registry::counter_labeled("unimatch_ann_searches_total", "index=\"bruteforce\"")
+                .inc();
+            obs::registry::histogram(
+                "unimatch_ann_visited_nodes",
+                "index=\"bruteforce\"",
+                obs::COUNT_BOUNDS,
+            )
+            .observe(self.len() as u64);
         }
         top.into_sorted()
     }

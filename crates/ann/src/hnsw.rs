@@ -7,6 +7,7 @@
 
 use crate::index::{dot, AnnIndex, Hit, TopK};
 use rand::Rng;
+use unimatch_obs as obs;
 
 /// HNSW build/search parameters.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +46,7 @@ pub struct HnswIndex {
 impl HnswIndex {
     /// Builds the graph by inserting every row.
     pub fn build(data: Vec<f32>, dim: usize, cfg: HnswConfig, rng: &mut impl Rng) -> Self {
+        let _build_span = obs::span_us("unimatch_ann_build_us", "index=\"hnsw\"");
         assert!(dim > 0, "dim must be positive");
         assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
         let n = data.len() / dim;
@@ -74,9 +76,19 @@ impl HnswIndex {
     }
 
     /// Greedy beam search on one layer; returns up to `ef` best (score desc).
-    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Hit> {
+    /// `visited_count` accumulates how many distinct nodes were scored —
+    /// the work metric the observability layer reports per search.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        visited_count: &mut usize,
+    ) -> Vec<Hit> {
         let mut visited = std::collections::HashSet::new();
         visited.insert(entry);
+        *visited_count += 1;
         let mut candidates = std::collections::BinaryHeap::new(); // max-heap by score
         let entry_score = self.score(q, entry);
         candidates.push(ScoredId(entry_score, entry));
@@ -92,6 +104,7 @@ impl HnswIndex {
             }
             for &nb in &self.nodes[id as usize].neighbours[layer] {
                 if visited.insert(nb) {
+                    *visited_count += 1;
                     let s = self.score(q, nb);
                     if s > best.threshold() {
                         best.push(nb, s);
@@ -118,7 +131,7 @@ impl HnswIndex {
         let mut ep = self.entry;
         let mut layer = self.max_layer;
         while layer > level {
-            let found = self.search_layer(&q, ep, 1, layer);
+            let found = self.search_layer(&q, ep, 1, layer, &mut 0);
             if let Some(h) = found.first() {
                 ep = h.id;
             }
@@ -128,7 +141,7 @@ impl HnswIndex {
         // connect on layers min(level, max_layer)..=0
         let top = level.min(self.max_layer);
         for l in (0..=top).rev() {
-            let found = self.search_layer(&q, ep, self.cfg.ef_construction, l);
+            let found = self.search_layer(&q, ep, self.cfg.ef_construction, l, &mut 0);
             let m_max = if l == 0 { 2 * self.cfg.m } else { self.cfg.m };
             let selected: Vec<u32> =
                 found.iter().take(m_max).map(|h| h.id).filter(|&n| n != id).collect();
@@ -192,15 +205,22 @@ impl AnnIndex for HnswIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"hnsw\"");
+        let mut visited = 0usize;
         let mut ep = self.entry;
         for layer in (1..=self.max_layer).rev() {
-            if let Some(h) = self.search_layer(query, ep, 1, layer).first() {
+            if let Some(h) = self.search_layer(query, ep, 1, layer, &mut visited).first() {
                 ep = h.id;
             }
         }
         let ef = self.cfg.ef_search.max(k);
-        let mut hits = self.search_layer(query, ep, ef, 0);
+        let mut hits = self.search_layer(query, ep, ef, 0, &mut visited);
         hits.truncate(k);
+        if obs::enabled() {
+            obs::registry::counter_labeled("unimatch_ann_searches_total", "index=\"hnsw\"").inc();
+            obs::registry::histogram("unimatch_ann_visited_nodes", "index=\"hnsw\"", obs::COUNT_BOUNDS)
+                .observe(visited as u64);
+        }
         hits
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::index::{dot, AnnIndex, Hit, TopK};
 use rand::Rng;
+use unimatch_obs as obs;
 
 /// IVF build parameters.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +36,7 @@ pub struct IvfIndex {
 impl IvfIndex {
     /// Builds the index (k-means over the rows, then list assignment).
     pub fn build(data: Vec<f32>, dim: usize, cfg: IvfConfig, rng: &mut impl Rng) -> Self {
+        let _build_span = obs::span_us("unimatch_ann_build_us", "index=\"ivf\"");
         assert!(dim > 0, "dim must be positive");
         assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
         let n = data.len() / dim;
@@ -129,6 +131,7 @@ impl AnnIndex for IvfIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"ivf\"");
         // rank centroids
         let nlist = self.lists.len();
         let mut order: Vec<usize> = (0..nlist).collect();
@@ -138,10 +141,17 @@ impl AnnIndex for IvfIndex {
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut top = TopK::new(k);
+        let mut scanned = nlist; // every centroid is scored during ranking
         for &c in order.iter().take(self.nprobe) {
+            scanned += self.lists[c].len();
             for &r in &self.lists[c] {
                 top.push(r, dot(query, self.row(r as usize)));
             }
+        }
+        if obs::enabled() {
+            obs::registry::counter_labeled("unimatch_ann_searches_total", "index=\"ivf\"").inc();
+            obs::registry::histogram("unimatch_ann_visited_nodes", "index=\"ivf\"", obs::COUNT_BOUNDS)
+                .observe(scanned as u64);
         }
         top.into_sorted()
     }

@@ -13,5 +13,7 @@
 pub mod cli;
 pub mod convergence;
 pub mod experiments;
+pub mod schema;
+pub mod snapshot;
 
 pub use cli::Args;

@@ -1,0 +1,308 @@
+//! The machine-readable benchmark snapshot schema (`BENCH_*.json`) and
+//! its validator/differ.
+//!
+//! A snapshot file is one JSON object:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "train" | "ann" | "serve",
+//!   "config": { "scale": 1.0, "seed": 42, "smoke": false, "threads": 0 },
+//!   "metrics": {
+//!     "<name>": { "value": 123.4, "unit": "us", "direction": "lower_better" },
+//!     ...
+//!   }
+//! }
+//! ```
+//!
+//! `value` must be a finite number; `direction` tells the differ which
+//! way is a regression. The validator is hand-rolled over
+//! [`unimatch_data::json::Json`] — the same zero-dependency codec the
+//! checkpoints use — so CI needs nothing beyond the workspace itself.
+
+use unimatch_data::json::Json;
+
+/// Current snapshot schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The suites a snapshot can describe.
+pub const SUITES: [&str; 3] = ["train", "ann", "serve"];
+
+/// Which way a metric improves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is better (throughput, recall).
+    HigherBetter,
+    /// Smaller is better (latency, loss).
+    LowerBetter,
+}
+
+impl Direction {
+    /// The schema string for this direction.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::HigherBetter => "higher_better",
+            Direction::LowerBetter => "lower_better",
+        }
+    }
+
+    /// Parses a schema string.
+    pub fn from_label(s: &str) -> Option<Direction> {
+        match s {
+            "higher_better" => Some(Direction::HigherBetter),
+            "lower_better" => Some(Direction::LowerBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One measured metric.
+#[derive(Clone, Debug)]
+pub struct MetricPoint {
+    /// The measured value (must be finite).
+    pub value: f64,
+    /// Unit label (`us`, `per_s`, `ratio`, `nats`, …).
+    pub unit: &'static str,
+    /// Which way improvement points.
+    pub direction: Direction,
+}
+
+/// The run configuration recorded into a snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotConfig {
+    /// Dataset down-scaling factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether this was a cheap smoke run (CI) rather than a baseline.
+    pub smoke: bool,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+/// A complete benchmark snapshot for one suite.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Which suite this describes (`train`, `ann`, `serve`).
+    pub suite: &'static str,
+    /// The configuration the numbers were measured under.
+    pub config: SnapshotConfig,
+    /// Named metrics, in insertion order.
+    pub metrics: Vec<(String, MetricPoint)>,
+}
+
+impl Snapshot {
+    /// Starts an empty snapshot for `suite`.
+    pub fn new(suite: &'static str, config: SnapshotConfig) -> Snapshot {
+        assert!(SUITES.contains(&suite), "unknown suite {suite}");
+        Snapshot { suite, config, metrics: Vec::new() }
+    }
+
+    /// Appends one metric.
+    pub fn push(&mut self, name: &str, value: f64, unit: &'static str, direction: Direction) {
+        assert!(value.is_finite(), "metric {name} is not finite: {value}");
+        self.metrics.push((name.to_string(), MetricPoint { value, unit, direction }));
+    }
+
+    /// Serializes to the schema JSON.
+    pub fn to_json(&self) -> Json {
+        let metrics = Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(name, m)| {
+                    (
+                        name.clone(),
+                        Json::obj(vec![
+                            ("value", Json::Num(m.value)),
+                            ("unit", Json::str(m.unit)),
+                            ("direction", Json::str(m.direction.label())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema_version", Json::int(SCHEMA_VERSION as usize)),
+            ("suite", Json::str(self.suite)),
+            (
+                "config",
+                Json::obj(vec![
+                    ("scale", Json::Num(self.config.scale)),
+                    ("seed", Json::int(self.config.seed as usize)),
+                    ("smoke", Json::Bool(self.config.smoke)),
+                    ("threads", Json::int(self.config.threads)),
+                ]),
+            ),
+            ("metrics", metrics),
+        ])
+    }
+}
+
+/// Validates a parsed snapshot document against the schema. Returns the
+/// first problem found, phrased for a CI log.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version missing or not an integer")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("schema_version {version}, expected {SCHEMA_VERSION}"));
+    }
+    let suite = doc.get("suite").and_then(Json::as_str).ok_or("suite missing or not a string")?;
+    if !SUITES.contains(&suite) {
+        return Err(format!("unknown suite {suite:?}, expected one of {SUITES:?}"));
+    }
+    let config = doc.get("config").ok_or("config object missing")?;
+    config
+        .get("scale")
+        .and_then(Json::as_f64)
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or("config.scale missing or not a positive number")?;
+    config.get("seed").and_then(Json::as_u64).ok_or("config.seed missing or not an integer")?;
+    config.get("smoke").and_then(Json::as_bool).ok_or("config.smoke missing or not a bool")?;
+    config
+        .get("threads")
+        .and_then(Json::as_u64)
+        .ok_or("config.threads missing or not an integer")?;
+
+    let metrics = match doc.get("metrics") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("metrics object missing".to_string()),
+    };
+    if metrics.is_empty() {
+        return Err("metrics object is empty".to_string());
+    }
+    for (name, m) in metrics {
+        let value = m
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metric {name}: value missing or not a number"))?;
+        if !value.is_finite() {
+            return Err(format!("metric {name}: value {value} is not finite"));
+        }
+        m.get("unit")
+            .and_then(Json::as_str)
+            .filter(|u| !u.is_empty())
+            .ok_or_else(|| format!("metric {name}: unit missing or empty"))?;
+        let dir = m
+            .get("direction")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metric {name}: direction missing"))?;
+        if Direction::from_label(dir).is_none() {
+            return Err(format!(
+                "metric {name}: direction {dir:?} is neither higher_better nor lower_better"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One comparison row from [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in the *improvement* direction, as a fraction of the
+    /// baseline (+0.10 = 10 % better, -0.10 = 10 % worse).
+    pub improvement: f64,
+    /// Whether the change is a regression beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares two validated snapshots metric-by-metric. A metric regresses
+/// when it moves against its declared direction by more than
+/// `tolerance` (a fraction: 0.10 = 10 %). Metrics present on only one
+/// side are skipped — adding or retiring a metric is not a regression.
+pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Vec<DiffRow>, String> {
+    validate(baseline).map_err(|e| format!("baseline invalid: {e}"))?;
+    validate(current).map_err(|e| format!("current invalid: {e}"))?;
+    let base_metrics = match baseline.get("metrics") {
+        Some(Json::Obj(fields)) => fields,
+        _ => unreachable!("validated above"),
+    };
+    let mut rows = Vec::new();
+    for (name, bm) in base_metrics {
+        let Some(cm) = current.get("metrics").and_then(|m| m.get(name)) else { continue };
+        let base = bm.get("value").and_then(Json::as_f64).expect("validated");
+        let cur = cm.get("value").and_then(Json::as_f64).expect("validated");
+        let dir = bm
+            .get("direction")
+            .and_then(Json::as_str)
+            .and_then(Direction::from_label)
+            .expect("validated");
+        let denom = base.abs().max(f64::MIN_POSITIVE);
+        let improvement = match dir {
+            Direction::HigherBetter => (cur - base) / denom,
+            Direction::LowerBetter => (base - cur) / denom,
+        };
+        rows.push(DiffRow {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            improvement,
+            regressed: improvement < -tolerance,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new(
+            "ann",
+            SnapshotConfig { scale: 1.0, seed: 42, smoke: true, threads: 0 },
+        );
+        s.push("hnsw_qps", 10_000.0, "per_s", Direction::HigherBetter);
+        s.push("hnsw_search_p99_us", 150.0, "us", Direction::LowerBetter);
+        s
+    }
+
+    #[test]
+    fn round_trips_through_text_and_validates() {
+        let text = sample().to_json().to_string();
+        let doc = Json::parse(text.as_bytes()).expect("parse back");
+        validate(&doc).expect("schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let good = sample().to_json();
+        for (mutation, expect) in [
+            ("{\"schema_version\":2}", "schema_version"),
+            ("{\"schema_version\":1,\"suite\":\"nope\"}", "suite"),
+            ("{\"schema_version\":1,\"suite\":\"ann\"}", "config"),
+        ] {
+            let doc = Json::parse(mutation.as_bytes()).expect("parse");
+            let err = validate(&doc).expect_err("must reject");
+            assert!(err.contains(expect), "{err:?} should mention {expect}");
+        }
+        // non-finite metric value (written as null) must be rejected
+        let mut text = good.to_string();
+        text = text.replace("10000", "null");
+        let doc = Json::parse(text.as_bytes()).expect("parse");
+        assert!(validate(&doc).is_err(), "null metric value must fail validation");
+    }
+
+    #[test]
+    fn diff_flags_direction_aware_regressions() {
+        let base = sample().to_json();
+        let mut cur = sample();
+        cur.metrics.clear();
+        cur.push("hnsw_qps", 8_000.0, "per_s", Direction::HigherBetter); // 20 % worse
+        cur.push("hnsw_search_p99_us", 140.0, "us", Direction::LowerBetter); // better
+        let rows = diff(&base, &cur.to_json(), 0.10).expect("diff");
+        let qps = rows.iter().find(|r| r.name == "hnsw_qps").expect("qps row");
+        assert!(qps.regressed && qps.improvement < -0.19);
+        let p99 = rows.iter().find(|r| r.name == "hnsw_search_p99_us").expect("p99 row");
+        assert!(!p99.regressed && p99.improvement > 0.0);
+        // generous tolerance silences the qps drop
+        assert!(diff(&base, &cur.to_json(), 0.5).expect("diff").iter().all(|r| !r.regressed));
+    }
+}

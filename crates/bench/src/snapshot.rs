@@ -1,0 +1,375 @@
+//! The `bench snapshot` runner: measures the three hot paths — training,
+//! ANN retrieval, and online serving — and emits one schema-validated
+//! `BENCH_<suite>.json` per suite (see [`crate::schema`]).
+//!
+//! Snapshots are the repo's perf-regression mechanism: a baseline
+//! recorded on a reference machine is committed at the repo root, and CI
+//! re-runs a `--smoke` snapshot to validate the schema/pipeline, while
+//! developers compare full runs with `bench diff`. Latency percentiles
+//! come from raw per-operation samples captured here (exact), not from
+//! histogram buckets (coarse).
+
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unimatch_ann::{AnnIndex, BruteForceIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex};
+use unimatch_core::persist::save_model;
+use unimatch_core::{ModelHandle, UniMatch, UniMatchConfig};
+use unimatch_data::batch::multinomial_batches;
+use unimatch_data::json::Json;
+use unimatch_data::windowing::{build_samples, WindowConfig};
+use unimatch_data::{DatasetProfile, Marginals};
+use unimatch_losses::{BiasConfig, MultinomialLoss};
+use unimatch_models::{ModelConfig, TwoTower};
+use unimatch_obs as obs;
+use unimatch_serve::{ServeConfig, Server};
+use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
+
+use crate::schema::{validate, Direction, Snapshot, SnapshotConfig};
+
+/// Options for a snapshot run.
+#[derive(Clone, Debug)]
+pub struct SnapshotOptions {
+    /// Dataset down-scaling factor (multiplies the suite's base sizes).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Cheap CI variant: tiny corpora, enough to exercise every code
+    /// path and validate the schema, not enough to be a stable baseline.
+    pub smoke: bool,
+    /// Worker threads (0 = auto); recorded into the snapshot config.
+    pub threads: usize,
+    /// Directory the `BENCH_*.json` files are written into.
+    pub out_dir: PathBuf,
+}
+
+impl SnapshotOptions {
+    fn config(&self) -> SnapshotConfig {
+        SnapshotConfig {
+            scale: self.scale,
+            seed: self.seed,
+            smoke: self.smoke,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Runs all three suites and writes their snapshot files. Returns the
+/// paths written. Enables observability for the duration — a snapshot
+/// is exactly the place to exercise the instrumented paths.
+pub fn run_all(opts: &SnapshotOptions) -> std::io::Result<Vec<PathBuf>> {
+    obs::set_enabled(true);
+    let snaps = [run_train(opts), run_ann(opts), run_serve(opts)];
+    obs::set_enabled(false);
+    let mut paths = Vec::new();
+    for snap in snaps {
+        paths.push(write_snapshot(&snap, &opts.out_dir)?);
+    }
+    Ok(paths)
+}
+
+/// Serializes `snap`, writes `BENCH_<suite>.json` into `dir`, then reads
+/// the file back and re-validates it — what CI consumes is what is
+/// checked, not the in-memory value.
+pub fn write_snapshot(snap: &Snapshot, dir: &Path) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{}.json", snap.suite));
+    let doc = snap.to_json();
+    validate(&doc).map_err(|e| std::io::Error::other(format!("snapshot invalid: {e}")))?;
+    let mut text = doc.to_string();
+    text.push('\n');
+    std::fs::File::create(&path)?.write_all(text.as_bytes())?;
+    let mut readback = Vec::new();
+    std::fs::File::open(&path)?.read_to_end(&mut readback)?;
+    let reparsed = Json::parse(&readback)
+        .map_err(|e| std::io::Error::other(format!("written snapshot unparseable: {e}")))?;
+    validate(&reparsed)
+        .map_err(|e| std::io::Error::other(format!("written snapshot invalid: {e}")))?;
+    Ok(path)
+}
+
+/// Exact percentile from raw samples (nearest-rank on a sorted copy).
+fn percentile_us(samples: &[Duration], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let rank = ((q * (us.len() - 1) as f64).round() as usize).min(us.len() - 1);
+    us[rank]
+}
+
+/// Seeded row-major unit vectors, the ANN suite's corpus.
+fn unit_cloud(n: usize, dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+        data.extend(v.into_iter().map(|x| x / norm));
+    }
+    data
+}
+
+/// Measures the training hot path: per-step latency, record throughput,
+/// and loss on a seeded bbcNCE run.
+pub fn run_train(opts: &SnapshotOptions) -> Snapshot {
+    let data_scale = (if opts.smoke { 0.08 } else { 0.4 }) * opts.scale;
+    let months = if opts.smoke { 2 } else { 4 };
+    let epochs = if opts.smoke { 1 } else { 2 };
+    let log = DatasetProfile::EComp.generate(data_scale, months).filter_min_interactions(2);
+    let samples = build_samples(&log, &WindowConfig { max_seq_len: 16, min_history: 1 });
+    let marginals = Marginals::from_samples(&samples, log.num_users(), log.num_items());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let model = TwoTower::new(
+        ModelConfig::youtube_dnn_mean(log.num_items() as usize, 16, 0.15),
+        &mut rng,
+    );
+    let kind = MultinomialLoss::Nce(BiasConfig::bbcnce());
+    let cfg = TrainConfig {
+        batch_size: 64,
+        epochs_per_month: epochs,
+        max_seq_len: 16,
+        optimizer: AdamConfig::default(),
+        loss: TrainLoss::Multinomial(kind),
+        seed: opts.seed,
+    };
+    let mut trainer = Trainer::new(model, cfg);
+
+    // Drive steps directly (not train_epochs) so each one is timed with
+    // its own Instant pair — exact p50/p99, no histogram coarseness.
+    let mut step_lat = Vec::new();
+    let started = Instant::now();
+    for _ in 0..epochs {
+        let batches = multinomial_batches(&samples, &marginals, 64, 16, &mut rng);
+        for b in &batches {
+            let t0 = Instant::now();
+            trainer.step_multinomial(b, &kind, None);
+            step_lat.push(t0.elapsed());
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let stats = *trainer.stats();
+
+    let mut snap = Snapshot::new("train", opts.config());
+    snap.push("steps_per_s", stats.steps as f64 / wall, "per_s", Direction::HigherBetter);
+    snap.push(
+        "records_per_s",
+        stats.records_consumed as f64 / wall,
+        "per_s",
+        Direction::HigherBetter,
+    );
+    snap.push("step_p50_us", percentile_us(&step_lat, 0.50), "us", Direction::LowerBetter);
+    snap.push("step_p99_us", percentile_us(&step_lat, 0.99), "us", Direction::LowerBetter);
+    snap.push("mean_loss", stats.mean_loss() as f64, "nats", Direction::LowerBetter);
+    snap.push("final_grad_norm", obs::registry::gauge("unimatch_train_grad_norm").get(), "l2", Direction::LowerBetter);
+    snap
+}
+
+/// Measures the retrieval hot path: build time, search latency/QPS, and
+/// recall@10 versus the brute-force oracle for HNSW and IVF.
+pub fn run_ann(opts: &SnapshotOptions) -> Snapshot {
+    let n = (((if opts.smoke { 1_500.0 } else { 20_000.0 }) * opts.scale) as usize).max(200);
+    let dim = 16;
+    let k = 10;
+    let n_queries = if opts.smoke { 30 } else { 200 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let data = unit_cloud(n, dim, &mut rng);
+    let queries = unit_cloud(n_queries, dim, &mut rng);
+
+    let bf = BruteForceIndex::new(data.clone(), dim);
+    let t0 = Instant::now();
+    let hnsw = HnswIndex::build(
+        data.clone(),
+        dim,
+        HnswConfig { m: 16, ef_construction: 100, ef_search: 100 },
+        &mut rng,
+    );
+    let hnsw_build = t0.elapsed();
+    let t0 = Instant::now();
+    let ivf = IvfIndex::build(
+        data,
+        dim,
+        IvfConfig { nlist: 32, nprobe: 12, kmeans_iters: 8 },
+        &mut rng,
+    );
+    let ivf_build = t0.elapsed();
+
+    let exact: Vec<std::collections::HashSet<u32>> = queries
+        .chunks(dim)
+        .map(|q| bf.search(q, k).iter().map(|h| h.id).collect())
+        .collect();
+
+    let mut snap = Snapshot::new("ann", opts.config());
+    snap.push("hnsw_build_us", hnsw_build.as_secs_f64() * 1e6, "us", Direction::LowerBetter);
+    snap.push("ivf_build_us", ivf_build.as_secs_f64() * 1e6, "us", Direction::LowerBetter);
+
+    let suites: [(&str, &dyn AnnIndex); 3] = [("bruteforce", &bf), ("hnsw", &hnsw), ("ivf", &ivf)];
+    for (name, index) in suites {
+        let mut lat = Vec::with_capacity(n_queries);
+        let mut recalled = 0usize;
+        let started = Instant::now();
+        for (qi, q) in queries.chunks(dim).enumerate() {
+            let t0 = Instant::now();
+            let hits = index.search(q, k);
+            lat.push(t0.elapsed());
+            recalled += hits.iter().filter(|h| exact[qi].contains(&h.id)).count();
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let recall = recalled as f64 / (n_queries * k) as f64;
+        snap.push(
+            &format!("{name}_search_p50_us"),
+            percentile_us(&lat, 0.50),
+            "us",
+            Direction::LowerBetter,
+        );
+        snap.push(
+            &format!("{name}_search_p99_us"),
+            percentile_us(&lat, 0.99),
+            "us",
+            Direction::LowerBetter,
+        );
+        snap.push(&format!("{name}_qps"), n_queries as f64 / wall, "per_s", Direction::HigherBetter);
+        snap.push(&format!("{name}_recall_at_{k}"), recall, "ratio", Direction::HigherBetter);
+    }
+    snap
+}
+
+/// Measures the serving hot path: end-to-end HTTP latency and request
+/// throughput against a real loopback [`Server`] with a freshly trained
+/// checkpoint.
+pub fn run_serve(opts: &SnapshotOptions) -> Snapshot {
+    let data_scale = (if opts.smoke { 0.1 } else { 0.25 }) * opts.scale;
+    let n_requests = if opts.smoke { 40 } else { 300 };
+    let log = DatasetProfile::EComp.generate(data_scale, 2).filter_min_interactions(2);
+    let cfg = UniMatchConfig {
+        max_seq_len: 8,
+        epochs_per_month: 1,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+
+    let dir = std::env::temp_dir()
+        .join(format!("unimatch_bench_serve_{}_{}", std::process::id(), opts.seed));
+    std::fs::create_dir_all(&dir).expect("snapshot tmp dir");
+    let ckpt = dir.join("model.json");
+    save_model(&fitted.model, &ckpt).expect("save checkpoint");
+    let handle = std::sync::Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &ckpt, log).expect("load checkpoint"),
+    );
+    let num_items = handle.current().fitted.num_items() as u32;
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle,
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let mut recommend_lat = Vec::with_capacity(n_requests);
+    let mut target_lat = Vec::with_capacity(n_requests);
+    let started = Instant::now();
+    for i in 0..n_requests as u32 {
+        let history: Vec<String> =
+            (0..3).map(|j| ((i * 7 + j * 3) % num_items).to_string()).collect();
+        let body = format!("{{\"history\":[{}],\"k\":10}}", history.join(","));
+        let t0 = Instant::now();
+        let (status, _) = http_request(&addr, "POST", "/recommend", body.as_bytes());
+        recommend_lat.push(t0.elapsed());
+        assert_eq!(status, 200, "recommend request failed during snapshot");
+
+        let body = format!("{{\"item\":{},\"k\":10}}", (i * 5) % num_items);
+        let t0 = Instant::now();
+        let (status, _) = http_request(&addr, "POST", "/target", body.as_bytes());
+        target_lat.push(t0.elapsed());
+        assert_eq!(status, 200, "target request failed during snapshot");
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // One scrape proves the unified exposition works under the snapshot.
+    let (status, metrics) = http_request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200, "metrics scrape failed during snapshot");
+    let metrics = String::from_utf8(metrics).expect("metrics body is utf8");
+    assert!(metrics.contains("unimatch_requests_total"), "scrape missing serving series");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut snap = Snapshot::new("serve", opts.config());
+    snap.push(
+        "requests_per_s",
+        (2 * n_requests) as f64 / wall,
+        "per_s",
+        Direction::HigherBetter,
+    );
+    snap.push("recommend_p50_us", percentile_us(&recommend_lat, 0.50), "us", Direction::LowerBetter);
+    snap.push("recommend_p99_us", percentile_us(&recommend_lat, 0.99), "us", Direction::LowerBetter);
+    snap.push("target_p50_us", percentile_us(&target_lat, 0.50), "us", Direction::LowerBetter);
+    snap.push("target_p99_us", percentile_us(&target_lat, 0.99), "us", Direction::LowerBetter);
+    snap
+}
+
+/// One HTTP/1.1 request over a fresh connection (the server closes after
+/// each response, so read-to-EOF is the framing).
+fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to snapshot server");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request head");
+    stream.write_all(body).expect("send request body");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head_end =
+        response.windows(4).position(|w| w == b"\r\n\r\n").expect("header/body separator");
+    let head = std::str::from_utf8(&response[..head_end]).expect("utf8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in status line");
+    (status, response[head_end + 4..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert!((percentile_us(&samples, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile_us(&samples, 1.0) - 100.0).abs() < 1e-9);
+        assert!((percentile_us(&samples, 0.50) - 51.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn smoke_snapshot_round_trips_all_suites() {
+        let dir = std::env::temp_dir()
+            .join(format!("unimatch_bench_snapshot_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let opts = SnapshotOptions {
+            scale: 1.0,
+            seed: 42,
+            smoke: true,
+            threads: 0,
+            out_dir: dir.clone(),
+        };
+        let paths = run_all(&opts).expect("snapshot run");
+        assert_eq!(paths.len(), 3);
+        for path in &paths {
+            let bytes = std::fs::read(path).expect("read snapshot");
+            let doc = Json::parse(&bytes).expect("parse snapshot");
+            validate(&doc).expect("snapshot validates");
+        }
+        // identical-config snapshots diff cleanly with a generous tolerance
+        let base = Json::parse(&std::fs::read(&paths[1]).expect("read")).expect("parse");
+        let rows = crate::schema::diff(&base, &base, 0.0).expect("self-diff");
+        assert!(rows.iter().all(|r| !r.regressed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,11 +1,17 @@
 //! Serving metrics: lock-free counters and histograms with a text
 //! exposition endpoint (`GET /metrics`, Prometheus-style line format).
 //!
+//! The primitives live in [`unimatch_obs`] — this module owns one
+//! instance of each series per [`Metrics`] struct (one per server), and
+//! the server appends [`unimatch_obs::registry::render`] to the scrape
+//! body so training and ANN series registered elsewhere in the process
+//! appear on the same endpoint.
+//!
 //! Every counter is a relaxed atomic — the hot path pays one `fetch_add`
 //! per observation and the exposition renders a consistent-enough snapshot
 //! without stopping traffic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use unimatch_obs::{Counter, Histogram, LATENCY_BOUNDS_US};
 
 /// The served routes, used as metric labels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,75 +55,19 @@ impl Route {
     }
 }
 
-/// A fixed-bucket histogram with cumulative (`le`) exposition.
-pub struct Histogram {
-    bounds: &'static [u64],
-    /// One count per bound plus a final overflow bucket.
-    counts: Vec<AtomicU64>,
-    sum: AtomicU64,
-    total: AtomicU64,
-}
-
-impl Histogram {
-    /// A histogram over the given ascending upper bounds.
-    pub fn new(bounds: &'static [u64]) -> Histogram {
-        Histogram {
-            bounds,
-            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            sum: AtomicU64::new(0),
-            total: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one observation.
-    pub fn observe(&self, value: u64) {
-        let bucket = self.bounds.partition_point(|&b| b < value);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of observations so far.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all observed values.
-    pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
-    }
-
-    fn render(&self, name: &str, labels: &str, out: &mut String) {
-        use std::fmt::Write;
-        let mut cumulative = 0u64;
-        for (i, bound) in self.bounds.iter().enumerate() {
-            cumulative += self.counts[i].load(Ordering::Relaxed);
-            let sep = if labels.is_empty() { "" } else { "," };
-            writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}")
-                .expect("write to String");
-        }
-        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
-        let sep = if labels.is_empty() { "" } else { "," };
-        writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}")
-            .expect("write to String");
-        let braces = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
-        writeln!(out, "{name}_sum{braces} {}", self.sum()).expect("write to String");
-        writeln!(out, "{name}_count{braces} {}", self.count()).expect("write to String");
-    }
-}
-
-/// Request latency bucket bounds, microseconds.
-const LATENCY_BOUNDS_US: [u64; 11] =
-    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
-
 /// Micro-batch size bucket bounds (requests coalesced per execution).
-const BATCH_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+const BATCH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
 /// All serving metrics, shared across connection and batcher threads.
+///
+/// These are *owned* (per-server) series, always on regardless of the
+/// global [`unimatch_obs::enabled`] flag — a serving process wants its
+/// request counters unconditionally, and per-instance ownership keeps
+/// two servers in one test process from sharing counts.
 pub struct Metrics {
-    requests: [AtomicU64; 5],
-    responses_4xx: AtomicU64,
-    responses_5xx: AtomicU64,
+    requests: [Counter; 5],
+    responses_4xx: Counter,
+    responses_5xx: Counter,
     /// End-to-end request latency (parse → response ready), µs; one
     /// histogram per query route.
     latency_recommend_us: Histogram,
@@ -125,26 +75,26 @@ pub struct Metrics {
     latency_target_us: Histogram,
     batch_recommend: Histogram,
     batch_target: Histogram,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    reloads: AtomicU64,
-    connections_rejected: AtomicU64,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    reloads: Counter,
+    connections_rejected: Counter,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             requests: Default::default(),
-            responses_4xx: AtomicU64::new(0),
-            responses_5xx: AtomicU64::new(0),
-            latency_recommend_us: Histogram::new(&LATENCY_BOUNDS_US),
-            latency_target_us: Histogram::new(&LATENCY_BOUNDS_US),
-            batch_recommend: Histogram::new(&BATCH_BOUNDS),
-            batch_target: Histogram::new(&BATCH_BOUNDS),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
-            connections_rejected: AtomicU64::new(0),
+            responses_4xx: Counter::new(),
+            responses_5xx: Counter::new(),
+            latency_recommend_us: Histogram::new(LATENCY_BOUNDS_US),
+            latency_target_us: Histogram::new(LATENCY_BOUNDS_US),
+            batch_recommend: Histogram::new(BATCH_BOUNDS),
+            batch_target: Histogram::new(BATCH_BOUNDS),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            reloads: Counter::new(),
+            connections_rejected: Counter::new(),
         }
     }
 }
@@ -157,23 +107,19 @@ impl Metrics {
 
     /// Counts one request routed to `route`.
     pub fn request(&self, route: Route) {
-        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        self.requests[route.index()].inc();
     }
 
     /// Requests seen so far on `route`.
     pub fn requests(&self, route: Route) -> u64 {
-        self.requests[route.index()].load(Ordering::Relaxed)
+        self.requests[route.index()].get()
     }
 
     /// Counts one response with `status`.
     pub fn response(&self, status: u16) {
         match status {
-            400..=499 => {
-                self.responses_4xx.fetch_add(1, Ordering::Relaxed);
-            }
-            500..=599 => {
-                self.responses_5xx.fetch_add(1, Ordering::Relaxed);
-            }
+            400..=499 => self.responses_4xx.inc(),
+            500..=599 => self.responses_5xx.inc(),
             _ => {}
         }
     }
@@ -207,22 +153,22 @@ impl Metrics {
 
     /// Counts an embedding-cache hit.
     pub fn cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Counts an embedding-cache miss.
     pub fn cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// Counts a successful checkpoint reload.
     pub fn reload(&self) {
-        self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.reloads.inc();
     }
 
     /// Counts a connection turned away at the connection cap.
     pub fn connection_rejected(&self) {
-        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        self.connections_rejected.inc();
     }
 
     /// Renders the text exposition. `model_version` is sampled by the
@@ -239,18 +185,8 @@ impl Metrics {
             )
             .expect("write to String");
         }
-        writeln!(
-            out,
-            "unimatch_responses_total{{class=\"4xx\"}} {}",
-            self.responses_4xx.load(Ordering::Relaxed)
-        )
-        .expect("write to String");
-        writeln!(
-            out,
-            "unimatch_responses_total{{class=\"5xx\"}} {}",
-            self.responses_5xx.load(Ordering::Relaxed)
-        )
-        .expect("write to String");
+        self.responses_4xx.render("unimatch_responses_total", "class=\"4xx\"", &mut out);
+        self.responses_5xx.render("unimatch_responses_total", "class=\"5xx\"", &mut out);
         self.latency_recommend_us.render(
             "unimatch_request_latency_us",
             "route=\"recommend\"",
@@ -259,20 +195,14 @@ impl Metrics {
         self.latency_target_us.render("unimatch_request_latency_us", "route=\"target\"", &mut out);
         self.batch_recommend.render("unimatch_batch_size", "route=\"recommend\"", &mut out);
         self.batch_target.render("unimatch_batch_size", "route=\"target\"", &mut out);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
         writeln!(out, "unimatch_embedding_cache_hits_total {hits}").expect("write to String");
         writeln!(out, "unimatch_embedding_cache_misses_total {misses}").expect("write to String");
         let ratio = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
         writeln!(out, "unimatch_embedding_cache_hit_ratio {ratio}").expect("write to String");
-        writeln!(out, "unimatch_reloads_total {}", self.reloads.load(Ordering::Relaxed))
-            .expect("write to String");
-        writeln!(
-            out,
-            "unimatch_connections_rejected_total {}",
-            self.connections_rejected.load(Ordering::Relaxed)
-        )
-        .expect("write to String");
+        self.reloads.render("unimatch_reloads_total", "", &mut out);
+        self.connections_rejected.render("unimatch_connections_rejected_total", "", &mut out);
         writeln!(out, "unimatch_model_version {model_version}").expect("write to String");
         out
     }
@@ -281,23 +211,6 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_are_cumulative() {
-        let h = Histogram::new(&[10, 100]);
-        h.observe(5);
-        h.observe(10); // le="10" is inclusive
-        h.observe(50);
-        h.observe(1000);
-        assert_eq!(h.count(), 4);
-        assert_eq!(h.sum(), 1065);
-        let mut out = String::new();
-        h.render("x", "", &mut out);
-        assert!(out.contains("x_bucket{le=\"10\"} 2"), "{out}");
-        assert!(out.contains("x_bucket{le=\"100\"} 3"), "{out}");
-        assert!(out.contains("x_bucket{le=\"+Inf\"} 4"), "{out}");
-        assert!(out.contains("x_count 4"), "{out}");
-    }
 
     #[test]
     fn exposition_contains_all_families() {

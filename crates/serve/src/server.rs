@@ -346,8 +346,12 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
             (Some(Route::Healthz), 200, "application/json", body)
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render(shared.handle.version()).into_bytes();
-            (Some(Route::Metrics), 200, "text/plain; version=0.0.4", body)
+            // One scrape body: this server's owned series first, then every
+            // process-global registry series (trainer, ANN, bench) so all
+            // subsystems expose through the same endpoint.
+            let mut text = shared.metrics.render(shared.handle.version());
+            text.push_str(&unimatch_obs::registry::render());
+            (Some(Route::Metrics), 200, "text/plain; version=0.0.4", text.into_bytes())
         }
         (_, "/recommend" | "/target" | "/reload" | "/healthz" | "/metrics") => {
             (None, 405, "application/json", error_body("method not allowed"))

@@ -214,3 +214,178 @@ fn concurrent_serving_is_byte_identical_and_survives_reload() {
     assert!(TcpStream::connect(&addr).is_err(), "server still accepting after shutdown");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A parsed exposition: series name with labels → value, in file order.
+fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut series = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (name_part, value_part) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("line {ln} has no value: {line:?}"));
+        let value: f64 = value_part
+            .parse()
+            .unwrap_or_else(|_| panic!("line {ln} value not a number: {line:?}"));
+        assert!(!value.is_nan(), "line {ln} value is NaN: {line:?}");
+        let bare = name_part.split('{').next().unwrap();
+        assert!(
+            !bare.is_empty()
+                && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "line {ln} has a malformed metric name: {line:?}"
+        );
+        if let Some(open) = name_part.find('{') {
+            assert!(name_part.ends_with('}'), "line {ln} labels not closed: {line:?}");
+            let labels = &name_part[open + 1..name_part.len() - 1];
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("line {ln} label without '=': {line:?}"));
+                assert!(
+                    k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "line {ln} bad label key {k:?}"
+                );
+                assert!(
+                    v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+                    "line {ln} label value not quoted: {line:?}"
+                );
+            }
+        }
+        series.push((name_part.to_string(), value));
+    }
+    series
+}
+
+/// Checks every histogram family: buckets cumulative and non-decreasing,
+/// terminated by `le="+Inf"`, with a matching `_count` series.
+fn check_histograms(series: &[(String, f64)]) {
+    let mut last: Option<(String, f64)> = None; // (family key, running bucket count)
+    let mut inf_counts: Vec<(String, f64)> = Vec::new();
+    for (name, value) in series {
+        if let Some(open) = name.find("_bucket{") {
+            let family = format!(
+                "{}{}",
+                &name[..open],
+                name[open + 7..].replace(|c: char| c == '{' || c == '}', ",")
+            );
+            let family: String =
+                family.split(',').filter(|p| !p.starts_with("le=")).collect::<Vec<_>>().join(",");
+            match &mut last {
+                Some((prev, running)) if *prev == family => {
+                    assert!(
+                        *value >= *running,
+                        "histogram {name}: bucket {value} below previous cumulative {running}"
+                    );
+                    *running = *value;
+                }
+                _ => last = Some((family.clone(), *value)),
+            }
+            if name.contains("le=\"+Inf\"") {
+                inf_counts.push((family, *value));
+            }
+        }
+    }
+    assert!(!inf_counts.is_empty(), "exposition has no histogram families");
+    for (family, inf) in inf_counts {
+        let base = family.split(',').next().unwrap().to_string();
+        let labels: Vec<&str> = family.split(',').skip(1).filter(|s| !s.is_empty()).collect();
+        let count = series
+            .iter()
+            .find(|(n, _)| {
+                n.starts_with(&format!("{base}_count")) && labels.iter().all(|l| n.contains(l))
+            })
+            .unwrap_or_else(|| panic!("histogram {family} has no _count series"));
+        assert_eq!(count.1, inf, "histogram {family}: _count must equal the +Inf bucket");
+        assert!(
+            series.iter().any(|(n, _)| n.starts_with(&format!("{base}_sum"))),
+            "histogram {family} has no _sum series"
+        );
+    }
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_and_counters_are_monotonic() {
+    let dir = tmp_dir("metrics");
+    let log = DatasetProfile::EComp.generate(0.1, 31).filter_min_interactions(2);
+    let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+    let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+    let path = dir.join("m.json");
+    save_model(&fitted.model, &path).expect("save");
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &path, log).expect("checkpoint"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle,
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // With observability on, the process-global registry series (ANN search
+    // spans fired by the recommend path) must appear in the same scrape as
+    // the server's own series — the "one endpoint" contract.
+    unimatch_obs::set_enabled(true);
+    for _ in 0..3 {
+        let (status, _) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+        assert_eq!(status, 200);
+    }
+    let (status, first) = request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let first = String::from_utf8(first).expect("utf8 metrics");
+
+    let (status, _) = request(&addr, "POST", "/recommend", b"{\"history\":[2,3,4],\"k\":4}");
+    assert_eq!(status, 200);
+    let (status, _) = request(&addr, "POST", "/recommend", b"{not json");
+    assert_eq!(status, 400);
+    let (status, second) = request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let second = String::from_utf8(second).expect("utf8 metrics");
+    unimatch_obs::set_enabled(false);
+
+    // Every line of both scrapes is structurally well-formed.
+    let s1 = parse_exposition(&first);
+    let s2 = parse_exposition(&second);
+    check_histograms(&s1);
+    check_histograms(&s2);
+
+    // Serving and registry series share the scrape.
+    for required in
+        ["unimatch_requests_total{route=\"recommend\"}", "unimatch_ann_searches_total"]
+    {
+        assert!(
+            s2.iter().any(|(n, _)| n.starts_with(required)),
+            "scrape missing {required}:\n{second}"
+        );
+    }
+
+    // Counters and histogram accumulators never go backwards between
+    // scrapes; the exercised request counter strictly advances.
+    let lookup = |set: &[(String, f64)], name: &str| {
+        set.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    };
+    let mut compared = 0;
+    for (name, v1) in &s1 {
+        let base = name.split('{').next().unwrap();
+        let monotonic = base.ends_with("_total")
+            || base.ends_with("_count")
+            || base.ends_with("_sum")
+            || base.ends_with("_bucket");
+        if !monotonic {
+            continue;
+        }
+        if let Some(v2) = lookup(&s2, name) {
+            assert!(v2 >= *v1, "{name} went backwards: {v1} -> {v2}");
+            compared += 1;
+        }
+    }
+    assert!(compared > 10, "too few monotonic series compared ({compared})");
+    let key = "unimatch_requests_total{route=\"recommend\"}";
+    assert!(
+        lookup(&s2, key).expect("recommend counter") > lookup(&s1, key).expect("recommend counter"),
+        "request counter must strictly increase after a request"
+    );
+
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}

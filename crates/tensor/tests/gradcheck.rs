@@ -344,6 +344,133 @@ fn grad_conv1d_same() {
 }
 
 #[test]
+fn grad_conv1d_same_pointwise_kernel() {
+    // k = 1 degenerates to a per-position linear map — no padding taps at
+    // all, the cheapest path through the conv kernel loop.
+    let mut r = rng(26);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[2, 4, 3], &mut r);
+    let w = param(&mut ps, "w", &[1, 3, 2], &mut r);
+    check(&mut ps, |g, p| {
+        let xv = g.param(p, x);
+        let wv = g.param(p, w);
+        let y = g.conv1d_same(xv, wv);
+        let sq = g.mul(y, y);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_same_wide_kernel_overhangs_sequence() {
+    // k = 5 on L = 4: every output position has taps falling off at least
+    // one edge, so the zero-padding branch of the backward pass is
+    // exercised at both boundaries simultaneously.
+    let mut r = rng(27);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[2, 4, 2], &mut r);
+    let w = param(&mut ps, "w", &[5, 2, 3], &mut r);
+    check(&mut ps, |g, p| {
+        let xv = g.param(p, x);
+        let wv = g.param(p, w);
+        let y = g.conv1d_same(xv, wv);
+        let sq = g.mul(y, y);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+#[should_panic(expected = "odd kernel size")]
+fn conv1d_same_rejects_even_kernels() {
+    let mut r = rng(28);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[1, 4, 2], &mut r);
+    let w = param(&mut ps, "w", &[2, 2, 2], &mut r);
+    let mut g = Graph::new();
+    let xv = g.param(&ps, x);
+    let wv = g.param(&ps, w);
+    g.conv1d_same(xv, wv);
+}
+
+#[test]
+fn grad_mean_pool_with_fully_masked_row() {
+    // A batch row whose mask is all zeros contributes nothing to the
+    // output (and must receive exactly zero gradient — not NaN from a
+    // 0/0 division).
+    let mut r = rng(29);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[3, 2, 4], &mut r);
+    let mask = vec![1.0, 0.0, /* row 1 fully masked */ 0.0, 0.0, 1.0, 1.0];
+    check(&mut ps, move |g, p| {
+        let av = g.param(p, a);
+        let pool = g.mean_pool_masked(av, &mask);
+        let sq = g.mul(pool, pool);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_max_pool_with_fully_masked_and_single_valid_rows() {
+    let mut r = rng(30);
+    // Well-separated values keep the argmax stable under ±eps probes.
+    let mut vals = Tensor::zeros([3, 3, 2]);
+    let noise = Tensor::rand_uniform([3, 3, 2], -0.05, 0.05, &mut r);
+    for (i, v) in vals.data_mut().iter_mut().enumerate() {
+        *v = (i as f32) * 0.7 + noise.data()[i];
+    }
+    let mut ps = ParamSet::new();
+    let a = ps.add("a", vals);
+    // row 0: one valid position, row 1: fully masked, row 2: all valid
+    let mask = vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+    check(&mut ps, move |g, p| {
+        let av = g.param(p, a);
+        let pool = g.max_pool_masked(av, &mask);
+        let sq = g.mul(pool, pool);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_last_pool_boundary_lengths() {
+    // lengths hit both extremes: 1 (first position) and L (last position).
+    let mut r = rng(31);
+    let mut ps = ParamSet::new();
+    let a = param(&mut ps, "a", &[2, 3, 4], &mut r);
+    check(&mut ps, |g, p| {
+        let av = g.param(p, a);
+        let last = g.last_pool(av, &[1, 3]);
+        let sq = g.mul(last, last);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_conv_pool_composite_chain() {
+    // conv → layer_norm → masked mean pool → weighted residual: the kind
+    // of stacked sequence encoder the models crate builds, checked as one
+    // graph so cross-op gradient flow is verified, not just each op alone.
+    let mut r = rng(32);
+    let mut ps = ParamSet::new();
+    let x = param(&mut ps, "x", &[2, 4, 3], &mut r);
+    let w = param(&mut ps, "w", &[3, 3, 3], &mut r);
+    let mix = param(&mut ps, "mix", &[2, 3], &mut r);
+    let mask = vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+    gradcheck(&mut ps, 3e-2, 3e-2, move |g, p| {
+        let xv = g.param(p, x);
+        let wv = g.param(p, w);
+        let conv = g.conv1d_same(xv, wv);
+        let res = g.add(conv, xv);
+        let flat = g.reshape(res, [8, 3]);
+        let normed = g.layer_norm(flat, 1e-5);
+        let seq = g.reshape(normed, [2, 4, 3]);
+        let pooled = g.mean_pool_masked(seq, &mask);
+        let mv = g.param(p, mix);
+        let weighted = g.mul(pooled, mv);
+        let sq = g.mul(weighted, weighted);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
 fn grad_concat_last() {
     let mut r = rng(22);
     let mut ps = ParamSet::new();

@@ -5,6 +5,7 @@ use crate::checkpoint::MonthCheckpoint;
 use crate::optim::{Adam, AdamConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use unimatch_obs as obs;
 use unimatch_data::alias::AliasTable;
 use unimatch_data::batch::multinomial_batches;
 use unimatch_data::{
@@ -157,6 +158,7 @@ impl Trainer {
         kind: &MultinomialLoss,
         ssm: Option<&SsmContext>,
     ) -> f32 {
+        let _step_span = obs::span_us("unimatch_train_step_us", "loss=\"multinomial\"");
         let mut g = Graph::new();
         let users = self.model.user_tower(&mut g, &batch.histories);
         let loss = match kind {
@@ -182,27 +184,40 @@ impl Trainer {
             }
         };
         g.backward(loss);
+        if obs::enabled() {
+            record_step_metrics(&g, "loss=\"multinomial\"", batch.items.len() as u64);
+        }
         self.opt.step(&mut self.model.params, &g);
         let value = g.value(loss).item();
         self.stats.steps += 1;
         self.stats.records_consumed += batch.items.len() as u64;
         self.stats.loss_sum += value as f64;
+        if obs::enabled() {
+            obs::registry::gauge("unimatch_train_loss").set(value as f64);
+        }
         value
     }
 
     /// One step on a labeled BCE batch. Returns the loss value.
     pub fn step_bce(&mut self, batch: &BceBatch) -> f32 {
+        let _step_span = obs::span_us("unimatch_train_step_us", "loss=\"bce\"");
         let mut g = Graph::new();
         let users = self.model.user_tower(&mut g, &batch.histories);
         let items = self.model.item_tower(&mut g, &batch.items);
         let logits = self.model.pair_logits(&mut g, users, items);
         let loss = bce_loss(&mut g, logits, &batch.labels);
         g.backward(loss);
+        if obs::enabled() {
+            record_step_metrics(&g, "loss=\"bce\"", batch.labels.len() as u64);
+        }
         self.opt.step(&mut self.model.params, &g);
         let value = g.value(loss).item();
         self.stats.steps += 1;
         self.stats.records_consumed += batch.labels.len() as u64;
         self.stats.loss_sum += value as f64;
+        if obs::enabled() {
+            obs::registry::gauge("unimatch_train_loss").set(value as f64);
+        }
         value
     }
 
@@ -227,6 +242,7 @@ impl Trainer {
                     MultinomialLoss::Nce(_) => None,
                 };
                 for _ in 0..epochs {
+                    let _epoch_span = obs::span_us("unimatch_train_epoch_us", "");
                     let batches = multinomial_batches(
                         samples,
                         marginals,
@@ -238,13 +254,16 @@ impl Trainer {
                     for b in &batches {
                         sum += self.step_multinomial(b, &kind, ssm.as_ref());
                     }
-                    out.push(sum / batches.len().max(1) as f32);
+                    let mean = sum / batches.len().max(1) as f32;
+                    record_epoch_metrics(mean);
+                    out.push(mean);
                 }
             }
             TrainLoss::Bce(strategy) => {
                 let num_items = self.model.config().num_items as u32;
                 let sampler = NegativeSampler::new(samples, num_items);
                 for _ in 0..epochs {
+                    let _epoch_span = obs::span_us("unimatch_train_epoch_us", "");
                     let batches = sampler.bce_batches(
                         strategy,
                         self.cfg.batch_size,
@@ -255,7 +274,9 @@ impl Trainer {
                     for b in &batches {
                         sum += self.step_bce(b);
                     }
-                    out.push(sum / batches.len().max(1) as f32);
+                    let mean = sum / batches.len().max(1) as f32;
+                    record_epoch_metrics(mean);
+                    out.push(mean);
                 }
             }
         }
@@ -301,6 +322,38 @@ impl Trainer {
             });
         }
         checkpoints
+    }
+}
+
+/// Records per-step observability series from a backpropagated graph:
+/// step/record throughput counters and the global gradient L2 norm
+/// (dense + sparse leaves). Call sites gate on [`obs::enabled`]; this
+/// only *reads* gradient state, so enabling it cannot change training.
+fn record_step_metrics(g: &Graph, loss_label: &'static str, records: u64) {
+    obs::registry::counter_labeled("unimatch_train_steps_total", loss_label).inc();
+    obs::registry::counter("unimatch_train_records_total").add(records);
+    let mut sq_sum = 0.0f64;
+    for t in g.dense_grads().values() {
+        sq_sum += t.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+    }
+    for sg in g.sparse_grads().values() {
+        for row in sg.rows.values() {
+            sq_sum += row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+        }
+    }
+    let norm = sq_sum.sqrt();
+    obs::registry::gauge("unimatch_train_grad_norm").set(norm);
+    // Distribution in milli-units so the integer histogram resolves
+    // norms well below 1.0.
+    obs::registry::histogram("unimatch_train_grad_norm_milli", "", obs::COUNT_BOUNDS)
+        .observe((norm * 1_000.0) as u64);
+}
+
+/// Records the per-epoch mean loss gauge and epoch counter.
+fn record_epoch_metrics(mean_loss: f32) {
+    if obs::enabled() {
+        obs::registry::counter("unimatch_train_epochs_total").inc();
+        obs::registry::gauge("unimatch_train_epoch_loss").set(mean_loss as f64);
     }
 }
 

@@ -7,6 +7,8 @@
 //! unimatch-cli target    --model model.json --log log.csv --item <id> --k 10
 //! unimatch-cli evaluate  --model model.json --log log.csv
 //! unimatch-cli serve     --checkpoint model.json --log log.csv --addr 127.0.0.1:7878
+//! unimatch-cli bench snapshot --smoke --out .
+//! unimatch-cli bench diff --baseline . --current /tmp/snap
 //! ```
 //!
 //! Logs are CSV with a `user,item,day` header; user and item ids may be
@@ -31,6 +33,12 @@ fn main() {
     let Some(command) = argv.first() else {
         usage("missing command");
     };
+    // `bench` has a positional subcommand and boolean flags, so it parses
+    // its own arguments.
+    if command == "bench" {
+        cmd_bench(&argv[1..]);
+        return;
+    }
     let flags = parse_flags(&argv[1..]);
     // every command funnels through the same compute kernels, so the thread
     // configuration is installed once, up front (0 = auto-detect)
@@ -49,7 +57,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: unimatch-cli <generate|fit|recommend|target|evaluate|serve> [--flag value]...\n\
+        "usage: unimatch-cli <generate|fit|recommend|target|evaluate|serve|bench> [--flag value]...\n\
          \n\
          generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
@@ -58,6 +66,8 @@ fn usage(msg: &str) -> ! {
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N]\n\
+         bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
+         bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
          \n\
          every command also accepts --threads N (worker threads for the\n\
          compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
@@ -273,6 +283,102 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
         out.ut_cases
     );
     println!("AVG NDCG {:.2}%", 100.0 * out.avg_ndcg());
+}
+
+/// `bench snapshot` / `bench diff` — the perf-baseline tooling
+/// (`crates/bench::snapshot` + `::schema`). Parses its own argv because
+/// it mixes a positional subcommand with boolean flags.
+fn cmd_bench(args: &[String]) {
+    let Some(sub) = args.first() else {
+        usage("bench needs a subcommand: snapshot or diff");
+    };
+    let mut smoke = false;
+    let mut fail_on_regression = false;
+    let mut rest: Vec<String> = Vec::new();
+    for a in &args[1..] {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--fail-on-regression" => fail_on_regression = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    let flags = parse_flags(&rest);
+    unimatch_parallel::Parallelism::threads(flag_or(&flags, "threads", 0)).install_global();
+    match sub.as_str() {
+        "snapshot" => {
+            let opts = unimatch_bench::snapshot::SnapshotOptions {
+                scale: flag_or(&flags, "scale", 1.0),
+                seed: flag_or(&flags, "seed", 42),
+                smoke,
+                threads: flag_or(&flags, "threads", 0),
+                out_dir: flags.get("out").cloned().unwrap_or_else(|| ".".to_string()).into(),
+            };
+            let started = std::time::Instant::now();
+            let paths = unimatch_bench::snapshot::run_all(&opts)
+                .unwrap_or_else(|e| usage(&format!("snapshot failed: {e}")));
+            for path in &paths {
+                println!("wrote {} (schema-valid)", path.display());
+            }
+            println!(
+                "snapshot complete in {:.1}s ({} mode)",
+                started.elapsed().as_secs_f64(),
+                if smoke { "smoke" } else { "baseline" }
+            );
+        }
+        "diff" => {
+            let baseline_dir = flags.get("baseline").cloned().unwrap_or_else(|| ".".to_string());
+            let current_dir = flags.get("current").cloned().unwrap_or_else(|| ".".to_string());
+            let tolerance: f64 = flag_or(&flags, "tolerance", 0.10);
+            let mut regressions = 0usize;
+            let mut compared = 0usize;
+            for suite in unimatch_bench::schema::SUITES {
+                let file = format!("BENCH_{suite}.json");
+                let base_path = std::path::Path::new(&baseline_dir).join(&file);
+                let cur_path = std::path::Path::new(&current_dir).join(&file);
+                let (Ok(base), Ok(cur)) = (std::fs::read(&base_path), std::fs::read(&cur_path))
+                else {
+                    println!("{suite}: skipped ({file} missing on one side)");
+                    continue;
+                };
+                let parse = |bytes: &[u8], path: &std::path::Path| {
+                    Json::parse(bytes)
+                        .unwrap_or_else(|e| usage(&format!("{}: {e}", path.display())))
+                };
+                let rows = unimatch_bench::schema::diff(
+                    &parse(&base, &base_path),
+                    &parse(&cur, &cur_path),
+                    tolerance,
+                )
+                .unwrap_or_else(|e| usage(&format!("{suite}: {e}")));
+                for row in rows {
+                    compared += 1;
+                    let marker = if row.regressed {
+                        regressions += 1;
+                        "REGRESSED"
+                    } else if row.improvement > tolerance {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{suite}/{:<28} {:>14.2} -> {:>14.2}  {:>+7.1}%  {marker}",
+                        row.name,
+                        row.baseline,
+                        row.current,
+                        100.0 * row.improvement
+                    );
+                }
+            }
+            println!(
+                "{compared} metrics compared, {regressions} regressed beyond {:.0}%",
+                100.0 * tolerance
+            );
+            if fail_on_regression && regressions > 0 {
+                exit(1);
+            }
+        }
+        other => usage(&format!("unknown bench subcommand {other}")),
+    }
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) {
