@@ -6,9 +6,13 @@
 # 1. release build of every workspace target
 # 2. the full test suite (tier-1)
 # 3. the serving end-to-end test (real server on a loopback port)
-# 4. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+# 4. the robustness suites: deterministic fault injection (including the
+#    faults-disabled overhead assertion), durable/crash-safe training,
+#    and the chaos serving e2e (armed fault plans + corrupt reloads
+#    under live traffic)
+# 5. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
 #    end) plus a report-only diff against the committed baselines
-# 5. rustdoc for the workspace's own crates, failing on any doc warning
+# 6. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,6 +25,19 @@ cargo test -q
 
 echo "==> cargo test -p unimatch-serve --test e2e (loopback serving)"
 cargo test -q -p unimatch-serve --test e2e
+
+echo "==> fault-injection suite (plan semantics + disarmed-overhead assertion)"
+# `overhead` pins the no-op contract: a disarmed injection point must
+# cost no more than the bound asserted in crates/faults/tests/overhead.rs.
+cargo test -q -p unimatch-faults
+cargo test -q -p unimatch-faults --test overhead -- --nocapture
+
+echo "==> durable training suite (crash/resume equivalence, NaN rollback)"
+cargo test -q -p unimatch-core durable
+cargo test -q -p unimatch-core persist
+
+echo "==> chaos serving e2e (armed faults + corrupt reloads under traffic)"
+cargo test -q -p unimatch-serve --test chaos
 
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"

@@ -11,7 +11,13 @@
 //! *identical* to calling `search` per query — parallelism only changes
 //! which thread scores which query, never the scores or the ordering.
 
+use unimatch_faults::FaultPoint;
 use unimatch_parallel::par_map_indexed;
+
+/// Chaos-testing seam: a latency fault armed at `ann.search` models a slow
+/// index (cold page cache, an overloaded shard). Disarmed cost is one
+/// relaxed atomic load per batch.
+const SEARCH_FAULT: FaultPoint = FaultPoint::new("ann.search");
 
 /// A scored search hit.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,6 +62,7 @@ pub trait AnnIndex: Sync {
     /// Either way each query is answered by the same [`AnnIndex::search`]
     /// code, so results are identical to the sequential path.
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        SEARCH_FAULT.inject_latency();
         let d = self.dim();
         assert!(d > 0, "search_batch on an index with zero dimension");
         assert_eq!(

@@ -143,7 +143,7 @@ pub fn run_train(opts: &SnapshotOptions) -> Snapshot {
         let batches = multinomial_batches(&samples, &marginals, 64, 16, &mut rng);
         for b in &batches {
             let t0 = Instant::now();
-            trainer.step_multinomial(b, &kind, None);
+            trainer.step_multinomial(b, &kind, None).expect("training step failed");
             step_lat.push(t0.elapsed());
         }
     }

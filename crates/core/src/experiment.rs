@@ -148,7 +148,9 @@ pub fn run_experiment_on(
     let mut trainer = Trainer::new(model, train_cfg);
 
     let t0 = std::time::Instant::now();
-    let checkpoints = trainer.train_incremental(&prepared.split, &prepared.marginals);
+    let checkpoints = trainer
+        .train_incremental(&prepared.split, &prepared.marginals)
+        .unwrap_or_else(|e| panic!("experiment training failed: {e}"));
     let train_secs = t0.elapsed().as_secs_f64();
 
     let protocol = spec.protocol();

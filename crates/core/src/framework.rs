@@ -17,7 +17,7 @@ use unimatch_eval::UserPool;
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_parallel::Parallelism;
-use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
+use unimatch_train::{AdamConfig, TrainConfig, TrainError, TrainLoss, Trainer};
 
 /// Framework configuration. Defaults follow the paper's production choice:
 /// Youtube-DNN + mean pooling trained with bbcNCE, d = 16.
@@ -171,22 +171,44 @@ impl UniMatch {
         prepared: PreparedData,
         resume_after: Option<u32>,
     ) -> FittedUniMatch {
+        self.try_fit_continue(model, prepared, resume_after)
+            .unwrap_or_else(|e| panic!("UniMatch training failed: {e}"))
+    }
+
+    /// The fallible core of `fit`/`resume`/`serve`: a bad training config
+    /// surfaces as a [`TrainError`] before the first step. The durable
+    /// runner ([`crate::durable`]) shares [`UniMatch::train_config`] and
+    /// [`UniMatch::build_serving`] with this path.
+    pub(crate) fn try_fit_continue(
+        &self,
+        model: TwoTower,
+        prepared: PreparedData,
+        resume_after: Option<u32>,
+    ) -> Result<FittedUniMatch, TrainError> {
         let cfg = &self.config;
         cfg.parallelism.install_global();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
-        let train_cfg = TrainConfig {
+        let mut trainer = Trainer::try_new(model, self.train_config())?;
+        trainer.train_incremental_from(&prepared.split, &prepared.marginals, resume_after)?;
+        Ok(self.build_serving(trainer.model, &prepared))
+    }
+
+    /// The [`TrainConfig`] this framework configuration implies.
+    pub(crate) fn train_config(&self) -> TrainConfig {
+        let cfg = &self.config;
+        TrainConfig {
             batch_size: cfg.batch_size,
             epochs_per_month: cfg.epochs_per_month,
             max_seq_len: cfg.max_seq_len,
             optimizer: AdamConfig::with_lr(cfg.lr),
             loss: cfg.loss,
             seed: cfg.seed ^ 0x7ea1,
-        };
-        let mut trainer = Trainer::new(model, train_cfg);
-        trainer.train_incremental_from(&prepared.split, &prepared.marginals, resume_after);
-        let model = trainer.model;
+        }
+    }
 
-        // serving indexes over both towers
+    /// Builds the serving indexes over both towers around a trained model.
+    pub(crate) fn build_serving(&self, model: TwoTower, prepared: &PreparedData) -> FittedUniMatch {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
         let items = model.infer_items();
         let item_index = HnswIndex::build(
             items.data().to_vec(),

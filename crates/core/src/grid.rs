@@ -87,7 +87,9 @@ pub fn grid_search(
                     prepared.log.num_users(),
                     prepared.log.num_items(),
                 );
-                trainer.train_incremental(&val_split, &marginals);
+                trainer
+                    .train_incremental(&val_split, &marginals)
+                    .unwrap_or_else(|e| panic!("grid cell training failed: {e}"));
                 let out = evaluate(
                     &trainer.model,
                     &val_split,

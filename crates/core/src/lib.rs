@@ -32,6 +32,7 @@
 pub mod audience;
 pub mod batch_inference;
 pub mod cost;
+pub mod durable;
 pub mod evaluate;
 pub mod experiment;
 pub mod framework;
@@ -44,12 +45,26 @@ pub mod serving;
 pub use audience::{build_targeting_list, plan_campaigns, CampaignSpec, CampaignSubject, TargetingList};
 pub use batch_inference::{materialize, top_k_blocked, BatchRecommendations};
 pub use cost::{CostComparison, Regime};
+pub use durable::{
+    train_durable, DurableConfig, DurableError, DurableRun, MonthRecord, RunManifest,
+};
 pub use evaluate::{evaluate, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RetrievalAudit};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
 pub use framework::{FittedUniMatch, UniMatch, UniMatchConfig};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
-pub use persist::{load_model, model_from_json, model_to_json, save_model};
+pub use persist::{
+    load_model, load_model_with_retry, model_from_json, model_to_json, save_model, RetryPolicy,
+};
 pub use prepare::PreparedData;
 pub use serving::{ModelHandle, ServingState};
+
+/// Serializes unit tests that arm the process-global fault plan (persist
+/// retries, durable-training kills) — armed plans are process state, so
+/// concurrent tests would observe each other's faults.
+#[cfg(test)]
+pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -18,19 +18,107 @@
 //! checkpoint behind for a later load (or a serving `/reload`) to trip
 //! over — the destination either holds the old complete checkpoint or the
 //! new complete one.
+//!
+//! Loads are validated end to end. Format v2 documents carry a magic
+//! string and an FNV-1a checksum over the *values* (config fields,
+//! parameter names, shapes, and f32 bit patterns), so a flipped bit that
+//! still parses as valid JSON is caught before the parameters reach a
+//! model; truncation is caught by the JSON parser; a parameter that
+//! decodes to a non-finite float is rejected by name. Legacy v1
+//! documents (no magic/checksum) still load, with everything but the
+//! checksum validated. [`load_model_with_retry`] adds bounded
+//! retry-with-backoff for *transient* I/O errors — the serving layer
+//! uses it so a checkpoint on flaky storage does not fail a `/reload`
+//! that a second read would have satisfied.
+//!
+//! Fault seams for the chaos suites: `persist.save` and `persist.load`
+//! can surface injected transient I/O errors, and `persist.load.corrupt`
+//! flips a bit in the bytes read from disk (exercising the checksum).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
 use std::path::Path;
+use std::time::Duration;
 use unimatch_data::json::Json;
+use unimatch_faults::FaultPoint;
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_tensor::Tensor;
 
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
+/// Identifies a checkpoint file as ours before any schema is assumed.
+const MAGIC: &str = "unimatch-model";
 
-fn bad(msg: impl Into<String>) -> io::Error {
+const SAVE_FAULT: FaultPoint = FaultPoint::new("persist.save");
+const LOAD_FAULT: FaultPoint = FaultPoint::new("persist.load");
+const LOAD_CORRUPT_FAULT: FaultPoint = FaultPoint::new("persist.load.corrupt");
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// value checksum
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 running over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, x: u64) {
+        self.update(&x.to_le_bytes());
+    }
+}
+
+/// Checksums the model's *values* — config fields, parameter names,
+/// shapes, and exact f32 bit patterns — independent of JSON formatting.
+/// Computed from the in-memory model on both the save and load side, so
+/// any corruption that survives parsing and architecture validation
+/// still has to reproduce this hash to go unnoticed.
+fn checksum_model(model: &TwoTower) -> u64 {
+    let cfg = model.config();
+    let mut h = Fnv::new();
+    h.u64(cfg.num_items as u64);
+    h.u64(cfg.embed_dim as u64);
+    h.u64(cfg.max_seq_len as u64);
+    match cfg.extractor {
+        ContextExtractor::YoutubeDnn => h.u64(1),
+        ContextExtractor::Cnn { kernel } => {
+            h.u64(2);
+            h.u64(kernel as u64);
+        }
+        ContextExtractor::Gru => h.u64(3),
+        ContextExtractor::Lstm => h.u64(4),
+        ContextExtractor::Transformer => h.u64(5),
+    }
+    h.u64(match cfg.aggregator {
+        Aggregator::Mean => 1,
+        Aggregator::Last => 2,
+        Aggregator::Max => 3,
+        Aggregator::Attention => 4,
+    });
+    h.u64(cfg.temperature.to_bits() as u64);
+    h.u64(cfg.normalize as u64);
+    for (_, p) in model.params.iter() {
+        h.update(p.name.as_bytes());
+        h.update(&[0xff]);
+        for &d in p.value.shape().dims() {
+            h.u64(d as u64);
+        }
+        for &x in p.value.data() {
+            h.update(&x.to_bits().to_le_bytes());
+        }
+    }
+    h.0
 }
 
 // ---------------------------------------------------------------------------
@@ -58,15 +146,17 @@ fn aggregator_to_json(a: Aggregator) -> Json {
     })
 }
 
-fn tensor_to_json(t: &Tensor) -> Json {
+pub(crate) fn tensor_to_json(t: &Tensor) -> Json {
     Json::obj(vec![
         ("shape", Json::Arr(t.shape().dims().iter().map(|&d| Json::int(d)).collect())),
         ("data", Json::Arr(t.data().iter().map(|&x| Json::F32(x)).collect())),
     ])
 }
 
-/// Serializes a model to JSON bytes.
-pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
+/// Serializes a model to a format-v2 JSON document (magic + value
+/// checksum). Exposed at the `Json` level so the durable-training runner
+/// can embed a model document inside its per-month checkpoint files.
+pub fn model_to_json_value(model: &TwoTower) -> Json {
     let cfg = model.config();
     let config = Json::obj(vec![
         ("num_items", Json::int(cfg.num_items)),
@@ -90,22 +180,28 @@ pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
             .collect(),
     );
     Json::obj(vec![
+        ("magic", Json::str(MAGIC)),
         ("format_version", Json::int(FORMAT_VERSION as usize)),
         ("config", config),
         ("params", Json::obj(vec![("params", params)])),
+        ("checksum", Json::str(format!("{:016x}", checksum_model(model)))),
     ])
-    .to_bytes()
+}
+
+/// Serializes a model to JSON bytes.
+pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
+    model_to_json_value(model).to_bytes()
 }
 
 // ---------------------------------------------------------------------------
 // deserialization
 // ---------------------------------------------------------------------------
 
-fn field<'a>(v: &'a Json, key: &str) -> io::Result<&'a Json> {
+pub(crate) fn field<'a>(v: &'a Json, key: &str) -> io::Result<&'a Json> {
     v.get(key).ok_or_else(|| bad(format!("checkpoint missing field {key}")))
 }
 
-fn usize_field(v: &Json, key: &str) -> io::Result<usize> {
+pub(crate) fn usize_field(v: &Json, key: &str) -> io::Result<usize> {
     field(v, key)?
         .as_u64()
         .map(|x| x as usize)
@@ -138,7 +234,7 @@ fn aggregator_from_json(v: &Json) -> io::Result<Aggregator> {
     }
 }
 
-fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
+pub(crate) fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
     let shape: Vec<usize> = field(v, "shape")?
         .as_array()
         .ok_or_else(|| bad("tensor shape is not an array"))?
@@ -164,19 +260,30 @@ fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
     Ok(Tensor::from_vec(shape.as_slice(), data))
 }
 
-/// Reconstructs a model from JSON bytes: rebuilds the architecture from
-/// the stored config (parameter registration order is deterministic), then
-/// verifies every stored parameter matches the rebuilt structure by name
-/// and shape before swapping it in.
-pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
-    let doc = Json::parse(bytes).map_err(|e| bad(e.to_string()))?;
-    let version = field(&doc, "format_version")?
+/// Reconstructs a model from a parsed checkpoint document: rebuilds the
+/// architecture from the stored config (parameter registration order is
+/// deterministic), then verifies every stored parameter matches the
+/// rebuilt structure by name and shape — and is finite — before swapping
+/// it in. Format-v2 documents additionally have their magic string and
+/// value checksum verified; v1 documents load without a checksum.
+pub fn model_from_json_value(doc: &Json) -> io::Result<TwoTower> {
+    let version = field(doc, "format_version")?
         .as_u64()
         .ok_or_else(|| bad("format_version is not an integer"))?;
-    if version != FORMAT_VERSION {
-        return Err(bad(format!("unsupported checkpoint version {version}")));
-    }
-    let cfg = field(&doc, "config")?;
+    let checked = match version {
+        1 => false, // legacy: no magic, no checksum
+        2 => {
+            let magic = field(doc, "magic")?
+                .as_str()
+                .ok_or_else(|| bad("magic is not a string"))?;
+            if magic != MAGIC {
+                return Err(bad(format!("not a unimatch checkpoint (magic `{magic}`)")));
+            }
+            true
+        }
+        other => return Err(bad(format!("unsupported checkpoint version {other}"))),
+    };
+    let cfg = field(doc, "config")?;
     let config = ModelConfig {
         num_items: usize_field(cfg, "num_items")?,
         embed_dim: usize_field(cfg, "embed_dim")?,
@@ -190,7 +297,13 @@ pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
             .as_bool()
             .ok_or_else(|| bad("normalize is not a boolean"))?,
     };
-    let stored = field(field(&doc, "params")?, "params")?
+    if !config.temperature.is_finite() || config.temperature <= 0.0 {
+        return Err(bad(format!(
+            "checkpoint temperature {} is not a positive finite number",
+            config.temperature
+        )));
+    }
+    let stored = field(field(doc, "params")?, "params")?
         .as_array()
         .ok_or_else(|| bad("params is not an array"))?;
 
@@ -217,9 +330,31 @@ pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
                 value.shape(),
             )));
         }
+        if let Some(x) = value.data().iter().find(|x| !x.is_finite()) {
+            return Err(bad(format!(
+                "checkpoint parameter {name} contains non-finite value {x}"
+            )));
+        }
         *model.params.get_mut(fresh) = value;
     }
+    if checked {
+        let stored_sum = field(doc, "checksum")?
+            .as_str()
+            .ok_or_else(|| bad("checksum is not a string"))?;
+        let computed = format!("{:016x}", checksum_model(&model));
+        if stored_sum != computed {
+            return Err(bad(format!(
+                "checkpoint checksum mismatch: stored {stored_sum}, computed {computed} — file is corrupted"
+            )));
+        }
+    }
     Ok(model)
+}
+
+/// Reconstructs a model from JSON bytes. See [`model_from_json_value`].
+pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
+    let doc = Json::parse(bytes).map_err(|e| bad(e.to_string()))?;
+    model_from_json_value(&doc)
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +368,9 @@ pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
 /// racing a trainer) always observe either the previous complete
 /// checkpoint or the new complete one — never a torn prefix.
 pub fn save_model(model: &TwoTower, path: impl AsRef<Path>) -> io::Result<()> {
+    if let Some(e) = SAVE_FAULT.io_error() {
+        return Err(e);
+    }
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -249,7 +387,60 @@ pub fn save_model(model: &TwoTower, path: impl AsRef<Path>) -> io::Result<()> {
 
 /// Loads a model checkpoint from a file.
 pub fn load_model(path: impl AsRef<Path>) -> io::Result<TwoTower> {
-    model_from_json(&std::fs::read(path)?)
+    if let Some(e) = LOAD_FAULT.io_error() {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path)?;
+    LOAD_CORRUPT_FAULT.corrupt(&mut bytes);
+    model_from_json(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// retry
+// ---------------------------------------------------------------------------
+
+/// Bounded retry-with-backoff for transient I/O.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); the first try counts.
+    pub attempts: u32,
+    /// Sleep before the second attempt; doubles each retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { attempts: 3, backoff: Duration::from_millis(10) }
+    }
+}
+
+/// Whether an I/O error is worth retrying: interruptions and timeouts
+/// are; corrupt data, missing files, and permission problems are not —
+/// retrying those only delays the real error.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// [`load_model`] with bounded retry-with-backoff for transient errors.
+/// Non-transient errors (corruption, missing file) return immediately.
+pub fn load_model_with_retry(path: impl AsRef<Path>, policy: &RetryPolicy) -> io::Result<TwoTower> {
+    let path = path.as_ref();
+    let mut backoff = policy.backoff;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match load_model(path) {
+            Ok(model) => return Ok(model),
+            Err(e) if attempt < policy.attempts.max(1) && is_transient(e.kind()) => {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +449,7 @@ mod tests {
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU32, Ordering};
     use unimatch_data::SeqBatch;
+    use unimatch_faults::{FaultKind, FaultPlan, FaultRule};
 
     fn model(extractor: ContextExtractor) -> TwoTower {
         let mut rng = StdRng::seed_from_u64(77);
@@ -321,9 +513,41 @@ mod tests {
         assert!(model_from_json(b"not json").is_err());
         // valid JSON, wrong schema
         assert!(model_from_json(b"{\"format_version\":1}").is_err());
+        assert!(model_from_json(b"{\"format_version\":2}").is_err());
         // truncated document — what a torn write would have produced
         let whole = model_to_json(&model(ContextExtractor::YoutubeDnn));
         assert!(model_from_json(&whole[..whole.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn v2_document_carries_magic_and_checksum() {
+        let bytes = model_to_json(&model(ContextExtractor::YoutubeDnn));
+        let doc = Json::parse(&bytes).expect("parse");
+        assert_eq!(doc.get("magic").and_then(|m| m.as_str()), Some(MAGIC));
+        assert_eq!(doc.get("format_version").and_then(|v| v.as_u64()), Some(2));
+        let sum = doc.get("checksum").and_then(|c| c.as_str()).expect("checksum field");
+        assert_eq!(sum.len(), 16, "u64 hex: {sum}");
+        assert!(model_from_json(b"{\"magic\":\"other\",\"format_version\":2}").is_err());
+    }
+
+    #[test]
+    fn legacy_v1_document_still_loads() {
+        let m = model(ContextExtractor::Gru);
+        // strip the v2-only fields and downgrade the version marker —
+        // exactly what a pre-existing on-disk checkpoint looks like
+        let doc = Json::parse(&model_to_json(&m)).expect("parse");
+        let Json::Obj(entries) = doc else { panic!("document is an object") };
+        let v1 = Json::Obj(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "magic" && k != "checksum")
+                .map(|(k, v)| if k == "format_version" { (k, Json::int(1)) } else { (k, v) })
+                .collect(),
+        );
+        let restored = model_from_json_value(&v1).expect("v1 loads");
+        for (id, p) in m.params.iter() {
+            assert_eq!(p.value.data(), restored.params.get(id).data(), "{}", p.name);
+        }
     }
 
     #[test]
@@ -334,6 +558,59 @@ mod tests {
         let json = String::from_utf8(model_to_json(&m)).expect("utf8");
         let tampered = json.replace("\"Gru\"", "\"Lstm\"");
         assert!(model_from_json(tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_finite_params_rejected_by_name() {
+        let mut m = model(ContextExtractor::YoutubeDnn);
+        let first = m.params.ids().next().expect("model has parameters");
+        let poisoned_name = m.params.name(first).to_string();
+        m.params.get_mut(first).data_mut()[0] = f32::NAN;
+        let e = model_from_json(&model_to_json(&m)).expect_err("NaN must be rejected");
+        let msg = e.to_string();
+        assert!(msg.contains("non-finite"), "{msg}");
+        assert!(msg.contains(&poisoned_name), "{msg}");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_or_harmless() {
+        // the regression the checksum exists for: corrupt a real saved
+        // file one bit at a time and require that the load either fails
+        // with a descriptive error or (if the flip landed somewhere
+        // semantically dead) yields a value-identical model
+        let m = model(ContextExtractor::YoutubeDnn);
+        let whole = model_to_json(&m);
+        let mut undetected = 0usize;
+        for pos in 0..whole.len() {
+            let mut bytes = whole.clone();
+            bytes[pos] ^= 1 << (pos % 8);
+            match model_from_json(&bytes) {
+                Err(e) => assert!(!e.to_string().is_empty()),
+                Ok(restored) => {
+                    undetected += 1;
+                    for (id, p) in m.params.iter() {
+                        assert_eq!(
+                            p.value.data(),
+                            restored.params.get(id).data(),
+                            "flip at byte {pos} silently changed parameter {}",
+                            p.name
+                        );
+                    }
+                }
+            }
+        }
+        // almost every flip must be *detected*; the odd harmless one
+        // (e.g. in a digit of the already-validated format_version
+        // field) is tolerated above only if the values are untouched
+        assert!(undetected < whole.len() / 100, "{undetected} undetected flips");
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let whole = model_to_json(&model(ContextExtractor::YoutubeDnn));
+        for len in (0..whole.len()).step_by(211).chain(whole.len() - 3..whole.len()) {
+            assert!(model_from_json(&whole[..len]).is_err(), "truncation at {len} accepted");
+        }
     }
 
     #[test]
@@ -359,5 +636,69 @@ mod tests {
         save_model(&m, &path).expect("re-save");
         assert!(!dir.join("model.json.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        let _guard = crate::fault_test_lock();
+        let dir = unique_tmp("retry");
+        let path = dir.join("model.json");
+        save_model(&model(ContextExtractor::YoutubeDnn), &path).expect("save");
+
+        // two injected transient failures, then the real read succeeds
+        unimatch_faults::set_plan(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule::new("persist.load", FaultKind::IoError).with_max_fires(2)],
+        });
+        let policy = RetryPolicy { attempts: 3, backoff: Duration::from_millis(1) };
+        assert!(load_model_with_retry(&path, &policy).is_ok());
+
+        // with the budget refreshed but only 2 attempts, the error surfaces
+        unimatch_faults::set_plan(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule::new("persist.load", FaultKind::IoError).with_max_fires(2)],
+        });
+        let tight = RetryPolicy { attempts: 2, backoff: Duration::from_millis(1) };
+        let e = load_model_with_retry(&path, &tight).expect_err("budget exhausted");
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        unimatch_faults::clear();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_bit_flip_on_read_is_caught() {
+        let _guard = crate::fault_test_lock();
+        let dir = unique_tmp("bitflip");
+        let path = dir.join("model.json");
+        save_model(&model(ContextExtractor::YoutubeDnn), &path).expect("save");
+        unimatch_faults::set_plan(FaultPlan {
+            seed: 2,
+            rules: vec![
+                FaultRule::new("persist.load.corrupt", FaultKind::BitFlip).with_max_fires(1),
+            ],
+        });
+        // a single flipped bit somewhere in the document must not load
+        // as a silently different model (checksum or parse catches it)
+        match load_model(&path) {
+            Err(_) => {}
+            Ok(restored) => {
+                let original = load_model(&path).expect("clean load after budget spent");
+                for (id, p) in original.params.iter() {
+                    assert_eq!(p.value.data(), restored.params.get(id).data(), "{}", p.name);
+                }
+            }
+        }
+        unimatch_faults::clear();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_transient_errors_do_not_retry() {
+        let missing = std::env::temp_dir().join("unimatch_persist_definitely_missing.json");
+        let policy = RetryPolicy { attempts: 5, backoff: Duration::from_secs(60) };
+        // would sleep for minutes if NotFound were (wrongly) retried
+        let start = std::time::Instant::now();
+        assert!(load_model_with_retry(&missing, &policy).is_err());
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

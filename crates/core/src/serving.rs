@@ -12,7 +12,7 @@
 //! already admitted.
 
 use crate::framework::{FittedUniMatch, UniMatch};
-use crate::persist::load_model;
+use crate::persist::{load_model_with_retry, RetryPolicy};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,7 +54,7 @@ impl ModelHandle {
         log: InteractionLog,
     ) -> io::Result<ModelHandle> {
         let checkpoint = checkpoint.as_ref().to_path_buf();
-        let model = load_model(&checkpoint)?;
+        let model = load_model_with_retry(&checkpoint, &RetryPolicy::default())?;
         let fitted = build_fitted(&framework, &log, model, &checkpoint)?;
         Ok(ModelHandle {
             framework,
@@ -82,14 +82,17 @@ impl ModelHandle {
     ///
     /// The new model is loaded, validated against the serving log, and its
     /// indexes are rebuilt entirely before the swap; concurrent readers are
-    /// blocked only for the pointer exchange. On any error the previous
-    /// state keeps serving untouched.
+    /// blocked only for the pointer exchange. Transient I/O failures during
+    /// the load are retried with bounded backoff
+    /// ([`crate::persist::load_model_with_retry`]); corrupt or missing
+    /// checkpoints fail fast. On any error the previous state keeps serving
+    /// untouched.
     pub fn reload(&self, path: Option<&Path>) -> io::Result<Arc<ServingState>> {
         let checkpoint = match path {
             Some(p) => p.to_path_buf(),
             None => self.current().checkpoint.clone(),
         };
-        let model = load_model(&checkpoint)?;
+        let model = load_model_with_retry(&checkpoint, &RetryPolicy::default())?;
         let fitted = build_fitted(&self.framework, &self.log, model, &checkpoint)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(ServingState { fitted, version, checkpoint });

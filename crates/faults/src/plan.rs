@@ -1,0 +1,365 @@
+//! Fault plans: what to inject, where, and how often.
+//!
+//! A [`FaultPlan`] is a seed plus a list of [`FaultRule`]s. Rules are
+//! data — building one does nothing until the plan is armed with
+//! [`crate::set_plan`]. Plans can also be parsed from a compact spec
+//! string (the CLI's `--faults` knob):
+//!
+//! ```text
+//! ann.search=latency:500@0.3;persist.load=io@0.5x2;durable.month_end=crash+3x1
+//! ```
+//!
+//! Each `;`-separated rule is `point=kind[@prob][xMAX][+SKIP]` where
+//! `kind` is `latency:MICROS`, `io`, `bitflip` or `crash`; `@prob` is
+//! the per-hit firing probability (default 1.0); `xMAX` bounds the total
+//! number of fires; `+SKIP` ignores the first SKIP hits (e.g. "crash on
+//! the 4th checkpoint commit" is `+3x1`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use unimatch_obs as obs;
+
+/// What a firing injection point does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sleep for this many microseconds (simulated slow I/O / slow shard).
+    LatencyUs(u64),
+    /// Surface a transient `io::ErrorKind::Interrupted` error.
+    IoError,
+    /// Flip one bit of the bytes flowing through the seam.
+    BitFlip,
+    /// Panic — the in-process stand-in for a hard kill.
+    Crash,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LatencyUs(us) => write!(f, "latency:{us}"),
+            FaultKind::IoError => write!(f, "io"),
+            FaultKind::BitFlip => write!(f, "bitflip"),
+            FaultKind::Crash => write!(f, "crash"),
+        }
+    }
+}
+
+/// One injection rule: at `point`, fire `kind` with probability
+/// `probability` per hit, at most `max_fires` times, skipping the first
+/// `skip_first` hits.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// Name of the injection point this rule targets (exact match).
+    pub point: String,
+    /// The fault to inject when the rule fires.
+    pub kind: FaultKind,
+    /// Per-hit firing probability in `[0, 1]` (default 1.0).
+    pub probability: f64,
+    /// Cap on total fires; `None` means unbounded.
+    pub max_fires: Option<u64>,
+    /// Number of initial hits that never fire (default 0).
+    pub skip_first: u64,
+}
+
+impl FaultRule {
+    /// A rule for `point` firing `kind` on every hit.
+    pub fn new(point: impl Into<String>, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            point: point.into(),
+            kind,
+            probability: 1.0,
+            max_fires: None,
+            skip_first: 0,
+        }
+    }
+
+    /// Sets the per-hit firing probability (clamped to `[0, 1]`).
+    pub fn with_probability(mut self, p: f64) -> FaultRule {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the total number of fires.
+    pub fn with_max_fires(mut self, n: u64) -> FaultRule {
+        self.max_fires = Some(n);
+        self
+    }
+
+    /// Skips the first `n` hits before the rule may fire.
+    pub fn with_skip_first(mut self, n: u64) -> FaultRule {
+        self.skip_first = n;
+        self
+    }
+}
+
+/// A seed plus the rules to arm. See the module docs for the spec-string
+/// grammar accepted by [`FaultPlan::parse`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the deterministic per-hit decisions.
+    pub seed: u64,
+    /// The injection rules.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parses the compact `point=kind[@prob][xMAX][+SKIP];…` spec.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, PlanParseError> {
+        let mut rules = Vec::new();
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            rules.push(parse_rule(part)?);
+        }
+        if rules.is_empty() {
+            return Err(PlanParseError { spec: spec.to_string(), detail: "no rules".into() });
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+}
+
+/// A `--faults` spec string that could not be parsed.
+#[derive(Clone, Debug)]
+pub struct PlanParseError {
+    /// The offending rule text.
+    pub spec: String,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.spec, self.detail)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn parse_rule(part: &str) -> Result<FaultRule, PlanParseError> {
+    let err = |detail: &str| PlanParseError { spec: part.to_string(), detail: detail.into() };
+    let (point, rest) = part.split_once('=').ok_or_else(|| err("missing `=`"))?;
+    let point = point.trim();
+    if point.is_empty() {
+        return Err(err("empty point name"));
+    }
+    // the kind token runs until the first suffix delimiter (@, x, +);
+    // kind names and `latency:MICROS` contain none of those characters
+    let kind_end = rest.find(['@', 'x', '+']).unwrap_or(rest.len());
+    let kind_str = &rest[..kind_end];
+    let kind = match kind_str.split_once(':') {
+        Some(("latency", us)) => FaultKind::LatencyUs(
+            us.parse().map_err(|_| err("latency wants integer microseconds"))?,
+        ),
+        None if kind_str == "io" => FaultKind::IoError,
+        None if kind_str == "bitflip" => FaultKind::BitFlip,
+        None if kind_str == "crash" => FaultKind::Crash,
+        _ => return Err(err("kind must be latency:MICROS, io, bitflip or crash")),
+    };
+    let mut rule = FaultRule::new(point, kind);
+    let mut suffix = &rest[kind_end..];
+    while !suffix.is_empty() {
+        let delim = suffix.as_bytes()[0];
+        let body = &suffix[1..];
+        let end = body.find(['@', 'x', '+']).unwrap_or(body.len());
+        let value = &body[..end];
+        match delim {
+            b'@' => {
+                let p: f64 =
+                    value.parse().map_err(|_| err("`@` wants a probability in [0,1]"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(err("`@` wants a probability in [0,1]"));
+                }
+                rule = rule.with_probability(p);
+            }
+            b'x' => {
+                rule = rule
+                    .with_max_fires(value.parse().map_err(|_| err("`x` wants a fire count"))?);
+            }
+            b'+' => {
+                rule = rule
+                    .with_skip_first(value.parse().map_err(|_| err("`+` wants a skip count"))?);
+            }
+            _ => unreachable!("suffix starts at a delimiter"),
+        }
+        suffix = &body[end..];
+    }
+    Ok(rule)
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed `u64 -> u64` bijection.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct ArmedRule {
+    rule: FaultRule,
+    point_hash: u64,
+    hits: AtomicU64,
+    fires: AtomicU64,
+    /// `unimatch_faults_fired_total{point=…}` — resolved once at arm
+    /// time so firing never takes the registry lock.
+    fired_counter: &'static obs::Counter,
+}
+
+/// A plan compiled for decision-making: per-rule hit/fire counters and
+/// pre-resolved metric handles. Internal to the crate; built by
+/// [`crate::set_plan`].
+pub(crate) struct ArmedPlan {
+    seed: u64,
+    rules: Vec<ArmedRule>,
+}
+
+impl ArmedPlan {
+    pub(crate) fn new(plan: FaultPlan) -> ArmedPlan {
+        let rules = plan
+            .rules
+            .into_iter()
+            .map(|rule| {
+                // the registry keys by label *content*, so re-arming the
+                // same point reuses the counter; only the label string
+                // itself leaks, once per distinct point name per arm
+                let labels: &'static str =
+                    Box::leak(format!("point=\"{}\"", rule.point).into_boxed_str());
+                ArmedRule {
+                    point_hash: fnv64(&rule.point),
+                    hits: AtomicU64::new(0),
+                    fires: AtomicU64::new(0),
+                    fired_counter: obs::registry::counter_labeled(
+                        "unimatch_faults_fired_total",
+                        labels,
+                    ),
+                    rule,
+                }
+            })
+            .collect();
+        ArmedPlan { seed: plan.seed, rules }
+    }
+
+    /// Decides whether the current hit at `point` fires, and what.
+    /// Rules are consulted in plan order; the first that fires wins.
+    pub(crate) fn decide(&self, point: &str) -> Option<FaultKind> {
+        let mut decision = None;
+        for (i, armed) in self.rules.iter().enumerate() {
+            if armed.rule.point != point {
+                continue;
+            }
+            let n = armed.hits.fetch_add(1, Ordering::Relaxed);
+            if n < armed.rule.skip_first {
+                continue;
+            }
+            // deterministic per (seed, point, rule position, hit index)
+            let h = mix(self.seed ^ armed.point_hash ^ mix(i as u64) ^ mix(n));
+            let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if draw >= armed.rule.probability {
+                continue;
+            }
+            // enforce the fire budget exactly even under concurrent hits
+            let budget = armed.rule.max_fires.unwrap_or(u64::MAX);
+            let won = armed
+                .fires
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f < budget).then_some(f + 1)
+                })
+                .is_ok();
+            if !won {
+                continue;
+            }
+            armed.fired_counter.inc();
+            decision = Some(armed.rule.kind);
+            break;
+        }
+        decision
+    }
+
+    pub(crate) fn fired_total(&self) -> u64 {
+        self.rules.iter().map(|r| r.fires.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse(
+            "ann.search=latency:500@0.3; persist.load=io@0.5x2;durable.month_end=crash+3x1;train.step=bitflip",
+            42,
+        )
+        .expect("valid spec");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 4);
+
+        let r = &plan.rules[0];
+        assert_eq!(r.point, "ann.search");
+        assert_eq!(r.kind, FaultKind::LatencyUs(500));
+        assert!((r.probability - 0.3).abs() < 1e-12);
+        assert_eq!(r.max_fires, None);
+        assert_eq!(r.skip_first, 0);
+
+        let r = &plan.rules[1];
+        assert_eq!(r.kind, FaultKind::IoError);
+        assert_eq!(r.max_fires, Some(2));
+
+        let r = &plan.rules[2];
+        assert_eq!(r.kind, FaultKind::Crash);
+        assert_eq!(r.skip_first, 3);
+        assert_eq!(r.max_fires, Some(1));
+
+        assert_eq!(plan.rules[3].kind, FaultKind::BitFlip);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "no-equals",
+            "=io",
+            "p=warp",
+            "p=latency:abc",
+            "p=io@1.5",
+            "p=io@zero",
+            "p=iox",
+            "p=crash+many",
+        ] {
+            let e = FaultPlan::parse(bad, 0).expect_err(bad);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn armed_plan_counts_fires_per_rule() {
+        let plan = ArmedPlan::new(FaultPlan {
+            seed: 0,
+            rules: vec![
+                FaultRule::new("a", FaultKind::IoError).with_probability(1.0).with_max_fires(1),
+                FaultRule::new("a", FaultKind::BitFlip).with_probability(1.0),
+            ],
+        });
+        // first hit: rule 0 wins; afterwards its budget is spent and
+        // rule 1 takes over
+        assert_eq!(plan.decide("a"), Some(FaultKind::IoError));
+        assert_eq!(plan.decide("a"), Some(FaultKind::BitFlip));
+        assert_eq!(plan.decide("a"), Some(FaultKind::BitFlip));
+        assert_eq!(plan.fired_total(), 3);
+        assert_eq!(plan.decide("b"), None);
+    }
+
+    #[test]
+    fn mix_is_well_distributed_enough() {
+        // coarse sanity: low bit of mix over consecutive integers is
+        // roughly balanced (the decision draw depends on this)
+        let ones = (0..1024u64).filter(|&i| mix(i) & 1 == 1).count();
+        assert!((400..=624).contains(&ones), "{ones}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Pins the fault plane's no-op contract: with no plan armed, the
+//! per-call cost of an injection point is indistinguishable from a bare
+//! branch — no lock, no clock, no allocation. Mirrors
+//! `crates/obs/tests/overhead.rs`, which pins the same contract for the
+//! observability flag.
+
+use std::time::Instant;
+
+use unimatch_faults as faults;
+use unimatch_faults::{FaultKind, FaultPlan, FaultPoint, FaultRule};
+
+const ITERS: u64 = 2_000_000;
+
+/// Both tests flip the process-global plan; run them one at a time.
+fn plan_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` ITERS times and returns mean ns/op over the best of three
+/// repeats (best-of smooths out scheduler noise).
+fn bench(mut f: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for i in 0..ITERS {
+            f(i);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+#[test]
+fn disarmed_injection_point_overhead_is_unmeasurable() {
+    let _guard = plan_lock();
+    faults::clear();
+
+    // Baseline: the loop body alone (a data dependency the optimizer
+    // cannot delete).
+    let mut acc = 0u64;
+    let base = bench(|i| acc = acc.wrapping_add(i).rotate_left(7));
+
+    // With injection points: identical body plus the seams exactly as
+    // persist/ANN/batcher/trainer write them.
+    const POINT: FaultPoint = FaultPoint::new("overhead.test");
+    let mut acc2 = 0u64;
+    let mut fired = 0u64;
+    let seamed = bench(|i| {
+        acc2 = acc2.wrapping_add(i).rotate_left(7);
+        POINT.inject_latency();
+        if FaultPoint::should_fire("overhead.test").is_some() {
+            fired += 1;
+        }
+    });
+
+    // Keep the accumulators live.
+    assert_ne!(acc.wrapping_add(acc2), 1);
+    assert_eq!(fired, 0, "nothing may fire while disarmed");
+
+    let delta = (seamed - base).max(0.0);
+    assert!(
+        delta < 15.0,
+        "disarmed injection points cost {delta:.2} ns/op (base {base:.2}, seamed {seamed:.2}); \
+         expected a bare load+branch per point"
+    );
+}
+
+#[test]
+fn armed_decision_cost_is_bounded() {
+    // Not part of the no-op contract, but pin that an armed-but-missing
+    // decision (plan targets a different point) stays cheap enough for
+    // per-request use: one mutex lock + a short rule scan.
+    let _guard = plan_lock();
+    faults::set_plan(FaultPlan {
+        seed: 1,
+        rules: vec![FaultRule::new("somewhere.else", FaultKind::IoError)],
+    });
+    let per_op = bench(|_| {
+        assert!(FaultPoint::should_fire("overhead.test").is_none());
+    });
+    faults::clear();
+    assert!(per_op < 2_000.0, "armed decision cost {per_op:.0} ns/op — plan lookup regressed?");
+}

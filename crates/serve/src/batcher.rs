@@ -15,16 +15,28 @@
 //!   and answered through `recommend_by_embeddings` / `target_users_batch`,
 //!   whose outputs match the per-request APIs element for element;
 //! * the embedding LRU cache is keyed by history and cleared whenever the
-//!   pinned model version changes.
+//!   pinned model version changes;
+//! * every job carries an admission deadline — jobs that out-wait it in
+//!   the queue are answered [`JobError::Expired`] (→ 503) instead of
+//!   executed, and each dequeue releases one slot of the queue-occupancy
+//!   counter the server sheds (→ 429) against.
 
 use crate::cache::LruCache;
 use crate::metrics::{Metrics, Route};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unimatch_ann::Hit;
 use unimatch_core::serving::ServingState;
 use unimatch_core::ModelHandle;
+use unimatch_faults::FaultPoint;
+
+/// Chaos-testing seam: a latency fault armed at `serve.batch` stalls the
+/// batcher between collecting a batch and executing it — the way an
+/// overloaded executor looks to the admission queue. Disarmed cost is one
+/// relaxed atomic load per batch.
+const BATCH_FAULT: FaultPoint = FaultPoint::new("serve.batch");
 
 /// A request-level failure, mapped to an HTTP status by the server.
 #[derive(Debug, Clone)]
@@ -33,6 +45,10 @@ pub enum JobError {
     BadRequest(String),
     /// Execution failed (→ 500).
     Internal(String),
+    /// The request out-waited its deadline in the admission queue
+    /// (→ 503 with `Retry-After`): answering it now would hand the
+    /// client a result it has already given up on.
+    Expired,
 }
 
 /// An enqueued `/recommend` request.
@@ -41,6 +57,9 @@ pub struct RecommendJob {
     pub history: Vec<u32>,
     /// Number of items requested.
     pub k: usize,
+    /// Load-shedding deadline: jobs still queued past this instant are
+    /// answered [`JobError::Expired`] instead of executed.
+    pub deadline: Instant,
     /// Where the batcher delivers the result.
     pub reply: Sender<Result<Vec<Hit>, JobError>>,
 }
@@ -51,6 +70,8 @@ pub struct TargetJob {
     pub item: u32,
     /// Number of users requested.
     pub k: usize,
+    /// Load-shedding deadline (see [`RecommendJob::deadline`]).
+    pub deadline: Instant,
     /// Where the batcher delivers the result.
     pub reply: Sender<Result<Vec<(u32, f32)>, JobError>>,
 }
@@ -67,9 +88,12 @@ pub struct BatchConfig {
 }
 
 /// Collects one batch: blocks for the first job, then drains until the
-/// window closes, the batch is full, or the channel disconnects.
-fn collect_batch<T>(rx: &Receiver<T>, cfg: &BatchConfig) -> Option<Vec<T>> {
+/// window closes, the batch is full, or the channel disconnects. Every
+/// dequeued job releases one slot of `depth`, the admission-side queue
+/// occupancy counter the server sheds against.
+fn collect_batch<T>(rx: &Receiver<T>, cfg: &BatchConfig, depth: &AtomicUsize) -> Option<Vec<T>> {
     let first = rx.recv().ok()?;
+    depth.fetch_sub(1, Ordering::SeqCst);
     let deadline = Instant::now() + cfg.window;
     let mut batch = vec![first];
     while batch.len() < cfg.max_batch {
@@ -78,12 +102,36 @@ fn collect_batch<T>(rx: &Receiver<T>, cfg: &BatchConfig) -> Option<Vec<T>> {
             break;
         }
         match rx.recv_timeout(deadline - now) {
-            Ok(job) => batch.push(job),
+            Ok(job) => {
+                depth.fetch_sub(1, Ordering::SeqCst);
+                batch.push(job);
+            }
             Err(RecvTimeoutError::Timeout) => break,
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
     Some(batch)
+}
+
+/// Splits off and answers the jobs whose deadline passed while they
+/// queued; returns the still-live remainder in arrival order.
+fn drop_expired<T>(
+    batch: Vec<T>,
+    deadline_of: impl Fn(&T) -> Instant,
+    reply: impl Fn(T),
+    metrics: &Metrics,
+) -> Vec<T> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if now >= deadline_of(&job) {
+            metrics.shed_deadline();
+            reply(job);
+        } else {
+            live.push(job);
+        }
+    }
+    live
 }
 
 /// Runs until every [`Sender`] for `rx` is dropped **and** the queue is
@@ -94,10 +142,23 @@ pub fn run_recommend_batcher(
     handle: Arc<ModelHandle>,
     metrics: Arc<Metrics>,
     cfg: BatchConfig,
+    depth: Arc<AtomicUsize>,
 ) {
     let mut cache: LruCache<Vec<u32>, Vec<f32>> = LruCache::new(cfg.cache_capacity);
     let mut cache_version = 0u64;
-    while let Some(batch) = collect_batch(&rx, &cfg) {
+    while let Some(batch) = collect_batch(&rx, &cfg, &depth) {
+        BATCH_FAULT.inject_latency();
+        let batch = drop_expired(
+            batch,
+            |j: &RecommendJob| j.deadline,
+            |j| {
+                let _ = j.reply.send(Err(JobError::Expired));
+            },
+            &metrics,
+        );
+        if batch.is_empty() {
+            continue;
+        }
         metrics.batch(Route::Recommend, batch.len());
         let state = handle.current();
         if state.version != cache_version {
@@ -212,8 +273,21 @@ pub fn run_target_batcher(
     handle: Arc<ModelHandle>,
     metrics: Arc<Metrics>,
     cfg: BatchConfig,
+    depth: Arc<AtomicUsize>,
 ) {
-    while let Some(batch) = collect_batch(&rx, &cfg) {
+    while let Some(batch) = collect_batch(&rx, &cfg, &depth) {
+        BATCH_FAULT.inject_latency();
+        let batch = drop_expired(
+            batch,
+            |j: &TargetJob| j.deadline,
+            |j| {
+                let _ = j.reply.send(Err(JobError::Expired));
+            },
+            &metrics,
+        );
+        if batch.is_empty() {
+            continue;
+        }
         metrics.batch(Route::Target, batch.len());
         let state = handle.current();
         execute_target(batch, &state);

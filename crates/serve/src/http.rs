@@ -135,6 +135,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -150,13 +151,31 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers — the server uses this to attach
+/// `Retry-After` to load-shedding responses. Header names and values must
+/// already be valid HTTP token/field text; this writer does no escaping.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        write!(head, "{name}: {value}\r\n").expect("write to String");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -223,6 +242,23 @@ mod tests {
             parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
             Err(HttpError::Io(_))
         ));
+    }
+
+    #[test]
+    fn response_with_extra_headers() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 
     #[test]

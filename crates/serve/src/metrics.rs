@@ -79,6 +79,12 @@ pub struct Metrics {
     cache_misses: Counter,
     reloads: Counter,
     connections_rejected: Counter,
+    /// Requests turned away at admission because the queue was at its
+    /// configured bound (→ 429).
+    shed_queue_full: Counter,
+    /// Admitted jobs dropped by the batcher because their deadline passed
+    /// while they queued (→ 503).
+    shed_deadline: Counter,
 }
 
 impl Default for Metrics {
@@ -95,6 +101,8 @@ impl Default for Metrics {
             cache_misses: Counter::new(),
             reloads: Counter::new(),
             connections_rejected: Counter::new(),
+            shed_queue_full: Counter::new(),
+            shed_deadline: Counter::new(),
         }
     }
 }
@@ -171,6 +179,21 @@ impl Metrics {
         self.connections_rejected.inc();
     }
 
+    /// Counts a request shed at admission because the queue was full.
+    pub fn shed_queue_full(&self) {
+        self.shed_queue_full.inc();
+    }
+
+    /// Counts a queued job shed because its deadline passed.
+    pub fn shed_deadline(&self) {
+        self.shed_deadline.inc();
+    }
+
+    /// Requests shed so far, across both reasons.
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue_full.get() + self.shed_deadline.get()
+    }
+
     /// Renders the text exposition. `model_version` is sampled by the
     /// caller from the serving handle at scrape time.
     pub fn render(&self, model_version: u64) -> String {
@@ -203,6 +226,8 @@ impl Metrics {
         writeln!(out, "unimatch_embedding_cache_hit_ratio {ratio}").expect("write to String");
         self.reloads.render("unimatch_reloads_total", "", &mut out);
         self.connections_rejected.render("unimatch_connections_rejected_total", "", &mut out);
+        self.shed_queue_full.render("unimatch_requests_shed_total", "reason=\"queue_full\"", &mut out);
+        self.shed_deadline.render("unimatch_requests_shed_total", "reason=\"deadline\"", &mut out);
         writeln!(out, "unimatch_model_version {model_version}").expect("write to String");
         out
     }
@@ -225,6 +250,8 @@ mod tests {
         m.cache_miss();
         m.reload();
         m.connection_rejected();
+        m.shed_queue_full();
+        m.shed_deadline();
         let text = m.render(3);
         for needle in [
             "unimatch_requests_total{route=\"recommend\"} 1",
@@ -237,6 +264,8 @@ mod tests {
             "unimatch_embedding_cache_hit_ratio 0.5",
             "unimatch_reloads_total 1",
             "unimatch_connections_rejected_total 1",
+            "unimatch_requests_shed_total{reason=\"queue_full\"} 1",
+            "unimatch_requests_shed_total{reason=\"deadline\"} 1",
             "unimatch_model_version 3",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -23,7 +23,7 @@
 use crate::batcher::{
     run_recommend_batcher, run_target_batcher, BatchConfig, JobError, RecommendJob, TargetJob,
 };
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::metrics::{Metrics, Route};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,6 +52,15 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
+    /// Maximum jobs queued per route ahead of the batcher; requests
+    /// arriving with the queue at this bound are shed with `429` and a
+    /// `Retry-After` header instead of joining an unserviceable backlog.
+    /// `0` sheds every query request — a drain mode, also useful in tests.
+    pub queue_bound: usize,
+    /// Per-request deadline through the admission queue: jobs the batcher
+    /// dequeues after this much waiting are answered `503` (with
+    /// `Retry-After`) instead of executed for a client that gave up.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +71,8 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             max_connections: 256,
             read_timeout: Duration::from_secs(5),
+            queue_bound: 1024,
+            request_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -74,6 +85,12 @@ struct Shared {
     recommend_tx: Sender<RecommendJob>,
     target_tx: Sender<TargetJob>,
     read_timeout: Duration,
+    /// Jobs currently queued per route (incremented at admission,
+    /// decremented by the batcher per dequeue); the shed threshold.
+    recommend_depth: Arc<AtomicUsize>,
+    target_depth: Arc<AtomicUsize>,
+    queue_bound: usize,
+    request_deadline: Duration,
 }
 
 /// A running server. Obtain with [`Server::start`], stop with
@@ -109,21 +126,23 @@ impl Server {
         };
         let (recommend_tx, recommend_rx) = channel::<RecommendJob>();
         let (target_tx, target_rx) = channel::<TargetJob>();
+        let recommend_depth = Arc::new(AtomicUsize::new(0));
+        let target_depth = Arc::new(AtomicUsize::new(0));
         let mut batcher_threads = Vec::with_capacity(2);
         {
-            let (h, m) = (handle.clone(), metrics.clone());
+            let (h, m, d) = (handle.clone(), metrics.clone(), recommend_depth.clone());
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-recommend".into())
-                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg))?,
+                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg, d))?,
             );
         }
         {
-            let (h, m) = (handle.clone(), metrics.clone());
+            let (h, m, d) = (handle.clone(), metrics.clone(), target_depth.clone());
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-target".into())
-                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg))?,
+                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg, d))?,
             );
         }
 
@@ -133,6 +152,10 @@ impl Server {
             recommend_tx,
             target_tx,
             read_timeout: config.read_timeout,
+            recommend_depth,
+            target_depth,
+            queue_bound: config.queue_bound,
+            request_deadline: config.request_deadline,
         });
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -225,7 +248,13 @@ fn accept_loop(
         if active.load(Ordering::SeqCst) >= max_connections {
             shared.metrics.connection_rejected();
             let body = error_body("server at connection capacity");
-            let _ = write_response(&mut stream, 503, "application/json", &body);
+            let _ = write_response_with(
+                &mut stream,
+                503,
+                "application/json",
+                RETRY_AFTER,
+                &body,
+            );
             continue;
         }
         active.fetch_add(1, Ordering::SeqCst);
@@ -324,8 +353,16 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         shared.metrics.latency(route, started.elapsed().as_micros() as u64);
     }
     shared.metrics.response(status);
-    let _ = write_response(&mut stream, status, content_type, &body);
+    // Overload answers tell the client when to come back; everything else
+    // uses the plain writer.
+    let extra = if status == 429 || status == 503 { RETRY_AFTER } else { &[] };
+    let _ = write_response_with(&mut stream, status, content_type, extra, &body);
 }
+
+/// The `Retry-After` hint attached to every load-shedding response
+/// (429 and 503): one second is long enough for a micro-batched backlog
+/// to clear and short enough to keep well-behaved clients responsive.
+const RETRY_AFTER: &[(&str, &str)] = &[("Retry-After", "1")];
 
 type Dispatch = (Option<Route>, u16, &'static str, Vec<u8>);
 
@@ -348,9 +385,15 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
         ("GET", "/metrics") => {
             // One scrape body: this server's owned series first, then every
             // process-global registry series (trainer, ANN, bench) so all
-            // subsystems expose through the same endpoint.
+            // subsystems expose through the same endpoint, plus the armed
+            // fault plane's fire count (0 while disarmed) so chaos runs can
+            // correlate injected faults with the shed/error series above.
             let mut text = shared.metrics.render(shared.handle.version());
             text.push_str(&unimatch_obs::registry::render());
+            text.push_str(&format!(
+                "unimatch_faults_fired_total {}\n",
+                unimatch_faults::fired_total()
+            ));
             (Some(Route::Metrics), 200, "text/plain; version=0.0.4", text.into_bytes())
         }
         (_, "/recommend" | "/target" | "/reload" | "/healthz" | "/metrics") => {
@@ -397,16 +440,37 @@ fn route_recommend(request: &Request, shared: &Shared) -> Dispatch {
         Ok(p) => p,
         Err(msg) => return (route, 400, "application/json", error_body(&msg)),
     };
+    let Some(deadline) = admit(shared, &shared.recommend_depth) else {
+        return (route, 429, "application/json", error_body("admission queue full"));
+    };
     let (reply_tx, reply_rx) = channel();
-    if shared.recommend_tx.send(RecommendJob { history, k, reply: reply_tx }).is_err() {
+    if shared.recommend_tx.send(RecommendJob { history, k, deadline, reply: reply_tx }).is_err() {
+        shared.recommend_depth.fetch_sub(1, Ordering::SeqCst);
         return (route, 503, "application/json", error_body("server shutting down"));
     }
     match reply_rx.recv() {
         Ok(Ok(hits)) => (route, 200, "application/json", recommend_body(k, &hits)),
         Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
         Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
+        Ok(Err(JobError::Expired)) => expired_dispatch(route),
         Err(_) => (route, 500, "application/json", error_body("batch executor unavailable")),
     }
+}
+
+/// Admission control: claims one queue slot and stamps the job's deadline,
+/// or sheds (the caller answers `429`) when the queue is at its bound.
+fn admit(shared: &Shared, depth: &AtomicUsize) -> Option<Instant> {
+    if depth.fetch_add(1, Ordering::SeqCst) >= shared.queue_bound {
+        depth.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.shed_queue_full();
+        return None;
+    }
+    Some(Instant::now() + shared.request_deadline)
+}
+
+/// The uniform answer for a job the batcher shed on deadline.
+fn expired_dispatch(route: Option<Route>) -> Dispatch {
+    (route, 503, "application/json", error_body("deadline exceeded in admission queue"))
 }
 
 fn route_target(request: &Request, shared: &Shared) -> Dispatch {
@@ -424,14 +488,19 @@ fn route_target(request: &Request, shared: &Shared) -> Dispatch {
         Ok(p) => p,
         Err(msg) => return (route, 400, "application/json", error_body(&msg)),
     };
+    let Some(deadline) = admit(shared, &shared.target_depth) else {
+        return (route, 429, "application/json", error_body("admission queue full"));
+    };
     let (reply_tx, reply_rx) = channel();
-    if shared.target_tx.send(TargetJob { item, k, reply: reply_tx }).is_err() {
+    if shared.target_tx.send(TargetJob { item, k, deadline, reply: reply_tx }).is_err() {
+        shared.target_depth.fetch_sub(1, Ordering::SeqCst);
         return (route, 503, "application/json", error_body("server shutting down"));
     }
     match reply_rx.recv() {
         Ok(Ok(users)) => (route, 200, "application/json", target_body(k, &users)),
         Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
         Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
+        Ok(Err(JobError::Expired)) => expired_dispatch(route),
         Err(_) => (route, 500, "application/json", error_body("batch executor unavailable")),
     }
 }

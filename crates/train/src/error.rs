@@ -1,0 +1,49 @@
+//! Typed training errors.
+//!
+//! Configuration problems surface *before* the first optimization step —
+//! a bad batch size or a missing SSM context is a caller bug that should
+//! be reported as a value, not discovered as a panic three epochs into a
+//! month of incremental training.
+
+use std::fmt;
+
+/// Why training could not proceed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// The [`crate::TrainConfig`] is unusable; the message names the field.
+    InvalidConfig(String),
+    /// An SSM step was driven without an [`crate::SsmContext`] — the
+    /// shared unigram sampler must be built (once) before stepping.
+    MissingSsmContext,
+    /// The provided [`crate::SsmContext`] was built for a different
+    /// negative count than the loss requests.
+    SsmNegativesMismatch {
+        /// Negatives the context was built for.
+        context: usize,
+        /// Negatives the loss configuration requests.
+        loss: usize,
+    },
+    /// Optimizer state being imported does not match the model (a
+    /// checkpoint from a different architecture).
+    StateMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::MissingSsmContext => {
+                write!(f, "SSM training requires an SsmContext (build one with SsmContext::new)")
+            }
+            TrainError::SsmNegativesMismatch { context, loss } => write!(
+                f,
+                "SsmContext was built for {context} negatives but the loss requests {loss}"
+            ),
+            TrainError::StateMismatch(msg) => {
+                write!(f, "optimizer state does not match the model: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}

@@ -3,6 +3,7 @@
 //! touched by the step pay any cost, which is what makes large-vocabulary
 //! training tractable.
 
+use crate::error::TrainError;
 use crate::schedule::Schedule;
 use std::collections::HashMap;
 use unimatch_tensor::{Graph, ParamId, ParamSet, Tensor};
@@ -89,6 +90,21 @@ impl AdamConfig {
     }
 }
 
+/// A portable snapshot of [`Adam`]'s internal state, keyed by parameter
+/// name. Produced by [`Adam::export_state`]; the durable-training runner
+/// serializes it into per-month checkpoints so a resumed run continues
+/// with the exact moments an uninterrupted run would have had.
+#[derive(Clone, Debug, Default)]
+pub struct AdamState {
+    /// Steps taken (drives bias correction and schedules).
+    pub t: u64,
+    /// Per-dense-parameter `(name, first moment, second moment)`.
+    pub dense: Vec<(String, Tensor, Tensor)>,
+    /// Per-embedding-table `(name, rows)` where each row entry is
+    /// `(row index, first moment, second moment)`.
+    pub sparse: Vec<(String, Vec<(u32, Vec<f32>, Vec<f32>)>)>,
+}
+
 /// Adam with dense state for dense parameters and per-row lazy state for
 /// embedding tables.
 #[derive(Debug)]
@@ -122,6 +138,93 @@ impl Adam {
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// The current base learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Overrides the base learning rate (the durable runner's LR backoff
+    /// after a health rollback). Moments and step count are untouched.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Snapshots the full optimizer state — step count plus first/second
+    /// moments, dense and sparse — keyed by parameter *name* so the
+    /// snapshot survives a process restart that rebuilds the `ParamSet`
+    /// (ids are positional; names are stable). Output ordering is
+    /// deterministic so serialized snapshots are byte-reproducible.
+    pub fn export_state(&self, params: &ParamSet) -> AdamState {
+        let name = |id: ParamId| params.name(id).to_string();
+        let mut dense: Vec<(String, Tensor, Tensor)> = self
+            .m
+            .iter()
+            .map(|(&id, m)| (name(id), m.clone(), self.v[&id].clone()))
+            .collect();
+        dense.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sparse: Vec<(String, Vec<(u32, Vec<f32>, Vec<f32>)>)> = self
+            .sparse_m
+            .iter()
+            .map(|(&id, rows_m)| {
+                let rows_v = &self.sparse_v[&id];
+                let mut rows: Vec<(u32, Vec<f32>, Vec<f32>)> = rows_m
+                    .iter()
+                    .map(|(&row, m)| (row, m.clone(), rows_v[&row].clone()))
+                    .collect();
+                rows.sort_by_key(|r| r.0);
+                (name(id), rows)
+            })
+            .collect();
+        sparse.sort_by(|a, b| a.0.cmp(&b.0));
+        AdamState { t: self.t, dense, sparse }
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`], resolving
+    /// parameter names against `params`. Any name the model does not know
+    /// is a state/architecture mismatch and fails the import whole.
+    pub fn import_state(&mut self, params: &ParamSet, state: &AdamState) -> Result<(), TrainError> {
+        let lookup = |name: &str| -> Result<ParamId, TrainError> {
+            params
+                .iter()
+                .find(|(_, p)| p.name == name)
+                .map(|(id, _)| id)
+                .ok_or_else(|| TrainError::StateMismatch(format!("unknown parameter {name}")))
+        };
+        let mut m = HashMap::new();
+        let mut v = HashMap::new();
+        for (name, sm, sv) in &state.dense {
+            let id = lookup(name)?;
+            if sm.shape() != params.shape(id) {
+                return Err(TrainError::StateMismatch(format!(
+                    "moment shape {} for {name} does not match parameter {}",
+                    sm.shape(),
+                    params.shape(id)
+                )));
+            }
+            m.insert(id, sm.clone());
+            v.insert(id, sv.clone());
+        }
+        let mut sparse_m = HashMap::new();
+        let mut sparse_v = HashMap::new();
+        for (name, rows) in &state.sparse {
+            let id = lookup(name)?;
+            let mut rm = HashMap::new();
+            let mut rv = HashMap::new();
+            for (row, sm, sv) in rows {
+                rm.insert(*row, sm.clone());
+                rv.insert(*row, sv.clone());
+            }
+            sparse_m.insert(id, rm);
+            sparse_v.insert(id, rv);
+        }
+        self.t = state.t;
+        self.m = m;
+        self.v = v;
+        self.sparse_m = sparse_m;
+        self.sparse_v = sparse_v;
+        Ok(())
     }
 
     /// Applies one step from the gradients accumulated in `graph`.
@@ -302,6 +405,70 @@ mod tests {
         assert_ne!(params.get(table).row(2), [1.0, 1.0]);
         assert_eq!(params.get(table).row(1), [1.0, 1.0]);
         assert_eq!(params.get(table).row(3), before_row3.as_slice());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        // two optimizers: one runs 20 steps straight; the other runs 10,
+        // exports, is replaced by a fresh optimizer importing the state,
+        // and runs 10 more — the trajectories must be identical
+        let make = || {
+            let mut params = ParamSet::new();
+            params.add("w", Tensor::vector(&[0.0]));
+            params.add("emb", Tensor::ones([4, 2]));
+            params
+        };
+        let step = |adam: &mut Adam, params: &mut ParamSet| {
+            let ids: Vec<ParamId> = params.ids().collect();
+            let mut g = Graph::new();
+            let wv = g.param(params, ids[0]);
+            let e = g.embedding(params, ids[1], &[1, 3]);
+            let ee = g.mul(e, e);
+            let se = g.sum_all(ee);
+            let ww = g.mul(wv, wv);
+            let sw = g.sum_all(ww);
+            let shifted = g.add_scalar(sw, -4.0);
+            let loss = g.add(se, shifted);
+            g.backward(loss);
+            adam.step(params, &g);
+        };
+
+        let mut p1 = make();
+        let mut a1 = Adam::new(AdamConfig::with_lr(0.05));
+        for _ in 0..20 {
+            step(&mut a1, &mut p1);
+        }
+
+        let mut p2 = make();
+        let mut a2 = Adam::new(AdamConfig::with_lr(0.05));
+        for _ in 0..10 {
+            step(&mut a2, &mut p2);
+        }
+        let snapshot = a2.export_state(&p2);
+        let mut resumed = Adam::new(AdamConfig::with_lr(0.05));
+        resumed.import_state(&p2, &snapshot).expect("import");
+        assert_eq!(resumed.steps(), 10);
+        for _ in 0..10 {
+            step(&mut resumed, &mut p2);
+        }
+
+        for (id, p) in p1.iter() {
+            assert_eq!(p.value.data(), p2.get(id).data(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn state_import_rejects_unknown_parameters() {
+        let mut params = ParamSet::new();
+        params.add("w", Tensor::vector(&[0.0]));
+        let state = AdamState {
+            t: 3,
+            dense: vec![("nonexistent".into(), Tensor::vector(&[0.0]), Tensor::vector(&[0.0]))],
+            sparse: vec![],
+        };
+        let mut adam = Adam::new(AdamConfig::default());
+        assert!(adam.import_state(&params, &state).is_err());
+        assert_eq!(adam.steps(), 0, "failed import must not partially apply");
     }
 
     #[test]

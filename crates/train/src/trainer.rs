@@ -1,20 +1,34 @@
 //! The training loop: per-batch steps for every loss pathway, epoch
 //! driving, and the paper's month-by-month incremental schedule.
+//!
+//! Configuration is validated before the first step ([`TrainConfig::validate`],
+//! run by every epoch driver and by [`Trainer::try_new`]), so an unusable
+//! batch size or a missing SSM context surfaces as a [`TrainError`]
+//! rather than a panic mid-run. An optional [`HealthMonitor`] watches
+//! each step's loss and gradient norm for the durable-training runner's
+//! rollback/LR-backoff policy. The `train.step` fault seam lets the
+//! robustness suites inject a NaN exactly where an exploding loss would
+//! produce one.
 
 use crate::checkpoint::MonthCheckpoint;
-use crate::optim::{Adam, AdamConfig};
+use crate::error::TrainError;
+use crate::health::{HealthConfig, HealthMonitor, HealthReport};
+use crate::optim::{global_grad_norm, Adam, AdamConfig, AdamState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use unimatch_obs as obs;
 use unimatch_data::alias::AliasTable;
 use unimatch_data::batch::multinomial_batches;
 use unimatch_data::{
     BceBatch, Marginals, MultinomialBatch, NegativeSampler, NegativeStrategy, Sample,
     TemporalSplit,
 };
+use unimatch_faults::{FaultKind, FaultPoint};
 use unimatch_losses::{bce_loss, nce_loss, ssm_loss, MultinomialLoss};
 use unimatch_models::TwoTower;
+use unimatch_obs as obs;
 use unimatch_tensor::Graph;
+
+const STEP_FAULT: FaultPoint = FaultPoint::new("train.step");
 
 /// Which loss pathway to train with.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -78,6 +92,43 @@ impl TrainConfig {
             seed: 17,
         }
     }
+
+    /// Checks every field is usable *before* any training starts. The
+    /// epoch drivers run this first, so a bad config is a typed error at
+    /// the call site, never a panic (or a NaN factory) steps later.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        let bad = |msg: &str| Err(TrainError::InvalidConfig(msg.to_string()));
+        if self.batch_size == 0 {
+            return bad("batch_size must be positive");
+        }
+        if self.epochs_per_month == 0 {
+            return bad("epochs_per_month must be positive");
+        }
+        if self.max_seq_len == 0 {
+            return bad("max_seq_len must be positive");
+        }
+        let o = &self.optimizer;
+        if !o.lr.is_finite() || o.lr <= 0.0 {
+            return bad("optimizer.lr must be a positive finite number");
+        }
+        if !(0.0..1.0).contains(&o.beta1) || !(0.0..1.0).contains(&o.beta2) {
+            return bad("optimizer betas must be in [0, 1)");
+        }
+        if !o.eps.is_finite() || o.eps <= 0.0 {
+            return bad("optimizer.eps must be a positive finite number");
+        }
+        if let Some(c) = o.clip_norm {
+            if !c.is_finite() || c <= 0.0 {
+                return bad("optimizer.clip_norm must be a positive finite number");
+            }
+        }
+        if let TrainLoss::Multinomial(MultinomialLoss::Ssm { negatives }) = self.loss {
+            if negatives == 0 {
+                return bad("SSM negatives must be positive");
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Shared negative pool context for the SSM loss: the vocabulary-wide
@@ -131,14 +182,23 @@ pub struct Trainer {
     opt: Adam,
     rng: StdRng,
     stats: TrainStats,
+    health: Option<HealthMonitor>,
 }
 
 impl Trainer {
-    /// Creates a trainer around a freshly initialized model.
+    /// Creates a trainer around a freshly initialized model. The config
+    /// is validated lazily by the epoch drivers; use [`Trainer::try_new`]
+    /// to surface a bad config at construction.
     pub fn new(model: TwoTower, cfg: TrainConfig) -> Self {
         let opt = Adam::new(cfg.optimizer);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Trainer { model, cfg, opt, rng, stats: TrainStats::default() }
+        Trainer { model, cfg, opt, rng, stats: TrainStats::default(), health: None }
+    }
+
+    /// Creates a trainer, validating the config first.
+    pub fn try_new(model: TwoTower, cfg: TrainConfig) -> Result<Self, TrainError> {
+        cfg.validate()?;
+        Ok(Trainer::new(model, cfg))
     }
 
     /// The training configuration.
@@ -151,13 +211,67 @@ impl Trainer {
         &self.stats
     }
 
-    /// One step on a multinomial batch. Returns the loss value.
+    /// Overwrites the cumulative statistics (a durable resume carries
+    /// them across the process boundary so the cost accounting of a
+    /// resumed run matches an uninterrupted one).
+    pub fn restore_stats(&mut self, stats: TrainStats) {
+        self.stats = stats;
+    }
+
+    /// Reseeds the shuffling/sampling RNG. The durable runner reseeds at
+    /// each month boundary with a per-month derived seed so a resumed run
+    /// replays exactly the batches the uninterrupted run would have seen.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// The current base learning rate.
+    pub fn lr(&self) -> f32 {
+        self.opt.lr()
+    }
+
+    /// Overrides the base learning rate (health-rollback LR backoff).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.optimizer.lr = lr;
+        self.opt.set_lr(lr);
+    }
+
+    /// Snapshots the optimizer state for durable checkpointing.
+    pub fn export_optimizer(&self) -> AdamState {
+        self.opt.export_state(&self.model.params)
+    }
+
+    /// Restores an optimizer snapshot taken by [`Trainer::export_optimizer`].
+    pub fn import_optimizer(&mut self, state: &AdamState) -> Result<(), TrainError> {
+        self.opt.import_state(&self.model.params, state)
+    }
+
+    /// Turns on per-step health monitoring (off by default — it costs a
+    /// gradient-norm pass per step).
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        self.health = Some(HealthMonitor::new(cfg));
+    }
+
+    /// Cumulative health incidents, if monitoring is enabled.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|h| h.report())
+    }
+
+    fn observe_health(&mut self, g: &Graph, loss: f32) {
+        if let Some(h) = &mut self.health {
+            h.observe(loss, global_grad_norm(g));
+        }
+    }
+
+    /// One step on a multinomial batch. Returns the loss value, or a
+    /// [`TrainError`] if the SSM pathway is driven without (or with a
+    /// mismatched) [`SsmContext`].
     pub fn step_multinomial(
         &mut self,
         batch: &MultinomialBatch,
         kind: &MultinomialLoss,
         ssm: Option<&SsmContext>,
-    ) -> f32 {
+    ) -> Result<f32, TrainError> {
         let _step_span = obs::span_us("unimatch_train_step_us", "loss=\"multinomial\"");
         let mut g = Graph::new();
         let users = self.model.user_tower(&mut g, &batch.histories);
@@ -168,8 +282,13 @@ impl Trainer {
                 nce_loss(&mut g, logits, &batch.log_pu, &batch.log_pi, cfg)
             }
             MultinomialLoss::Ssm { negatives } => {
-                let ctx = ssm.expect("SSM training requires an SsmContext");
-                assert_eq!(ctx.negatives, *negatives, "SsmContext negatives mismatch");
+                let ctx = ssm.ok_or(TrainError::MissingSsmContext)?;
+                if ctx.negatives != *negatives {
+                    return Err(TrainError::SsmNegativesMismatch {
+                        context: ctx.negatives,
+                        loss: *negatives,
+                    });
+                }
                 let pos_items = self.model.item_tower(&mut g, &batch.items);
                 let pos = self.model.pair_logits(&mut g, users, pos_items);
                 let neg_ids: Vec<u32> =
@@ -188,14 +307,16 @@ impl Trainer {
             record_step_metrics(&g, "loss=\"multinomial\"", batch.items.len() as u64);
         }
         self.opt.step(&mut self.model.params, &g);
-        let value = g.value(loss).item();
+        let mut value = g.value(loss).item();
+        self.inject_step_fault(&mut value);
+        self.observe_health(&g, value);
         self.stats.steps += 1;
         self.stats.records_consumed += batch.items.len() as u64;
         self.stats.loss_sum += value as f64;
         if obs::enabled() {
             obs::registry::gauge("unimatch_train_loss").set(value as f64);
         }
-        value
+        Ok(value)
     }
 
     /// One step on a labeled BCE batch. Returns the loss value.
@@ -211,7 +332,9 @@ impl Trainer {
             record_step_metrics(&g, "loss=\"bce\"", batch.labels.len() as u64);
         }
         self.opt.step(&mut self.model.params, &g);
-        let value = g.value(loss).item();
+        let mut value = g.value(loss).item();
+        self.inject_step_fault(&mut value);
+        self.observe_health(&g, value);
         self.stats.steps += 1;
         self.stats.records_consumed += batch.labels.len() as u64;
         self.stats.loss_sum += value as f64;
@@ -221,16 +344,32 @@ impl Trainer {
         value
     }
 
+    /// The `train.step` fault seam: a planned bit-flip poisons this
+    /// step's loss *and* one model parameter with NaN — the observable
+    /// signature of a numerically exploded step, placed exactly where a
+    /// real one would appear so the health/rollback machinery above is
+    /// tested against the failure it claims to absorb.
+    fn inject_step_fault(&mut self, value: &mut f32) {
+        if let Some(FaultKind::BitFlip) = STEP_FAULT.fire() {
+            *value = f32::NAN;
+            if let Some(id) = self.model.params.ids().next() {
+                self.model.params.get_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+    }
+
     /// Trains `epochs` passes over `samples` (shuffled per epoch). Returns
-    /// the mean loss per epoch.
+    /// the mean loss per epoch. The config is validated before the first
+    /// step; SSM context problems surface as typed errors, not panics.
     pub fn train_epochs(
         &mut self,
         samples: &[Sample],
         marginals: &Marginals,
         epochs: usize,
-    ) -> Vec<f32> {
+    ) -> Result<Vec<f32>, TrainError> {
+        self.cfg.validate()?;
         if samples.is_empty() {
-            return vec![0.0; epochs];
+            return Ok(vec![0.0; epochs]);
         }
         let mut out = Vec::with_capacity(epochs);
         match self.cfg.loss {
@@ -252,7 +391,7 @@ impl Trainer {
                     );
                     let mut sum = 0.0;
                     for b in &batches {
-                        sum += self.step_multinomial(b, &kind, ssm.as_ref());
+                        sum += self.step_multinomial(b, &kind, ssm.as_ref())?;
                     }
                     let mean = sum / batches.len().max(1) as f32;
                     record_epoch_metrics(mean);
@@ -280,7 +419,7 @@ impl Trainer {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// The paper's incremental training: consume training months in
@@ -292,7 +431,7 @@ impl Trainer {
         &mut self,
         split: &TemporalSplit,
         marginals: &Marginals,
-    ) -> Vec<MonthCheckpoint> {
+    ) -> Result<Vec<MonthCheckpoint>, TrainError> {
         self.train_incremental_from(split, marginals, None)
     }
 
@@ -306,7 +445,7 @@ impl Trainer {
         split: &TemporalSplit,
         marginals: &Marginals,
         resume_after: Option<u32>,
-    ) -> Vec<MonthCheckpoint> {
+    ) -> Result<Vec<MonthCheckpoint>, TrainError> {
         let mut checkpoints = Vec::new();
         for month in split
             .train_months()
@@ -314,14 +453,15 @@ impl Trainer {
             .filter(|&m| resume_after.is_none_or(|after| m > after))
         {
             let month_samples = split.train_month(month);
-            let losses = self.train_epochs(&month_samples, marginals, self.cfg.epochs_per_month);
+            let losses =
+                self.train_epochs(&month_samples, marginals, self.cfg.epochs_per_month)?;
             checkpoints.push(MonthCheckpoint {
                 month,
                 params: self.model.params.clone(),
                 mean_loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
             });
         }
-        checkpoints
+        Ok(checkpoints)
     }
 }
 
@@ -389,7 +529,7 @@ mod tests {
     fn nce_training_reduces_loss() {
         let (mut t, samples, marg) =
             tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())));
-        let losses = t.train_epochs(&samples, &marg, 3);
+        let losses = t.train_epochs(&samples, &marg, 3).expect("train");
         assert!(losses[2] < losses[0], "losses {losses:?}");
         assert!(losses.iter().all(|l| l.is_finite()));
     }
@@ -398,17 +538,82 @@ mod tests {
     fn ssm_training_reduces_loss() {
         let (mut t, samples, marg) =
             tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Ssm { negatives: 32 }));
-        let losses = t.train_epochs(&samples, &marg, 3);
+        let losses = t.train_epochs(&samples, &marg, 3).expect("train");
         assert!(losses[2] < losses[0], "losses {losses:?}");
     }
 
     #[test]
     fn bce_training_reduces_loss() {
         let (mut t, samples, marg) = tiny_setup(TrainLoss::Bce(NegativeStrategy::Uniform));
-        let losses = t.train_epochs(&samples, &marg, 3);
+        let losses = t.train_epochs(&samples, &marg, 3).expect("train");
         assert!(losses[2] < losses[0], "losses {losses:?}");
         // BCE consumes 2x records per positive (1:1 negatives)
         assert!(t.stats().records_consumed as usize >= samples.len() * 2 * 3 - 64);
+    }
+
+    #[test]
+    fn ssm_without_context_is_a_typed_error() {
+        let (mut t, samples, marg) =
+            tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Ssm { negatives: 32 }));
+        let batches = multinomial_batches(&samples, &marg, 32, 8, &mut StdRng::seed_from_u64(0));
+        let err = t
+            .step_multinomial(&batches[0], &MultinomialLoss::Ssm { negatives: 32 }, None)
+            .expect_err("no context provided");
+        assert_eq!(err, TrainError::MissingSsmContext);
+
+        let wrong = SsmContext::new(&marg, 16);
+        let err = t
+            .step_multinomial(&batches[0], &MultinomialLoss::Ssm { negatives: 32 }, Some(&wrong))
+            .expect_err("mismatched context");
+        assert_eq!(err, TrainError::SsmNegativesMismatch { context: 16, loss: 32 });
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_training() {
+        let (t, samples, marg) =
+            tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())));
+        let num_items = t.model.config().num_items;
+        let base = t.cfg;
+        let fresh_model = || {
+            let mut rng = StdRng::seed_from_u64(1);
+            TwoTower::new(ModelConfig::youtube_dnn_mean(num_items, 8, 0.2), &mut rng)
+        };
+
+        let cases: Vec<(&str, TrainConfig)> = vec![
+            ("batch_size", TrainConfig { batch_size: 0, ..base.clone() }),
+            ("epochs_per_month", TrainConfig { epochs_per_month: 0, ..base.clone() }),
+            ("max_seq_len", TrainConfig { max_seq_len: 0, ..base.clone() }),
+            (
+                "lr",
+                TrainConfig {
+                    optimizer: AdamConfig { lr: f32::NAN, ..base.optimizer },
+                    ..base.clone()
+                },
+            ),
+            (
+                "beta1",
+                TrainConfig {
+                    optimizer: AdamConfig { beta1: 1.0, ..base.optimizer },
+                    ..base.clone()
+                },
+            ),
+            (
+                "negatives",
+                TrainConfig {
+                    loss: TrainLoss::Multinomial(MultinomialLoss::Ssm { negatives: 0 }),
+                    ..base.clone()
+                },
+            ),
+        ];
+        for (what, cfg) in cases {
+            assert!(matches!(cfg.validate(), Err(TrainError::InvalidConfig(_))), "{what}");
+            // and the epoch driver refuses before consuming anything
+            let mut t = Trainer::new(fresh_model(), cfg);
+            assert!(t.train_epochs(&samples, &marg, 1).is_err(), "{what}");
+            assert_eq!(t.stats().steps, 0, "{what} must fail before the first step");
+        }
+        assert!(base.validate().is_ok());
+        assert!(Trainer::try_new(fresh_model(), TrainConfig { batch_size: 0, ..base }).is_err());
     }
 
     #[test]
@@ -431,14 +636,19 @@ mod tests {
             seed: 5,
         };
         let mut trainer = Trainer::new(model, cfg);
-        let checkpoints = trainer.train_incremental(&split, &marginals);
+        let checkpoints = trainer.train_incremental(&split, &marginals).expect("train");
         assert_eq!(checkpoints.len(), split.train_months().len());
         assert!(checkpoints.windows(2).all(|w| w[0].month < w[1].month));
-        // parameters actually evolve between checkpoints
+        // parameters actually evolve between checkpoints; both snapshots
+        // cover the same parameter set, so compare them pairwise rather
+        // than unwrapping a single id out of one
         let a = &checkpoints[0].params;
         let b = &checkpoints[checkpoints.len() - 1].params;
-        let first_id = a.ids().next().expect("params");
-        assert_ne!(a.get(first_id).data(), b.get(first_id).data());
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.iter().zip(b.iter()).any(|((_, pa), (_, pb))| pa.value.data() != pb.value.data()),
+            "parameters did not change between first and last checkpoint"
+        );
     }
 
     #[test]
@@ -446,8 +656,31 @@ mod tests {
         let run = || {
             let (mut t, samples, marg) =
                 tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::infonce())));
-            t.train_epochs(&samples, &marg, 1)
+            t.train_epochs(&samples, &marg, 1).expect("train")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn health_monitor_catches_injected_nan_step() {
+        let _guard = fault_test_lock();
+        let (mut t, samples, marg) =
+            tiny_setup(TrainLoss::Multinomial(MultinomialLoss::Nce(BiasConfig::bbcnce())));
+        t.enable_health(HealthConfig::default());
+        unimatch_faults::set_plan(unimatch_faults::FaultPlan {
+            seed: 1,
+            rules: vec![unimatch_faults::FaultRule::new("train.step", FaultKind::BitFlip)
+                .with_max_fires(1)],
+        });
+        let _ = t.train_epochs(&samples, &marg, 1).expect("train");
+        unimatch_faults::clear();
+        let report = t.health_report().expect("monitoring enabled");
+        assert!(report.nonfinite_losses >= 1, "{report:?}");
+    }
+
+    /// Serializes tests that arm the process-global fault plan.
+    fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 }

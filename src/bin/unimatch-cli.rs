@@ -21,7 +21,9 @@ use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
-use unimatch_core::{evaluate, load_model, save_model, ModelHandle, UniMatch, UniMatchConfig};
+use unimatch_core::{
+    evaluate, load_model, save_model, DurableConfig, ModelHandle, UniMatch, UniMatchConfig,
+};
 use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
 use unimatch_data::{DatasetProfile, InteractionLog};
@@ -61,11 +63,14 @@ fn usage(msg: &str) -> ! {
          \n\
          generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
+         \u{20}         [--run-dir DIR]   (crash-safe: per-month checkpoints + resume)\n\
          recommend --model FILE --log FILE --user ID [--k N]\n\
          target    --model FILE --log FILE --item ID [--k N]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
-         \u{20}         [--batch-max N] [--cache N] [--max-conns N]\n\
+         \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
+         \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N]\n\
+         \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
          bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
          \n\
@@ -190,7 +195,18 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         log.len(),
         filtered.len()
     );
-    let fitted = UniMatch::new(config).fit(filtered);
+    // --run-dir switches to the crash-safe trainer: each month commits an
+    // atomic checkpoint + manifest entry, so re-running the same command
+    // after a crash resumes from the last completed month.
+    let fitted = match flags.get("run-dir") {
+        Some(run_dir) => {
+            let durable = DurableConfig::new(run_dir.as_str());
+            UniMatch::new(config)
+                .fit_durable(filtered, &durable)
+                .unwrap_or_else(|e| usage(&format!("durable fit failed: {e}")))
+        }
+        None => UniMatch::new(config).fit(filtered),
+    };
     save_model(&fitted.model, out).unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
     let (up, ip) = vocab_paths(out);
     std::fs::write(&up, vocab_to_json(&users))
@@ -389,11 +405,26 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     if !(0.0..=10_000.0).contains(&window_ms) {
         usage("--batch-window-ms must be between 0 and 10000");
     }
+    let deadline_ms: f64 = flag_or(flags, "deadline-ms", 2_000.0);
+    if !(1.0..=600_000.0).contains(&deadline_ms) {
+        usage("--deadline-ms must be between 1 and 600000");
+    }
+    // chaos drills: arm a deterministic fault plan for this process before
+    // the server starts, so the degradation paths can be exercised live
+    if let Some(spec) = flags.get("faults") {
+        let seed: u64 = flag_or(flags, "fault-seed", 42);
+        let plan = unimatch_faults::FaultPlan::parse(spec, seed)
+            .unwrap_or_else(|e| usage(&e.to_string()));
+        eprintln!("warning: fault injection armed ({} rule(s), seed {seed})", plan.rules.len());
+        unimatch_faults::set_plan(plan);
+    }
     let serve_cfg = ServeConfig {
         batch_window: Duration::from_micros((window_ms * 1000.0) as u64),
         max_batch: flag_or(flags, "batch-max", 64),
         cache_capacity: flag_or(flags, "cache", 4096),
         max_connections: flag_or(flags, "max-conns", 256),
+        queue_bound: flag_or(flags, "queue-bound", 1024),
+        request_deadline: Duration::from_micros((deadline_ms * 1000.0) as u64),
         ..ServeConfig::default()
     };
     let framework = UniMatch::new(UniMatchConfig {

@@ -32,7 +32,7 @@ fn setup(lr: f32, clip: Option<f32>) -> (Trainer, Vec<unimatch::data::Sample>, M
 #[test]
 fn absurd_learning_rate_with_clipping_stays_finite() {
     let (mut t, samples, marg) = setup(10.0, Some(1.0));
-    let losses = t.train_epochs(&samples, &marg, 2);
+    let losses = t.train_epochs(&samples, &marg, 2).expect("training failed");
     assert!(losses.iter().all(|l| l.is_finite()), "losses {losses:?}");
     assert!(
         t.model.params.global_norm().is_finite(),
@@ -70,7 +70,8 @@ fn warmup_schedule_tames_early_steps() {
             &batches[0],
             &MultinomialLoss::Nce(BiasConfig::bbcnce()),
             None,
-        );
+        )
+        .expect("step failed");
         (t2.model.params.global_norm() - before).abs()
     };
     let warm = movement(Schedule::Warmup { steps: 100 });
@@ -110,7 +111,7 @@ fn degenerate_single_item_catalog_trains() {
         seed: 6,
     };
     let mut trainer = Trainer::new(model, cfg);
-    let losses = trainer.train_epochs(&samples, &marginals, 1);
+    let losses = trainer.train_epochs(&samples, &marginals, 1).expect("training failed");
     assert!(losses[0].is_finite());
 }
 

@@ -57,7 +57,9 @@ fn checkpoints_cover_all_training_months() {
             seed: 2,
         },
     );
-    let checkpoints = trainer.train_incremental(&prepared.split, &prepared.marginals);
+    let checkpoints = trainer
+        .train_incremental(&prepared.split, &prepared.marginals)
+        .expect("incremental training failed");
     let months = prepared.split.train_months();
     assert_eq!(checkpoints.len(), months.len());
     for (cp, m) in checkpoints.iter().zip(months) {
