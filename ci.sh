@@ -10,9 +10,13 @@
 #    faults-disabled overhead assertion), durable/crash-safe training,
 #    and the chaos serving e2e (armed fault plans + corrupt reloads
 #    under live traffic)
-# 5. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+# 5. the retrieval-engine differential suites (blocked kernel + every
+#    backend + every refactored call site vs the stable-sort oracle,
+#    bitwise)
+# 6. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
 #    end) plus a report-only diff against the committed baselines
-# 6. rustdoc for the workspace's own crates, failing on any doc warning
+# 7. clippy over every target with warnings denied
+# 8. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,6 +43,11 @@ cargo test -q -p unimatch-core persist
 echo "==> chaos serving e2e (armed faults + corrupt reloads under traffic)"
 cargo test -q -p unimatch-serve --test chaos
 
+echo "==> retrieval-engine differential suites (bitwise vs oracle)"
+cargo test -q -p unimatch-ann --test retrieval_differential
+cargo test -q -p unimatch-ann --test differential
+cargo test -q --test retrieval_engine
+
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"
 trap 'rm -rf "$SNAP_DIR"' EXIT
@@ -46,6 +55,9 @@ target/release/unimatch-cli bench snapshot --smoke --out "$SNAP_DIR"
 # Report-only: smoke numbers are scaled down, so the diff against the
 # committed full-run baselines informs rather than gates.
 target/release/unimatch-cli bench diff --baseline . --current "$SNAP_DIR" || true
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -5,7 +5,11 @@
 //! exponentially-thinned layers, greedy descent from the top layer, and a
 //! beam (`ef`) search on layer 0.
 
-use crate::index::{dot, AnnIndex, Hit, TopK};
+use std::sync::Arc;
+
+use crate::index::{Hit, Retriever};
+use crate::kernel::{dot, TopK};
+use crate::store::EmbeddingStore;
 use rand::Rng;
 use unimatch_obs as obs;
 
@@ -32,11 +36,10 @@ struct HnswNode {
     neighbours: Vec<Vec<u32>>,
 }
 
-/// The HNSW index.
+/// The HNSW index, scoring against a shared [`EmbeddingStore`].
 #[derive(Clone, Debug)]
 pub struct HnswIndex {
-    data: Vec<f32>,
-    dim: usize,
+    store: Arc<EmbeddingStore>,
     nodes: Vec<HnswNode>,
     entry: u32,
     max_layer: usize,
@@ -44,16 +47,19 @@ pub struct HnswIndex {
 }
 
 impl HnswIndex {
-    /// Builds the graph by inserting every row.
+    /// Builds the graph by inserting every row of an owned buffer.
     pub fn build(data: Vec<f32>, dim: usize, cfg: HnswConfig, rng: &mut impl Rng) -> Self {
+        HnswIndex::build_over(Arc::new(EmbeddingStore::from_vec(data, dim)), cfg, rng)
+    }
+
+    /// Builds the graph over an existing shared store (no vector copy; the
+    /// graph structure is the only per-index allocation).
+    pub fn build_over(store: Arc<EmbeddingStore>, cfg: HnswConfig, rng: &mut impl Rng) -> Self {
         let _build_span = obs::span_us("unimatch_ann_build_us", "index=\"hnsw\"");
-        assert!(dim > 0, "dim must be positive");
-        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
-        let n = data.len() / dim;
+        let n = store.rows();
         assert!(n > 0, "cannot build HNSW over an empty set");
         let mut index = HnswIndex {
-            data,
-            dim,
+            store,
             nodes: Vec::with_capacity(n),
             entry: 0,
             max_layer: 0,
@@ -67,8 +73,13 @@ impl HnswIndex {
         index
     }
 
+    /// The embedding arena this index scores against.
+    pub fn store(&self) -> &Arc<EmbeddingStore> {
+        &self.store
+    }
+
     fn row(&self, r: u32) -> &[f32] {
-        &self.data[r as usize * self.dim..(r as usize + 1) * self.dim]
+        self.store.row(r as usize)
     }
 
     fn score(&self, q: &[f32], r: u32) -> f32 {
@@ -194,17 +205,21 @@ impl PartialOrd for ScoredId {
     }
 }
 
-impl AnnIndex for HnswIndex {
+impl Retriever for HnswIndex {
     fn len(&self) -> usize {
         self.nodes.len()
     }
 
     fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
+    }
+
+    fn backend(&self) -> &'static str {
+        "hnsw"
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        assert_eq!(query.len(), self.dim(), "query dim mismatch");
         let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"hnsw\"");
         let mut visited = 0usize;
         let mut ep = self.entry;

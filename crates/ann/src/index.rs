@@ -1,17 +1,22 @@
-//! The common index interface: maximum-inner-product / cosine top-k search
-//! over unit-normalized embeddings.
+//! The common retrieval interface: maximum-inner-product / cosine top-k
+//! search over unit-normalized embeddings.
 //!
-//! Every index implements [`AnnIndex`]; serving code (the `unimatch-core`
-//! batch-inference pipeline, the examples, the bench harness) programs
-//! against the trait so brute force, IVF, and HNSW are interchangeable.
-//! Besides the per-query [`AnnIndex::search`], the trait provides
-//! [`AnnIndex::search_batch`], which answers many queries in one call and
-//! fans them out across threads via `unimatch-parallel` when the total
-//! scoring work crosses the configured threshold. The batched results are
-//! *identical* to calling `search` per query — parallelism only changes
-//! which thread scores which query, never the scores or the ordering.
+//! Every index implements [`Retriever`]; serving code (the `unimatch-core`
+//! batch-inference pipeline, the serve handlers, the examples, the bench
+//! harness) programs against the trait so brute force, IVF, and HNSW are
+//! interchangeable. Besides the per-query [`Retriever::search`], the trait
+//! provides [`Retriever::search_batch`], which answers many queries in one
+//! call and fans them out across threads via `unimatch-parallel` when the
+//! total scoring work crosses the configured threshold. The batched
+//! results are *identical* to calling `search` per query — parallelism
+//! only changes which thread scores which query, never the scores or the
+//! ordering.
+//!
+//! The historical `AnnIndex` name remains available as an alias of
+//! [`Retriever`] from the crate root.
 
 use unimatch_faults::FaultPoint;
+use unimatch_obs as obs;
 use unimatch_parallel::par_map_indexed;
 
 /// Chaos-testing seam: a latency fault armed at `ann.search` models a slow
@@ -28,16 +33,22 @@ pub struct Hit {
     pub score: f32,
 }
 
-/// A top-k nearest-neighbour index over a fixed set of vectors.
+/// A top-k nearest-neighbour retriever over a fixed set of vectors.
 ///
 /// UniMatch's two-tower separation exists precisely so serving can run
 /// through an index like this (Sec. III-B1): item embeddings are indexed
 /// once, user queries arrive online (IR); or vice versa (UT).
 ///
-/// The `Sync` supertrait keeps the trait object-safe (`dyn AnnIndex` is
-/// used by the serving example and pipeline tests) while allowing the
-/// default [`AnnIndex::search_batch`] to share `&self` across threads.
-pub trait AnnIndex: Sync {
+/// Implementations score against a shared [`crate::EmbeddingStore`]; the
+/// exact reference implementation is [`crate::BruteForceIndex`], and every
+/// backend is expected to agree with it up to its documented approximation
+/// (exact backends bit-for-bit, ANN backends on recall).
+///
+/// The `Sync` supertrait keeps the trait object-safe (`dyn Retriever` is
+/// used by the serving layer, the examples, and pipeline tests) while
+/// allowing the default [`Retriever::search_batch`] to share `&self`
+/// across threads.
+pub trait Retriever: Send + Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;
 
@@ -49,20 +60,38 @@ pub trait AnnIndex: Sync {
     /// Embedding dimension.
     fn dim(&self) -> usize;
 
+    /// Stable backend name (`"bruteforce"`, `"hnsw"`, `"ivf"`), used for
+    /// metric labels and surfaced through serving introspection.
+    fn backend(&self) -> &'static str;
+
+    /// Pre-formatted `index="…"` label for obs series (static because the
+    /// metrics registry interns label sets by pointer).
+    fn obs_label(&self) -> &'static str {
+        match self.backend() {
+            "bruteforce" => "index=\"bruteforce\"",
+            "hnsw" => "index=\"hnsw\"",
+            "ivf" => "index=\"ivf\"",
+            _ => "index=\"other\"",
+        }
+    }
+
     /// The `k` highest-inner-product vectors for `query`, best first.
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
 
     /// Answers one row-major batch of queries (`queries.len()` must be a
-    /// multiple of [`AnnIndex::dim`]), returning one hit list per query in
-    /// input order.
+    /// multiple of [`Retriever::dim`]), returning one hit list per query
+    /// in input order.
     ///
     /// The default implementation fans the queries out over threads with
     /// `unimatch-parallel` when `n_queries × len × dim` multiply-adds exceed
     /// the global work threshold, and falls back to a plain loop otherwise.
-    /// Either way each query is answered by the same [`AnnIndex::search`]
-    /// code, so results are identical to the sequential path.
+    /// Either way each query is answered by the same [`Retriever::search`]
+    /// code, so results are identical to the sequential path. Exact
+    /// backends override this with the blocked kernel
+    /// ([`crate::kernel::top_k_exact`]), which carries the same guarantee.
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         SEARCH_FAULT.inject_latency();
+        let _span = obs::span_us("unimatch_retrieval_search_us", self.obs_label());
         let d = self.dim();
         assert!(d > 0, "search_batch on an index with zero dimension");
         assert_eq!(
@@ -80,109 +109,10 @@ pub trait AnnIndex: Sync {
     }
 }
 
-/// Shared helper: maintain the top-k of a score stream with a small binary
-/// heap of the *worst* retained hit.
-#[derive(Debug)]
-pub(crate) struct TopK {
-    k: usize,
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>>,
-}
-
-#[derive(Debug, PartialEq)]
-pub(crate) struct HeapHit(pub f32, pub u32);
-
-impl Eq for HeapHit {}
-
-impl Ord for HeapHit {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.1.cmp(&other.1))
-    }
-}
-
-impl PartialOrd for HeapHit {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl TopK {
-    pub fn new(k: usize) -> Self {
-        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
-    }
-
-    pub fn push(&mut self, id: u32, score: f32) {
-        if self.heap.len() < self.k {
-            self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
-        } else if let Some(worst) = self.heap.peek() {
-            if score > worst.0 .0 {
-                self.heap.pop();
-                self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
-            }
-        }
-    }
-
-    /// Current k-th best score (lower bound for admission).
-    pub fn threshold(&self) -> f32 {
-        if self.heap.len() < self.k {
-            f32::NEG_INFINITY
-        } else {
-            self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0 .0)
-        }
-    }
-
-    pub fn into_sorted(self) -> Vec<Hit> {
-        let mut v: Vec<Hit> = self
-            .heap
-            .into_iter()
-            .map(|std::cmp::Reverse(HeapHit(score, id))| Hit { id, score })
-            .collect();
-        v.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-        v
-    }
-}
-
-/// Dot product over slices.
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn topk_keeps_best() {
-        let mut t = TopK::new(2);
-        for (id, s) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.7)] {
-            t.push(id, s);
-        }
-        let hits = t.into_sorted();
-        assert_eq!(hits.len(), 2);
-        assert_eq!(hits[0].id, 1);
-        assert_eq!(hits[1].id, 3);
-    }
-
-    #[test]
-    fn topk_threshold_tracks_worst_kept() {
-        let mut t = TopK::new(2);
-        assert_eq!(t.threshold(), f32::NEG_INFINITY);
-        t.push(0, 0.3);
-        t.push(1, 0.8);
-        assert_eq!(t.threshold(), 0.3);
-        t.push(2, 0.5);
-        assert_eq!(t.threshold(), 0.5);
-    }
-
-    #[test]
-    fn topk_fewer_candidates_than_k() {
-        let mut t = TopK::new(5);
-        t.push(7, 0.2);
-        let hits = t.into_sorted();
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].id, 7);
-    }
+/// Fires the `ann.search` latency fault and opens the batch retrieval
+/// span — for implementations that override [`Retriever::search_batch`]
+/// and must keep the chaos/obs seams identical to the default path.
+pub(crate) fn batch_entry_hooks(label: &'static str) -> obs::Span {
+    SEARCH_FAULT.inject_latency();
+    obs::span_us("unimatch_retrieval_search_us", label)
 }

@@ -2,7 +2,11 @@
 //! per-centroid inverted lists. Queries probe the `nprobe` closest
 //! centroids and scan only their lists.
 
-use crate::index::{dot, AnnIndex, Hit, TopK};
+use std::sync::Arc;
+
+use crate::index::{Hit, Retriever};
+use crate::kernel::{dot, TopK};
+use crate::store::EmbeddingStore;
 use rand::Rng;
 use unimatch_obs as obs;
 
@@ -23,26 +27,32 @@ impl Default for IvfConfig {
     }
 }
 
-/// An IVF index over unit vectors.
+/// An IVF index over unit vectors, scoring against a shared
+/// [`EmbeddingStore`].
 #[derive(Clone, Debug)]
 pub struct IvfIndex {
-    data: Vec<f32>,
-    dim: usize,
+    store: Arc<EmbeddingStore>,
     centroids: Vec<f32>,
     lists: Vec<Vec<u32>>,
     nprobe: usize,
 }
 
 impl IvfIndex {
-    /// Builds the index (k-means over the rows, then list assignment).
+    /// Builds the index (k-means over the rows, then list assignment)
+    /// from an owned buffer.
     pub fn build(data: Vec<f32>, dim: usize, cfg: IvfConfig, rng: &mut impl Rng) -> Self {
+        IvfIndex::build_over(Arc::new(EmbeddingStore::from_vec(data, dim)), cfg, rng)
+    }
+
+    /// Builds the index over an existing shared store (no vector copy; the
+    /// centroids and lists are the only per-index allocations).
+    pub fn build_over(store: Arc<EmbeddingStore>, cfg: IvfConfig, rng: &mut impl Rng) -> Self {
         let _build_span = obs::span_us("unimatch_ann_build_us", "index=\"ivf\"");
-        assert!(dim > 0, "dim must be positive");
-        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
-        let n = data.len() / dim;
+        let dim = store.dim();
+        let n = store.rows();
         assert!(n > 0, "cannot build IVF over an empty set");
         let nlist = cfg.nlist.min(n).max(1);
-        let row = |r: usize| &data[r * dim..(r + 1) * dim];
+        let row = |r: usize| store.row(r);
 
         // k-means++ -lite seeding: random distinct rows
         let mut chosen = std::collections::HashSet::new();
@@ -107,7 +117,7 @@ impl IvfIndex {
             lists[best_c].push(r as u32);
         }
 
-        IvfIndex { data, dim, centroids, lists, nprobe: cfg.nprobe.min(nlist).max(1) }
+        IvfIndex { store, centroids, lists, nprobe: cfg.nprobe.min(nlist).max(1) }
     }
 
     /// Number of inverted lists.
@@ -115,28 +125,38 @@ impl IvfIndex {
         self.lists.len()
     }
 
+    /// The embedding arena this index scores against.
+    pub fn store(&self) -> &Arc<EmbeddingStore> {
+        &self.store
+    }
+
     fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.dim..(r + 1) * self.dim]
+        self.store.row(r)
     }
 }
 
-impl AnnIndex for IvfIndex {
+impl Retriever for IvfIndex {
     fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.store.rows()
     }
 
     fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
+    }
+
+    fn backend(&self) -> &'static str {
+        "ivf"
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let dim = self.dim();
+        assert_eq!(query.len(), dim, "query dim mismatch");
         let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"ivf\"");
         // rank centroids
         let nlist = self.lists.len();
         let mut order: Vec<usize> = (0..nlist).collect();
         let scores: Vec<f32> = (0..nlist)
-            .map(|c| dot(query, &self.centroids[c * self.dim..(c + 1) * self.dim]))
+            .map(|c| dot(query, &self.centroids[c * dim..(c + 1) * dim]))
             .collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
 

@@ -1,0 +1,279 @@
+//! The one exact-scoring kernel behind every retrieval path.
+//!
+//! Historically each crate carried its own `dot` + top-k loop (brute
+//! force scan, HNSW neighbour scoring, IVF probing, the batch-inference
+//! block loop, the eval ranking pools). They all computed the same thing;
+//! this module is the single shared implementation: [`dot`], the
+//! crate-internal `TopK` bounded heap, and [`top_k_exact`] — a
+//! blocked/tiled exact scorer that answers a whole query batch with
+//! `unimatch-parallel` chunking.
+//!
+//! Determinism contract: for a given `(queries, targets, dim, k)`,
+//! [`top_k_exact`] returns bit-identical scores and identical ids no
+//! matter the thread count or tiling. The kernel tiles over *queries*
+//! and *targets* only — never over `dim`, so each score is one
+//! sequential multiply-add reduction — and visits targets in ascending
+//! id order per query, so the heap admission sequence matches a naive
+//! scan exactly.
+
+use crate::index::Hit;
+use unimatch_parallel::par_map_indexed;
+
+/// Queries handled per parallel chunk (amortizes the per-task overhead;
+/// matches the historical batch-inference block size).
+const QUERY_BLOCK: usize = 128;
+
+/// Target rows scored per tile before moving to the next query — sized
+/// so a tile of 16-dim rows (~32 KiB) stays L1/L2-resident across the
+/// queries of a block.
+const TARGET_TILE: usize = 512;
+
+/// Dot product over slices — the only `dot` in the workspace.
+///
+/// A plain sequential multiply-add reduction: the fixed association
+/// order is what makes every retrieval path bit-reproducible.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Shared helper: maintain the top-k of a score stream with a small binary
+/// heap of the *worst* retained hit.
+///
+/// Admission uses a strict `score > worst` comparison, so when scores tie
+/// at the boundary the earliest-pushed candidates are kept — combined
+/// with an ascending id scan this keeps the lowest ids, matching what a
+/// stable full sort would retain.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapHit>>,
+}
+
+#[derive(Debug, PartialEq)]
+pub(crate) struct HeapHit(pub f32, pub u32);
+
+impl Eq for HeapHit {}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    pub fn push(&mut self, id: u32, score: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
+        } else if let Some(worst) = self.heap.peek() {
+            if score > worst.0 .0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(HeapHit(score, id)));
+            }
+        }
+    }
+
+    /// Current k-th best score (lower bound for admission).
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0 .0)
+        }
+    }
+
+    /// Drains into a list sorted by score descending, ids ascending on
+    /// ties (the same order a stable descending sort of the full score
+    /// array would produce).
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut v: Vec<Hit> = self
+            .heap
+            .into_iter()
+            .map(|std::cmp::Reverse(HeapHit(score, id))| Hit { id, score })
+            .collect();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        v
+    }
+}
+
+/// Exact blocked top-k: scores every query against every target row and
+/// returns the `k` best hits per query, best first.
+///
+/// `queries` and `targets` are row-major `n × dim` buffers. Queries are
+/// processed in 128-row blocks fanned out through `unimatch-parallel`
+/// (work estimate `nq × nt × dim × 2` flops); within a block, target
+/// rows are re-streamed in 512-row tiles so the targets stay
+/// cache-resident while every query of the block consumes them. Results are bit-identical to a naive
+/// one-query-at-a-time scan (see the module docs for why).
+pub fn top_k_exact(queries: &[f32], targets: &[f32], dim: usize, k: usize) -> Vec<Vec<Hit>> {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(queries.len() % dim, 0, "query buffer not a multiple of dim");
+    assert_eq!(targets.len() % dim, 0, "target buffer not a multiple of dim");
+    let nq = queries.len() / dim;
+    let nt = targets.len() / dim;
+    let k = k.min(nt);
+    if nq == 0 {
+        return Vec::new();
+    }
+    let n_blocks = nq.div_ceil(QUERY_BLOCK);
+    let work = nq * nt * dim * 2;
+    let per_block: Vec<Vec<Vec<Hit>>> = par_map_indexed(n_blocks, work, |b| {
+        let q_start = b * QUERY_BLOCK;
+        let q_end = (q_start + QUERY_BLOCK).min(nq);
+        let mut tops: Vec<TopK> = (q_start..q_end).map(|_| TopK::new(k)).collect();
+        let mut t_start = 0;
+        while t_start < nt {
+            let t_end = (t_start + TARGET_TILE).min(nt);
+            for (top, q) in tops.iter_mut().zip(q_start..q_end) {
+                let query = &queries[q * dim..(q + 1) * dim];
+                for t in t_start..t_end {
+                    top.push(t as u32, dot(query, &targets[t * dim..(t + 1) * dim]));
+                }
+            }
+            t_start = t_end;
+        }
+        tops.into_iter().map(TopK::into_sorted).collect()
+    });
+    per_block.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_best() {
+        let mut t = TopK::new(2);
+        for (id, s) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.7)] {
+            t.push(id, s);
+        }
+        let hits = t.into_sorted();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 3);
+    }
+
+    #[test]
+    fn topk_threshold_tracks_worst_kept() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        t.push(0, 0.3);
+        t.push(1, 0.8);
+        assert_eq!(t.threshold(), 0.3);
+        t.push(2, 0.5);
+        assert_eq!(t.threshold(), 0.5);
+    }
+
+    #[test]
+    fn topk_fewer_candidates_than_k() {
+        let mut t = TopK::new(5);
+        t.push(7, 0.2);
+        let hits = t.into_sorted();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn topk_ties_sort_by_id_ascending() {
+        let mut t = TopK::new(3);
+        for id in [5, 1, 3] {
+            t.push(id, 0.5);
+        }
+        let ids: Vec<u32> = t.into_sorted().iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    /// Naive oracle: full stable sort, descending by score.
+    fn oracle(queries: &[f32], targets: &[f32], dim: usize, k: usize) -> Vec<Vec<Hit>> {
+        let nt = targets.len() / dim;
+        queries
+            .chunks(dim)
+            .map(|q| {
+                let mut scored: Vec<Hit> = (0..nt)
+                    .map(|t| Hit {
+                        id: t as u32,
+                        score: dot(q, &targets[t * dim..(t + 1) * dim]),
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                scored.truncate(k.min(nt));
+                scored
+            })
+            .collect()
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_oracle_bit_for_bit() {
+        let dim = 7;
+        // Sizes straddle both the query block and the target tile.
+        for (nq, nt) in [(1, 1), (3, 50), (130, 600), (257, 513)] {
+            let queries = pseudo_random(nq * dim, 0x5eed);
+            let targets = pseudo_random(nt * dim, 0xf00d);
+            for k in [1, 5, nt + 3] {
+                let got = top_k_exact(&queries, &targets, dim, k);
+                let want = oracle(&queries, &targets, dim, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.len(), w.len(), "nq={nq} nt={nt} k={k}");
+                    for (gh, wh) in g.iter().zip(w) {
+                        assert_eq!(gh.id, wh.id, "nq={nq} nt={nt} k={k}");
+                        assert_eq!(
+                            gh.score.to_bits(),
+                            wh.score.to_bits(),
+                            "nq={nq} nt={nt} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tied_scores_keep_lowest_ids() {
+        // Duplicate rows: ids 0/2/4 identical, 1/3 identical.
+        let targets = vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let hits = &top_k_exact(&[1.0, 0.0], &targets, 2, 2)[0];
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        assert!(top_k_exact(&[], &[1.0, 0.0], 2, 3).is_empty());
+        let hits = top_k_exact(&[1.0, 0.0], &[], 2, 3);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_empty());
+        let hits = top_k_exact(&[1.0, 0.0], &[1.0, 0.0], 2, 0);
+        assert!(hits[0].is_empty());
+    }
+}

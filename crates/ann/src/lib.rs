@@ -1,16 +1,26 @@
 //! # unimatch-ann
 //!
-//! Approximate nearest-neighbour indexes for serving UniMatch embeddings:
-//! the two-tower architecture keeps user and item representations
-//! separable precisely so retrieval can run through an index like these
-//! (Sec. III-B1 of the paper, citing \[25\]).
+//! The retrieval engine serving UniMatch embeddings: the two-tower
+//! architecture keeps user and item representations separable precisely
+//! so retrieval can run through an index like these (Sec. III-B1 of the
+//! paper, citing \[25\]).
 //!
-//! * [`BruteForceIndex`] — exact scan, the correctness baseline;
-//! * [`IvfIndex`] — spherical k-means inverted lists with `nprobe` tuning;
-//! * [`HnswIndex`] — hierarchical navigable small-world graph.
+//! Three layers:
 //!
-//! All indexes perform maximum-inner-product top-k over unit vectors
-//! (equivalently cosine similarity).
+//! * [`EmbeddingStore`] — the shared, 32-byte-aligned, row-major
+//!   embedding arena every backend scores against (one copy of the
+//!   vectors, however many indexes are built over it);
+//! * [`kernel`] — the single exact-scoring kernel: the workspace's one
+//!   [`kernel::dot`] and the blocked/tiled [`kernel::top_k_exact`];
+//! * [`Retriever`] — the backend-agnostic search trait, implemented by
+//!   [`BruteForceIndex`] (exact scan, the correctness baseline),
+//!   [`IvfIndex`] (spherical k-means inverted lists with `nprobe`
+//!   tuning), and [`HnswIndex`] (hierarchical navigable small-world
+//!   graph).
+//!
+//! All backends perform maximum-inner-product top-k over unit vectors
+//! (equivalently cosine similarity). `AnnIndex` remains as an alias of
+//! [`Retriever`] for code written against the pre-engine API.
 
 #![warn(missing_docs)]
 
@@ -18,8 +28,12 @@ pub mod bruteforce;
 pub mod hnsw;
 pub mod index;
 pub mod ivf;
+pub mod kernel;
+pub mod store;
 
 pub use bruteforce::BruteForceIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
-pub use index::{AnnIndex, Hit};
+pub use index::{Hit, Retriever, Retriever as AnnIndex};
 pub use ivf::{IvfConfig, IvfIndex};
+pub use kernel::{dot, top_k_exact};
+pub use store::{EmbeddingStore, STORE_ALIGN};

@@ -1,0 +1,289 @@
+//! The shared embedding arena every retrieval path scores against.
+//!
+//! [`EmbeddingStore`] owns a row-major `f32` matrix in a 32-byte-aligned
+//! allocation (one cache-line-friendly, SIMD-ready block — the alignment
+//! a future vectorized or mmap-backed kernel can rely on) plus an
+//! optional id↔row mapping for corpora whose external ids are not dense
+//! row indices (e.g. the user pool's user ids). Indexes hold the store
+//! behind an `Arc`, so brute force, HNSW, and IVF built over the same
+//! embeddings share one arena instead of three private copies.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::collections::HashMap;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Alignment (bytes) of every [`EmbeddingStore`] allocation.
+pub const STORE_ALIGN: usize = 32;
+
+/// A fixed-size, 32-byte-aligned `f32` buffer.
+///
+/// `Vec<f32>` only guarantees 4-byte alignment; this buffer allocates
+/// through [`std::alloc`] with an explicit [`STORE_ALIGN`]-byte layout so
+/// the arena's base address is stable for aligned loads.
+struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: the buffer is an owned allocation of plain floats; sharing or
+// sending it across threads is exactly as safe as for a Vec<f32>.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Layout of a `len`-float allocation. Panics if the size overflows.
+    fn layout(len: usize) -> Layout {
+        let bytes = len.checked_mul(std::mem::size_of::<f32>()).expect("store size overflow");
+        Layout::from_size_align(bytes, STORE_ALIGN).expect("store layout")
+    }
+
+    /// An aligned, zero-initialized buffer of `len` floats.
+    fn zeroed(len: usize) -> AlignedBuf {
+        if len == 0 {
+            return AlignedBuf { ptr: NonNull::dangling(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0 checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, len }
+    }
+
+    fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr covers exactly len initialized floats (zeroed at
+        // allocation, only ever written through as_mut_slice).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as as_slice, plus &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in zeroed() with this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> AlignedBuf {
+        let mut out = AlignedBuf::zeroed(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+/// Row ↔ external-id mapping for stores whose rows are not identified by
+/// their own index (kept out of the hot path: searches speak row ids,
+/// translation happens once per returned hit).
+#[derive(Clone, Debug, Default)]
+struct IdMap {
+    row_to_id: Vec<u32>,
+    id_to_row: HashMap<u32, u32>,
+}
+
+/// An owned, aligned, row-major embedding matrix with id↔row mapping.
+///
+/// Built either by copying rows in ([`EmbeddingStore::from_vec`],
+/// [`EmbeddingStore::with_ids`]) or zero-fill-then-write
+/// ([`EmbeddingStore::zeroed`] + [`EmbeddingStore::data_mut`] — the
+/// checkpoint-direct load path, which decodes the embedding section of a
+/// serialized model straight into the arena without materializing any
+/// intermediate parameter set).
+pub struct EmbeddingStore {
+    buf: AlignedBuf,
+    dim: usize,
+    ids: Option<IdMap>,
+}
+
+impl EmbeddingStore {
+    /// A zero-initialized `rows × dim` store (fill via
+    /// [`EmbeddingStore::data_mut`] / [`EmbeddingStore::row_mut`]).
+    pub fn zeroed(rows: usize, dim: usize) -> EmbeddingStore {
+        assert!(dim > 0, "dim must be positive");
+        EmbeddingStore { buf: AlignedBuf::zeroed(rows * dim), dim, ids: None }
+    }
+
+    /// Copies a row-major `n × dim` buffer into a fresh aligned arena.
+    pub fn from_rows(data: &[f32], dim: usize) -> EmbeddingStore {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        let mut store = EmbeddingStore::zeroed(data.len() / dim, dim);
+        store.buf.as_mut_slice().copy_from_slice(data);
+        store
+    }
+
+    /// [`EmbeddingStore::from_rows`] taking ownership (the common call
+    /// shape at index-build sites).
+    pub fn from_vec(data: Vec<f32>, dim: usize) -> EmbeddingStore {
+        EmbeddingStore::from_rows(&data, dim)
+    }
+
+    /// A store whose rows carry external ids (`ids[r]` is row `r`'s id).
+    pub fn with_ids(data: &[f32], dim: usize, ids: Vec<u32>) -> EmbeddingStore {
+        let mut store = EmbeddingStore::from_rows(data, dim);
+        store.set_ids(ids);
+        store
+    }
+
+    /// Attaches (or replaces) the external-id mapping. Ids must be unique
+    /// and one per row.
+    pub fn set_ids(&mut self, ids: Vec<u32>) {
+        assert_eq!(ids.len(), self.rows(), "one id per row");
+        let mut id_to_row = HashMap::with_capacity(ids.len());
+        for (r, &id) in ids.iter().enumerate() {
+            let prev = id_to_row.insert(id, r as u32);
+            assert!(prev.is_none(), "duplicate store id {id}");
+        }
+        self.ids = Some(IdMap { row_to_id: ids, id_to_row });
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.buf.len / self.dim
+    }
+
+    /// Alias for [`EmbeddingStore::rows`], matching the index trait.
+    pub fn len(&self) -> usize {
+        self.rows()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len == 0
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.buf.as_slice()[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Mutable row `r` (checkpoint-load fill path).
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let d = self.dim;
+        &mut self.buf.as_mut_slice()[r * d..(r + 1) * d]
+    }
+
+    /// The whole arena, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// The whole arena, mutable (checkpoint-load fill path).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.buf.as_mut_slice()
+    }
+
+    /// The external id of row `row` (the row index itself when no mapping
+    /// is attached).
+    pub fn id_of_row(&self, row: usize) -> u32 {
+        match &self.ids {
+            Some(map) => map.row_to_id[row],
+            None => row as u32,
+        }
+    }
+
+    /// The row holding external id `id`, if present.
+    pub fn row_of_id(&self, id: u32) -> Option<usize> {
+        match &self.ids {
+            Some(map) => map.id_to_row.get(&id).map(|&r| r as usize),
+            None => ((id as usize) < self.rows()).then_some(id as usize),
+        }
+    }
+
+    /// Wraps the store for sharing across indexes.
+    pub fn into_shared(self) -> Arc<EmbeddingStore> {
+        Arc::new(self)
+    }
+}
+
+impl Clone for EmbeddingStore {
+    fn clone(&self) -> EmbeddingStore {
+        EmbeddingStore { buf: self.buf.clone(), dim: self.dim, ids: self.ids.clone() }
+    }
+}
+
+impl std::fmt::Debug for EmbeddingStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingStore")
+            .field("rows", &self.rows())
+            .field("dim", &self.dim)
+            .field("mapped", &self.ids.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_is_32_byte_aligned() {
+        for rows in [1, 3, 17, 257] {
+            let store = EmbeddingStore::zeroed(rows, 16);
+            assert_eq!(store.as_slice().as_ptr() as usize % STORE_ALIGN, 0, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let store = EmbeddingStore::from_rows(&data, 2);
+        assert_eq!(store.rows(), 3);
+        assert_eq!(store.row(1), &[3.0, 4.0]);
+        assert_eq!(store.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn identity_mapping_by_default() {
+        let store = EmbeddingStore::from_rows(&[0.0; 8], 2);
+        assert_eq!(store.id_of_row(3), 3);
+        assert_eq!(store.row_of_id(2), Some(2));
+        assert_eq!(store.row_of_id(4), None);
+    }
+
+    #[test]
+    fn explicit_id_mapping() {
+        let store = EmbeddingStore::with_ids(&[0.0; 6], 2, vec![100, 7, 42]);
+        assert_eq!(store.id_of_row(0), 100);
+        assert_eq!(store.row_of_id(42), Some(2));
+        assert_eq!(store.row_of_id(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate store id")]
+    fn duplicate_ids_rejected() {
+        EmbeddingStore::with_ids(&[0.0; 6], 2, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_store_is_valid() {
+        let store = EmbeddingStore::zeroed(0, 4);
+        assert!(store.is_empty());
+        assert_eq!(store.rows(), 0);
+        assert!(store.as_slice().is_empty());
+    }
+
+    #[test]
+    fn clone_copies_the_arena() {
+        let a = EmbeddingStore::with_ids(&[1.0, 2.0], 2, vec![9]);
+        let b = a.clone();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(b.id_of_row(0), 9);
+        assert_eq!(b.as_slice().as_ptr() as usize % STORE_ALIGN, 0);
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+}

@@ -126,13 +126,15 @@ pub fn plan_campaigns(
     lists
 }
 
-/// The (normalized) query embedding for a promotion subject.
+/// The (normalized) query embedding for a promotion subject, blended
+/// from the fitted model's item store rows (same bits as re-running item
+/// inference, without the forward pass).
 fn subject_query(fitted: &FittedUniMatch, items: &[u32]) -> Vec<f32> {
-    let matrix = fitted.model.infer_items();
-    let d = matrix.shape().dim(1);
+    let store = fitted.item_store();
+    let d = store.dim();
     let mut query = vec![0.0f32; d];
     for &i in items {
-        for (q, &x) in query.iter_mut().zip(matrix.row(i as usize)) {
+        for (q, &x) in query.iter_mut().zip(store.row(i as usize)) {
             *q += x;
         }
     }

@@ -7,24 +7,22 @@
 //! matrices, the right tool when you need *every* row's top-k anyway
 //! (ANN indexes win only for sparse online lookups).
 //!
-//! The query blocks form a chunked work queue: blocks are claimed by
-//! worker threads through `unimatch-parallel` when the total score count
-//! crosses the configured threshold, and each block keeps its own score
-//! buffer. Block boundaries never share state, so the blocked-parallel
-//! result is identical to the sequential one.
+//! The scoring itself is the retrieval engine's blocked exact kernel
+//! (`unimatch_ann::top_k_exact`): query blocks form a chunked work queue
+//! claimed by worker threads through `unimatch-parallel` when the total
+//! score count crosses the configured threshold, and each block keeps
+//! its own top-k state. Block boundaries never share state, so the
+//! blocked-parallel result is identical to the sequential one.
 
-use unimatch_eval::{top_n_candidates, EmbeddingMatrix};
-use unimatch_parallel::par_map_indexed;
-
-/// How many query rows to score per block (bounds the score-buffer size
-/// and sets the granularity of the parallel work queue).
-const BLOCK: usize = 128;
+use unimatch_eval::EmbeddingMatrix;
 
 /// Top-k per query row of `queries` against all of `targets`, exact.
-/// Returns one `(target_id, score)` list per query row, best first.
+/// Returns one `(target_id, score)` list per query row, best first
+/// (ties broken by ascending target id).
 ///
-/// Queries are processed in blocks of 128 rows; blocks are distributed
-/// over threads by `unimatch-parallel` when `rows × targets × dim`
+/// A thin adapter over the retrieval engine's blocked kernel
+/// (`unimatch_ann::top_k_exact`), which distributes query blocks over
+/// threads via `unimatch-parallel` when `rows × targets × dim`
 /// multiply-adds exceed the global work threshold. Every block computes
 /// exactly the scores the sequential path would, so results do not depend
 /// on the thread count.
@@ -35,32 +33,10 @@ pub fn top_k_blocked(
 ) -> Vec<Vec<(u32, f32)>> {
     assert_eq!(queries.dim(), targets.dim(), "embedding dim mismatch");
     assert!(k >= 1, "k must be >= 1");
-    let n_targets = targets.rows();
-    let n_queries = queries.rows();
-    let n_blocks = n_queries.div_ceil(BLOCK);
-    // 2 flops per score multiply-add
-    let work = n_queries * n_targets * queries.dim() * 2;
-    let blocks = par_map_indexed(n_blocks, work, |bi| {
-        let block_start = bi * BLOCK;
-        let block_end = (block_start + BLOCK).min(n_queries);
-        let mut scores = vec![0.0f32; n_targets];
-        let mut block_out = Vec::with_capacity(block_end - block_start);
-        for q in block_start..block_end {
-            let query = queries.row(q);
-            for (t, s) in scores.iter_mut().enumerate() {
-                let row = targets.row(t);
-                *s = query.iter().zip(row).map(|(a, b)| a * b).sum();
-            }
-            let top = top_n_candidates(&scores, k.min(n_targets));
-            block_out.push(top.into_iter().map(|ix| (ix as u32, scores[ix])).collect());
-        }
-        block_out
-    });
-    let mut out = Vec::with_capacity(n_queries);
-    for block in blocks {
-        out.extend(block);
-    }
-    out
+    unimatch_ann::top_k_exact(queries.as_slice(), targets.as_slice(), queries.dim(), k)
+        .into_iter()
+        .map(|hits| hits.into_iter().map(|h| (h.id, h.score)).collect())
+        .collect()
 }
 
 /// The materialized nightly artifact: every pool user's item list and

@@ -11,7 +11,10 @@ use crate::hyper::{Hyperparams, Pathway};
 use crate::prepare::PreparedData;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use unimatch_ann::{AnnIndex, Hit, HnswConfig, HnswIndex};
+use std::sync::Arc;
+use unimatch_ann::{
+    BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
+};
 use unimatch_data::{InteractionLog, SeqBatch};
 use unimatch_eval::UserPool;
 use unimatch_losses::{BiasConfig, MultinomialLoss};
@@ -48,6 +51,54 @@ pub struct UniMatchConfig {
     /// [`Parallelism::sequential`] reproduces the single-threaded behavior
     /// exactly; the default auto-detects the core count.
     pub parallelism: Parallelism,
+    /// Which retrieval backend serves both towers' searches.
+    pub retriever: RetrieverKind,
+}
+
+/// The retrieval backend built over each tower's embedding store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetrieverKind {
+    /// Exact blocked scan (`BruteForceIndex`) — bit-reproducible scores,
+    /// the reference every approximate backend is measured against.
+    Exact,
+    /// HNSW graph (the paper's production choice for online serving).
+    #[default]
+    Hnsw,
+    /// IVF inverted lists.
+    Ivf,
+}
+
+impl RetrieverKind {
+    /// Parses a CLI/config name (`exact`, `hnsw`, `ivf`).
+    pub fn parse(name: &str) -> Option<RetrieverKind> {
+        match name {
+            "exact" | "bruteforce" => Some(RetrieverKind::Exact),
+            "hnsw" => Some(RetrieverKind::Hnsw),
+            "ivf" => Some(RetrieverKind::Ivf),
+            _ => None,
+        }
+    }
+
+    /// The stable backend name ([`Retriever::backend`] of the index this
+    /// kind builds).
+    pub fn name(self) -> &'static str {
+        match self {
+            RetrieverKind::Exact => "bruteforce",
+            RetrieverKind::Hnsw => "hnsw",
+            RetrieverKind::Ivf => "ivf",
+        }
+    }
+
+    /// Builds an index of this kind over a shared store.
+    fn build(self, store: Arc<EmbeddingStore>, rng: &mut StdRng) -> Box<dyn Retriever> {
+        match self {
+            RetrieverKind::Exact => Box::new(BruteForceIndex::over(store)),
+            RetrieverKind::Hnsw => {
+                Box::new(HnswIndex::build_over(store, HnswConfig::default(), rng))
+            }
+            RetrieverKind::Ivf => Box::new(IvfIndex::build_over(store, IvfConfig::default(), rng)),
+        }
+    }
 }
 
 impl Default for UniMatchConfig {
@@ -64,6 +115,7 @@ impl Default for UniMatchConfig {
             aggregator: Aggregator::Mean,
             seed: 42,
             parallelism: Parallelism::auto(),
+            retriever: RetrieverKind::default(),
         }
     }
 }
@@ -88,17 +140,21 @@ impl UniMatchConfig {
     }
 }
 
-/// A trained UniMatch deployment: the model plus serving indexes over both
-/// towers' embeddings.
+/// A trained UniMatch deployment: the model, both towers' embedding
+/// stores, and a retrieval index over each store.
 pub struct FittedUniMatch {
     /// The trained model.
     pub model: TwoTower,
-    /// One pseudo-user per distinct user, aligned with `user_index` ids.
+    /// One pseudo-user per distinct user, aligned with `user_index` rows.
     pub user_pool: UserPool,
-    /// ANN index over item embeddings (serves IR).
-    item_index: HnswIndex,
-    /// ANN index over pool-user embeddings (serves UT).
-    user_index: HnswIndex,
+    /// The item-tower embedding arena (row = item id).
+    item_store: Arc<EmbeddingStore>,
+    /// The user-tower embedding arena (row = pool index, id = user id).
+    user_store: Arc<EmbeddingStore>,
+    /// Retrieval index over item embeddings (serves IR).
+    item_index: Box<dyn Retriever>,
+    /// Retrieval index over pool-user embeddings (serves UT).
+    user_index: Box<dyn Retriever>,
     max_seq_len: usize,
 }
 
@@ -131,7 +187,7 @@ impl UniMatch {
         };
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let model = TwoTower::new(model_cfg, &mut rng);
-        self.fit_continue(model, prepared, None)
+        self.fit_continue(model, prepared, None, None)
     }
 
     /// The production monthly update: resumes training from last cycle's
@@ -154,7 +210,7 @@ impl UniMatch {
             "log contains items outside the model's vocabulary; refit instead"
         );
         let prepared = PreparedData::from_log(log, cfg.max_seq_len);
-        self.fit_continue(model, prepared, Some(trained_through))
+        self.fit_continue(model, prepared, Some(trained_through), None)
     }
 
     /// Builds the serving indexes around an existing model WITHOUT any
@@ -162,7 +218,25 @@ impl UniMatch {
     /// checkpoint to answer queries).
     pub fn serve(&self, model: TwoTower, log: InteractionLog) -> FittedUniMatch {
         let prepared = PreparedData::from_log(log, self.config.max_seq_len);
-        self.fit_continue(model, prepared, Some(u32::MAX))
+        self.fit_continue(model, prepared, Some(u32::MAX), None)
+    }
+
+    /// [`UniMatch::serve`], but reusing an item-embedding store already
+    /// materialized elsewhere — the checkpoint-direct path: the store
+    /// decoded straight out of a v2 checkpoint's embedding section is
+    /// indexed as-is, with no re-inference over the item tower.
+    ///
+    /// The store must hold this model's normalized item embeddings
+    /// (`rows == num_items`, `dim == embed_dim`); the loader guarantees
+    /// that for stores it returns alongside the model.
+    pub fn serve_with_store(
+        &self,
+        model: TwoTower,
+        log: InteractionLog,
+        item_store: Arc<EmbeddingStore>,
+    ) -> FittedUniMatch {
+        let prepared = PreparedData::from_log(log, self.config.max_seq_len);
+        self.fit_continue(model, prepared, Some(u32::MAX), Some(item_store))
     }
 
     fn fit_continue(
@@ -170,8 +244,9 @@ impl UniMatch {
         model: TwoTower,
         prepared: PreparedData,
         resume_after: Option<u32>,
+        item_store: Option<Arc<EmbeddingStore>>,
     ) -> FittedUniMatch {
-        self.try_fit_continue(model, prepared, resume_after)
+        self.try_fit_continue_with(model, prepared, resume_after, item_store)
             .unwrap_or_else(|e| panic!("UniMatch training failed: {e}"))
     }
 
@@ -179,17 +254,18 @@ impl UniMatch {
     /// surfaces as a [`TrainError`] before the first step. The durable
     /// runner ([`crate::durable`]) shares [`UniMatch::train_config`] and
     /// [`UniMatch::build_serving`] with this path.
-    pub(crate) fn try_fit_continue(
+    fn try_fit_continue_with(
         &self,
         model: TwoTower,
         prepared: PreparedData,
         resume_after: Option<u32>,
+        item_store: Option<Arc<EmbeddingStore>>,
     ) -> Result<FittedUniMatch, TrainError> {
         let cfg = &self.config;
         cfg.parallelism.install_global();
         let mut trainer = Trainer::try_new(model, self.train_config())?;
         trainer.train_incremental_from(&prepared.split, &prepared.marginals, resume_after)?;
-        Ok(self.build_serving(trainer.model, &prepared))
+        Ok(self.build_serving_with(trainer.model, &prepared, item_store))
     }
 
     /// The [`TrainConfig`] this framework configuration implies.
@@ -205,26 +281,55 @@ impl UniMatch {
         }
     }
 
-    /// Builds the serving indexes over both towers around a trained model.
+    /// Builds the serving stores and indexes over both towers around a
+    /// trained model.
     pub(crate) fn build_serving(&self, model: TwoTower, prepared: &PreparedData) -> FittedUniMatch {
+        self.build_serving_with(model, prepared, None)
+    }
+
+    /// [`UniMatch::build_serving`], optionally reusing a pre-built item
+    /// store (the checkpoint-direct load path) instead of re-running item
+    /// inference. A supplied store must match the model's item count and
+    /// embedding dimension.
+    pub(crate) fn build_serving_with(
+        &self,
+        model: TwoTower,
+        prepared: &PreparedData,
+        item_store: Option<Arc<EmbeddingStore>>,
+    ) -> FittedUniMatch {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
-        let items = model.infer_items();
-        let item_index = HnswIndex::build(
-            items.data().to_vec(),
-            cfg.embed_dim,
-            HnswConfig::default(),
-            &mut rng,
-        );
+        let item_store = match item_store {
+            Some(store) => {
+                assert_eq!(store.dim(), cfg.embed_dim, "item store dim mismatch");
+                assert_eq!(
+                    store.rows(),
+                    model.config().num_items,
+                    "item store row count mismatch"
+                );
+                store
+            }
+            None => {
+                let items = model.infer_items();
+                Arc::new(EmbeddingStore::from_rows(items.data(), cfg.embed_dim))
+            }
+        };
+        let item_index = cfg.retriever.build(item_store.clone(), &mut rng);
         let user_pool = UserPool::build(&prepared.split, cfg.max_seq_len);
         let histories: Vec<&[u32]> = user_pool.histories().iter().map(|h| h.as_slice()).collect();
         let user_embeddings = embed_histories(&model, &histories, cfg.max_seq_len);
-        let user_index =
-            HnswIndex::build(user_embeddings, cfg.embed_dim, HnswConfig::default(), &mut rng);
+        let user_store = Arc::new(EmbeddingStore::with_ids(
+            &user_embeddings,
+            cfg.embed_dim,
+            user_pool.users().to_vec(),
+        ));
+        let user_index = cfg.retriever.build(user_store.clone(), &mut rng);
 
         FittedUniMatch {
             model,
             user_pool,
+            item_store,
+            user_store,
             item_index,
             user_index,
             max_seq_len: cfg.max_seq_len,
@@ -240,27 +345,29 @@ impl FittedUniMatch {
         self.item_index.search(&query, k)
     }
 
-    /// UT: top-k `(user_id, score)` targets for an item.
+    /// UT: top-k `(user_id, score)` targets for an item. The query row
+    /// comes straight from the item store — no per-call re-inference over
+    /// the item tower.
     pub fn target_users(&self, item: u32, k: usize) -> Vec<(u32, f32)> {
-        let items = self.model.infer_items();
-        self.target_users_by_embedding(items.row(item as usize), k)
+        self.target_users_by_embedding(self.item_store.row(item as usize), k)
     }
 
     /// UT against an arbitrary query embedding (e.g. a bundle blend built
-    /// by [`crate::audience`]).
+    /// by [`crate::audience`]). Hit rows translate to user ids through the
+    /// user store's id mapping.
     pub fn target_users_by_embedding(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
         self.user_index
             .search(query, k)
             .into_iter()
-            .map(|h| (self.user_pool.user(h.id as usize), h.score))
+            .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
             .collect()
     }
 
     /// Batched IR: top-k items for each history, in input order.
     ///
     /// Embeds the histories in parallel chunks and answers all queries
-    /// through [`AnnIndex::search_batch`]; results are identical to calling
-    /// [`FittedUniMatch::recommend_items`] per history.
+    /// through [`Retriever::search_batch`]; results are identical to
+    /// calling [`FittedUniMatch::recommend_items`] per history.
     pub fn recommend_items_batch(&self, histories: &[&[u32]], k: usize) -> Vec<Vec<Hit>> {
         assert!(
             histories.iter().all(|h| !h.is_empty()),
@@ -271,21 +378,20 @@ impl FittedUniMatch {
     }
 
     /// Batched UT: top-k `(user_id, score)` targets for each item, in input
-    /// order. All item queries go through one [`AnnIndex::search_batch`]
-    /// call; results are identical to calling
-    /// [`FittedUniMatch::target_users`] per item.
+    /// order. Query rows are gathered from the item store (no re-inference)
+    /// and answered through one [`Retriever::search_batch`] call; results
+    /// are identical to calling [`FittedUniMatch::target_users`] per item.
     pub fn target_users_batch(&self, items: &[u32], k: usize) -> Vec<Vec<(u32, f32)>> {
-        let embeddings = self.model.infer_items();
         let queries: Vec<f32> = items
             .iter()
-            .flat_map(|&i| embeddings.row(i as usize).iter().copied())
+            .flat_map(|&i| self.item_store.row(i as usize).iter().copied())
             .collect();
         self.user_index
             .search_batch(&queries, k)
             .into_iter()
             .map(|hits| {
                 hits.into_iter()
-                    .map(|h| (self.user_pool.user(h.id as usize), h.score))
+                    .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
                     .collect()
             })
             .collect()
@@ -333,6 +439,23 @@ impl FittedUniMatch {
     /// Number of pool users.
     pub fn num_pool_users(&self) -> usize {
         self.user_index.len()
+    }
+
+    /// The item-tower embedding arena (row = item id, normalized exactly
+    /// as `TwoTower::infer_items` would produce).
+    pub fn item_store(&self) -> &Arc<EmbeddingStore> {
+        &self.item_store
+    }
+
+    /// The user-tower embedding arena (row = pool index, id = user id).
+    pub fn user_store(&self) -> &Arc<EmbeddingStore> {
+        &self.user_store
+    }
+
+    /// Backend name of the serving retrieval indexes
+    /// (`"bruteforce"` / `"hnsw"` / `"ivf"`).
+    pub fn retriever_backend(&self) -> &'static str {
+        self.item_index.backend()
     }
 }
 

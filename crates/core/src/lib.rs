@@ -50,12 +50,13 @@ pub use durable::{
 };
 pub use evaluate::{evaluate, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RetrievalAudit};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
-pub use framework::{FittedUniMatch, UniMatch, UniMatchConfig};
+pub use framework::{FittedUniMatch, RetrieverKind, UniMatch, UniMatchConfig};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
 pub use persist::{
-    load_model, load_model_with_retry, model_from_json, model_to_json, save_model, RetryPolicy,
+    load_item_store, load_model, load_model_and_store, load_model_and_store_with_retry,
+    load_model_with_retry, model_from_json, model_to_json, save_model, RetryPolicy,
 };
 pub use prepare::PreparedData;
 pub use serving::{ModelHandle, ServingState};

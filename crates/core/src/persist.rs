@@ -39,7 +39,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
+use unimatch_ann::EmbeddingStore;
 use unimatch_data::json::Json;
 use unimatch_faults::FaultPoint;
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
@@ -48,6 +50,17 @@ use unimatch_tensor::Tensor;
 const FORMAT_VERSION: u64 = 2;
 /// Identifies a checkpoint file as ours before any schema is assumed.
 const MAGIC: &str = "unimatch-model";
+
+/// The item table is always the first registered parameter, under this
+/// name — the embedding *section* of a checkpoint: a contiguous run of
+/// floats ([`item_store_from_json_value`] decodes it straight into an
+/// aligned [`EmbeddingStore`] arena, skipping `ParamSet` entirely).
+const EMBEDDING_PARAM: &str = "item_embedding";
+
+/// Must match `unimatch_models`' normalization epsilon bit-for-bit: the
+/// store decoded from a checkpoint has to equal `TwoTower::infer_items`
+/// exactly.
+const NORM_EPS: f32 = 1e-12;
 
 const SAVE_FAULT: FaultPoint = FaultPoint::new("persist.save");
 const LOAD_FAULT: FaultPoint = FaultPoint::new("persist.load");
@@ -121,6 +134,22 @@ fn checksum_model(model: &TwoTower) -> u64 {
     h.0
 }
 
+/// Checksums the embedding section alone — name, shape, raw f32 bit
+/// patterns of the item table — so the store loader can verify its
+/// section without reconstructing the rest of the model.
+fn checksum_embedding_section(shape: &[usize], bits: impl Iterator<Item = u32>) -> u64 {
+    let mut h = Fnv::new();
+    h.update(EMBEDDING_PARAM.as_bytes());
+    h.update(&[0xff]);
+    for &d in shape {
+        h.u64(d as u64);
+    }
+    for b in bits {
+        h.update(&b.to_le_bytes());
+    }
+    h.0
+}
+
 // ---------------------------------------------------------------------------
 // serialization
 // ---------------------------------------------------------------------------
@@ -179,11 +208,23 @@ pub fn model_to_json_value(model: &TwoTower) -> Json {
             })
             .collect(),
     );
+    let embedding_checksum = model
+        .params
+        .iter()
+        .find(|(_, p)| p.name == EMBEDDING_PARAM)
+        .map(|(_, p)| {
+            checksum_embedding_section(
+                p.value.shape().dims(),
+                p.value.data().iter().map(|x| x.to_bits()),
+            )
+        })
+        .expect("model has an item_embedding parameter");
     Json::obj(vec![
         ("magic", Json::str(MAGIC)),
         ("format_version", Json::int(FORMAT_VERSION as usize)),
         ("config", config),
         ("params", Json::obj(vec![("params", params)])),
+        ("embedding_checksum", Json::str(format!("{embedding_checksum:016x}"))),
         ("checksum", Json::str(format!("{:016x}", checksum_model(model)))),
     ])
 }
@@ -251,7 +292,7 @@ pub(crate) fn tensor_from_json(v: &Json) -> io::Result<Tensor> {
         })
         .collect::<io::Result<_>>()?;
     let numel: usize = shape.iter().product();
-    if shape.is_empty() || shape.iter().any(|&d| d == 0) || numel != data.len() {
+    if shape.is_empty() || shape.contains(&0) || numel != data.len() {
         return Err(bad(format!(
             "tensor shape {shape:?} does not match {} data elements",
             data.len()
@@ -348,7 +389,158 @@ pub fn model_from_json_value(doc: &Json) -> io::Result<TwoTower> {
             )));
         }
     }
+    // The embedding-section checksum is required in v2 documents (every
+    // v2 save writes it) and verified when a legacy v1 document happens
+    // to carry one; v1 documents without it still load — their values
+    // are covered by the whole-model checksum on the v2 path.
+    let embedding_sum = if checked {
+        Some(field(doc, "embedding_checksum")?)
+    } else {
+        doc.get("embedding_checksum")
+    };
+    if let Some(stored) = embedding_sum {
+        let stored_sum =
+            stored.as_str().ok_or_else(|| bad("embedding_checksum is not a string"))?;
+        let (_, emb) = model
+            .params
+            .iter()
+            .find(|(_, p)| p.name == EMBEDDING_PARAM)
+            .ok_or_else(|| bad("checkpoint architecture has no item_embedding"))?;
+        let computed = format!(
+            "{:016x}",
+            checksum_embedding_section(
+                emb.value.shape().dims(),
+                emb.value.data().iter().map(|x| x.to_bits()),
+            )
+        );
+        if stored_sum != computed {
+            return Err(bad(format!(
+                "embedding section checksum mismatch: stored {stored_sum}, computed {computed}"
+            )));
+        }
+    }
     Ok(model)
+}
+
+/// Decodes ONLY the embedding section of a checkpoint document into an
+/// aligned [`EmbeddingStore`] — no `ParamSet`, no architecture rebuild,
+/// no extractor/aggregator parameters touched. This is the zero-copy*
+/// serving path: the item table is read once from JSON straight into the
+/// store's arena, normalized in place exactly as `TwoTower::infer_items`
+/// would, and handed to the retrieval engine.
+///
+/// (*zero extra copies: the floats go parse → arena, instead of
+/// parse → `Tensor` → `ParamSet` → `infer_items` allocation → index.)
+///
+/// Validated like a model load: version/magic checked, the section's
+/// name and shape must match the stored config, every value must be
+/// finite, and the `embedding_checksum` (present in all current saves)
+/// is verified over the raw bit patterns before normalization.
+pub fn item_store_from_json_value(doc: &Json) -> io::Result<EmbeddingStore> {
+    let version = field(doc, "format_version")?
+        .as_u64()
+        .ok_or_else(|| bad("format_version is not an integer"))?;
+    let checked = match version {
+        1 => false,
+        2 => {
+            let magic =
+                field(doc, "magic")?.as_str().ok_or_else(|| bad("magic is not a string"))?;
+            if magic != MAGIC {
+                return Err(bad(format!("not a unimatch checkpoint (magic `{magic}`)")));
+            }
+            true
+        }
+        other => return Err(bad(format!("unsupported checkpoint version {other}"))),
+    };
+    let cfg = field(doc, "config")?;
+    let num_items = usize_field(cfg, "num_items")?;
+    let embed_dim = usize_field(cfg, "embed_dim")?;
+    let normalize = field(cfg, "normalize")?
+        .as_bool()
+        .ok_or_else(|| bad("normalize is not a boolean"))?;
+    if num_items == 0 || embed_dim == 0 {
+        return Err(bad(format!("degenerate embedding table {num_items}×{embed_dim}")));
+    }
+    let stored = field(field(doc, "params")?, "params")?
+        .as_array()
+        .ok_or_else(|| bad("params is not an array"))?;
+    let entry = stored.first().ok_or_else(|| bad("checkpoint has no parameters"))?;
+    let name =
+        field(entry, "name")?.as_str().ok_or_else(|| bad("parameter name is not a string"))?;
+    if name != EMBEDDING_PARAM {
+        return Err(bad(format!(
+            "first checkpoint parameter is {name}, expected {EMBEDDING_PARAM}"
+        )));
+    }
+    let value = field(entry, "value")?;
+    let shape: Vec<usize> = field(value, "shape")?
+        .as_array()
+        .ok_or_else(|| bad("embedding shape is not an array"))?
+        .iter()
+        .map(|d| d.as_u64().map(|x| x as usize).ok_or_else(|| bad("bad embedding dimension")))
+        .collect::<io::Result<_>>()?;
+    if shape != [num_items, embed_dim] {
+        return Err(bad(format!(
+            "embedding shape {shape:?} does not match config {num_items}×{embed_dim}"
+        )));
+    }
+    let data = field(value, "data")?
+        .as_array()
+        .ok_or_else(|| bad("embedding data is not an array"))?;
+    if data.len() != num_items * embed_dim {
+        return Err(bad(format!(
+            "embedding section has {} elements, expected {}",
+            data.len(),
+            num_items * embed_dim
+        )));
+    }
+
+    let mut store = EmbeddingStore::zeroed(num_items, embed_dim);
+    {
+        let arena = store.data_mut();
+        for (slot, x) in arena.iter_mut().zip(data.iter()) {
+            let v = match x {
+                Json::Null => f32::NAN, // serde_json writes non-finite floats as null
+                _ => x.as_f32().ok_or_else(|| bad("bad embedding element"))?,
+            };
+            if !v.is_finite() {
+                return Err(bad(format!(
+                    "embedding section contains non-finite value {v}"
+                )));
+            }
+            *slot = v;
+        }
+    }
+    let embedding_sum = if checked {
+        Some(field(doc, "embedding_checksum")?)
+    } else {
+        doc.get("embedding_checksum")
+    };
+    if let Some(stored_sum) = embedding_sum {
+        let stored_sum =
+            stored_sum.as_str().ok_or_else(|| bad("embedding_checksum is not a string"))?;
+        let computed = format!(
+            "{:016x}",
+            checksum_embedding_section(&shape, store.as_slice().iter().map(|x| x.to_bits()))
+        );
+        if stored_sum != computed {
+            return Err(bad(format!(
+                "embedding section checksum mismatch: stored {stored_sum}, computed {computed}"
+            )));
+        }
+    }
+    if normalize {
+        // Bit-identical to TwoTower::infer_items: sequential sum of
+        // squares, sqrt, .max(NORM_EPS), then divide.
+        for r in 0..num_items {
+            let row = store.row_mut(r);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(NORM_EPS);
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+    Ok(store)
 }
 
 /// Reconstructs a model from JSON bytes. See [`model_from_json_value`].
@@ -395,6 +587,36 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<TwoTower> {
     model_from_json(&bytes)
 }
 
+/// Loads ONLY the embedding store from a checkpoint file — the serving
+/// fast path when no model (and no `ParamSet`) is needed. Same fault
+/// seams as [`load_model`].
+pub fn load_item_store(path: impl AsRef<Path>) -> io::Result<EmbeddingStore> {
+    if let Some(e) = LOAD_FAULT.io_error() {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path)?;
+    LOAD_CORRUPT_FAULT.corrupt(&mut bytes);
+    let doc = Json::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+    item_store_from_json_value(&doc)
+}
+
+/// Loads a checkpoint's model *and* its embedding store from one read
+/// and one parse — what a serving reload wants: the store feeds the
+/// retrieval indexes directly, the model handles user-tower inference.
+pub fn load_model_and_store(
+    path: impl AsRef<Path>,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>)> {
+    if let Some(e) = LOAD_FAULT.io_error() {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path)?;
+    LOAD_CORRUPT_FAULT.corrupt(&mut bytes);
+    let doc = Json::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+    let model = model_from_json_value(&doc)?;
+    let store = item_store_from_json_value(&doc)?;
+    Ok((model, Arc::new(store)))
+}
+
 // ---------------------------------------------------------------------------
 // retry
 // ---------------------------------------------------------------------------
@@ -427,13 +649,25 @@ pub fn is_transient(kind: io::ErrorKind) -> bool {
 /// [`load_model`] with bounded retry-with-backoff for transient errors.
 /// Non-transient errors (corruption, missing file) return immediately.
 pub fn load_model_with_retry(path: impl AsRef<Path>, policy: &RetryPolicy) -> io::Result<TwoTower> {
-    let path = path.as_ref();
+    retry_load(policy, || load_model(path.as_ref()))
+}
+
+/// [`load_model_and_store`] with the same retry policy as
+/// [`load_model_with_retry`].
+pub fn load_model_and_store_with_retry(
+    path: impl AsRef<Path>,
+    policy: &RetryPolicy,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>)> {
+    retry_load(policy, || load_model_and_store(path.as_ref()))
+}
+
+fn retry_load<T>(policy: &RetryPolicy, mut load: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     let mut backoff = policy.backoff;
     let mut attempt = 0;
     loop {
         attempt += 1;
-        match load_model(path) {
-            Ok(model) => return Ok(model),
+        match load() {
+            Ok(loaded) => return Ok(loaded),
             Err(e) if attempt < policy.attempts.max(1) && is_transient(e.kind()) => {
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
@@ -690,6 +924,94 @@ mod tests {
         }
         unimatch_faults::clear();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn item_store_matches_infer_items_bit_for_bit() {
+        for extractor in ContextExtractor::ALL {
+            let m = model(extractor);
+            let doc = Json::parse(&model_to_json(&m)).expect("parse");
+            let store = item_store_from_json_value(&doc).expect("store loads");
+            let expected = m.infer_items();
+            assert_eq!(store.rows(), 20);
+            assert_eq!(store.dim(), 8);
+            assert_eq!(store.as_slice().as_ptr() as usize % unimatch_ann::STORE_ALIGN, 0);
+            for (got, want) in store.as_slice().iter().zip(expected.data()) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{}", extractor.label());
+            }
+        }
+    }
+
+    #[test]
+    fn unnormalized_store_is_the_raw_table() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = TwoTower::new(
+            ModelConfig {
+                num_items: 12,
+                embed_dim: 4,
+                max_seq_len: 5,
+                extractor: ContextExtractor::YoutubeDnn,
+                aggregator: Aggregator::Mean,
+                temperature: 0.2,
+                normalize: false,
+            },
+            &mut rng,
+        );
+        let doc = Json::parse(&model_to_json(&m)).expect("parse");
+        let store = item_store_from_json_value(&doc).expect("store loads");
+        let expected = m.infer_items();
+        for (got, want) in store.as_slice().iter().zip(expected.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn item_store_loads_from_file_without_a_model() {
+        let dir = unique_tmp("store_only");
+        let path = dir.join("model.json");
+        let m = model(ContextExtractor::YoutubeDnn);
+        save_model(&m, &path).expect("save");
+        let store = load_item_store(&path).expect("store-only load");
+        let expected = m.infer_items();
+        assert_eq!(store.as_slice().len(), expected.data().len());
+        for (got, want) in store.as_slice().iter().zip(expected.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_model_and_store_is_one_consistent_pair() {
+        let dir = unique_tmp("pair");
+        let path = dir.join("model.json");
+        let m = model(ContextExtractor::Gru);
+        save_model(&m, &path).expect("save");
+        let (restored, store) = load_model_and_store(&path).expect("pair load");
+        let expected = restored.infer_items();
+        for (got, want) in store.as_slice().iter().zip(expected.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_embedding_checksum_is_rejected() {
+        let m = model(ContextExtractor::YoutubeDnn);
+        let doc = Json::parse(&model_to_json(&m)).expect("parse");
+        let stored = doc
+            .get("embedding_checksum")
+            .and_then(|c| c.as_str())
+            .expect("v2 documents carry an embedding checksum")
+            .to_string();
+        let flipped_digit = if stored.starts_with('0') { "1" } else { "0" };
+        let tampered_sum = format!("{flipped_digit}{}", &stored[1..]);
+        let json = String::from_utf8(model_to_json(&m)).expect("utf8");
+        let tampered = json.replace(&stored, &tampered_sum);
+        assert_ne!(json, tampered);
+        // both loaders must refuse the section
+        assert!(model_from_json(tampered.as_bytes()).is_err());
+        let doc = Json::parse(tampered.as_bytes()).expect("parse");
+        assert!(item_store_from_json_value(&doc).is_err());
     }
 
     #[test]

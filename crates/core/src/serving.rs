@@ -12,11 +12,12 @@
 //! already admitted.
 
 use crate::framework::{FittedUniMatch, UniMatch};
-use crate::persist::{load_model_with_retry, RetryPolicy};
+use crate::persist::{load_model_and_store_with_retry, RetryPolicy};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use unimatch_ann::EmbeddingStore;
 use unimatch_data::InteractionLog;
 use unimatch_models::TwoTower;
 
@@ -54,8 +55,8 @@ impl ModelHandle {
         log: InteractionLog,
     ) -> io::Result<ModelHandle> {
         let checkpoint = checkpoint.as_ref().to_path_buf();
-        let model = load_model_with_retry(&checkpoint, &RetryPolicy::default())?;
-        let fitted = build_fitted(&framework, &log, model, &checkpoint)?;
+        let (model, store) = load_model_and_store_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let fitted = build_fitted(&framework, &log, model, store, &checkpoint)?;
         Ok(ModelHandle {
             framework,
             log,
@@ -92,8 +93,8 @@ impl ModelHandle {
             Some(p) => p.to_path_buf(),
             None => self.current().checkpoint.clone(),
         };
-        let model = load_model_with_retry(&checkpoint, &RetryPolicy::default())?;
-        let fitted = build_fitted(&self.framework, &self.log, model, &checkpoint)?;
+        let (model, store) = load_model_and_store_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let fitted = build_fitted(&self.framework, &self.log, model, store, &checkpoint)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(ServingState { fitted, version, checkpoint });
         *self.state.write().expect("serving state lock poisoned") = state.clone();
@@ -103,11 +104,15 @@ impl ModelHandle {
 
 /// Rebuilds the serving indexes around a freshly loaded model. The
 /// framework configuration's model-shaped fields are overridden from the
-/// checkpoint so any trained architecture can be served.
+/// checkpoint so any trained architecture can be served. The item store
+/// decoded from the checkpoint's embedding section is indexed directly —
+/// serving never re-runs item inference (and never touches the
+/// checkpoint's `ParamSet` representation for retrieval).
 fn build_fitted(
     framework: &UniMatch,
     log: &InteractionLog,
     model: TwoTower,
+    item_store: Arc<EmbeddingStore>,
     checkpoint: &Path,
 ) -> io::Result<FittedUniMatch> {
     if (log.num_items() as usize) > model.config().num_items {
@@ -126,7 +131,7 @@ fn build_fitted(
     framework.config.max_seq_len = model.config().max_seq_len;
     framework.config.extractor = model.config().extractor;
     framework.config.aggregator = model.config().aggregator;
-    Ok(framework.serve(model, log.clone()))
+    Ok(framework.serve_with_store(model, log.clone(), item_store))
 }
 
 #[cfg(test)]

@@ -89,6 +89,10 @@ impl Json {
     }
 
     /// Serializes to a JSON string.
+    // Deliberately an inherent method, not `Display`: serialization is an
+    // explicit operation here, and a `Display` impl would let callers
+    // format checkpoints by accident.
+    #[allow(clippy::inherent_to_string)]
     pub fn to_string(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);

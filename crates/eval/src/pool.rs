@@ -54,6 +54,12 @@ impl UserPool {
         self.users[ix]
     }
 
+    /// All user ids in pool order (row ids for an embedding store built
+    /// over the pool).
+    pub fn users(&self) -> &[u32] {
+        &self.users
+    }
+
     /// The pseudo-user history at a pool index.
     pub fn history(&self, ix: usize) -> &[u32] {
         &self.histories[ix]

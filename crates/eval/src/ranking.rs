@@ -36,18 +36,19 @@ impl<'a> EmbeddingMatrix<'a> {
     pub fn row(&self, r: usize) -> &'a [f32] {
         &self.data[r * self.dim..(r + 1) * self.dim]
     }
+
+    /// The whole underlying buffer, row-major — the shape the retrieval
+    /// kernel consumes.
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
 }
 
-/// Dot-product scores of one query against selected candidate rows.
+/// Dot-product scores of one query against selected candidate rows,
+/// through the workspace's one scoring kernel (`unimatch_ann::dot`).
 pub fn score_candidates(query: &[f32], matrix: EmbeddingMatrix<'_>, candidates: &[u32]) -> Vec<f32> {
     assert_eq!(query.len(), matrix.dim(), "query dim mismatch");
-    candidates
-        .iter()
-        .map(|&c| {
-            let row = matrix.row(c as usize);
-            query.iter().zip(row).map(|(a, b)| a * b).sum()
-        })
-        .collect()
+    candidates.iter().map(|&c| unimatch_ann::dot(query, matrix.row(c as usize))).collect()
 }
 
 /// Evaluates a batch of single-positive cases: each case is a query

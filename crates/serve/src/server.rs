@@ -378,6 +378,7 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("version", Json::int(state.version as usize)),
                 ("items", Json::int(state.fitted.num_items())),
                 ("pool_users", Json::int(state.fitted.num_pool_users())),
+                ("retriever", Json::str(state.fitted.retriever_backend())),
             ])
             .to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)

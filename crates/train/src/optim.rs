@@ -90,6 +90,10 @@ impl AdamConfig {
     }
 }
 
+/// One embedding row's optimizer state: `(row index, first moment,
+/// second moment)`.
+pub type SparseRowState = (u32, Vec<f32>, Vec<f32>);
+
 /// A portable snapshot of [`Adam`]'s internal state, keyed by parameter
 /// name. Produced by [`Adam::export_state`]; the durable-training runner
 /// serializes it into per-month checkpoints so a resumed run continues
@@ -100,9 +104,8 @@ pub struct AdamState {
     pub t: u64,
     /// Per-dense-parameter `(name, first moment, second moment)`.
     pub dense: Vec<(String, Tensor, Tensor)>,
-    /// Per-embedding-table `(name, rows)` where each row entry is
-    /// `(row index, first moment, second moment)`.
-    pub sparse: Vec<(String, Vec<(u32, Vec<f32>, Vec<f32>)>)>,
+    /// Per-embedding-table `(name, rows)`.
+    pub sparse: Vec<(String, Vec<SparseRowState>)>,
 }
 
 /// Adam with dense state for dense parameters and per-row lazy state for
@@ -164,12 +167,12 @@ impl Adam {
             .map(|(&id, m)| (name(id), m.clone(), self.v[&id].clone()))
             .collect();
         dense.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut sparse: Vec<(String, Vec<(u32, Vec<f32>, Vec<f32>)>)> = self
+        let mut sparse: Vec<(String, Vec<SparseRowState>)> = self
             .sparse_m
             .iter()
             .map(|(&id, rows_m)| {
                 let rows_v = &self.sparse_v[&id];
-                let mut rows: Vec<(u32, Vec<f32>, Vec<f32>)> = rows_m
+                let mut rows: Vec<SparseRowState> = rows_m
                     .iter()
                     .map(|(&row, m)| (row, m.clone(), rows_v[&row].clone()))
                     .collect();

@@ -22,7 +22,8 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 use unimatch_core::{
-    evaluate, load_model, save_model, DurableConfig, ModelHandle, UniMatch, UniMatchConfig,
+    evaluate, load_model, save_model, DurableConfig, ModelHandle, RetrieverKind, UniMatch,
+    UniMatchConfig,
 };
 use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
@@ -63,13 +64,14 @@ fn usage(msg: &str) -> ! {
          \n\
          generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
-         \u{20}         [--run-dir DIR]   (crash-safe: per-month checkpoints + resume)\n\
-         recommend --model FILE --log FILE --user ID [--k N]\n\
-         target    --model FILE --log FILE --item ID [--k N]\n\
+         \u{20}         [--run-dir DIR] [--retriever KIND]   (crash-safe checkpoints + resume)\n\
+         recommend --model FILE --log FILE --user ID [--k N] [--retriever KIND]\n\
+         target    --model FILE --log FILE --item ID [--k N] [--retriever KIND]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
-         \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N]\n\
+         \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
+         \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
          \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
          bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
@@ -102,6 +104,16 @@ fn flag_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, def
     match flags.get(key) {
         None => default,
         Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("invalid value for --{key}: {v}"))),
+    }
+}
+
+/// The serving index backend (`--retriever exact|hnsw|ivf`), defaulting to
+/// the framework's configured kind.
+fn retriever_flag(flags: &HashMap<String, String>) -> RetrieverKind {
+    match flags.get("retriever") {
+        None => RetrieverKind::default(),
+        Some(v) => RetrieverKind::parse(v)
+            .unwrap_or_else(|| usage(&format!("unknown retriever {v} (exact|hnsw|ivf)"))),
     }
 }
 
@@ -187,6 +199,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         batch_size: flag_or(flags, "batch", 64),
         seed: flag_or(flags, "seed", 42),
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+        retriever: retriever_flag(flags),
         ..Default::default()
     };
     let filtered = log.filter_min_interactions(3);
@@ -229,6 +242,7 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
     let items = read_vocab(&ip);
     let config = UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+        retriever: retriever_flag(flags),
         ..Default::default()
     };
     let fitted = UniMatch::new(config).serve(model, log.filter_min_interactions(3));
@@ -429,6 +443,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     };
     let framework = UniMatch::new(UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+        retriever: retriever_flag(flags),
         ..Default::default()
     });
     let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
