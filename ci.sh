@@ -12,11 +12,13 @@
 #    under live traffic)
 # 5. the retrieval-engine differential suites (blocked kernel + every
 #    backend + every refactored call site vs the stable-sort oracle,
-#    bitwise)
+#    bitwise), including sharded-vs-unsharded parity
 # 6. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
 #    end) plus a report-only diff against the committed baselines
-# 7. clippy over every target with warnings denied
-# 8. rustdoc for the workspace's own crates, failing on any doc warning
+# 7. a smoke open-loop load run (loadgen) against a live loopback server,
+#    diffed report-only against the committed BENCH_load.json
+# 8. clippy over every target with warnings denied
+# 9. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -46,15 +48,48 @@ cargo test -q -p unimatch-serve --test chaos
 echo "==> retrieval-engine differential suites (bitwise vs oracle)"
 cargo test -q -p unimatch-ann --test retrieval_differential
 cargo test -q -p unimatch-ann --test differential
+cargo test -q -p unimatch-ann --test sharded_differential
 cargo test -q --test retrieval_engine
 
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"
-trap 'rm -rf "$SNAP_DIR"' EXIT
+LOAD_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+    rm -rf "$SNAP_DIR" "$LOAD_DIR"
+}
+trap cleanup EXIT
 target/release/unimatch-cli bench snapshot --smoke --out "$SNAP_DIR"
 # Report-only: smoke numbers are scaled down, so the diff against the
 # committed full-run baselines informs rather than gates.
 target/release/unimatch-cli bench diff --baseline . --current "$SNAP_DIR" || true
+
+echo "==> loadgen --smoke (open-loop load harness vs a loopback server)"
+target/release/unimatch-cli generate --profile ecomp --scale 0.1 --seed 7 \
+    --out "$LOAD_DIR/log.csv"
+target/release/unimatch-cli fit --log "$LOAD_DIR/log.csv" \
+    --out "$LOAD_DIR/model.json"
+target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
+    --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7979 --shards 2 &
+SERVE_PID=$!
+# loadgen probes /healthz itself; retry while the server finishes its
+# index build.
+tries=0
+until target/release/unimatch-cli loadgen --addr 127.0.0.1:7979 --smoke \
+    --out "$LOAD_DIR" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 15 ]; then
+        echo "loadgen smoke: server never became reachable" >&2
+        exit 1
+    fi
+    sleep 1
+done
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+# Report-only for the same reason as the snapshot diff above.
+target/release/unimatch-cli bench diff --baseline . --current "$LOAD_DIR" || true
 
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -75,6 +75,13 @@ pub trait Retriever: Send + Sync {
         }
     }
 
+    /// Number of partitions answering each search: 1 for every plain
+    /// backend; [`crate::ShardedRetriever`] reports its fan-out.
+    /// Surfaced through serving introspection (`/healthz`).
+    fn shards(&self) -> usize {
+        1
+    }
+
     /// The `k` highest-inner-product vectors for `query`, best first.
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
 

@@ -21,6 +21,12 @@
 //! All backends perform maximum-inner-product top-k over unit vectors
 //! (equivalently cosine similarity). `AnnIndex` remains as an alias of
 //! [`Retriever`] for code written against the pre-engine API.
+//!
+//! On top of the backends, [`ShardedRetriever`] partitions a store into
+//! contiguous row ranges (zero-copy [`EmbeddingStore::view_rows`] views
+//! of one arena), searches the per-range indexes in parallel, and k-way
+//! merges the results under the canonical `(score desc, lowest id)`
+//! order — bitwise identical to the unsharded search for exact backends.
 
 #![warn(missing_docs)]
 
@@ -29,6 +35,7 @@ pub mod hnsw;
 pub mod index;
 pub mod ivf;
 pub mod kernel;
+pub mod sharded;
 pub mod store;
 
 pub use bruteforce::BruteForceIndex;
@@ -36,4 +43,5 @@ pub use hnsw::{HnswConfig, HnswIndex};
 pub use index::{Hit, Retriever, Retriever as AnnIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kernel::{dot, top_k_exact};
+pub use sharded::ShardedRetriever;
 pub use store::{EmbeddingStore, STORE_ALIGN};

@@ -1,0 +1,378 @@
+//! Row-range sharding over any [`Retriever`] backend.
+//!
+//! [`ShardedRetriever`] partitions one [`EmbeddingStore`] into N
+//! contiguous row ranges, builds an independent backend index over a
+//! zero-copy [`EmbeddingStore::view_rows`] view of each range, fans every
+//! search across the shards through `unimatch-parallel`, and k-way merges
+//! the per-shard top-k lists under the canonical ordering contract
+//! (score descending, lowest id on ties).
+//!
+//! ## Exactness
+//!
+//! For an exact backend the merged result is **bitwise identical** to the
+//! unsharded search:
+//!
+//! * scores — [`crate::kernel::dot`] is a fixed sequential reduction over
+//!   `dim`, and sharding splits *rows*, never a row, so every candidate's
+//!   score is computed from exactly the same bytes in exactly the same
+//!   order;
+//! * membership — if a row is dropped inside its shard, the k rows that
+//!   beat it there (under score-then-lowest-id order) also precede it
+//!   globally, so it cannot belong to the global top-k either;
+//! * order — shard row ranges are contiguous and ascending, so each
+//!   shard's list is sorted by `(score desc, global id asc)`, and the
+//!   merge resolves cross-shard ties by global id exactly as one big
+//!   stable scan would.
+//!
+//! For approximate backends (HNSW, IVF) each shard builds its *own*
+//! graph/lists over its row range, so sharded recall differs from the
+//! single-index build in general — but configured to be effectively
+//! exact (`ef ≥ rows`, `nprobe = nlist`) they inherit the same bitwise
+//! guarantee, which the sharded differential suite pins.
+//!
+//! ## Observability
+//!
+//! With the global `unimatch-obs` flag on, every search records one
+//! `unimatch_shard_search_us{shard="s"}` span per shard and one
+//! `unimatch_shard_merge_us` span for the merge, alongside the backend's
+//! own series — the data `/metrics` consumers use to spot a straggler
+//! shard or a merge that grew past its budget.
+
+use std::sync::Arc;
+
+use crate::index::{batch_entry_hooks, Hit, Retriever};
+use crate::store::EmbeddingStore;
+use unimatch_obs as obs;
+use unimatch_parallel::par_map_indexed;
+
+/// Interned per-shard label bodies (the obs registry keys series by
+/// `'static` string identity, so labels must come from a fixed table).
+const SHARD_LABELS: [&str; 16] = [
+    "shard=\"0\"",
+    "shard=\"1\"",
+    "shard=\"2\"",
+    "shard=\"3\"",
+    "shard=\"4\"",
+    "shard=\"5\"",
+    "shard=\"6\"",
+    "shard=\"7\"",
+    "shard=\"8\"",
+    "shard=\"9\"",
+    "shard=\"10\"",
+    "shard=\"11\"",
+    "shard=\"12\"",
+    "shard=\"13\"",
+    "shard=\"14\"",
+    "shard=\"15\"",
+];
+
+/// Label for shard indices past the interned table.
+const SHARD_OVERFLOW_LABEL: &str = "shard=\"16+\"";
+
+/// The `shard="…"` label body for shard `s`.
+fn shard_label(s: usize) -> &'static str {
+    SHARD_LABELS.get(s).copied().unwrap_or(SHARD_OVERFLOW_LABEL)
+}
+
+/// N backend indexes over contiguous row ranges of one shared arena,
+/// searched in parallel and merged under the canonical top-k order.
+///
+/// Build one with [`ShardedRetriever::build`], supplying the closure that
+/// turns each shard's store view into a backend index (the same closure
+/// shape `RetrieverKind` uses for whole-store builds):
+///
+/// ```
+/// use std::sync::Arc;
+/// use unimatch_ann::{BruteForceIndex, EmbeddingStore, Retriever, ShardedRetriever};
+///
+/// let store = Arc::new(EmbeddingStore::from_vec(
+///     vec![1.0, 0.0, 0.0, 1.0, 0.7, 0.7, -1.0, 0.0],
+///     2,
+/// ));
+/// let sharded = ShardedRetriever::build(&store, 2, |view| {
+///     Box::new(BruteForceIndex::over(view))
+/// });
+/// assert_eq!(sharded.shards(), 2);
+/// let hits = sharded.search(&[1.0, 0.1], 2);
+/// assert_eq!(hits[0].id, 0); // global row ids, same as unsharded
+/// ```
+pub struct ShardedRetriever {
+    shards: Vec<Box<dyn Retriever>>,
+    /// Global row id of each shard's local row 0 (ascending).
+    offsets: Vec<u32>,
+    len: usize,
+    dim: usize,
+    backend: &'static str,
+}
+
+impl ShardedRetriever {
+    /// Partitions `store` into `shards` contiguous row ranges (sizes
+    /// differing by at most one row) and builds one backend index per
+    /// range via `build_shard`, each over a zero-copy view of the shared
+    /// arena.
+    ///
+    /// `shards` is clamped to the row count (an empty store builds one
+    /// empty shard). Shards are built in ascending row order, so a
+    /// build closure threading an `&mut` RNG stays deterministic.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, or if `build_shard` returns an index
+    /// whose `len`/`dim` disagree with the view it was given.
+    pub fn build<F>(store: &Arc<EmbeddingStore>, shards: usize, mut build_shard: F) -> Self
+    where
+        F: FnMut(Arc<EmbeddingStore>) -> Box<dyn Retriever>,
+    {
+        assert!(shards > 0, "shards must be positive");
+        let rows = store.rows();
+        let n = shards.min(rows).max(1);
+        let mut built: Vec<Box<dyn Retriever>> = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n);
+        for s in 0..n {
+            let start = s * rows / n;
+            let end = (s + 1) * rows / n;
+            let view = Arc::new(store.view_rows(start, end));
+            let index = build_shard(view);
+            assert_eq!(index.len(), end - start, "shard {s}: index len != view rows");
+            assert_eq!(index.dim(), store.dim(), "shard {s}: index dim != store dim");
+            built.push(index);
+            offsets.push(start as u32);
+        }
+        let backend = built[0].backend();
+        ShardedRetriever { shards: built, offsets, len: rows, dim: store.dim(), backend }
+    }
+
+    /// Searches every shard (in parallel when the fan-out clears the
+    /// global work threshold) and returns the per-shard lists with local
+    /// row ids already translated to global ids.
+    fn search_shards(&self, query: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        let work = self.len * self.dim * 2;
+        par_map_indexed(self.shards.len(), work, |s| {
+            let _span = obs::span_us("unimatch_shard_search_us", shard_label(s));
+            let offset = self.offsets[s];
+            let mut hits = self.shards[s].search(query, k);
+            for h in &mut hits {
+                h.id += offset;
+            }
+            hits
+        })
+    }
+}
+
+/// K-way merges per-shard top-k lists (each sorted by `(score desc, id
+/// asc)` with globally unique ids) into the global top-k under the same
+/// order. NaN scores compare equal, matching the kernel's comparator.
+fn merge_topk(lists: &[&[Hit]], k: usize) -> Vec<Hit> {
+    use std::cmp::Ordering;
+    if lists.len() == 1 {
+        let mut out = lists[0].to_vec();
+        out.truncate(k);
+        return out;
+    }
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    let mut cursors = vec![0usize; lists.len()];
+    while out.len() < k {
+        let mut best: Option<(usize, Hit)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&h) = list.get(cursors[li]) {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => match h.score.partial_cmp(&b.score).unwrap_or(Ordering::Equal)
+                    {
+                        Ordering::Greater => true,
+                        Ordering::Less => false,
+                        Ordering::Equal => h.id < b.id,
+                    },
+                };
+                if better {
+                    best = Some((li, h));
+                }
+            }
+        }
+        let Some((li, h)) = best else { break };
+        cursors[li] += 1;
+        out.push(h);
+    }
+    out
+}
+
+impl Retriever for ShardedRetriever {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The *inner* backend's name — a sharded index serves the same
+    /// metric label as its unsharded counterpart; the fan-out is
+    /// reported separately through [`Retriever::shards`].
+    fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let per_shard = self.search_shards(query, k);
+        let _merge_span = obs::span_us("unimatch_shard_merge_us", "");
+        let refs: Vec<&[Hit]> = per_shard.iter().map(|l| l.as_slice()).collect();
+        merge_topk(&refs, k)
+    }
+
+    /// Fans the whole batch across shards (each shard answers every
+    /// query over its row range; nested per-query parallelism inside a
+    /// shard runs inline), then merges per query. Identical results to
+    /// per-query [`ShardedRetriever::search`].
+    fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        let _span = batch_entry_hooks(self.obs_label());
+        let d = self.dim;
+        assert!(d > 0, "search_batch on an index with zero dimension");
+        assert_eq!(
+            queries.len() % d,
+            0,
+            "query batch length {} is not a multiple of dim {}",
+            queries.len(),
+            d
+        );
+        let nq = queries.len() / d;
+        let work = nq * self.len * d * 2;
+        let per_shard: Vec<Vec<Vec<Hit>>> = par_map_indexed(self.shards.len(), work, |s| {
+            let _span = obs::span_us("unimatch_shard_search_us", shard_label(s));
+            let offset = self.offsets[s];
+            let mut lists = self.shards[s].search_batch(queries, k);
+            for hits in &mut lists {
+                for h in hits {
+                    h.id += offset;
+                }
+            }
+            lists
+        });
+        let _merge_span = obs::span_us("unimatch_shard_merge_us", "");
+        let mut scratch: Vec<&[Hit]> = Vec::with_capacity(self.shards.len());
+        (0..nq)
+            .map(|q| {
+                scratch.clear();
+                scratch.extend(per_shard.iter().map(|lists| lists[q].as_slice()));
+                merge_topk(&scratch, k)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+
+    fn store(rows: usize, dim: usize, seed: u64) -> Arc<EmbeddingStore> {
+        let mut state = seed;
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Arc::new(EmbeddingStore::from_vec(data, dim))
+    }
+
+    fn sharded_exact(store: &Arc<EmbeddingStore>, n: usize) -> ShardedRetriever {
+        ShardedRetriever::build(store, n, |view| Box::new(BruteForceIndex::over(view)))
+    }
+
+    #[test]
+    fn matches_unsharded_bitwise() {
+        let s = store(61, 8, 0x5eed);
+        let whole = BruteForceIndex::over(s.clone());
+        for n in [1, 2, 3, 7] {
+            let sharded = sharded_exact(&s, n);
+            assert_eq!(sharded.len(), 61);
+            assert_eq!(sharded.shards(), n);
+            for k in [0, 1, 5, 61, 100] {
+                let a = whole.search(s.row(3), k);
+                let b = sharded.search(s.row(3), k);
+                assert_eq!(a.len(), b.len(), "n={n} k={k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.id, y.id, "n={n} k={k}");
+                    assert_eq!(x.score.to_bits(), y.score.to_bits(), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query() {
+        let s = store(40, 4, 0xf00d);
+        let sharded = sharded_exact(&s, 3);
+        let queries: Vec<f32> = (0..6).flat_map(|q| s.row(q * 5).to_vec()).collect();
+        let batched = sharded.search_batch(&queries, 7);
+        for (q, hits) in batched.iter().enumerate() {
+            let single = sharded.search(&queries[q * 4..(q + 1) * 4], 7);
+            assert_eq!(hits, &single, "query {q}");
+        }
+    }
+
+    #[test]
+    fn ties_across_shard_boundaries_keep_lowest_global_ids() {
+        // Rows 0..6 all identical: every score ties, so the global top-3
+        // must be ids 0,1,2 regardless of where the shard cuts fall.
+        let data = [1.0f32, 0.0].repeat(6);
+        let s = Arc::new(EmbeddingStore::from_vec(data, 2));
+        for n in [1, 2, 3, 4] {
+            let sharded = sharded_exact(&s, n);
+            let ids: Vec<u32> = sharded.search(&[1.0, 0.0], 3).iter().map(|h| h.id).collect();
+            assert_eq!(ids, vec![0, 1, 2], "n={n}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_clamps() {
+        let s = store(3, 2, 9);
+        let sharded = sharded_exact(&s, 8);
+        assert_eq!(sharded.shards(), 3);
+        assert_eq!(sharded.search(s.row(0), 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_store_builds_one_empty_shard() {
+        let s = Arc::new(EmbeddingStore::zeroed(0, 4));
+        let sharded = sharded_exact(&s, 4);
+        assert_eq!(sharded.shards(), 1);
+        assert!(sharded.is_empty());
+        assert!(sharded.search(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    fn shard_views_share_the_parent_arena() {
+        let s = store(10, 2, 1);
+        let mut seen = 0;
+        ShardedRetriever::build(&s, 2, |view| {
+            assert!(view.shares_arena(&s));
+            seen += 1;
+            Box::new(BruteForceIndex::over(view))
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be positive")]
+    fn zero_shards_rejected() {
+        sharded_exact(&store(4, 2, 2), 0);
+    }
+
+    #[test]
+    fn merge_is_exhaustive_when_k_exceeds_total() {
+        let lists: Vec<Vec<Hit>> = vec![
+            vec![Hit { id: 0, score: 0.9 }, Hit { id: 1, score: 0.1 }],
+            vec![Hit { id: 2, score: 0.5 }],
+        ];
+        let refs: Vec<&[Hit]> = lists.iter().map(|l| l.as_slice()).collect();
+        let merged = merge_topk(&refs, 10);
+        let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 2, 1]);
+    }
+}

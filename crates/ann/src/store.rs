@@ -90,7 +90,8 @@ struct IdMap {
     id_to_row: HashMap<u32, u32>,
 }
 
-/// An owned, aligned, row-major embedding matrix with id↔row mapping.
+/// An aligned, row-major embedding matrix with id↔row mapping — either a
+/// whole owned arena or a zero-copy row-range *view* into one.
 ///
 /// Built either by copying rows in ([`EmbeddingStore::from_vec`],
 /// [`EmbeddingStore::with_ids`]) or zero-fill-then-write
@@ -98,8 +99,22 @@ struct IdMap {
 /// checkpoint-direct load path, which decodes the embedding section of a
 /// serialized model straight into the arena without materializing any
 /// intermediate parameter set).
+///
+/// The arena itself sits behind an `Arc`, so
+/// [`EmbeddingStore::view_rows`] can cut a contiguous row range into its
+/// own `EmbeddingStore` without copying a float — the mechanism the
+/// sharded retriever uses to hand each shard a window of one shared
+/// arena. Views are read-only: the mutating accessors
+/// ([`EmbeddingStore::data_mut`], [`EmbeddingStore::row_mut`]) require
+/// the arena to still be uniquely owned, which is exactly the
+/// fill-then-share lifecycle every construction path follows.
 pub struct EmbeddingStore {
-    buf: AlignedBuf,
+    buf: Arc<AlignedBuf>,
+    /// First float of this store's window into the arena
+    /// (`row offset × dim`).
+    offset: usize,
+    /// Floats in this store's window (`rows × dim`).
+    len: usize,
     dim: usize,
     ids: Option<IdMap>,
 }
@@ -109,7 +124,8 @@ impl EmbeddingStore {
     /// [`EmbeddingStore::data_mut`] / [`EmbeddingStore::row_mut`]).
     pub fn zeroed(rows: usize, dim: usize) -> EmbeddingStore {
         assert!(dim > 0, "dim must be positive");
-        EmbeddingStore { buf: AlignedBuf::zeroed(rows * dim), dim, ids: None }
+        let len = rows * dim;
+        EmbeddingStore { buf: Arc::new(AlignedBuf::zeroed(len)), offset: 0, len, dim, ids: None }
     }
 
     /// Copies a row-major `n × dim` buffer into a fresh aligned arena.
@@ -117,7 +133,7 @@ impl EmbeddingStore {
         assert!(dim > 0, "dim must be positive");
         assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
         let mut store = EmbeddingStore::zeroed(data.len() / dim, dim);
-        store.buf.as_mut_slice().copy_from_slice(data);
+        store.data_mut().copy_from_slice(data);
         store
     }
 
@@ -148,7 +164,7 @@ impl EmbeddingStore {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.buf.len / self.dim
+        self.len / self.dim
     }
 
     /// Alias for [`EmbeddingStore::rows`], matching the index trait.
@@ -158,7 +174,7 @@ impl EmbeddingStore {
 
     /// True when no rows are stored.
     pub fn is_empty(&self) -> bool {
-        self.buf.len == 0
+        self.len == 0
     }
 
     /// Embedding dimension.
@@ -168,23 +184,56 @@ impl EmbeddingStore {
 
     /// Row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.buf.as_slice()[r * self.dim..(r + 1) * self.dim]
+        &self.as_slice()[r * self.dim..(r + 1) * self.dim]
     }
 
     /// Mutable row `r` (checkpoint-load fill path).
+    ///
+    /// # Panics
+    /// Panics if the arena is already shared (a view exists or the store
+    /// sits behind a cloned `Arc`) — stores follow a strict
+    /// fill-then-share lifecycle.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         let d = self.dim;
-        &mut self.buf.as_mut_slice()[r * d..(r + 1) * d]
+        &mut self.data_mut()[r * d..(r + 1) * d]
     }
 
-    /// The whole arena, row-major.
+    /// This store's window of the arena, row-major.
     pub fn as_slice(&self) -> &[f32] {
-        self.buf.as_slice()
+        &self.buf.as_slice()[self.offset..self.offset + self.len]
     }
 
     /// The whole arena, mutable (checkpoint-load fill path).
+    ///
+    /// # Panics
+    /// Panics if the arena is already shared — see
+    /// [`EmbeddingStore::row_mut`].
     pub fn data_mut(&mut self) -> &mut [f32] {
-        self.buf.as_mut_slice()
+        let (offset, len) = (self.offset, self.len);
+        let buf = Arc::get_mut(&mut self.buf)
+            .expect("mutating an embedding arena that is already shared");
+        &mut buf.as_mut_slice()[offset..offset + len]
+    }
+
+    /// A zero-copy view of rows `start..end` sharing this store's arena:
+    /// row `r` of the view is row `start + r` of `self`. The view carries
+    /// no id mapping — callers translate through the parent store (the
+    /// sharded retriever's offset arithmetic does exactly that).
+    pub fn view_rows(&self, start: usize, end: usize) -> EmbeddingStore {
+        assert!(start <= end && end <= self.rows(), "view {start}..{end} out of bounds");
+        EmbeddingStore {
+            buf: self.buf.clone(),
+            offset: self.offset + start * self.dim,
+            len: (end - start) * self.dim,
+            dim: self.dim,
+            ids: None,
+        }
+    }
+
+    /// True when `self` and `other` are windows over the same allocation
+    /// (i.e. a view relationship, not a copy).
+    pub fn shares_arena(&self, other: &EmbeddingStore) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
     }
 
     /// The external id of row `row` (the row index itself when no mapping
@@ -211,8 +260,14 @@ impl EmbeddingStore {
 }
 
 impl Clone for EmbeddingStore {
+    /// Deep copy of this store's window into a fresh arena (views stay
+    /// zero-copy only through [`EmbeddingStore::view_rows`]; `clone` is
+    /// always an independent allocation).
     fn clone(&self) -> EmbeddingStore {
-        EmbeddingStore { buf: self.buf.clone(), dim: self.dim, ids: self.ids.clone() }
+        let mut copy = EmbeddingStore::zeroed(self.rows(), self.dim);
+        copy.data_mut().copy_from_slice(self.as_slice());
+        copy.ids = self.ids.clone();
+        copy
     }
 }
 
@@ -275,6 +330,43 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.rows(), 0);
         assert!(store.as_slice().is_empty());
+    }
+
+    #[test]
+    fn views_are_zero_copy_windows() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let store = EmbeddingStore::from_rows(&data, 2);
+        let view = store.view_rows(2, 5);
+        assert!(view.shares_arena(&store));
+        assert_eq!(view.rows(), 3);
+        assert_eq!(view.dim(), 2);
+        assert_eq!(view.row(0), store.row(2));
+        assert_eq!(view.as_slice(), &data[4..10]);
+        // same allocation, not a copy
+        assert_eq!(view.row(0).as_ptr(), store.row(2).as_ptr());
+        // views drop the id mapping: rows are local indices again
+        assert_eq!(view.id_of_row(1), 1);
+        // view of a view composes offsets
+        let inner = view.view_rows(1, 3);
+        assert_eq!(inner.as_slice(), &data[6..10]);
+        assert!(inner.shares_arena(&store));
+        // empty and full views are valid
+        assert_eq!(store.view_rows(6, 6).rows(), 0);
+        assert_eq!(store.view_rows(0, 6).as_slice(), store.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_bounds_checked() {
+        EmbeddingStore::zeroed(4, 2).view_rows(2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already shared")]
+    fn mutating_a_shared_arena_panics() {
+        let mut store = EmbeddingStore::zeroed(4, 2);
+        let _view = store.view_rows(0, 2);
+        store.row_mut(0)[0] = 1.0;
     }
 
     #[test]

@@ -13,6 +13,7 @@
 pub mod cli;
 pub mod convergence;
 pub mod experiments;
+pub mod loadgen;
 pub mod schema;
 pub mod snapshot;
 

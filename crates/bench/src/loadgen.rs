@@ -1,0 +1,398 @@
+//! Open-loop load generator for a running `unimatch-serve`.
+//!
+//! Closed-loop clients (like the `serve` snapshot suite) wait for each
+//! response before sending the next request, so they can only ever
+//! measure the server at the client's own pace and hide queueing
+//! collapse entirely. This harness is **open-loop**: request *start
+//! times* are drawn up front from a Poisson process at the target QPS
+//! and workers fire at those times whether or not earlier requests have
+//! returned. When the server falls behind, latency and shed rates grow
+//! instead of the offered load silently shrinking — which is exactly the
+//! signal capacity planning needs (see `docs/OPERATIONS.md`).
+//!
+//! The run is deterministic per seed on the client side: the arrival
+//! schedule and every request body derive from `LoadgenOptions::seed`
+//! and the request index alone.
+//!
+//! Results go two places:
+//!
+//! * raw per-request samples → exact percentiles in a schema-validated
+//!   `BENCH_load.json` (the `load` suite of [`crate::schema`]), which
+//!   `bench diff` can compare and gate;
+//! * `unimatch-obs` histograms/counters (`unimatch_loadgen_*`), so a
+//!   load run renders through the same text exposition as every other
+//!   subsystem.
+
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unimatch_data::json::Json;
+use unimatch_obs as obs;
+
+use crate::schema::{Direction, Snapshot, SnapshotConfig};
+use crate::snapshot::{percentile_us, write_snapshot};
+
+/// Which route(s) the generated requests hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteMix {
+    /// `POST /recommend` only (item-tower searches).
+    Recommend,
+    /// `POST /target` only (user-tower searches).
+    Target,
+    /// Alternating recommend/target by request index.
+    Mixed,
+}
+
+impl RouteMix {
+    /// Parses a CLI name (`recommend`, `target`, `mixed`).
+    pub fn parse(name: &str) -> Option<RouteMix> {
+        match name {
+            "recommend" => Some(RouteMix::Recommend),
+            "target" => Some(RouteMix::Target),
+            "mixed" => Some(RouteMix::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// Options for one load run.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Address of the running server (`host:port`).
+    pub addr: String,
+    /// Offered load: the rate of the Poisson arrival process.
+    pub qps: f64,
+    /// Run duration — the schedule spans this many seconds.
+    pub seconds: f64,
+    /// Client worker threads. This bounds in-flight requests, so it must
+    /// comfortably exceed `qps ×` the worst expected latency or the
+    /// client itself becomes the bottleneck (visible as schedule lag).
+    pub concurrency: usize,
+    /// `k` requested from every search.
+    pub k: usize,
+    /// Route mix.
+    pub route: RouteMix,
+    /// Seed for the arrival schedule and request synthesis.
+    pub seed: u64,
+    /// Directory `BENCH_load.json` is written into.
+    pub out_dir: PathBuf,
+    /// Cheap CI variant, recorded into the snapshot config so `bench
+    /// diff` never confuses a smoke run with a baseline.
+    pub smoke: bool,
+}
+
+/// One request's outcome. `status == 0` means the transport failed
+/// (connect refused/reset) — under overload that is data, not a bug.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    status: u16,
+    latency: Duration,
+    /// How late past its scheduled start the request actually fired —
+    /// nonzero lag means the *client* could not sustain the offered
+    /// load, and the latency numbers understate server queueing.
+    lag: Duration,
+}
+
+/// What the run measured, before snapshot serialization.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The configured arrival rate.
+    pub offered_qps: f64,
+    /// 200-responses per second of wall clock.
+    pub sustained_qps: f64,
+    /// p50/p99/p99.9 latency over 200 responses, µs.
+    pub latency_p50_us: f64,
+    /// See [`LoadReport::latency_p50_us`].
+    pub latency_p99_us: f64,
+    /// See [`LoadReport::latency_p50_us`].
+    pub latency_p999_us: f64,
+    /// Fraction of requests answered 429 (queue full) or 503 (deadline /
+    /// connection capacity).
+    pub shed_rate: f64,
+    /// Fraction of requests that failed any other way (transport errors,
+    /// 4xx/5xx besides the shed statuses).
+    pub error_rate: f64,
+    /// p99 of how late requests fired past their schedule, µs.
+    pub schedule_lag_p99_us: f64,
+    /// Total requests attempted.
+    pub requests: usize,
+}
+
+/// Runs the load test and writes `BENCH_load.json` into
+/// `opts.out_dir`. Returns the report and the path written.
+///
+/// Fails if the server is unreachable at probe time or if not a single
+/// request succeeds (percentiles over nothing help nobody).
+pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
+    assert!(opts.qps > 0.0, "qps must be positive");
+    assert!(opts.seconds > 0.0, "seconds must be positive");
+    assert!(opts.concurrency > 0, "concurrency must be positive");
+    // Probe /healthz: fails fast when nothing is listening, and the item
+    // count bounds the ids request synthesis may use.
+    let (status, body) = http_request(&opts.addr, "GET", "/healthz", b"")
+        .map_err(|e| std::io::Error::other(format!("cannot reach {}: {e}", opts.addr)))?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!("/healthz answered {status}")));
+    }
+    let health = Json::parse(&body)
+        .map_err(|e| std::io::Error::other(format!("/healthz unparseable: {e}")))?;
+    let num_items = health
+        .get("items")
+        .and_then(Json::as_u64)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| std::io::Error::other("/healthz reports no items"))? as u32;
+
+    let n_requests = (opts.qps * opts.seconds).ceil().max(1.0) as usize;
+    let schedule = poisson_schedule(n_requests, opts.qps, opts.seed);
+
+    obs::set_enabled(true);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = channel::<Sample>();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency {
+            let tx = tx.clone();
+            let (next, schedule) = (&next, &schedule);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_requests {
+                    break;
+                }
+                let due = started + schedule[i];
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let lag = started.elapsed().saturating_sub(schedule[i]);
+                let (path, request_body) = synthesize(opts, i, num_items);
+                let t0 = Instant::now();
+                let status = match http_request(&opts.addr, "POST", path, &request_body) {
+                    Ok((status, _)) => status,
+                    Err(_) => 0,
+                };
+                let sample = Sample { status, latency: t0.elapsed(), lag };
+                record_obs(path, &sample);
+                let _ = tx.send(sample);
+            });
+        }
+    });
+    drop(tx);
+    let wall = started.elapsed().as_secs_f64();
+    let samples: Vec<Sample> = rx.into_iter().collect();
+    obs::set_enabled(false);
+    assert_eq!(samples.len(), n_requests, "every scheduled request reports exactly once");
+
+    let ok_lat: Vec<Duration> =
+        samples.iter().filter(|s| s.status == 200).map(|s| s.latency).collect();
+    if ok_lat.is_empty() {
+        return Err(std::io::Error::other(
+            "no request succeeded — is the checkpoint loaded and the queue bound nonzero?",
+        ));
+    }
+    let shed = samples.iter().filter(|s| s.status == 429 || s.status == 503).count();
+    let errors = samples.len() - ok_lat.len() - shed;
+    let lags: Vec<Duration> = samples.iter().map(|s| s.lag).collect();
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let report = LoadReport {
+        offered_qps: opts.qps,
+        sustained_qps: ok_lat.len() as f64 / wall,
+        latency_p50_us: percentile_us(&ok_lat, 0.50),
+        latency_p99_us: percentile_us(&ok_lat, 0.99),
+        latency_p999_us: percentile_us(&ok_lat, 0.999),
+        shed_rate: shed as f64 / samples.len() as f64,
+        error_rate: errors as f64 / samples.len() as f64,
+        schedule_lag_p99_us: percentile_us(&lags, 0.99),
+        requests: samples.len(),
+    };
+    let path = write_snapshot(&to_snapshot(&report, opts), &opts.out_dir)?;
+    Ok((report, path))
+}
+
+/// Arrival offsets of a Poisson process: i.i.d. exponential
+/// inter-arrivals with rate `qps`, deterministic per seed.
+fn poisson_schedule(n: usize, qps: f64, seed: u64) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // u ∈ (0, 1]: never ln(0)
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            t += -u.ln() / qps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// The request for index `i`: route by mix, ids derived from the index
+/// with co-prime strides so consecutive requests don't share cache keys.
+fn synthesize(opts: &LoadgenOptions, i: usize, num_items: u32) -> (&'static str, Vec<u8>) {
+    let recommend = match opts.route {
+        RouteMix::Recommend => true,
+        RouteMix::Target => false,
+        RouteMix::Mixed => i.is_multiple_of(2),
+    };
+    let i = i as u32;
+    if recommend {
+        let history: Vec<String> =
+            (0..3u32).map(|j| ((i.wrapping_mul(7) + j * 3) % num_items).to_string()).collect();
+        let body = format!("{{\"history\":[{}],\"k\":{}}}", history.join(","), opts.k);
+        ("/recommend", body.into_bytes())
+    } else {
+        let body = format!("{{\"item\":{},\"k\":{}}}", i.wrapping_mul(5) % num_items, opts.k);
+        ("/target", body.into_bytes())
+    }
+}
+
+/// Routes one sample into the process-global obs series. Handles are
+/// fetched per call — fine at request rates, and keeps this free of
+/// statics that would survive into unrelated tests.
+fn record_obs(path: &'static str, sample: &Sample) {
+    if !obs::enabled() {
+        return;
+    }
+    let route = match path {
+        "/recommend" => "route=\"recommend\"",
+        _ => "route=\"target\"",
+    };
+    let class = match sample.status {
+        200 => "status=\"ok\"",
+        429 | 503 => "status=\"shed\"",
+        0 => "status=\"transport\"",
+        _ => "status=\"error\"",
+    };
+    obs::registry::counter_labeled("unimatch_loadgen_responses_total", class).inc();
+    obs::registry::histogram("unimatch_loadgen_latency_us", route, obs::LATENCY_BOUNDS_US)
+        .observe(sample.latency.as_micros() as u64);
+}
+
+fn to_snapshot(report: &LoadReport, opts: &LoadgenOptions) -> Snapshot {
+    let config = SnapshotConfig {
+        scale: 1.0,
+        seed: opts.seed,
+        smoke: opts.smoke,
+        threads: opts.concurrency,
+    };
+    let mut snap = Snapshot::new("load", config);
+    // offered_qps is configuration, but recording it makes every
+    // BENCH_load.json self-describing and lets diff refuse to compare
+    // runs at different offered loads (a changed value shows up as a
+    // giant "regression" instead of being silently absorbed).
+    snap.push("offered_qps", report.offered_qps, "per_s", Direction::HigherBetter);
+    snap.push("sustained_qps", report.sustained_qps, "per_s", Direction::HigherBetter);
+    snap.push("latency_p50_us", report.latency_p50_us, "us", Direction::LowerBetter);
+    snap.push("latency_p99_us", report.latency_p99_us, "us", Direction::LowerBetter);
+    snap.push("latency_p999_us", report.latency_p999_us, "us", Direction::LowerBetter);
+    snap.push("shed_rate", report.shed_rate, "ratio", Direction::LowerBetter);
+    snap.push("error_rate", report.error_rate, "ratio", Direction::LowerBetter);
+    snap.push("schedule_lag_p99_us", report.schedule_lag_p99_us, "us", Direction::LowerBetter);
+    snap
+}
+
+/// One HTTP/1.1 request over a fresh connection (the server closes after
+/// each response, so read-to-EOF is the framing).
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body)?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response without header/body separator"))?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|_| std::io::Error::other("non-utf8 response head"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("no status code in status line"))?;
+    Ok((status, response[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_deterministic_and_near_rate() {
+        let a = poisson_schedule(2_000, 500.0, 9);
+        let b = poisson_schedule(2_000, 500.0, 9);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals are ordered");
+        // 2000 arrivals at 500/s span ~4s; the mean of 2000 exponentials
+        // concentrates well within ±25 %.
+        let span = a.last().expect("nonempty").as_secs_f64();
+        assert!((3.0..5.0).contains(&span), "span {span} far from expected 4s");
+        assert_ne!(a, poisson_schedule(2_000, 500.0, 10), "different seed, different schedule");
+    }
+
+    #[test]
+    fn synthesized_requests_cycle_routes_and_stay_in_vocabulary() {
+        let opts = LoadgenOptions {
+            addr: String::new(),
+            qps: 1.0,
+            seconds: 1.0,
+            concurrency: 1,
+            k: 7,
+            route: RouteMix::Mixed,
+            seed: 42,
+            out_dir: PathBuf::from("."),
+            smoke: true,
+        };
+        let (p0, b0) = synthesize(&opts, 0, 13);
+        let (p1, b1) = synthesize(&opts, 1, 13);
+        assert_eq!((p0, p1), ("/recommend", "/target"));
+        let parse = |b: &[u8]| Json::parse(b).expect("request bodies are valid json");
+        assert_eq!(parse(&b0).get("k").and_then(Json::as_u64), Some(7));
+        let item = parse(&b1).get("item").and_then(Json::as_u64).expect("item id");
+        assert!(item < 13, "ids stay inside the advertised vocabulary");
+    }
+
+    #[test]
+    fn report_snapshot_is_schema_valid() {
+        let report = LoadReport {
+            offered_qps: 800.0,
+            sustained_qps: 750.0,
+            latency_p50_us: 900.0,
+            latency_p99_us: 4_000.0,
+            latency_p999_us: 9_000.0,
+            shed_rate: 0.02,
+            error_rate: 0.0,
+            schedule_lag_p99_us: 120.0,
+            requests: 8_000,
+        };
+        let opts = LoadgenOptions {
+            addr: String::new(),
+            qps: 800.0,
+            seconds: 10.0,
+            concurrency: 32,
+            k: 10,
+            route: RouteMix::Mixed,
+            seed: 42,
+            out_dir: PathBuf::from("."),
+            smoke: false,
+        };
+        let doc = to_snapshot(&report, &opts).to_json();
+        crate::schema::validate(&doc).expect("load snapshot validates");
+        let text = doc.to_string();
+        assert!(text.contains("\"suite\":\"load\""), "{text}");
+    }
+}

@@ -6,7 +6,7 @@
 //! ```json
 //! {
 //!   "schema_version": 1,
-//!   "suite": "train" | "ann" | "serve",
+//!   "suite": "train" | "ann" | "serve" | "load",
 //!   "config": { "scale": 1.0, "seed": 42, "smoke": false, "threads": 0 },
 //!   "metrics": {
 //!     "<name>": { "value": 123.4, "unit": "us", "direction": "lower_better" },
@@ -25,8 +25,9 @@ use unimatch_data::json::Json;
 /// Current snapshot schema version.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// The suites a snapshot can describe.
-pub const SUITES: [&str; 3] = ["train", "ann", "serve"];
+/// The suites a snapshot can describe. `train`/`ann`/`serve` come from
+/// `bench snapshot`; `load` from the open-loop `loadgen` harness.
+pub const SUITES: [&str; 4] = ["train", "ann", "serve", "load"];
 
 /// Which way a metric improves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,7 +84,7 @@ pub struct SnapshotConfig {
 /// A complete benchmark snapshot for one suite.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
-    /// Which suite this describes (`train`, `ann`, `serve`).
+    /// Which suite this describes (`train`, `ann`, `serve`, `load`).
     pub suite: &'static str,
     /// The configuration the numbers were measured under.
     pub config: SnapshotConfig,
@@ -288,6 +289,21 @@ mod tests {
         text = text.replace("10000", "null");
         let doc = Json::parse(text.as_bytes()).expect("parse");
         assert!(validate(&doc).is_err(), "null metric value must fail validation");
+    }
+
+    #[test]
+    fn every_declared_suite_is_accepted() {
+        // `load` (the open-loop harness's suite) must be as first-class
+        // as the three snapshot suites, end to end through the validator.
+        for suite in SUITES {
+            let mut s = Snapshot::new(
+                suite,
+                SnapshotConfig { scale: 1.0, seed: 7, smoke: true, threads: 2 },
+            );
+            s.push("sustained_qps", 123.0, "per_s", Direction::HigherBetter);
+            let doc = Json::parse(s.to_json().to_string().as_bytes()).expect("parse");
+            validate(&doc).unwrap_or_else(|e| panic!("suite {suite} rejected: {e}"));
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn write_snapshot(snap: &Snapshot, dir: &Path) -> std::io::Result<PathBuf> {
 }
 
 /// Exact percentile from raw samples (nearest-rank on a sorted copy).
-fn percentile_us(samples: &[Duration], q: f64) -> f64 {
+pub(crate) fn percentile_us(samples: &[Duration], q: f64) -> f64 {
     assert!(!samples.is_empty(), "no samples");
     let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
     us.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use unimatch_ann::{
     BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
+    ShardedRetriever,
 };
 use unimatch_data::{InteractionLog, SeqBatch};
 use unimatch_eval::UserPool;
@@ -53,6 +54,14 @@ pub struct UniMatchConfig {
     pub parallelism: Parallelism,
     /// Which retrieval backend serves both towers' searches.
     pub retriever: RetrieverKind,
+    /// Row-range shard count for both towers' retrieval indexes. `1`
+    /// builds one index per tower (the historical layout); `N > 1` wraps
+    /// each tower in a [`ShardedRetriever`] — N backend indexes over
+    /// zero-copy views of the tower's arena, searched in parallel and
+    /// merged under the canonical top-k order. Exact retrieval results
+    /// are bitwise independent of this setting; it is a
+    /// throughput/latency knob (see docs/OPERATIONS.md).
+    pub shards: usize,
 }
 
 /// The retrieval backend built over each tower's embedding store.
@@ -89,8 +98,19 @@ impl RetrieverKind {
         }
     }
 
-    /// Builds an index of this kind over a shared store.
-    fn build(self, store: Arc<EmbeddingStore>, rng: &mut StdRng) -> Box<dyn Retriever> {
+    /// Builds an index of this kind over a shared store, wrapped in a
+    /// [`ShardedRetriever`] when `shards > 1` (one backend index per
+    /// contiguous row range, each over a zero-copy view of `store`).
+    fn build(self, store: Arc<EmbeddingStore>, shards: usize, rng: &mut StdRng) -> Box<dyn Retriever> {
+        if shards > 1 {
+            Box::new(ShardedRetriever::build(&store, shards, |view| self.build_one(view, rng)))
+        } else {
+            self.build_one(store, rng)
+        }
+    }
+
+    /// Builds one unsharded index of this kind over a shared store.
+    fn build_one(self, store: Arc<EmbeddingStore>, rng: &mut StdRng) -> Box<dyn Retriever> {
         match self {
             RetrieverKind::Exact => Box::new(BruteForceIndex::over(store)),
             RetrieverKind::Hnsw => {
@@ -116,6 +136,7 @@ impl Default for UniMatchConfig {
             seed: 42,
             parallelism: Parallelism::auto(),
             retriever: RetrieverKind::default(),
+            shards: 1,
         }
     }
 }
@@ -314,7 +335,7 @@ impl UniMatch {
                 Arc::new(EmbeddingStore::from_rows(items.data(), cfg.embed_dim))
             }
         };
-        let item_index = cfg.retriever.build(item_store.clone(), &mut rng);
+        let item_index = cfg.retriever.build(item_store.clone(), cfg.shards, &mut rng);
         let user_pool = UserPool::build(&prepared.split, cfg.max_seq_len);
         let histories: Vec<&[u32]> = user_pool.histories().iter().map(|h| h.as_slice()).collect();
         let user_embeddings = embed_histories(&model, &histories, cfg.max_seq_len);
@@ -323,7 +344,7 @@ impl UniMatch {
             cfg.embed_dim,
             user_pool.users().to_vec(),
         ));
-        let user_index = cfg.retriever.build(user_store.clone(), &mut rng);
+        let user_index = cfg.retriever.build(user_store.clone(), cfg.shards, &mut rng);
 
         FittedUniMatch {
             model,
@@ -456,6 +477,11 @@ impl FittedUniMatch {
     /// (`"bruteforce"` / `"hnsw"` / `"ivf"`).
     pub fn retriever_backend(&self) -> &'static str {
         self.item_index.backend()
+    }
+
+    /// Shard fan-out of the serving retrieval indexes (1 = unsharded).
+    pub fn retriever_shards(&self) -> usize {
+        self.item_index.shards()
     }
 }
 

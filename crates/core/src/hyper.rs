@@ -40,6 +40,10 @@ impl Hyperparams {
             (EComp, Multinomial) => (64, 0.125, 2),
             (WComp, Bernoulli) => (128, 0.125, 10),
             (WComp, Multinomial) => (64, 0.1, 2),
+            // Large is e_comp's shape at serving scale, so it borrows the
+            // e_comp cells (it has no Tab. VII column of its own).
+            (Large, Bernoulli) => (128, 0.25, 6),
+            (Large, Multinomial) => (64, 0.125, 2),
         };
         Hyperparams { batch_size, temperature, epochs, lr: 0.01 }
     }

@@ -72,10 +72,18 @@ pub enum DatasetProfile {
     EComp,
     /// QuickAudience w_comp: tiny catalog, extremely popular items, stable.
     WComp,
+    /// Serving-scale preset: e_comp's statistical shape scaled an order of
+    /// magnitude toward its full Tab. III size. Not a paper column (it is
+    /// excluded from [`DatasetProfile::ALL`]); exists to size the retrieval
+    /// indexes for load testing and shard capacity planning
+    /// (`docs/OPERATIONS.md`).
+    Large,
 }
 
 impl DatasetProfile {
-    /// All profiles in the paper's column order.
+    /// All profiles in the paper's column order. [`DatasetProfile::Large`]
+    /// is deliberately absent: the experiment tables iterate this list and
+    /// the load-testing preset is not a paper dataset.
     pub const ALL: [DatasetProfile; 4] = [
         DatasetProfile::Books,
         DatasetProfile::Electronics,
@@ -90,6 +98,7 @@ impl DatasetProfile {
             DatasetProfile::Electronics => "Electronics",
             DatasetProfile::EComp => "QA e_comp",
             DatasetProfile::WComp => "QA w_comp",
+            DatasetProfile::Large => "Large (serving)",
         }
     }
 
@@ -101,6 +110,8 @@ impl DatasetProfile {
             DatasetProfile::Electronics => (3_142_438, 382_246, 5_566_859, 31, 1.8, 14.6),
             DatasetProfile::EComp => (237_052, 15_168, 1_350_566, 47, 5.7, 89.0),
             DatasetProfile::WComp => (867_107, 507, 2_762_870, 24, 3.2, 5449.4),
+            // Large models e_comp at full size, so it shares that row.
+            DatasetProfile::Large => (237_052, 15_168, 1_350_566, 47, 5.7, 89.0),
         }
     }
 
@@ -109,7 +120,7 @@ impl DatasetProfile {
         match self {
             DatasetProfile::Books => 20,
             DatasetProfile::Electronics => 36,
-            DatasetProfile::EComp => 29,
+            DatasetProfile::EComp | DatasetProfile::Large => 29,
             DatasetProfile::WComp => 18,
         }
     }
@@ -192,6 +203,24 @@ impl DatasetProfile {
                 sequence_coherence: 0.3,
                 trend_strength: 0.15,
                 max_user_events: 80,
+                repeat_purchases: true,
+            },
+            // e_comp's knobs, an order of magnitude more users/items: the
+            // retrieval indexes this produces are what `--shards` and the
+            // loadgen harness are sized against.
+            DatasetProfile::Large => SyntheticConfig {
+                name: self.name().to_string(),
+                num_users: s(24_000),
+                num_items: s(1_600),
+                target_interactions: s(136_000),
+                months: 12,
+                num_clusters: 16,
+                zipf_exponent: 0.8,
+                activity_sigma: 0.8,
+                preference_focus: 0.7,
+                sequence_coherence: 0.35,
+                trend_strength: 0.4,
+                max_user_events: 150,
                 repeat_purchases: true,
             },
         }

@@ -379,6 +379,7 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("items", Json::int(state.fitted.num_items())),
                 ("pool_users", Json::int(state.fitted.num_pool_users())),
                 ("retriever", Json::str(state.fitted.retriever_backend())),
+                ("shards", Json::int(state.fitted.retriever_shards())),
             ])
             .to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)

@@ -266,7 +266,7 @@ fn check_histograms(series: &[(String, f64)]) {
             let family = format!(
                 "{}{}",
                 &name[..open],
-                name[open + 7..].replace(|c: char| c == '{' || c == '}', ",")
+                name[open + 7..].replace(['{', '}'], ",")
             );
             let family: String =
                 family.split(',').filter(|p| !p.starts_with("le=")).collect::<Vec<_>>().join(",");
@@ -303,8 +303,13 @@ fn check_histograms(series: &[(String, f64)]) {
     }
 }
 
+/// Serializes the tests that flip the process-global obs flag, so one
+/// test disabling collection cannot drop another test's spans mid-run.
+static OBS_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn metrics_exposition_is_well_formed_and_counters_are_monotonic() {
+    let _obs_guard = OBS_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = tmp_dir("metrics");
     let log = DatasetProfile::EComp.generate(0.1, 31).filter_min_interactions(2);
     let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
@@ -384,6 +389,76 @@ fn metrics_exposition_is_well_formed_and_counters_are_monotonic() {
     assert!(
         lookup(&s2, key).expect("recommend counter") > lookup(&s1, key).expect("recommend counter"),
         "request counter must strictly increase after a request"
+    );
+
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A sharded server must advertise its fan-out on `/healthz` and expose
+/// the per-shard search and merge histograms through the same `/metrics`
+/// scrape as every other series, with responses still byte-identical to
+/// a direct in-process call on the sharded index.
+#[test]
+fn sharded_serving_reports_fanout_and_shard_metrics() {
+    let _obs_guard = OBS_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("sharded");
+    let log = DatasetProfile::EComp.generate(0.1, 33).filter_min_interactions(2);
+    let cfg = UniMatchConfig {
+        max_seq_len: 8,
+        epochs_per_month: 1,
+        retriever: unimatch_core::RetrieverKind::Exact,
+        shards: 3,
+        ..Default::default()
+    };
+    let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+    let path = dir.join("m.json");
+    save_model(&fitted.model, &path).expect("save");
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &path, log).expect("checkpoint"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle.clone(),
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let (status, health) = request(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = String::from_utf8(health).expect("utf8 healthz");
+    assert!(health.contains("\"shards\":3"), "healthz must report the fan-out: {health}");
+    assert!(health.contains("\"retriever\":\"bruteforce\""), "{health}");
+
+    unimatch_obs::set_enabled(true);
+    let fitted = handle.current();
+    let history = [1u32, 2, 3];
+    let expected = recommend_body(5, &fitted.fitted.recommend_items(&history, 5));
+    let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "sharded serving must stay byte-identical");
+    let (status, _) = request(&addr, "POST", "/target", b"{\"item\":1,\"k\":5}");
+    assert_eq!(status, 200);
+    let (status, scrape) = request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    unimatch_obs::set_enabled(false);
+    let scrape = String::from_utf8(scrape).expect("utf8 metrics");
+
+    // Every shard's search span and the merge span render as well-formed
+    // histogram families in the unified exposition.
+    let series = parse_exposition(&scrape);
+    check_histograms(&series);
+    for shard in 0..3 {
+        let family = format!("unimatch_shard_search_us_count{{shard=\"{shard}\"}}");
+        assert!(
+            metric_value(&scrape, &family) >= 1.0,
+            "shard {shard} recorded no searches:\n{scrape}"
+        );
+    }
+    assert!(
+        metric_value(&scrape, "unimatch_shard_merge_us_count") >= 1.0,
+        "merge span missing from scrape:\n{scrape}"
     );
 
     drop(server);

@@ -55,9 +55,9 @@ fn run_all_kernels(seed: u64) -> Vec<Vec<Vec<f32>>> {
 
     // softmax / log_softmax / l2_normalize over [33, 16]
     let x = rand_tensor(&[33, 16], &mut rng);
-    out.push(run_kernel(&[x.clone()], |g, v| g.softmax(v[0])));
-    out.push(run_kernel(&[x.clone()], |g, v| g.log_softmax(v[0])));
-    out.push(run_kernel(&[x.clone()], |g, v| g.l2_normalize_rows(v[0], 1e-9)));
+    out.push(run_kernel(std::slice::from_ref(&x), |g, v| g.softmax(v[0])));
+    out.push(run_kernel(std::slice::from_ref(&x), |g, v| g.log_softmax(v[0])));
+    out.push(run_kernel(std::slice::from_ref(&x), |g, v| g.l2_normalize_rows(v[0], 1e-9)));
 
     // masked softmax, every row keeping a random non-empty subset
     let mask: Vec<f32> = {

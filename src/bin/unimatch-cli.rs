@@ -42,6 +42,11 @@ fn main() {
         cmd_bench(&argv[1..]);
         return;
     }
+    // `loadgen` has a boolean --smoke flag, so it also parses its own argv.
+    if command == "loadgen" {
+        cmd_loadgen(&argv[1..]);
+        return;
+    }
     let flags = parse_flags(&argv[1..]);
     // every command funnels through the same compute kernels, so the thread
     // configuration is installed once, up front (0 = auto-detect)
@@ -62,19 +67,26 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: unimatch-cli <generate|fit|recommend|target|evaluate|serve|bench> [--flag value]...\n\
          \n\
-         generate  --profile <books|electronics|ecomp|wcomp> [--scale F] [--seed N] --out FILE\n\
+         generate  --profile <books|electronics|ecomp|wcomp|large> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
-         \u{20}         [--run-dir DIR] [--retriever KIND]   (crash-safe checkpoints + resume)\n\
-         recommend --model FILE --log FILE --user ID [--k N] [--retriever KIND]\n\
-         target    --model FILE --log FILE --item ID [--k N] [--retriever KIND]\n\
+         \u{20}         [--run-dir DIR] [--retriever KIND] [--shards N]   (crash-safe resume)\n\
+         recommend --model FILE --log FILE --user ID [--k N] [--retriever KIND] [--shards N]\n\
+         target    --model FILE --log FILE --item ID [--k N] [--retriever KIND] [--shards N]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
          \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
+         \u{20}         [--shards N] [--obs true]\n\
          \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
+         \u{20}         (--shards N: split each tower's index into N row-range shards,\n\
+         \u{20}          searched in parallel and merged exactly; default 1)\n\
          \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
          bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
+         loadgen   --addr HOST:PORT --qps F [--seconds F] [--concurrency N] [--k N]\n\
+         \u{20}         [--route recommend|target|mixed] [--seed N] [--out DIR] [--smoke]\n\
+         \u{20}         (open-loop Poisson load against a running unimatch-serve;\n\
+         \u{20}          writes BENCH_load.json for bench diff)\n\
          \n\
          every command also accepts --threads N (worker threads for the\n\
          compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
@@ -117,12 +129,22 @@ fn retriever_flag(flags: &HashMap<String, String>) -> RetrieverKind {
     }
 }
 
+/// Shard fan-out for the serving indexes (`--shards N`, default 1).
+fn shards_flag(flags: &HashMap<String, String>) -> usize {
+    let shards: usize = flag_or(flags, "shards", 1);
+    if shards == 0 {
+        usage("--shards must be at least 1");
+    }
+    shards
+}
+
 fn cmd_generate(flags: &HashMap<String, String>) {
     let profile = match flag(flags, "profile").to_ascii_lowercase().as_str() {
         "books" => DatasetProfile::Books,
         "electronics" => DatasetProfile::Electronics,
         "ecomp" | "e_comp" => DatasetProfile::EComp,
         "wcomp" | "w_comp" => DatasetProfile::WComp,
+        "large" => DatasetProfile::Large,
         other => usage(&format!("unknown profile {other}")),
     };
     let scale: f64 = flag_or(flags, "scale", 0.5);
@@ -200,6 +222,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         seed: flag_or(flags, "seed", 42),
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
+        shards: shards_flag(flags),
         ..Default::default()
     };
     let filtered = log.filter_min_interactions(3);
@@ -243,6 +266,7 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
     let config = UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
+        shards: shards_flag(flags),
         ..Default::default()
     };
     let fitted = UniMatch::new(config).serve(model, log.filter_min_interactions(3));
@@ -411,6 +435,55 @@ fn cmd_bench(args: &[String]) {
     }
 }
 
+/// `loadgen` — open-loop Poisson load against a running `unimatch-serve`
+/// (`crates/bench::loadgen`). Parses its own argv for the boolean
+/// `--smoke`.
+fn cmd_loadgen(args: &[String]) {
+    let mut smoke = false;
+    let mut rest: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    let flags = parse_flags(&rest);
+    let route_name = flags.get("route").map(String::as_str).unwrap_or("mixed");
+    let route = unimatch_bench::loadgen::RouteMix::parse(route_name)
+        .unwrap_or_else(|| usage(&format!("unknown route {route_name} (recommend|target|mixed)")));
+    let opts = unimatch_bench::loadgen::LoadgenOptions {
+        addr: flag(&flags, "addr").to_string(),
+        qps: flag_or(&flags, "qps", if smoke { 50.0 } else { 500.0 }),
+        seconds: flag_or(&flags, "seconds", if smoke { 2.0 } else { 10.0 }),
+        concurrency: flag_or(&flags, "concurrency", 32),
+        k: flag_or(&flags, "k", 10),
+        route,
+        seed: flag_or(&flags, "seed", 42),
+        out_dir: flags.get("out").cloned().unwrap_or_else(|| ".".to_string()).into(),
+        smoke,
+    };
+    let (report, path) = unimatch_bench::loadgen::run(&opts)
+        .unwrap_or_else(|e| usage(&format!("loadgen failed: {e}")));
+    println!(
+        "offered {:.0} req/s for {:.1}s ({} requests, concurrency {})",
+        opts.qps, opts.seconds, report.requests, opts.concurrency
+    );
+    println!(
+        "sustained {:.0} req/s ok — p50 {:.0}µs  p99 {:.0}µs  p99.9 {:.0}µs",
+        report.sustained_qps,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.latency_p999_us
+    );
+    println!(
+        "shed {:.2}%  errors {:.2}%  schedule lag p99 {:.0}µs",
+        100.0 * report.shed_rate,
+        100.0 * report.error_rate,
+        report.schedule_lag_p99_us
+    );
+    println!("wrote {} (schema-valid)", path.display());
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) {
     let checkpoint = flag(flags, "checkpoint");
     let (log, _, _) = read_log(flag(flags, "log"));
@@ -422,6 +495,12 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     let deadline_ms: f64 = flag_or(flags, "deadline-ms", 2_000.0);
     if !(1.0..=600_000.0).contains(&deadline_ms) {
         usage("--deadline-ms must be between 1 and 600000");
+    }
+    // --obs true turns on the process-global span collection so the
+    // per-shard and retrieval histograms populate on /metrics (off by
+    // default per the observability no-op contract)
+    if flag_or(flags, "obs", false) {
+        unimatch_obs::set_enabled(true);
     }
     // chaos drills: arm a deterministic fault plan for this process before
     // the server starts, so the degradation paths can be exercised live
@@ -444,6 +523,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     let framework = UniMatch::new(UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
+        shards: shards_flag(flags),
         ..Default::default()
     });
     let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
