@@ -13,12 +13,17 @@
 # 5. the retrieval-engine differential suites (blocked kernel + every
 #    backend + every refactored call site vs the stable-sort oracle,
 #    bitwise), including sharded-vs-unsharded parity
-# 6. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
-#    end) plus a report-only diff against the committed baselines
-# 7. a smoke open-loop load run (loadgen) against a live loopback server,
-#    diffed report-only against the committed BENCH_load.json
-# 8. clippy over every target with warnings denied
-# 9. rustdoc for the workspace's own crates, failing on any doc warning
+# 6. the re-ranking suites: the unimatch-rerank unit/property tests and
+#    the chain differential suite (identity-chain bitwise parity across
+#    backends and shard counts, seeded determinism, obs invariance)
+# 7. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+#    end, including the rerank suite) plus a report-only diff against the
+#    committed baselines
+# 8. a smoke open-loop load run (loadgen --rerank-mix) against a live
+#    loopback server running a re-ranking chain, diffed report-only
+#    against the committed BENCH_load.json
+# 9. clippy over every target with warnings denied
+# 10. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -51,6 +56,10 @@ cargo test -q -p unimatch-ann --test differential
 cargo test -q -p unimatch-ann --test sharded_differential
 cargo test -q --test retrieval_engine
 
+echo "==> re-ranking suites (spec properties + chain differential parity)"
+cargo test -q -p unimatch-rerank
+cargo test -q --test rerank_parity
+
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"
 LOAD_DIR="$(mktemp -d)"
@@ -71,13 +80,15 @@ target/release/unimatch-cli generate --profile ecomp --scale 0.1 --seed 7 \
 target/release/unimatch-cli fit --log "$LOAD_DIR/log.csv" \
     --out "$LOAD_DIR/model.json"
 target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
-    --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7979 --shards 2 &
+    --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7979 --shards 2 \
+    --rerank 'debias@0.5,mmr@0.3,explore@0.1' &
 SERVE_PID=$!
 # loadgen probes /healthz itself; retry while the server finishes its
-# index build.
+# index build. --rerank-mix varies histories and k so the armed chain is
+# exercised across distinct query tags and overfetch sizes.
 tries=0
 until target/release/unimatch-cli loadgen --addr 127.0.0.1:7979 --smoke \
-    --out "$LOAD_DIR" 2>/dev/null; do
+    --rerank-mix --out "$LOAD_DIR" 2>/dev/null; do
     tries=$((tries + 1))
     if [ "$tries" -ge 15 ]; then
         echo "loadgen smoke: server never became reachable" >&2

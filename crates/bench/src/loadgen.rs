@@ -84,6 +84,12 @@ pub struct LoadgenOptions {
     /// Cheap CI variant, recorded into the snapshot config so `bench
     /// diff` never confuses a smoke run with a baseline.
     pub smoke: bool,
+    /// Re-ranking workload shape: longer, more varied histories and
+    /// alternating `k`, so a server running a `--rerank` chain is
+    /// exercised across distinct query tags and overfetch sizes. Recorded
+    /// into the snapshot (`rerank_mix`), so `bench diff` flags a
+    /// comparison of mixed and plain runs instead of absorbing it.
+    pub rerank_mix: bool,
 }
 
 /// One request's outcome. `status == 0` means the transport failed
@@ -237,13 +243,22 @@ fn synthesize(opts: &LoadgenOptions, i: usize, num_items: u32) -> (&'static str,
         RouteMix::Mixed => i.is_multiple_of(2),
     };
     let i = i as u32;
+    // The rerank mix defeats the embedding cache harder (longer, more
+    // varied histories → distinct query tags for the exploration stage)
+    // and alternates k so both overfetch sizes are measured.
+    let (hist_len, stagger, k) = if opts.rerank_mix {
+        (5u32, i % 11, if i.is_multiple_of(3) { opts.k * 2 } else { opts.k })
+    } else {
+        (3u32, 0, opts.k)
+    };
     if recommend {
-        let history: Vec<String> =
-            (0..3u32).map(|j| ((i.wrapping_mul(7) + j * 3) % num_items).to_string()).collect();
-        let body = format!("{{\"history\":[{}],\"k\":{}}}", history.join(","), opts.k);
+        let history: Vec<String> = (0..hist_len)
+            .map(|j| ((i.wrapping_mul(7) + j * 3 + stagger) % num_items).to_string())
+            .collect();
+        let body = format!("{{\"history\":[{}],\"k\":{}}}", history.join(","), k);
         ("/recommend", body.into_bytes())
     } else {
-        let body = format!("{{\"item\":{},\"k\":{}}}", i.wrapping_mul(5) % num_items, opts.k);
+        let body = format!("{{\"item\":{},\"k\":{}}}", i.wrapping_mul(5) % num_items, k);
         ("/target", body.into_bytes())
     }
 }
@@ -290,6 +305,13 @@ fn to_snapshot(report: &LoadReport, opts: &LoadgenOptions) -> Snapshot {
     snap.push("shed_rate", report.shed_rate, "ratio", Direction::LowerBetter);
     snap.push("error_rate", report.error_rate, "ratio", Direction::LowerBetter);
     snap.push("schedule_lag_p99_us", report.schedule_lag_p99_us, "us", Direction::LowerBetter);
+    // workload-shape guard, same reasoning as offered_qps above
+    snap.push(
+        "rerank_mix",
+        if opts.rerank_mix { 1.0 } else { 0.0 },
+        "flag",
+        Direction::HigherBetter,
+    );
     snap
 }
 
@@ -356,9 +378,19 @@ mod tests {
             seed: 42,
             out_dir: PathBuf::from("."),
             smoke: true,
+            rerank_mix: false,
         };
         let (p0, b0) = synthesize(&opts, 0, 13);
         let (p1, b1) = synthesize(&opts, 1, 13);
+        // The mix flag must not perturb the plain workload — committed
+        // BENCH_load baselines stay comparable across this change.
+        let mixed = LoadgenOptions { rerank_mix: true, ..opts.clone() };
+        assert_ne!(synthesize(&mixed, 0, 13).1, b0, "mix must reshape recommend bodies");
+        let mixed_k = |i| {
+            let (_, b) = synthesize(&mixed, i, 13);
+            Json::parse(&b).expect("json").get("k").and_then(Json::as_u64).expect("k")
+        };
+        assert_eq!((mixed_k(0), mixed_k(2)), (14, 7), "mix alternates overfetch sizes");
         assert_eq!((p0, p1), ("/recommend", "/target"));
         let parse = |b: &[u8]| Json::parse(b).expect("request bodies are valid json");
         assert_eq!(parse(&b0).get("k").and_then(Json::as_u64), Some(7));
@@ -389,6 +421,7 @@ mod tests {
             seed: 42,
             out_dir: PathBuf::from("."),
             smoke: false,
+            rerank_mix: false,
         };
         let doc = to_snapshot(&report, &opts).to_json();
         crate::schema::validate(&doc).expect("load snapshot validates");

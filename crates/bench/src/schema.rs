@@ -25,9 +25,10 @@ use unimatch_data::json::Json;
 /// Current snapshot schema version.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// The suites a snapshot can describe. `train`/`ann`/`serve` come from
-/// `bench snapshot`; `load` from the open-loop `loadgen` harness.
-pub const SUITES: [&str; 4] = ["train", "ann", "serve", "load"];
+/// The suites a snapshot can describe. `train`/`ann`/`serve`/`rerank`
+/// come from `bench snapshot`; `load` from the open-loop `loadgen`
+/// harness.
+pub const SUITES: [&str; 5] = ["train", "ann", "serve", "rerank", "load"];
 
 /// Which way a metric improves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,6 +1,7 @@
-//! The `bench snapshot` runner: measures the three hot paths — training,
-//! ANN retrieval, and online serving — and emits one schema-validated
-//! `BENCH_<suite>.json` per suite (see [`crate::schema`]).
+//! The `bench snapshot` runner: measures the four hot paths — training,
+//! ANN retrieval, post-retrieval re-ranking, and online serving — and
+//! emits one schema-validated `BENCH_<suite>.json` per suite (see
+//! [`crate::schema`]).
 //!
 //! Snapshots are the repo's perf-regression mechanism: a baseline
 //! recorded on a reference machine is committed at the repo root, and CI
@@ -27,6 +28,7 @@ use unimatch_data::{DatasetProfile, Marginals};
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{ModelConfig, TwoTower};
 use unimatch_obs as obs;
+use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext};
 use unimatch_serve::{ServeConfig, Server};
 use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
 
@@ -59,12 +61,12 @@ impl SnapshotOptions {
     }
 }
 
-/// Runs all three suites and writes their snapshot files. Returns the
+/// Runs all four suites and writes their snapshot files. Returns the
 /// paths written. Enables observability for the duration — a snapshot
 /// is exactly the place to exercise the instrumented paths.
 pub fn run_all(opts: &SnapshotOptions) -> std::io::Result<Vec<PathBuf>> {
     obs::set_enabled(true);
-    let snaps = [run_train(opts), run_ann(opts), run_serve(opts)];
+    let snaps = [run_train(opts), run_ann(opts), run_rerank(opts), run_serve(opts)];
     obs::set_enabled(false);
     let mut paths = Vec::new();
     for snap in snaps {
@@ -262,6 +264,118 @@ pub fn run_ann(opts: &SnapshotOptions) -> Snapshot {
     snap
 }
 
+/// Measures the post-retrieval re-ranking hot path: per-stage `apply`
+/// latency over realistic candidate lists, the full production chain,
+/// and the end-to-end cost of retrieve-then-rerank relative to a raw
+/// top-k fetch (`chain_overhead_ratio`).
+pub fn run_rerank(opts: &SnapshotOptions) -> Snapshot {
+    let n = (((if opts.smoke { 2_000.0 } else { 20_000.0 }) * opts.scale) as usize).max(200);
+    let dim = 16;
+    let k = 10;
+    let n_queries = if opts.smoke { 30 } else { 200 };
+    let reps = if opts.smoke { 2 } else { 8 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let store = std::sync::Arc::new(EmbeddingStore::from_vec(unit_cloud(n, dim, &mut rng), dim));
+    let queries = unit_cloud(n_queries, dim, &mut rng);
+    let index = BruteForceIndex::over(store.clone());
+
+    // Zipf log-marginals and a production-shaped rules sidecar: every
+    // item categorized (17 categories), a sparse deny list.
+    let total: f64 = (0..n).map(|r| 1.0 / (r + 1) as f64).sum();
+    let log_p: Vec<f32> =
+        (0..n).map(|r| ((1.0 / (r + 1) as f64) / total).ln() as f32).collect();
+    let categories: Vec<String> =
+        (0..n as u32).map(|id| format!("[{},{}]", id, id % 17)).collect();
+    let deny: Vec<String> = (0..n as u32).step_by(97).map(|id| id.to_string()).collect();
+    let rules_json = format!(
+        "{{\"deny\":[{}],\"categories\":[{}]}}",
+        deny.join(","),
+        categories.join(",")
+    );
+    let rules = BusinessRules::parse(&Json::parse(rules_json.as_bytes()).expect("rules json"))
+        .expect("rules parse");
+
+    let mut snap = Snapshot::new("rerank", opts.config());
+    let chains: [(&str, &str); 6] = [
+        ("debias", "debias@0.5"),
+        ("mmr", "mmr@0.3"),
+        ("filter", "filter"),
+        ("cap", "cap:category=3"),
+        ("explore", "explore@0.1"),
+        ("chain", "debias@0.5,mmr@0.3,filter,cap:category=3,explore@0.1"),
+    ];
+    for (name, spec) in chains {
+        let chain = RerankChain::parse(spec).expect("benchmark spec is valid");
+        let mut lat = Vec::with_capacity(n_queries * reps);
+        for q in queries.chunks(dim) {
+            let fetched = index.search(q, chain.fetch_k(k));
+            let ctx = RerankContext {
+                store: Some(&store),
+                log_marginals: Some(&log_p),
+                external_ids: None,
+                rules: Some(&rules),
+                seed: opts.seed,
+                query_tag: query_tag(q),
+                k,
+            };
+            for _ in 0..reps {
+                let hits = fetched.clone();
+                let t0 = Instant::now();
+                std::hint::black_box(chain.apply(&ctx, hits));
+                lat.push(t0.elapsed());
+            }
+        }
+        snap.push(
+            &format!("{name}_apply_p50_us"),
+            percentile_us(&lat, 0.50),
+            "us",
+            Direction::LowerBetter,
+        );
+        snap.push(
+            &format!("{name}_apply_p99_us"),
+            percentile_us(&lat, 0.99),
+            "us",
+            Direction::LowerBetter,
+        );
+    }
+
+    // End-to-end: what a serving request pays for the full chain —
+    // over-fetch plus apply — relative to the raw top-k it replaces.
+    let chain = RerankChain::parse(chains[5].1).expect("benchmark spec is valid");
+    let t0 = Instant::now();
+    for q in queries.chunks(dim) {
+        std::hint::black_box(index.search(q, k));
+    }
+    let raw_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for q in queries.chunks(dim) {
+        let ctx = RerankContext {
+            store: Some(&store),
+            log_marginals: Some(&log_p),
+            external_ids: None,
+            rules: Some(&rules),
+            seed: opts.seed,
+            query_tag: query_tag(q),
+            k,
+        };
+        std::hint::black_box(chain.apply(&ctx, index.search(q, chain.fetch_k(k))));
+    }
+    let chained_wall = t0.elapsed().as_secs_f64();
+    snap.push(
+        "reranked_qps",
+        n_queries as f64 / chained_wall,
+        "per_s",
+        Direction::HigherBetter,
+    );
+    snap.push(
+        "chain_overhead_ratio",
+        chained_wall / raw_wall.max(f64::MIN_POSITIVE),
+        "ratio",
+        Direction::LowerBetter,
+    );
+    snap
+}
+
 /// Measures the serving hot path: end-to-end HTTP latency and request
 /// throughput against a real loopback [`Server`] with a freshly trained
 /// checkpoint.
@@ -388,7 +502,7 @@ mod tests {
             out_dir: dir.clone(),
         };
         let paths = run_all(&opts).expect("snapshot run");
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 4);
         for path in &paths {
             let bytes = std::fs::read(path).expect("read snapshot");
             let doc = Json::parse(&bytes).expect("parse snapshot");

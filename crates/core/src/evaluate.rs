@@ -1,13 +1,14 @@
 //! Model evaluation under the paper's protocol: embeds test users/items
 //! with the trained towers and runs the IR / UT ranking tasks.
 
+use crate::framework::FittedUniMatch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use unimatch_data::{SeqBatch, TemporalSplit};
 use unimatch_eval::{
-    build_ir_cases, build_ut_cases, evaluate_single_positive_cases, popularity_stats,
-    retrieved_popularity, score_candidates, top_n_candidates, CaseMetrics, EmbeddingMatrix,
-    PopularityStats, ProtocolConfig, UserPool,
+    build_ir_cases, build_ut_cases, catalog_coverage, evaluate_single_positive_cases,
+    exposure_gini, popularity_stats, retrieved_popularity, score_candidates, top_n_candidates,
+    CaseMetrics, EmbeddingMatrix, MetricAccumulator, PopularityStats, ProtocolConfig, UserPool,
 };
 use unimatch_models::TwoTower;
 use unimatch_parallel::par_map_indexed;
@@ -138,6 +139,94 @@ pub fn evaluate_params(
     let outcome = evaluate(model, split, protocol, max_seq_len, seed);
     model.params = saved;
     outcome
+}
+
+/// One side of a raw-vs-reranked comparison: ranking accuracy plus
+/// aggregate diversity and popularity of everything retrieved.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RerankSide {
+    /// Mean IR ranking metrics over all cases.
+    pub ir: CaseMetrics,
+    /// Fraction of the catalog appearing in at least one list.
+    pub coverage: f64,
+    /// Gini coefficient of exposure across retrieved items.
+    pub gini: f64,
+    /// Popularity (trailing interaction count) of retrieved items.
+    pub popularity: PopularityStats,
+}
+
+/// The re-ranking chain's eval gate: the same fitted deployment answering
+/// the same IR cases with the chain off (`raw`) and on (`reranked`).
+#[derive(Clone, Debug, Default)]
+pub struct RerankEval {
+    /// Full-catalog retrieval without the chain.
+    pub raw: RerankSide,
+    /// The same queries through the configured chain.
+    pub reranked: RerankSide,
+    /// Number of IR cases evaluated.
+    pub cases: usize,
+    /// The canonical chain spec under test.
+    pub spec: String,
+}
+
+impl RerankEval {
+    /// Relative change in mean retrieved popularity (negative = the chain
+    /// surfaces less-popular items — what a debias stage is for).
+    pub fn popularity_lift(&self) -> f64 {
+        if self.raw.popularity.mean > 0.0 {
+            self.reranked.popularity.mean / self.raw.popularity.mean - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Evaluates a fitted deployment's re-ranking chain against its own raw
+/// retrieval: every IR case is answered over the **full catalog** (not the
+/// sampled-negative protocol — the chain's filters and exploration need
+/// the real candidate space), once raw and once through the chain, and
+/// each side is scored for accuracy, diversity, and popularity.
+/// `item_counts` are trailing interaction counts per item id.
+pub fn evaluate_ir_rerank(
+    fitted: &FittedUniMatch,
+    split: &TemporalSplit,
+    protocol: &ProtocolConfig,
+    seed: u64,
+    item_counts: &[u64],
+) -> RerankEval {
+    let top_n = protocol.top_n.min(fitted.num_items()).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clamped = protocol.clamped(unimatch_eval::item_pool(split).len());
+    let cases = build_ir_cases(split, &clamped, &mut rng);
+    let histories: Vec<&[u32]> = cases.iter().map(|c| c.history.as_slice()).collect();
+    let queries = fitted.embed_users(&histories);
+
+    let raw_lists = fitted.recommend_by_embeddings_raw(&queries, top_n);
+    let reranked_lists = fitted.recommend_by_embeddings(&queries, top_n);
+
+    let score_side = |lists: &[Vec<unimatch_ann::Hit>]| {
+        let mut acc = MetricAccumulator::new();
+        let mut retrieved = Vec::with_capacity(lists.len() * top_n);
+        for (case, hits) in cases.iter().zip(lists) {
+            let positive = case.candidates[0];
+            let relevant: Vec<bool> = hits.iter().map(|h| h.id == positive).collect();
+            acc.add(unimatch_eval::case_metrics(&relevant, 1, top_n));
+            retrieved.extend(hits.iter().map(|h| h.id));
+        }
+        RerankSide {
+            ir: acc.mean(),
+            coverage: catalog_coverage(&retrieved, fitted.num_items()),
+            gini: exposure_gini(&retrieved),
+            popularity: popularity_stats(&retrieved_popularity(&retrieved, item_counts)),
+        }
+    };
+
+    RerankEval {
+        raw: score_side(&raw_lists),
+        reranked: score_side(&reranked_lists),
+        cases: cases.len(),
+        spec: fitted.rerank_spec().to_string(),
+    }
 }
 
 fn evaluate_inner(
@@ -298,6 +387,41 @@ mod tests {
         );
         assert!(audit.ir_item_popularity.mean > 0.0);
         assert!(audit.ut_user_activeness.mean > 0.0);
+    }
+
+    #[test]
+    fn rerank_eval_compares_raw_and_chained_sides() {
+        use crate::framework::{RerankConfig, RetrieverKind, UniMatch, UniMatchConfig};
+        let log = DatasetProfile::EComp.generate(0.15, 11).filter_min_interactions(3);
+        let counts = log.item_counts();
+        let cfg = UniMatchConfig {
+            max_seq_len: 8,
+            epochs_per_month: 1,
+            retriever: RetrieverKind::Exact,
+            rerank: RerankConfig { spec: "debias@2,explore@0.2".to_string(), rules: None },
+            ..Default::default()
+        };
+        let fitted = UniMatch::new(cfg).fit(log.clone());
+        let protocol = ProtocolConfig { top_n: 10, negatives: 20 };
+        let split = PreparedData::from_log(log, 8).split;
+        let eval = evaluate_ir_rerank(&fitted, &split, &protocol, 5, &counts);
+        assert!(eval.cases > 0);
+        assert_eq!(eval.spec, "debias@2,explore@0.2");
+        for side in [&eval.raw, &eval.reranked] {
+            assert!((0.0..=1.0).contains(&side.ir.recall));
+            assert!((0.0..=1.0).contains(&side.coverage));
+            assert!((0.0..=1.0).contains(&side.gini));
+        }
+        // a strong debias must actually move retrieved popularity
+        assert!(
+            eval.popularity_lift() < 0.0,
+            "debias@2 should surface less-popular items: lift {}",
+            eval.popularity_lift()
+        );
+        // deterministic under a fixed seed
+        let again = evaluate_ir_rerank(&fitted, &split, &protocol, 5, &counts);
+        assert_eq!(eval.reranked.ir, again.reranked.ir);
+        assert_eq!(eval.reranked.gini, again.reranked.gini);
     }
 
     #[test]

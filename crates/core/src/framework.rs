@@ -16,8 +16,9 @@ use unimatch_ann::{
     BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
     ShardedRetriever,
 };
-use unimatch_data::{InteractionLog, SeqBatch};
+use unimatch_data::{InteractionLog, Marginals, SeqBatch};
 use unimatch_eval::UserPool;
+use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext};
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_parallel::Parallelism;
@@ -62,6 +63,25 @@ pub struct UniMatchConfig {
     /// are bitwise independent of this setting; it is a
     /// throughput/latency knob (see docs/OPERATIONS.md).
     pub shards: usize,
+    /// Post-retrieval re-ranking pipeline (see [`unimatch_rerank`]).
+    /// The default (empty spec, no rules) is the identity chain, which
+    /// is bitwise invisible at every call site.
+    pub rerank: RerankConfig,
+}
+
+/// Configuration of the post-retrieval re-ranking pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct RerankConfig {
+    /// Chain spec (e.g. `debias@0.5,mmr@0.3,cap:category=3,explore@0.1`;
+    /// see the grammar in `unimatch-rerank`). Must parse — validate with
+    /// [`RerankChain::parse`] before constructing a framework; an
+    /// invalid spec panics when the serving indexes are built. Empty =
+    /// identity chain.
+    pub spec: String,
+    /// Business rules (allow/deny sets, category assignments) for the
+    /// `filter`/`cap` stages, pre-loaded by the caller — building the
+    /// serving indexes never touches the filesystem.
+    pub rules: Option<Arc<BusinessRules>>,
 }
 
 /// The retrieval backend built over each tower's embedding store.
@@ -137,6 +157,7 @@ impl Default for UniMatchConfig {
             parallelism: Parallelism::auto(),
             retriever: RetrieverKind::default(),
             shards: 1,
+            rerank: RerankConfig::default(),
         }
     }
 }
@@ -177,6 +198,20 @@ pub struct FittedUniMatch {
     /// Retrieval index over pool-user embeddings (serves UT).
     user_index: Box<dyn Retriever>,
     max_seq_len: usize,
+    /// Post-retrieval re-ranking chain, applied to every search result
+    /// before it leaves this struct. Identity unless configured.
+    rerank: RerankChain,
+    /// Business rules for the chain's filter/cap stages (item side only).
+    rerank_rules: Option<Arc<BusinessRules>>,
+    /// Training marginals — from the prepared data, or overridden by the
+    /// checkpoint's persisted section on the serving path.
+    marginals: Arc<Marginals>,
+    /// `log p̂(i)` aligned with item-store rows (row = item id).
+    item_log_p: Vec<f32>,
+    /// `log p̂(u)` aligned with user-store rows (row = pool index).
+    user_log_p: Vec<f32>,
+    /// Seed component of the deterministic exploration stream.
+    rerank_seed: u64,
 }
 
 /// The framework: configure once, [`UniMatch::fit`] per merchant.
@@ -256,7 +291,24 @@ impl UniMatch {
         log: InteractionLog,
         item_store: Arc<EmbeddingStore>,
     ) -> FittedUniMatch {
-        let prepared = PreparedData::from_log(log, self.config.max_seq_len);
+        self.serve_with_store_and_marginals(model, log, item_store, None)
+    }
+
+    /// [`UniMatch::serve_with_store`] with the checkpoint's persisted
+    /// marginals (when it carries the optional section) overriding the
+    /// ones recomputed from the serving log — so the debias stage sees
+    /// exactly the training-time `p̂(i)`/`p̂(u)` tables.
+    pub fn serve_with_store_and_marginals(
+        &self,
+        model: TwoTower,
+        log: InteractionLog,
+        item_store: Arc<EmbeddingStore>,
+        marginals: Option<Marginals>,
+    ) -> FittedUniMatch {
+        let mut prepared = PreparedData::from_log(log, self.config.max_seq_len);
+        if let Some(m) = marginals {
+            prepared.marginals = m;
+        }
         self.fit_continue(model, prepared, Some(u32::MAX), Some(item_store))
     }
 
@@ -346,6 +398,14 @@ impl UniMatch {
         ));
         let user_index = cfg.retriever.build(user_store.clone(), cfg.shards, &mut rng);
 
+        let rerank = RerankChain::parse(&cfg.rerank.spec)
+            .unwrap_or_else(|e| panic!("invalid rerank spec {:?}: {e}", cfg.rerank.spec));
+        let marginals = Arc::new(prepared.marginals.clone());
+        let item_log_p: Vec<f32> =
+            (0..item_store.rows()).map(|r| marginals.log_pi(r as u32)).collect();
+        let user_log_p: Vec<f32> =
+            user_pool.users().iter().map(|&u| marginals.log_pu(u)).collect();
+
         FittedUniMatch {
             model,
             user_pool,
@@ -354,16 +414,61 @@ impl UniMatch {
             item_index,
             user_index,
             max_seq_len: cfg.max_seq_len,
+            rerank,
+            rerank_rules: cfg.rerank.rules.clone(),
+            marginals,
+            item_log_p,
+            user_log_p,
+            rerank_seed: cfg.seed,
         }
     }
 }
 
 impl FittedUniMatch {
+    /// Runs the configured chain over an item-tower retrieval result.
+    /// Identity chains return `hits` untouched — same allocation, same
+    /// bytes — so an unconfigured deployment is bitwise unchanged.
+    fn rerank_items(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+        if self.rerank.is_identity() {
+            return hits;
+        }
+        let ctx = RerankContext {
+            store: Some(&self.item_store),
+            log_marginals: Some(&self.item_log_p),
+            external_ids: None,
+            rules: self.rerank_rules.as_deref(),
+            seed: self.rerank_seed,
+            query_tag: query_tag(query),
+            k,
+        };
+        self.rerank.apply(&ctx, hits)
+    }
+
+    /// Runs the configured chain over a user-tower retrieval result (hit
+    /// ids are still pool rows here — translation to user ids happens
+    /// after). Business rules describe items, so UT runs without them.
+    fn rerank_users(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+        if self.rerank.is_identity() {
+            return hits;
+        }
+        let ctx = RerankContext {
+            store: Some(&self.user_store),
+            log_marginals: Some(&self.user_log_p),
+            external_ids: Some(self.user_pool.users()),
+            rules: None,
+            seed: self.rerank_seed,
+            query_tag: query_tag(query),
+            k,
+        };
+        self.rerank.apply(&ctx, hits)
+    }
+
     /// IR: top-k items for a user's purchase history.
     pub fn recommend_items(&self, history: &[u32], k: usize) -> Vec<Hit> {
         assert!(!history.is_empty(), "recommend_items needs a non-empty history");
         let query = self.user_embedding(history);
-        self.item_index.search(&query, k)
+        let hits = self.item_index.search(&query, self.rerank.fetch_k(k));
+        self.rerank_items(&query, hits, k)
     }
 
     /// UT: top-k `(user_id, score)` targets for an item. The query row
@@ -375,10 +480,11 @@ impl FittedUniMatch {
 
     /// UT against an arbitrary query embedding (e.g. a bundle blend built
     /// by [`crate::audience`]). Hit rows translate to user ids through the
-    /// user store's id mapping.
+    /// user store's id mapping, after the re-ranking chain has run over
+    /// the raw pool rows.
     pub fn target_users_by_embedding(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        self.user_index
-            .search(query, k)
+        let hits = self.user_index.search(query, self.rerank.fetch_k(k));
+        self.rerank_users(query, hits, k)
             .into_iter()
             .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
             .collect()
@@ -395,7 +501,7 @@ impl FittedUniMatch {
             "recommend_items_batch needs non-empty histories"
         );
         let queries = embed_histories(&self.model, histories, self.max_seq_len);
-        self.item_index.search_batch(&queries, k)
+        self.recommend_by_embeddings(&queries, k)
     }
 
     /// Batched UT: top-k `(user_id, score)` targets for each item, in input
@@ -407,11 +513,15 @@ impl FittedUniMatch {
             .iter()
             .flat_map(|&i| self.item_store.row(i as usize).iter().copied())
             .collect();
+        let dim = self.user_store.dim();
         self.user_index
-            .search_batch(&queries, k)
+            .search_batch(&queries, self.rerank.fetch_k(k))
             .into_iter()
-            .map(|hits| {
-                hits.into_iter()
+            .enumerate()
+            .map(|(q, hits)| {
+                let query = &queries[q * dim..(q + 1) * dim];
+                self.rerank_users(query, hits, k)
+                    .into_iter()
                     .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
                     .collect()
             })
@@ -441,7 +551,13 @@ impl FittedUniMatch {
     /// serving layer can cache the (expensive) embedding half per user
     /// while always answering the search half fresh.
     pub fn recommend_by_embeddings(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
-        self.item_index.search_batch(queries, k)
+        let dim = self.item_store.dim();
+        self.item_index
+            .search_batch(queries, self.rerank.fetch_k(k))
+            .into_iter()
+            .enumerate()
+            .map(|(q, hits)| self.rerank_items(&queries[q * dim..(q + 1) * dim], hits, k))
+            .collect()
     }
 
     /// The history truncation length the model was fitted with. Queries
@@ -471,6 +587,25 @@ impl FittedUniMatch {
     /// The user-tower embedding arena (row = pool index, id = user id).
     pub fn user_store(&self) -> &Arc<EmbeddingStore> {
         &self.user_store
+    }
+
+    /// Batched IR *without* the re-ranking chain — the raw retrieval
+    /// baseline the chain's eval gate compares against.
+    pub(crate) fn recommend_by_embeddings_raw(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        self.item_index.search_batch(queries, k)
+    }
+
+    /// Canonical spec of the configured re-ranking chain (`""` for the
+    /// identity chain).
+    pub fn rerank_spec(&self) -> &str {
+        self.rerank.spec()
+    }
+
+    /// The training marginals this deployment serves with — persisted
+    /// alongside the model by `fit`, re-attached from the checkpoint's
+    /// optional section on the serving path.
+    pub fn marginals(&self) -> &Marginals {
+        &self.marginals
     }
 
     /// Backend name of the serving retrieval indexes
@@ -535,5 +670,98 @@ mod tests {
     #[should_panic(expected = "non-empty history")]
     fn empty_history_rejected() {
         fitted().recommend_items(&[], 3);
+    }
+
+    #[test]
+    fn identity_chain_is_bitwise_invisible() {
+        let f = fitted();
+        assert_eq!(f.rerank_spec(), "");
+        let hists: Vec<&[u32]> = vec![&[1, 2, 3], &[4, 5]];
+        let queries = f.embed_users(&hists);
+        // the public APIs and the raw index search must agree byte for byte
+        assert_eq!(f.recommend_by_embeddings(&queries, 5), f.recommend_by_embeddings_raw(&queries, 5));
+        assert_eq!(f.recommend_items(&[1, 2, 3], 5), f.recommend_by_embeddings_raw(&queries, 5)[0]);
+    }
+
+    #[test]
+    fn rerank_chain_reshapes_results_deterministically() {
+        let log = DatasetProfile::EComp.generate(0.15, 21).filter_min_interactions(3);
+        let cfg = UniMatchConfig {
+            max_seq_len: 8,
+            epochs_per_month: 1,
+            retriever: RetrieverKind::Exact,
+            rerank: RerankConfig {
+                spec: "debias@2,mmr@0.3,explore@0.2".to_string(),
+                rules: None,
+            },
+            ..Default::default()
+        };
+        let f = UniMatch::new(cfg.clone()).fit(log.clone());
+        assert_eq!(f.rerank_spec(), "debias@2,mmr@0.3,explore@0.2");
+
+        let a = f.recommend_items(&[1, 2, 3], 5);
+        let b = f.recommend_items(&[1, 2, 3], 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b, "a fixed seed pins the chain byte for byte");
+        // batch answers match the direct path exactly
+        let hists: Vec<&[u32]> = vec![&[1, 2, 3], &[4, 5]];
+        let batch = f.recommend_items_batch(&hists, 5);
+        assert_eq!(batch[0], a);
+
+        // UT runs through the chain too, and stays deterministic
+        let t = f.target_users(a[0].id, 5);
+        assert_eq!(t, f.target_users(a[0].id, 5));
+        assert_eq!(t.len(), 5);
+        assert_eq!(f.target_users_batch(&[a[0].id], 5)[0], t);
+
+        // the chain actually changes the ranking vs an identity deployment
+        let raw = UniMatch::new(UniMatchConfig { rerank: RerankConfig::default(), ..cfg })
+            .fit(log)
+            .recommend_items(&[1, 2, 3], 5);
+        assert_ne!(a, raw, "a debias+mmr+explore chain must reshape the top-k");
+    }
+
+    #[test]
+    fn rerank_rules_filter_and_cap_items() {
+        use unimatch_rerank::BusinessRules;
+        use unimatch_data::json::Json;
+        let log = DatasetProfile::EComp.generate(0.15, 21).filter_min_interactions(3);
+        let base = UniMatchConfig {
+            max_seq_len: 8,
+            epochs_per_month: 1,
+            retriever: RetrieverKind::Exact,
+            ..Default::default()
+        };
+        let raw = UniMatch::new(base.clone()).fit(log.clone());
+        let top = raw.recommend_items(&[1, 2, 3], 5);
+        let banned = top[0].id;
+        let rules = BusinessRules::parse(
+            &Json::parse(format!("{{\"deny\":[{banned}]}}").as_bytes()).unwrap(),
+        )
+        .unwrap();
+        let cfg = UniMatchConfig {
+            rerank: RerankConfig {
+                spec: "filter".to_string(),
+                rules: Some(Arc::new(rules)),
+            },
+            ..base
+        };
+        let f = UniMatch::new(cfg).fit(log);
+        let hits = f.recommend_items(&[1, 2, 3], 5);
+        assert_eq!(hits.len(), 5, "overfetch refills the list after the filter");
+        assert!(hits.iter().all(|h| h.id != banned), "denied item must not surface");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rerank spec")]
+    fn invalid_rerank_spec_panics_at_build() {
+        let log = DatasetProfile::EComp.generate(0.15, 21).filter_min_interactions(3);
+        let cfg = UniMatchConfig {
+            max_seq_len: 8,
+            epochs_per_month: 1,
+            rerank: RerankConfig { spec: "bogus@1".to_string(), rules: None },
+            ..Default::default()
+        };
+        UniMatch::new(cfg).fit(log);
     }
 }

@@ -48,15 +48,16 @@ pub use cost::{CostComparison, Regime};
 pub use durable::{
     train_durable, DurableConfig, DurableError, DurableRun, MonthRecord, RunManifest,
 };
-pub use evaluate::{evaluate, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RetrievalAudit};
+pub use evaluate::{evaluate, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RerankEval, RerankSide, RetrievalAudit};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
-pub use framework::{FittedUniMatch, RetrieverKind, UniMatch, UniMatchConfig};
+pub use framework::{FittedUniMatch, RerankConfig, RetrieverKind, UniMatch, UniMatchConfig};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
 pub use persist::{
-    load_item_store, load_model, load_model_and_store, load_model_and_store_with_retry,
-    load_model_with_retry, model_from_json, model_to_json, save_model, RetryPolicy,
+    load_checkpoint, load_checkpoint_with_retry, load_item_store, load_model,
+    load_model_and_store, load_model_and_store_with_retry, load_model_with_retry,
+    model_from_json, model_to_json, save_model, save_model_with_marginals, RetryPolicy,
 };
 pub use prepare::PreparedData;
 pub use serving::{ModelHandle, ServingState};

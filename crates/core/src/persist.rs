@@ -43,6 +43,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use unimatch_ann::EmbeddingStore;
 use unimatch_data::json::Json;
+use unimatch_data::Marginals;
 use unimatch_faults::FaultPoint;
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_tensor::Tensor;
@@ -150,6 +151,26 @@ fn checksum_embedding_section(shape: &[usize], bits: impl Iterator<Item = u32>) 
     h.0
 }
 
+/// Checksums the optional marginals section — floors, lengths, and the
+/// exact f32 bit patterns of both tables — so a corrupted section is
+/// caught before a debias stage reads it.
+fn checksum_marginals(m: &Marginals) -> u64 {
+    let mut h = Fnv::new();
+    h.update(b"marginals");
+    h.update(&[0xff]);
+    h.u64(m.floor_u().to_bits() as u64);
+    h.u64(m.floor_i().to_bits() as u64);
+    h.u64(m.log_pu_all().len() as u64);
+    for &x in m.log_pu_all() {
+        h.update(&x.to_bits().to_le_bytes());
+    }
+    h.u64(m.log_pi_all().len() as u64);
+    for &x in m.log_pi_all() {
+        h.update(&x.to_bits().to_le_bytes());
+    }
+    h.0
+}
+
 // ---------------------------------------------------------------------------
 // serialization
 // ---------------------------------------------------------------------------
@@ -232,6 +253,67 @@ pub fn model_to_json_value(model: &TwoTower) -> Json {
 /// Serializes a model to JSON bytes.
 pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
     model_to_json_value(model).to_bytes()
+}
+
+fn f32_array(xs: &[f32]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::F32(x)).collect())
+}
+
+/// Serializes the `p̂(u)`/`p̂(i)` marginals as the checkpoint's optional
+/// `marginals` section (with its own FNV-1a checksum over the exact
+/// bits), so the serving-time debias stage works without the training
+/// set on disk.
+pub fn marginals_to_json_value(m: &Marginals) -> Json {
+    Json::obj(vec![
+        ("log_pu", f32_array(m.log_pu_all())),
+        ("log_pi", f32_array(m.log_pi_all())),
+        ("floor_u", Json::F32(m.floor_u())),
+        ("floor_i", Json::F32(m.floor_i())),
+        ("checksum", Json::str(format!("{:016x}", checksum_marginals(m)))),
+    ])
+}
+
+fn f32_array_field(v: &Json, key: &str) -> io::Result<Vec<f32>> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| bad(format!("marginals field {key} is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f32()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| bad(format!("marginals field {key} holds a non-finite value")))
+        })
+        .collect()
+}
+
+/// Decodes a checkpoint document's optional `marginals` section.
+/// Returns `Ok(None)` when the section is absent (older checkpoints);
+/// a present-but-corrupt section is an error, not a silent `None` — a
+/// configured debias stage should fail loudly rather than serve
+/// unpenalized scores.
+pub fn marginals_from_json_value(doc: &Json) -> io::Result<Option<Marginals>> {
+    let Some(section) = doc.get("marginals") else { return Ok(None) };
+    let log_pu = f32_array_field(section, "log_pu")?;
+    let log_pi = f32_array_field(section, "log_pi")?;
+    let floor_u = field(section, "floor_u")?
+        .as_f32()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| bad("marginals floor_u is not a finite number"))?;
+    let floor_i = field(section, "floor_i")?
+        .as_f32()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| bad("marginals floor_i is not a finite number"))?;
+    let m = Marginals::from_parts(log_pu, log_pi, floor_u, floor_i);
+    let stored_sum = field(section, "checksum")?
+        .as_str()
+        .ok_or_else(|| bad("marginals checksum is not a string"))?;
+    let computed = format!("{:016x}", checksum_marginals(&m));
+    if stored_sum != computed {
+        return Err(bad(format!(
+            "marginals section checksum mismatch: stored {stored_sum}, computed {computed}"
+        )));
+    }
+    Ok(Some(m))
 }
 
 // ---------------------------------------------------------------------------
@@ -560,14 +642,31 @@ pub fn model_from_json(bytes: &[u8]) -> io::Result<TwoTower> {
 /// racing a trainer) always observe either the previous complete
 /// checkpoint or the new complete one — never a torn prefix.
 pub fn save_model(model: &TwoTower, path: impl AsRef<Path>) -> io::Result<()> {
+    save_model_with_marginals(model, None, path)
+}
+
+/// [`save_model`], optionally embedding the training marginals as the
+/// checkpoint's `marginals` section (see [`marginals_to_json_value`]).
+/// `None` writes exactly the document [`save_model`] always wrote, so
+/// old readers are unaffected.
+pub fn save_model_with_marginals(
+    model: &TwoTower,
+    marginals: Option<&Marginals>,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
     if let Some(e) = SAVE_FAULT.io_error() {
         return Err(e);
+    }
+    let mut doc = model_to_json_value(model);
+    if let Some(m) = marginals {
+        let Json::Obj(entries) = &mut doc else { unreachable!("model doc is an object") };
+        entries.push(("marginals".to_string(), marginals_to_json_value(m)));
     }
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, model_to_json(model))?;
+    std::fs::write(&tmp, doc.to_bytes())?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {
@@ -615,6 +714,34 @@ pub fn load_model_and_store(
     let model = model_from_json_value(&doc)?;
     let store = item_store_from_json_value(&doc)?;
     Ok((model, Arc::new(store)))
+}
+
+/// [`load_model_and_store`] plus the optional marginals section — the
+/// full serving reload: model for user-tower inference, store for the
+/// retrieval indexes, marginals for the serve-time debias stage (when
+/// the checkpoint carries them).
+pub fn load_checkpoint(
+    path: impl AsRef<Path>,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>, Option<Marginals>)> {
+    if let Some(e) = LOAD_FAULT.io_error() {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path)?;
+    LOAD_CORRUPT_FAULT.corrupt(&mut bytes);
+    let doc = Json::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+    let model = model_from_json_value(&doc)?;
+    let store = item_store_from_json_value(&doc)?;
+    let marginals = marginals_from_json_value(&doc)?;
+    Ok((model, Arc::new(store), marginals))
+}
+
+/// [`load_checkpoint`] with the same retry policy as
+/// [`load_model_with_retry`].
+pub fn load_checkpoint_with_retry(
+    path: impl AsRef<Path>,
+    policy: &RetryPolicy,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>, Option<Marginals>)> {
+    retry_load(policy, || load_checkpoint(path.as_ref()))
 }
 
 // ---------------------------------------------------------------------------
@@ -1012,6 +1139,81 @@ mod tests {
         assert!(model_from_json(tampered.as_bytes()).is_err());
         let doc = Json::parse(tampered.as_bytes()).expect("parse");
         assert!(item_store_from_json_value(&doc).is_err());
+    }
+
+    fn sample_marginals() -> Marginals {
+        use unimatch_data::windowing::Sample;
+        let samples: Vec<Sample> = (0..40)
+            .map(|i| Sample { user: i % 7, history: vec![], target: i % 11, day: i })
+            .collect();
+        Marginals::from_samples(&samples, 7, 11)
+    }
+
+    #[test]
+    fn marginals_section_round_trips_bit_for_bit() {
+        let dir = unique_tmp("marginals");
+        let path = dir.join("model.json");
+        let m = model(ContextExtractor::YoutubeDnn);
+        let marg = sample_marginals();
+        save_model_with_marginals(&m, Some(&marg), &path).expect("save");
+
+        let (restored_model, _, loaded) = load_checkpoint(&path).expect("load");
+        let loaded = loaded.expect("section present");
+        for (a, b) in marg.log_pi_all().iter().zip(loaded.log_pi_all()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in marg.log_pu_all().iter().zip(loaded.log_pu_all()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(marg.floor_i().to_bits(), loaded.floor_i().to_bits());
+        // the model itself is untouched by the extra section
+        assert_eq!(m.params.num_scalars(), restored_model.params.num_scalars());
+        // and the plain loaders still accept the document
+        assert!(load_model(&path).is_ok());
+        assert!(load_item_store(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_marginals_loads_as_none() {
+        let dir = unique_tmp("no_marginals");
+        let path = dir.join("model.json");
+        save_model(&model(ContextExtractor::YoutubeDnn), &path).expect("save");
+        let (_, _, loaded) = load_checkpoint(&path).expect("load");
+        assert!(loaded.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_marginals_section_is_rejected() {
+        let m = model(ContextExtractor::YoutubeDnn);
+        let marg = sample_marginals();
+        let mut doc = model_to_json_value(&m);
+        let Json::Obj(entries) = &mut doc else { panic!("doc is an object") };
+        entries.push(("marginals".to_string(), marginals_to_json_value(&marg)));
+        let clean = doc.to_string();
+        assert!(
+            marginals_from_json_value(&Json::parse(clean.as_bytes()).unwrap())
+                .expect("clean section loads")
+                .is_some()
+        );
+        // flip one stored checksum digit
+        let sum = format!("{:016x}", checksum_marginals(&marg));
+        let flipped = if let Some(rest) = sum.strip_prefix('0') {
+            format!("1{rest}")
+        } else {
+            format!("0{}", &sum[1..])
+        };
+        let tampered = clean.replace(&sum, &flipped);
+        assert_ne!(clean, tampered);
+        let doc = Json::parse(tampered.as_bytes()).expect("parse");
+        let e = marginals_from_json_value(&doc).expect_err("tampered section rejected");
+        assert!(e.to_string().contains("checksum"), "{e}");
+        // non-finite values are rejected even with a matching shape
+        let poisoned = clean.replace("\"floor_u\":", "\"floor_u\":null,\"floor_u_\":");
+        if let Ok(doc) = Json::parse(poisoned.as_bytes()) {
+            assert!(marginals_from_json_value(&doc).is_err());
+        }
     }
 
     #[test]

@@ -12,13 +12,13 @@
 //! already admitted.
 
 use crate::framework::{FittedUniMatch, UniMatch};
-use crate::persist::{load_model_and_store_with_retry, RetryPolicy};
+use crate::persist::{load_checkpoint_with_retry, RetryPolicy};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use unimatch_ann::EmbeddingStore;
-use unimatch_data::InteractionLog;
+use unimatch_data::{InteractionLog, Marginals};
 use unimatch_models::TwoTower;
 
 /// One immutable serving snapshot: everything needed to answer queries.
@@ -55,8 +55,9 @@ impl ModelHandle {
         log: InteractionLog,
     ) -> io::Result<ModelHandle> {
         let checkpoint = checkpoint.as_ref().to_path_buf();
-        let (model, store) = load_model_and_store_with_retry(&checkpoint, &RetryPolicy::default())?;
-        let fitted = build_fitted(&framework, &log, model, store, &checkpoint)?;
+        let (model, store, marginals) =
+            load_checkpoint_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let fitted = build_fitted(&framework, &log, model, store, marginals, &checkpoint)?;
         Ok(ModelHandle {
             framework,
             log,
@@ -93,8 +94,9 @@ impl ModelHandle {
             Some(p) => p.to_path_buf(),
             None => self.current().checkpoint.clone(),
         };
-        let (model, store) = load_model_and_store_with_retry(&checkpoint, &RetryPolicy::default())?;
-        let fitted = build_fitted(&self.framework, &self.log, model, store, &checkpoint)?;
+        let (model, store, marginals) =
+            load_checkpoint_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let fitted = build_fitted(&self.framework, &self.log, model, store, marginals, &checkpoint)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(ServingState { fitted, version, checkpoint });
         *self.state.write().expect("serving state lock poisoned") = state.clone();
@@ -113,6 +115,7 @@ fn build_fitted(
     log: &InteractionLog,
     model: TwoTower,
     item_store: Arc<EmbeddingStore>,
+    marginals: Option<Marginals>,
     checkpoint: &Path,
 ) -> io::Result<FittedUniMatch> {
     if (log.num_items() as usize) > model.config().num_items {
@@ -126,12 +129,32 @@ fn build_fitted(
             ),
         ));
     }
+    // The configured business rules must describe this checkpoint's item
+    // vocabulary: a rule referencing an item the model cannot serve means
+    // the checkpoint and the rules sidecar are out of sync, and silently
+    // ignoring the rule would un-filter items an operator meant to block.
+    // Failing here keeps the previous state serving untouched.
+    if let Some(rules) = &framework.config.rerank.rules {
+        if let Some(max) = rules.max_item_id() {
+            if (max as usize) >= model.config().num_items {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint {} serves {} items but the rerank rules reference item {}",
+                        checkpoint.display(),
+                        model.config().num_items,
+                        max
+                    ),
+                ));
+            }
+        }
+    }
     let mut framework = framework.clone();
     framework.config.embed_dim = model.config().embed_dim;
     framework.config.max_seq_len = model.config().max_seq_len;
     framework.config.extractor = model.config().extractor;
     framework.config.aggregator = model.config().aggregator;
-    Ok(framework.serve_with_store(model, log.clone(), item_store))
+    Ok(framework.serve_with_store_and_marginals(model, log.clone(), item_store, marginals))
 }
 
 #[cfg(test)]

@@ -39,6 +39,23 @@ impl Marginals {
         Marginals { log_pu, log_pi, floor_u, floor_i }
     }
 
+    /// Reassembles marginals from their stored parts — the checkpoint
+    /// decode path, where the tables were persisted by a trainer and
+    /// must round-trip bit-for-bit.
+    pub fn from_parts(log_pu: Vec<f32>, log_pi: Vec<f32>, floor_u: f32, floor_i: f32) -> Self {
+        Marginals { log_pu, log_pi, floor_u, floor_i }
+    }
+
+    /// The floor applied to users unseen in the training window.
+    pub fn floor_u(&self) -> f32 {
+        self.floor_u
+    }
+
+    /// The floor applied to items unseen in the training window.
+    pub fn floor_i(&self) -> f32 {
+        self.floor_i
+    }
+
     /// `log p̂(u)` for a user id.
     pub fn log_pu(&self, user: u32) -> f32 {
         self.log_pu.get(user as usize).copied().unwrap_or(self.floor_u)

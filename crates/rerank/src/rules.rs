@@ -1,0 +1,231 @@
+//! Business-rule sidecar: allow/deny id sets and category assignments,
+//! loaded from a small JSON file next to the checkpoint.
+//!
+//! ```json
+//! {
+//!   "allow": [1, 2, 3],
+//!   "deny": [40, 41],
+//!   "categories": [[0, 7], [1, 7], [2, 3]]
+//! }
+//! ```
+//!
+//! All three fields are optional. `allow` non-empty means *only* those
+//! ids may be served; `deny` always wins over `allow`; `categories` maps
+//! item id → category id for the `cap` stage.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+use unimatch_data::json::Json;
+
+/// Parsed business rules, shared read-only across the serving stack.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BusinessRules {
+    allow: Option<HashSet<u32>>,
+    deny: HashSet<u32>,
+    categories: HashMap<u32, u32>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn id_array(doc: &Json, key: &str) -> io::Result<Option<Vec<u32>>> {
+    let Some(v) = doc.get(key) else { return Ok(None) };
+    let arr = v.as_array().ok_or_else(|| bad(format!("rules field {key} is not an array")))?;
+    arr.iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(format!("rules field {key} holds a non-u32 id")))
+        })
+        .collect::<io::Result<Vec<u32>>>()
+        .map(Some)
+}
+
+impl BusinessRules {
+    /// Parses a rules document. Unknown top-level keys are rejected so a
+    /// typo (`"alow"`) cannot silently disable a filter.
+    pub fn parse(doc: &Json) -> io::Result<BusinessRules> {
+        if let Json::Obj(entries) = doc {
+            for (key, _) in entries {
+                if key != "allow" && key != "deny" && key != "categories" {
+                    return Err(bad(format!("unknown rules field `{key}`")));
+                }
+            }
+        } else {
+            return Err(bad("rules document is not a JSON object"));
+        }
+        let allow = id_array(doc, "allow")?.map(|ids| ids.into_iter().collect());
+        let deny: HashSet<u32> =
+            id_array(doc, "deny")?.map(|ids| ids.into_iter().collect()).unwrap_or_default();
+        let mut categories = HashMap::new();
+        if let Some(v) = doc.get("categories") {
+            let arr =
+                v.as_array().ok_or_else(|| bad("rules field categories is not an array"))?;
+            for pair in arr {
+                let pair =
+                    pair.as_array().ok_or_else(|| bad("categories entry is not [id, cat]"))?;
+                if pair.len() != 2 {
+                    return Err(bad("categories entry is not a 2-element [id, cat]"));
+                }
+                let id = pair[0]
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| bad("categories entry has a non-u32 id"))?;
+                let cat = pair[1]
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| bad("categories entry has a non-u32 category"))?;
+                if categories.insert(id, cat).is_some() {
+                    return Err(bad(format!("categories assigns id {id} twice")));
+                }
+            }
+        }
+        Ok(BusinessRules { allow, deny, categories })
+    }
+
+    /// Loads and parses a rules sidecar file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<BusinessRules> {
+        let bytes = std::fs::read(path)?;
+        let doc = Json::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+        BusinessRules::parse(&doc)
+    }
+
+    /// Whether an id may be served: outside the deny set, and inside the
+    /// allow set when one is configured.
+    pub fn admits(&self, id: u32) -> bool {
+        if self.deny.contains(&id) {
+            return false;
+        }
+        match &self.allow {
+            Some(allow) => allow.contains(&id),
+            None => true,
+        }
+    }
+
+    /// The category assigned to an id, if any.
+    pub fn category_of(&self, id: u32) -> Option<u32> {
+        self.categories.get(&id).copied()
+    }
+
+    /// The largest item id any rule references — the vocabulary bound a
+    /// serving checkpoint must cover for these rules to be meaningful.
+    /// `None` when no rule names an id.
+    pub fn max_item_id(&self) -> Option<u32> {
+        let allow = self.allow.iter().flatten().copied();
+        let deny = self.deny.iter().copied();
+        let cats = self.categories.keys().copied();
+        allow.chain(deny).chain(cats).max()
+    }
+
+    /// Whether no rule is configured at all.
+    pub fn is_empty(&self) -> bool {
+        self.allow.is_none() && self.deny.is_empty() && self.categories.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{CandidateList, RerankContext, RerankStage};
+    use crate::stages::{CapStage, FilterStage};
+    use unimatch_ann::Hit;
+
+    fn rules(json: &str) -> BusinessRules {
+        BusinessRules::parse(&Json::parse(json.as_bytes()).expect("valid json")).expect("rules")
+    }
+
+    #[test]
+    fn allow_deny_semantics() {
+        let r = rules(r#"{"allow": [1, 2, 3], "deny": [2]}"#);
+        assert!(r.admits(1));
+        assert!(!r.admits(2), "deny wins over allow");
+        assert!(!r.admits(4), "outside the allow set");
+        let open = rules(r#"{"deny": [7]}"#);
+        assert!(open.admits(1));
+        assert!(!open.admits(7));
+        assert!(rules("{}").admits(123));
+    }
+
+    #[test]
+    fn max_item_id_spans_all_three_sets() {
+        let r = rules(r#"{"allow": [5], "deny": [90], "categories": [[12, 1]]}"#);
+        assert_eq!(r.max_item_id(), Some(90));
+        assert_eq!(rules("{}").max_item_id(), None);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        let parse = |s: &str| BusinessRules::parse(&Json::parse(s.as_bytes()).unwrap());
+        assert!(parse(r#"{"alow": [1]}"#).is_err(), "typo'd key must not pass silently");
+        assert!(parse(r#"{"allow": "yes"}"#).is_err());
+        assert!(parse(r#"{"allow": [-1]}"#).is_err());
+        assert!(parse(r#"{"categories": [[1, 2, 3]]}"#).is_err());
+        assert!(parse(r#"{"categories": [[1, 2], [1, 3]]}"#).is_err(), "double assignment");
+        assert!(parse("[1,2]").is_err());
+    }
+
+    fn hits(ids: &[u32]) -> CandidateList {
+        CandidateList::from_hits(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| Hit { id, score: 1.0 - i as f32 * 0.01 })
+                .collect(),
+        )
+    }
+
+    fn rule_ctx(rules: &BusinessRules) -> RerankContext<'_> {
+        RerankContext {
+            store: None,
+            log_marginals: None,
+            external_ids: None,
+            rules: Some(rules),
+            seed: 0,
+            query_tag: 0,
+            k: 10,
+        }
+    }
+
+    #[test]
+    fn filter_stage_applies_allow_and_deny_in_order() {
+        let r = rules(r#"{"allow": [0, 1, 2, 3], "deny": [1]}"#);
+        let mut c = hits(&[4, 1, 0, 3]);
+        FilterStage.apply(&rule_ctx(&r), &mut c);
+        assert_eq!(c.hits().iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn filter_stage_translates_external_ids() {
+        let r = rules(r#"{"deny": [200]}"#);
+        let table = [100u32, 200, 300];
+        let mut c = hits(&[0, 1, 2]); // row ids into `table`
+        let ctx = RerankContext { external_ids: Some(&table), ..rule_ctx(&r) };
+        FilterStage.apply(&ctx, &mut c);
+        assert_eq!(c.hits().iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn cap_stage_keeps_first_n_per_category() {
+        // ids 0..6: category = id % 2; id 6 uncategorized
+        let r = rules(r#"{"categories": [[0,0],[1,1],[2,0],[3,1],[4,0],[5,1]]}"#);
+        let mut c = hits(&[0, 1, 2, 3, 4, 5, 6]);
+        CapStage { max: 2 }.apply(&rule_ctx(&r), &mut c);
+        assert_eq!(
+            c.hits().iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 6],
+            "third of each category dropped, uncategorized kept"
+        );
+    }
+
+    #[test]
+    fn rule_stages_without_rules_are_noops() {
+        let mut c = hits(&[0, 1, 2]);
+        let before = c.clone();
+        let empty = BusinessRules::default();
+        let ctx = RerankContext { rules: None, ..rule_ctx(&empty) };
+        FilterStage.apply(&ctx, &mut c);
+        CapStage { max: 1 }.apply(&ctx, &mut c);
+        assert_eq!(c, before);
+    }
+}

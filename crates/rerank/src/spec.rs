@@ -1,0 +1,264 @@
+//! The chain spec grammar and its typed errors.
+//!
+//! ```text
+//! chain  := "" | stage ("," stage)*
+//! stage  := name ["@" weight] (":" key "=" value)*
+//! ```
+//!
+//! Examples: `debias@0.5,mmr@0.3,cap:category=3,explore@0.1`, `filter`,
+//! `""` (the identity chain). Whitespace around separators is ignored.
+//! Each stage may appear at most once; option keys within a stage are
+//! unique. Parsing never panics — every malformed input maps to one
+//! [`SpecError`] variant so CLI and `/reload` callers can report the
+//! exact defect.
+
+use std::fmt;
+
+/// A parsed-but-untyped stage clause: the grammar layer's output, before
+/// the chain builder checks it against the stage registry.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct StageSpec {
+    pub name: String,
+    pub weight: Option<f32>,
+    pub options: Vec<(String, String)>,
+}
+
+/// A malformed chain spec, with enough structure for a caller to say
+/// exactly what was wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// A stage clause was empty (`",,"` or a trailing comma).
+    EmptyStage,
+    /// The stage name is not in the registry.
+    UnknownStage(String),
+    /// The `@weight` suffix did not parse as a finite number.
+    BadWeight {
+        /// Stage the weight was attached to.
+        stage: String,
+        /// The raw weight text.
+        raw: String,
+    },
+    /// The weight parsed but falls outside the stage's accepted range.
+    WeightOutOfRange {
+        /// Stage the weight was attached to.
+        stage: String,
+        /// The parsed weight.
+        weight: f32,
+        /// Inclusive minimum.
+        min: f32,
+        /// Inclusive maximum.
+        max: f32,
+    },
+    /// The stage takes no `@weight` at all.
+    WeightNotAccepted(String),
+    /// An option clause was not `key=value`.
+    BadOption {
+        /// Stage the option was attached to.
+        stage: String,
+        /// The raw option text.
+        raw: String,
+    },
+    /// The option key is not recognized by the stage.
+    UnknownOption {
+        /// Stage the option was attached to.
+        stage: String,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// The option value did not parse or is out of range.
+    BadOptionValue {
+        /// Stage the option was attached to.
+        stage: String,
+        /// Option key.
+        key: String,
+        /// The raw value text.
+        raw: String,
+    },
+    /// A required option was missing.
+    MissingOption {
+        /// Stage the option belongs to.
+        stage: String,
+        /// The missing key.
+        key: String,
+    },
+    /// The same stage appeared twice in one chain.
+    DuplicateStage(String),
+    /// The same option key appeared twice in one stage clause.
+    DuplicateOption {
+        /// Stage the options were attached to.
+        stage: String,
+        /// The repeated key.
+        key: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyStage => write!(f, "empty stage clause in rerank spec"),
+            SpecError::UnknownStage(name) => write!(
+                f,
+                "unknown rerank stage `{name}` (known: debias, mmr, filter, cap, explore)"
+            ),
+            SpecError::BadWeight { stage, raw } => {
+                write!(f, "stage `{stage}`: weight `{raw}` is not a finite number")
+            }
+            SpecError::WeightOutOfRange { stage, weight, min, max } => {
+                write!(f, "stage `{stage}`: weight {weight} outside [{min}, {max}]")
+            }
+            SpecError::WeightNotAccepted(stage) => {
+                write!(f, "stage `{stage}` does not take an @weight")
+            }
+            SpecError::BadOption { stage, raw } => {
+                write!(f, "stage `{stage}`: option `{raw}` is not key=value")
+            }
+            SpecError::UnknownOption { stage, key } => {
+                write!(f, "stage `{stage}`: unknown option `{key}`")
+            }
+            SpecError::BadOptionValue { stage, key, raw } => {
+                write!(f, "stage `{stage}`: option {key}=`{raw}` is not a valid value")
+            }
+            SpecError::MissingOption { stage, key } => {
+                write!(f, "stage `{stage}`: required option `{key}` missing")
+            }
+            SpecError::DuplicateStage(name) => {
+                write!(f, "stage `{name}` appears more than once in the chain")
+            }
+            SpecError::DuplicateOption { stage, key } => {
+                write!(f, "stage `{stage}`: option `{key}` given more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses the grammar into raw stage clauses. Registry-level validation
+/// (known names, weight ranges, option typing) happens in the chain
+/// builder; this layer only enforces the shape and the two uniqueness
+/// rules.
+pub(crate) fn parse_spec(spec: &str) -> Result<Vec<StageSpec>, SpecError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut stages: Vec<StageSpec> = Vec::new();
+    for clause in spec.split(',') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            return Err(SpecError::EmptyStage);
+        }
+        let mut parts = clause.split(':');
+        let head = parts.next().expect("split yields at least one part").trim();
+        let (name, weight) = match head.split_once('@') {
+            Some((n, w)) => {
+                let n = n.trim();
+                let w = w.trim();
+                let parsed: f32 = w.parse().map_err(|_| SpecError::BadWeight {
+                    stage: n.to_string(),
+                    raw: w.to_string(),
+                })?;
+                if !parsed.is_finite() {
+                    return Err(SpecError::BadWeight {
+                        stage: n.to_string(),
+                        raw: w.to_string(),
+                    });
+                }
+                (n, Some(parsed))
+            }
+            None => (head, None),
+        };
+        if name.is_empty() {
+            return Err(SpecError::EmptyStage);
+        }
+        if stages.iter().any(|s| s.name == name) {
+            return Err(SpecError::DuplicateStage(name.to_string()));
+        }
+        let mut options: Vec<(String, String)> = Vec::new();
+        for opt in parts {
+            let opt = opt.trim();
+            let (key, value) = opt.split_once('=').ok_or_else(|| SpecError::BadOption {
+                stage: name.to_string(),
+                raw: opt.to_string(),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() || value.is_empty() {
+                return Err(SpecError::BadOption {
+                    stage: name.to_string(),
+                    raw: opt.to_string(),
+                });
+            }
+            if options.iter().any(|(k, _)| k == key) {
+                return Err(SpecError::DuplicateOption {
+                    stage: name.to_string(),
+                    key: key.to_string(),
+                });
+            }
+            options.push((key.to_string(), value.to_string()));
+        }
+        stages.push(StageSpec { name: name.to_string(), weight, options });
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_example_parses() {
+        let stages = parse_spec("debias@0.5, mmr@0.3, cap:category=3, explore@0.1").unwrap();
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages[0].name, "debias");
+        assert_eq!(stages[0].weight, Some(0.5));
+        assert_eq!(stages[2].options, vec![("category".to_string(), "3".to_string())]);
+        assert_eq!(stages[3].weight, Some(0.1));
+    }
+
+    #[test]
+    fn empty_spec_is_the_identity() {
+        assert!(parse_spec("").unwrap().is_empty());
+        assert!(parse_spec("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_clauses_rejected() {
+        assert_eq!(parse_spec("debias,,mmr"), Err(SpecError::EmptyStage));
+        assert_eq!(parse_spec("debias,"), Err(SpecError::EmptyStage));
+        assert_eq!(parse_spec("@0.5"), Err(SpecError::EmptyStage));
+    }
+
+    #[test]
+    fn bad_weights_rejected_with_the_raw_text() {
+        match parse_spec("debias@heavy") {
+            Err(SpecError::BadWeight { stage, raw }) => {
+                assert_eq!(stage, "debias");
+                assert_eq!(raw, "heavy");
+            }
+            other => panic!("expected BadWeight, got {other:?}"),
+        }
+        assert!(matches!(parse_spec("debias@inf"), Err(SpecError::BadWeight { .. })));
+        assert!(matches!(parse_spec("debias@NaN"), Err(SpecError::BadWeight { .. })));
+    }
+
+    #[test]
+    fn duplicate_stages_and_options_rejected() {
+        assert_eq!(
+            parse_spec("debias,debias@2"),
+            Err(SpecError::DuplicateStage("debias".to_string()))
+        );
+        assert_eq!(
+            parse_spec("cap:category=3:category=5"),
+            Err(SpecError::DuplicateOption {
+                stage: "cap".to_string(),
+                key: "category".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        assert!(matches!(parse_spec("cap:category"), Err(SpecError::BadOption { .. })));
+        assert!(matches!(parse_spec("cap:=3"), Err(SpecError::BadOption { .. })));
+    }
+}

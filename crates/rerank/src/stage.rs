@@ -1,0 +1,151 @@
+//! The stage abstraction: a scored candidate list, the shared inputs a
+//! stage may read, and the [`RerankStage`] trait itself.
+
+use crate::rules::BusinessRules;
+use unimatch_ann::{EmbeddingStore, Hit};
+
+/// A scored, ordered candidate list flowing through a chain. Wraps the
+/// retrieval engine's `Vec<Hit>`; order is significant (position 0 is
+/// the best candidate) and stages may re-score, re-order, or drop
+/// entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CandidateList {
+    hits: Vec<Hit>,
+}
+
+impl CandidateList {
+    /// Wraps a retrieval result.
+    pub fn from_hits(hits: Vec<Hit>) -> CandidateList {
+        CandidateList { hits }
+    }
+
+    /// Unwraps back into the retrieval engine's representation.
+    pub fn into_hits(self) -> Vec<Hit> {
+        self.hits
+    }
+
+    /// The candidates, best first.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// Mutable access for stages.
+    pub fn hits_mut(&mut self) -> &mut Vec<Hit> {
+        &mut self.hits
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Keeps only the first `n` candidates.
+    pub fn truncate(&mut self, n: usize) {
+        self.hits.truncate(n);
+    }
+}
+
+/// Everything a stage may read, borrowed from the serving layer for the
+/// duration of one `apply`. Each input is optional: a stage whose input
+/// is absent is a no-op (the chain degrades gracefully rather than
+/// failing a request).
+pub struct RerankContext<'a> {
+    /// The embedding arena the candidate rows point into (`Hit::id` is a
+    /// row index). Read by the MMR stage for pairwise similarity.
+    pub store: Option<&'a EmbeddingStore>,
+    /// Row-aligned log-marginals `log p̂(·)` (indexed by `Hit::id`).
+    /// Read by the debias stage.
+    pub log_marginals: Option<&'a [f32]>,
+    /// Row → external-id table for candidates whose `Hit::id` is not the
+    /// public id (the user tower's pool rows). `None` means rows *are*
+    /// the external ids (the item tower). Read by the rule stages.
+    pub external_ids: Option<&'a [u32]>,
+    /// Business rules (allow/deny sets, category assignments).
+    pub rules: Option<&'a BusinessRules>,
+    /// Deployment seed — one component of the exploration stream.
+    pub seed: u64,
+    /// Per-query tag ([`crate::query_tag`]) — the other component, so
+    /// distinct queries explore independently but a repeated query
+    /// explores identically.
+    pub query_tag: u64,
+    /// The k the caller asked for. The chain over-fetched beyond this
+    /// ([`crate::RerankChain::fetch_k`]); stages may use `k` to bound
+    /// work, and the chain truncates to `k` after the last stage.
+    pub k: usize,
+}
+
+impl RerankContext<'_> {
+    /// The external id of a hit (identity when no translation table is
+    /// attached).
+    pub fn external_id(&self, hit: &Hit) -> u32 {
+        match self.external_ids {
+            Some(ids) => ids.get(hit.id as usize).copied().unwrap_or(hit.id),
+            None => hit.id,
+        }
+    }
+}
+
+/// One transformation over a scored candidate list.
+///
+/// Implementations must be deterministic functions of
+/// `(ctx, candidates)` — no clocks, no global RNG — so that a fixed
+/// seed pins byte-identical serving responses.
+pub trait RerankStage: Send + Sync {
+    /// Stable stage name (the spec keyword; also the `stage=` label on
+    /// the per-stage latency span).
+    fn name(&self) -> &'static str;
+
+    /// The canonical spec fragment that re-creates this stage
+    /// (e.g. `debias@0.5`, `cap:category=3`).
+    fn spec(&self) -> String;
+
+    /// Transforms the candidate list in place.
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList);
+}
+
+/// The canonical candidate order used across the retrieval engine:
+/// score descending, lowest id first on ties. Stages that re-score must
+/// re-sort with this exact comparator so chain output stays aligned
+/// with the engine's differential suites.
+pub(crate) fn sort_canonical(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_breaks_ties_by_lowest_id() {
+        let mut hits = vec![
+            Hit { id: 5, score: 1.0 },
+            Hit { id: 2, score: 1.0 },
+            Hit { id: 9, score: 2.0 },
+        ];
+        sort_canonical(&mut hits);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![9, 2, 5]);
+    }
+
+    #[test]
+    fn external_id_translates_through_the_table() {
+        let ids = [100u32, 200, 300];
+        let ctx = RerankContext {
+            store: None,
+            log_marginals: None,
+            external_ids: Some(&ids),
+            rules: None,
+            seed: 0,
+            query_tag: 0,
+            k: 10,
+        };
+        assert_eq!(ctx.external_id(&Hit { id: 1, score: 0.0 }), 200);
+        // identity when no table is attached
+        let ctx = RerankContext { external_ids: None, ..ctx };
+        assert_eq!(ctx.external_id(&Hit { id: 1, score: 0.0 }), 1);
+    }
+}

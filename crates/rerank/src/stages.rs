@@ -1,0 +1,300 @@
+//! The four shipped stages: debias, mmr, filter, cap, explore.
+
+use crate::mix;
+use crate::stage::{sort_canonical, CandidateList, RerankContext, RerankStage};
+use std::collections::HashMap;
+use unimatch_ann::dot;
+
+/// Popularity debias: `score' = score − w · log p̂(i)`.
+///
+/// Log-marginals are ≤ 0, so popular entities (log p̂ close to 0) are
+/// penalized *less* in magnitude than rare ones are boosted — the
+/// correction of Lou et al. (arXiv 2207.02468) applied at serving time
+/// instead of training time. No-op when the context carries no
+/// marginals table.
+pub(crate) struct DebiasStage {
+    pub weight: f32,
+}
+
+impl RerankStage for DebiasStage {
+    fn name(&self) -> &'static str {
+        "debias"
+    }
+
+    fn spec(&self) -> String {
+        format!("debias@{}", self.weight)
+    }
+
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList) {
+        let Some(log_p) = ctx.log_marginals else { return };
+        for h in candidates.hits_mut().iter_mut() {
+            let lp = log_p.get(h.id as usize).copied().unwrap_or(0.0);
+            h.score -= self.weight * lp;
+        }
+        sort_canonical(candidates.hits_mut());
+    }
+}
+
+/// MMR-style diversity re-ranking: greedily selects the candidate
+/// maximizing `(1−λ)·relevance − λ·max_sim(selected)`, where similarity
+/// is the inner product of the candidates' rows in the shared embedding
+/// store. Selection reorders the list (original retrieval scores are
+/// kept on the hits); after `ctx.k` selections the remainder keeps its
+/// prior order. No-op when the context carries no store.
+pub(crate) struct MmrStage {
+    pub lambda: f32,
+}
+
+impl RerankStage for MmrStage {
+    fn name(&self) -> &'static str {
+        "mmr"
+    }
+
+    fn spec(&self) -> String {
+        format!("mmr@{}", self.lambda)
+    }
+
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList) {
+        let Some(store) = ctx.store else { return };
+        let n = candidates.len();
+        if n <= 1 || self.lambda == 0.0 {
+            return;
+        }
+        let lambda = self.lambda;
+        // (hit, max similarity to anything already selected)
+        let mut rest: Vec<(unimatch_ann::Hit, f32)> =
+            candidates.hits().iter().map(|&h| (h, f32::NEG_INFINITY)).collect();
+        let mut out = Vec::with_capacity(n);
+        let selections = ctx.k.min(n);
+        while out.len() < selections {
+            let mut best = 0usize;
+            let mut best_val = f32::NEG_INFINITY;
+            for (i, &(h, max_sim)) in rest.iter().enumerate() {
+                // first pick is pure relevance (nothing selected yet)
+                let val = if out.is_empty() {
+                    h.score
+                } else {
+                    (1.0 - lambda) * h.score - lambda * max_sim
+                };
+                // strict > keeps the earliest (canonical-order) winner on ties
+                if val > best_val {
+                    best = i;
+                    best_val = val;
+                }
+            }
+            let (picked, _) = rest.remove(best);
+            let picked_row = store.row(picked.id as usize);
+            for (h, max_sim) in rest.iter_mut() {
+                let sim = dot(picked_row, store.row(h.id as usize));
+                if sim > *max_sim {
+                    *max_sim = sim;
+                }
+            }
+            out.push(picked);
+        }
+        // beyond k the order no longer matters for the response; keep the
+        // remainder's relative order so the full list stays deterministic
+        out.extend(rest.into_iter().map(|(h, _)| h));
+        *candidates.hits_mut() = out;
+    }
+}
+
+/// Business-rule filter: drops candidates outside the allow set or
+/// inside the deny set, preserving order. No-op when the context
+/// carries no rules.
+pub(crate) struct FilterStage;
+
+impl RerankStage for FilterStage {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn spec(&self) -> String {
+        "filter".to_string()
+    }
+
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList) {
+        let Some(rules) = ctx.rules else { return };
+        let ids = ctx.external_ids;
+        candidates.hits_mut().retain(|h| {
+            let ext = match ids {
+                Some(table) => table.get(h.id as usize).copied().unwrap_or(h.id),
+                None => h.id,
+            };
+            rules.admits(ext)
+        });
+    }
+}
+
+/// Per-category cap: keeps at most `max` candidates of each category
+/// (first come, first kept — order preserved). Uncategorized candidates
+/// are uncapped. No-op when the context carries no rules.
+pub(crate) struct CapStage {
+    pub max: usize,
+}
+
+impl RerankStage for CapStage {
+    fn name(&self) -> &'static str {
+        "cap"
+    }
+
+    fn spec(&self) -> String {
+        format!("cap:category={}", self.max)
+    }
+
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList) {
+        let Some(rules) = ctx.rules else { return };
+        let ids = ctx.external_ids;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        candidates.hits_mut().retain(|h| {
+            let ext = match ids {
+                Some(table) => table.get(h.id as usize).copied().unwrap_or(h.id),
+                None => h.id,
+            };
+            match rules.category_of(ext) {
+                None => true,
+                Some(cat) => {
+                    let seen = counts.entry(cat).or_insert(0);
+                    *seen += 1;
+                    *seen <= self.max
+                }
+            }
+        });
+    }
+}
+
+/// Seeded ε-greedy exploration: each of the top `ctx.k` positions is,
+/// with probability ε, swapped with a deterministically chosen candidate
+/// from the over-fetched tail. The random stream is splitmix64 over
+/// `(seed, query_tag, position)` — same seed and query ⇒ byte-identical
+/// output; different queries explore independently.
+pub(crate) struct ExploreStage {
+    pub epsilon: f32,
+}
+
+impl RerankStage for ExploreStage {
+    fn name(&self) -> &'static str {
+        "explore"
+    }
+
+    fn spec(&self) -> String {
+        format!("explore@{}", self.epsilon)
+    }
+
+    fn apply(&self, ctx: &RerankContext, candidates: &mut CandidateList) {
+        let n = candidates.len();
+        let k = ctx.k.min(n);
+        if n <= k || self.epsilon <= 0.0 {
+            return; // no tail to explore into
+        }
+        let hits = candidates.hits_mut();
+        let mut state = ctx.seed ^ ctx.query_tag.rotate_left(17);
+        for p in 0..k {
+            state = mix(state.wrapping_add(p as u64 + 1));
+            // 53 high-quality bits → uniform in [0, 1)
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.epsilon as f64 {
+                state = mix(state ^ 0xd1b5_4a32_d192_ed03);
+                let tail = k + (state % (n - k) as u64) as usize;
+                hits.swap(p, tail);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unimatch_ann::{EmbeddingStore, Hit};
+
+    fn hits(scores: &[(u32, f32)]) -> CandidateList {
+        CandidateList::from_hits(scores.iter().map(|&(id, score)| Hit { id, score }).collect())
+    }
+
+    fn ctx<'a>() -> RerankContext<'a> {
+        RerankContext {
+            store: None,
+            log_marginals: None,
+            external_ids: None,
+            rules: None,
+            seed: 7,
+            query_tag: 13,
+            k: 3,
+        }
+    }
+
+    #[test]
+    fn debias_penalizes_popular_items() {
+        // item 0 very popular (log p = -0.1), item 1 rare (log p = -5.0)
+        let log_p = [-0.1f32, -5.0];
+        let mut c = hits(&[(0, 1.0), (1, 0.9)]);
+        let ctx = RerankContext { log_marginals: Some(&log_p), ..ctx() };
+        DebiasStage { weight: 1.0 }.apply(&ctx, &mut c);
+        // 1.0 + 0.1 = 1.1 vs 0.9 + 5.0 = 5.9 — the rare item wins
+        assert_eq!(c.hits()[0].id, 1);
+        assert!((c.hits()[0].score - 5.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn debias_without_marginals_is_a_noop() {
+        let mut c = hits(&[(0, 1.0), (1, 0.9)]);
+        let before = c.clone();
+        DebiasStage { weight: 1.0 }.apply(&ctx(), &mut c);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn mmr_demotes_near_duplicates() {
+        // rows 0 and 1 identical direction; row 2 orthogonal
+        let store = EmbeddingStore::from_rows(&[1.0, 0.0, 1.0, 0.0, 0.0, 1.0], 2);
+        let mut c = hits(&[(0, 1.0), (1, 0.99), (2, 0.5)]);
+        let ctx = RerankContext { store: Some(&store), k: 2, ..ctx() };
+        MmrStage { lambda: 0.5 }.apply(&ctx, &mut c);
+        // after picking 0, candidate 1 has sim 1.0 (value 0.5*0.99-0.5),
+        // candidate 2 has sim 0.0 (value 0.25) — diversity wins
+        assert_eq!(c.hits().iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 2, 1]);
+        // original retrieval scores are preserved
+        assert_eq!(c.hits()[1].score, 0.5);
+    }
+
+    #[test]
+    fn mmr_lambda_zero_keeps_relevance_order() {
+        let store = EmbeddingStore::from_rows(&[1.0, 0.0, 1.0, 0.0, 0.0, 1.0], 2);
+        let mut c = hits(&[(0, 1.0), (1, 0.99), (2, 0.5)]);
+        let before = c.clone();
+        let ctx = RerankContext { store: Some(&store), k: 2, ..ctx() };
+        MmrStage { lambda: 0.0 }.apply(&ctx, &mut c);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn explore_is_seed_deterministic_and_swaps_from_the_tail() {
+        let base: Vec<(u32, f32)> = (0..10).map(|i| (i, 1.0 - i as f32 * 0.05)).collect();
+        let mut a = hits(&base);
+        let mut b = hits(&base);
+        let c = RerankContext { k: 4, ..ctx() };
+        let stage = ExploreStage { epsilon: 0.9 };
+        stage.apply(&c, &mut a);
+        stage.apply(&c, &mut b);
+        assert_eq!(a, b, "same seed must explore identically");
+        // high epsilon over 4 slots with this seed must move something
+        assert_ne!(a, hits(&base));
+        // a different seed explores differently
+        let mut d = hits(&base);
+        stage.apply(&RerankContext { seed: 8, k: 4, ..ctx() }, &mut d);
+        assert_ne!(a, d);
+        // the multiset of ids is unchanged — explore only swaps
+        let mut ids: Vec<u32> = a.hits().iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn explore_without_tail_is_a_noop() {
+        let base: Vec<(u32, f32)> = (0..3).map(|i| (i, 1.0)).collect();
+        let mut c = hits(&base);
+        let before = c.clone();
+        ExploreStage { epsilon: 1.0 }.apply(&ctx(), &mut c); // k = 3 = len
+        assert_eq!(c, before);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the chain-spec grammar: canonical round-trips,
+//! and typed rejection of malformed inputs.
+
+use proptest::prelude::*;
+use unimatch_rerank::{RerankChain, SpecError};
+
+/// One random valid stage clause, tagged with its stage name so chains
+/// can avoid duplicates. `kind` selects the stage, the numbers feed its
+/// weight/option.
+fn clause(kind: usize, w: u32, n: usize) -> (String, String) {
+    match kind % 8 {
+        0 => ("debias".to_string(), format!("debias@{}", w as f32 / 10.0)),
+        1 => ("mmr".to_string(), format!("mmr@{}", (w % 101) as f32 / 100.0)),
+        2 => ("filter".to_string(), "filter".to_string()),
+        3 => ("cap".to_string(), format!("cap:category={n}")),
+        4 => ("explore".to_string(), format!("explore@{}", (w % 101) as f32 / 100.0)),
+        // default-weight forms
+        5 => ("debias".to_string(), "debias".to_string()),
+        6 => ("mmr".to_string(), "mmr".to_string()),
+        _ => ("explore".to_string(), "explore".to_string()),
+    }
+}
+
+fn arbitrary_clause() -> impl Strategy<Value = (String, String)> {
+    (0usize..8, 0u32..=1000, 1usize..=50).prop_map(|(kind, w, n)| clause(kind, w, n))
+}
+
+/// A random valid chain: up to 5 clauses with distinct stage names.
+fn arbitrary_chain() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arbitrary_clause(), 0..5).prop_map(|clauses| {
+        let mut seen = Vec::new();
+        let mut parts = Vec::new();
+        for (name, text) in clauses {
+            if !seen.contains(&name) {
+                seen.push(name);
+                parts.push(text);
+            }
+        }
+        parts.join(",")
+    })
+}
+
+/// A random lowercase identifier.
+fn lowercase_word() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..12)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every valid spec parses, and its canonical form is a fixed point:
+    /// parse(canonical).spec() == canonical.
+    #[test]
+    fn canonical_spec_round_trips(spec in arbitrary_chain()) {
+        let chain = RerankChain::parse(&spec).expect("generated specs are valid");
+        let canonical = chain.spec().to_string();
+        let reparsed = RerankChain::parse(&canonical).expect("canonical specs are valid");
+        prop_assert_eq!(reparsed.spec(), canonical.as_str());
+        prop_assert_eq!(reparsed.stage_names(), chain.stage_names());
+        prop_assert_eq!(reparsed.is_identity(), chain.is_identity());
+    }
+
+    /// Whitespace around separators never changes the parse.
+    #[test]
+    fn whitespace_is_insignificant(spec in arbitrary_chain()) {
+        let spaced = spec.replace(',', " , ");
+        let a = RerankChain::parse(&spec).expect("valid");
+        let b = RerankChain::parse(&spaced).expect("spaced variant stays valid");
+        prop_assert_eq!(a.spec(), b.spec());
+    }
+
+    /// Unknown stage names are rejected with the typed error carrying
+    /// the offending name.
+    #[test]
+    fn unknown_stages_rejected(name in lowercase_word()) {
+        prop_assume!(!matches!(
+            name.as_str(),
+            "debias" | "mmr" | "filter" | "cap" | "explore"
+        ));
+        match RerankChain::parse(&name) {
+            Err(SpecError::UnknownStage(got)) => prop_assert_eq!(got, name),
+            other => prop_assert!(false, "expected UnknownStage, got {:?}", other),
+        }
+    }
+
+    /// Non-numeric weights are rejected as BadWeight with the raw text.
+    #[test]
+    fn non_numeric_weights_rejected(raw in lowercase_word()) {
+        prop_assume!(raw.parse::<f32>().is_err());
+        match RerankChain::parse(&format!("debias@{raw}")) {
+            Err(SpecError::BadWeight { stage, raw: got }) => {
+                prop_assert_eq!(stage, "debias");
+                prop_assert_eq!(got, raw);
+            }
+            other => prop_assert!(false, "expected BadWeight, got {:?}", other),
+        }
+    }
+
+    /// Out-of-range weights for bounded stages are rejected as such.
+    #[test]
+    fn out_of_range_weights_rejected(w in 1.0001f32..1000.0) {
+        for stage in ["mmr", "explore"] {
+            match RerankChain::parse(&format!("{stage}@{w}")) {
+                Err(SpecError::WeightOutOfRange { weight, min, max, .. }) => {
+                    prop_assert_eq!(weight, w);
+                    prop_assert_eq!(min, 0.0);
+                    prop_assert_eq!(max, 1.0);
+                }
+                other => prop_assert!(false, "expected WeightOutOfRange, got {:?}", other),
+            }
+        }
+    }
+
+    /// Repeating any stage in a chain is rejected as DuplicateStage.
+    #[test]
+    fn duplicate_stages_rejected(kind in 0usize..8, w in 0u32..=1000, n in 1usize..=50) {
+        let (_, text) = clause(kind, w, n);
+        let doubled = format!("{text},{text}");
+        prop_assert!(matches!(
+            RerankChain::parse(&doubled),
+            Err(SpecError::DuplicateStage(_))
+        ));
+    }
+
+    /// Repeated option keys within one clause are rejected.
+    #[test]
+    fn duplicate_option_keys_rejected(a in 1usize..50, b in 1usize..50) {
+        let spec = format!("cap:category={a}:category={b}");
+        prop_assert_eq!(
+            RerankChain::parse(&spec).unwrap_err(),
+            SpecError::DuplicateOption { stage: "cap".to_string(), key: "category".to_string() }
+        );
+    }
+}

@@ -380,6 +380,7 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("pool_users", Json::int(state.fitted.num_pool_users())),
                 ("retriever", Json::str(state.fitted.retriever_backend())),
                 ("shards", Json::int(state.fitted.retriever_shards())),
+                ("rerank", Json::str(state.fitted.rerank_spec())),
             ])
             .to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)

@@ -289,6 +289,88 @@ fn latency_storm_never_corrupts_a_success() {
 }
 
 #[test]
+fn latency_storm_with_rerank_chain_keeps_seeded_byte_identity() {
+    let _guard = fault_lock();
+    // Same storm as above, but with a re-ranking chain armed: a slowed
+    // request must still produce the exact bytes the seeded chain pins —
+    // injected latency must never perturb debias/MMR/exploration.
+    unimatch_faults::set_plan(FaultPlan {
+        seed: 43,
+        rules: vec![
+            FaultRule::new("ann.search", FaultKind::LatencyUs(2_000)).with_probability(1.0),
+            FaultRule::new("serve.batch", FaultKind::LatencyUs(2_000)).with_probability(0.5),
+        ],
+    });
+    let f = fixture();
+    let cfg = UniMatchConfig {
+        rerank: unimatch_core::RerankConfig {
+            spec: "debias@0.5,mmr@0.3,explore@0.2".to_string(),
+            rules: None,
+        },
+        ..f.cfg.clone()
+    };
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &f.checkpoint, f.log.clone())
+            .expect("fixture checkpoint loads with a chain armed"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle.clone(),
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let fitted = handle.current();
+    let num_items = fitted.fitted.num_items() as u32;
+
+    let mut clients = Vec::new();
+    for t in 0..4u32 {
+        let addr = addr.clone();
+        let history: Vec<u32> = (0..3).map(|j| (t * 3 + j) % num_items).collect();
+        let k = 3 + (t as usize % 3);
+        let item = (t * 5) % num_items;
+        let expected_rec = recommend_body(k, &fitted.fitted.recommend_items(&history, k));
+        let expected_tgt = target_body(k, &fitted.fitted.target_users(item, k));
+        clients.push(std::thread::spawn(move || {
+            for round in 0..6 {
+                let (path, body, expected) = if round % 2 == 0 {
+                    let ids: Vec<String> = history.iter().map(u32::to_string).collect();
+                    (
+                        "/recommend",
+                        format!("{{\"history\":[{}],\"k\":{k}}}", ids.join(",")),
+                        &expected_rec,
+                    )
+                } else {
+                    ("/target", format!("{{\"item\":{item},\"k\":{k}}}"), &expected_tgt)
+                };
+                let (status, _, got) = request(&addr, "POST", path, body.as_bytes());
+                match status {
+                    200 => assert_eq!(
+                        &got, expected,
+                        "client {t} round {round}: chained payload diverged under faults"
+                    ),
+                    429 | 503 => {}
+                    other => panic!("client {t} round {round}: unexpected status {other}"),
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    unimatch_faults::clear();
+
+    // disarmed, the identical request still returns the identical bytes —
+    // the chain's seed stream has no dependence on the fault plane
+    let history = [0u32, 1, 2];
+    let expected = recommend_body(3, &fitted.fitted.recommend_items(&history, 3));
+    let (status, _, got) = request(&addr, "POST", "/recommend", b"{\"history\":[0,1,2],\"k\":3}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "post-chaos chained response must be byte-identical");
+    drop(server);
+}
+
+#[test]
 fn corrupt_reload_under_live_traffic_keeps_old_version_serving() {
     let _guard = fault_lock();
     unimatch_faults::clear();

@@ -464,3 +464,117 @@ fn sharded_serving_reports_fanout_and_shard_metrics() {
     drop(server);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A chain-armed server must advertise its spec on `/healthz`, serve
+/// byte-identical (and repeatable) reranked responses, expose the
+/// per-stage latency spans on the unified `/metrics` scrape, and refuse
+/// a reload whose checkpoint vocabulary invalidates the configured
+/// business rules — with the old version serving untouched afterwards.
+#[test]
+fn reranked_serving_is_byte_identical_and_reload_guards_rule_vocab() {
+    let _obs_guard = OBS_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("rerank");
+    // Checkpoint A is trained on a larger log than the serving log, so
+    // its item vocabulary strictly contains the rules' ids; checkpoint B
+    // (small log) cannot serve the denied item — reloading it while the
+    // rules are armed must be rejected.
+    let big_log = DatasetProfile::EComp.generate(0.15, 8).filter_min_interactions(3);
+    let small_log = DatasetProfile::EComp.generate(0.05, 3).filter_min_interactions(3);
+    let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+    let model_a = UniMatch::new(cfg.clone()).fit(big_log);
+    let model_b = UniMatch::new(cfg.clone()).fit(small_log.clone());
+    let big_items = model_a.num_items() as u32;
+    let small_items = model_b.num_items() as u32;
+    assert!(small_items < big_items, "test needs distinct vocabulary sizes");
+    let path_a = dir.join("a.json");
+    let path_b = dir.join("b.json");
+    save_model(&model_a.model, &path_a).expect("save a");
+    save_model(&model_b.model, &path_b).expect("save b");
+
+    // Deny an id only the big checkpoint can serve, and cap a category
+    // over the small vocabulary so both rule stages have material.
+    let denied = big_items - 1;
+    let categories: Vec<String> =
+        (0..small_items).map(|id| format!("[{},{}]", id, id % 5)).collect();
+    let rules_json =
+        format!("{{\"deny\":[{denied}],\"categories\":[{}]}}", categories.join(","));
+    let rules = unimatch_rerank::BusinessRules::parse(
+        &unimatch_data::json::Json::parse(rules_json.as_bytes()).expect("json"),
+    )
+    .expect("rules");
+    let spec = "debias@0.5,mmr@0.3,filter,explore@0.1";
+    let serve_cfg = UniMatchConfig {
+        rerank: unimatch_core::RerankConfig {
+            spec: spec.to_string(),
+            rules: Some(Arc::new(rules)),
+        },
+        ..cfg
+    };
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(serve_cfg), &path_a, small_log)
+            .expect("checkpoint A must satisfy the rules vocabulary"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle.clone(),
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    // /healthz advertises the canonical chain spec.
+    let (status, health) = request(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = String::from_utf8(health).expect("utf8 healthz");
+    assert!(health.contains(&format!("\"rerank\":\"{spec}\"")), "{health}");
+
+    // Reranked responses are byte-identical to the direct call and
+    // repeatable — the seeded chain is a pure function of the request.
+    unimatch_obs::set_enabled(true);
+    let fitted = handle.current();
+    let history = [1u32, 2, 3];
+    let expected = recommend_body(5, &fitted.fitted.recommend_items(&history, 5));
+    for round in 0..2 {
+        let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+        assert_eq!(status, 200);
+        assert_eq!(got, expected, "round {round} diverged from the direct chained call");
+    }
+    let expected_t = target_body(4, &fitted.fitted.target_users(2, 4));
+    let (status, got) = request(&addr, "POST", "/target", b"{\"item\":2,\"k\":4}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected_t, "target path must run the same chain");
+
+    // Per-stage latency spans appear on the unified scrape.
+    let (status, scrape) = request(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    unimatch_obs::set_enabled(false);
+    let scrape = String::from_utf8(scrape).expect("utf8 metrics");
+    check_histograms(&parse_exposition(&scrape));
+    for stage in ["debias", "mmr", "filter", "explore"] {
+        let family = format!("unimatch_rerank_stage_us_count{{stage=\"{stage}\"}}");
+        assert!(
+            metric_value(&scrape, &family) >= 1.0,
+            "stage {stage} recorded no spans:\n{scrape}"
+        );
+    }
+
+    // Reloading a checkpoint whose vocabulary cannot satisfy the armed
+    // rules must fail, leave the version untouched, and keep serving the
+    // old model byte-for-byte.
+    let reload_body = format!("{{\"checkpoint\":{:?}}}", path_b.to_str().expect("utf8 path"));
+    let (status, body) = request(&addr, "POST", "/reload", reload_body.as_bytes());
+    assert_eq!(status, 500, "vocab-invalidating reload must be rejected: {}",
+        String::from_utf8_lossy(&body));
+    assert!(
+        String::from_utf8_lossy(&body).contains("rules"),
+        "error should name the rules: {}",
+        String::from_utf8_lossy(&body)
+    );
+    assert_eq!(handle.version(), 1, "failed reload must not bump the version");
+    let (status, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "old version must keep serving after a rejected reload");
+
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}

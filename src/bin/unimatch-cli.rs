@@ -22,13 +22,14 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 use unimatch_core::{
-    evaluate, load_model, save_model, DurableConfig, ModelHandle, RetrieverKind, UniMatch,
-    UniMatchConfig,
+    evaluate, evaluate_ir_rerank, load_model, save_model_with_marginals, DurableConfig,
+    ModelHandle, RerankConfig, RetrieverKind, UniMatch, UniMatchConfig,
 };
 use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
 use unimatch_data::{DatasetProfile, InteractionLog};
 use unimatch_eval::ProtocolConfig;
+use unimatch_rerank::{BusinessRules, RerankChain};
 use unimatch_serve::{ServeConfig, Server};
 
 fn main() {
@@ -70,23 +71,33 @@ fn usage(msg: &str) -> ! {
          generate  --profile <books|electronics|ecomp|wcomp|large> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
          \u{20}         [--run-dir DIR] [--retriever KIND] [--shards N]   (crash-safe resume)\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
          recommend --model FILE --log FILE --user ID [--k N] [--retriever KIND] [--shards N]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
          target    --model FILE --log FILE --item ID [--k N] [--retriever KIND] [--shards N]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE]   (gates a chain before rollout:\n\
+         \u{20}          prints raw vs reranked recall/NDCG/coverage/gini + popularity lift)\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
          \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
-         \u{20}         [--shards N] [--obs true]\n\
+         \u{20}         [--shards N] [--obs true] [--rerank SPEC] [--rerank-rules FILE]\n\
          \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
          \u{20}         (--shards N: split each tower's index into N row-range shards,\n\
          \u{20}          searched in parallel and merged exactly; default 1)\n\
          \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
+         \u{20}         (--rerank SPEC: post-retrieval chain, stage[@w][:k=v],… —\n\
+         \u{20}          e.g. 'debias@0.5,mmr@0.3,cap:category=3,explore@0.1';\n\
+         \u{20}          --rerank-rules: JSON sidecar with allow/deny/categories)\n\
          bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
          loadgen   --addr HOST:PORT --qps F [--seconds F] [--concurrency N] [--k N]\n\
          \u{20}         [--route recommend|target|mixed] [--seed N] [--out DIR] [--smoke]\n\
+         \u{20}         [--rerank-mix]\n\
          \u{20}         (open-loop Poisson load against a running unimatch-serve;\n\
-         \u{20}          writes BENCH_load.json for bench diff)\n\
+         \u{20}          writes BENCH_load.json for bench diff; --rerank-mix varies\n\
+         \u{20}          histories and k to exercise a server's --rerank chain)\n\
          \n\
          every command also accepts --threads N (worker threads for the\n\
          compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
@@ -136,6 +147,24 @@ fn shards_flag(flags: &HashMap<String, String>) -> usize {
         usage("--shards must be at least 1");
     }
     shards
+}
+
+/// The post-retrieval re-ranking pipeline (`--rerank SPEC` +
+/// `--rerank-rules FILE`). The spec is validated here so a typo fails
+/// with the grammar's typed error before any training or index build;
+/// the rules sidecar is loaded once, up front.
+fn rerank_flag(flags: &HashMap<String, String>) -> RerankConfig {
+    let spec = flags.get("rerank").cloned().unwrap_or_default();
+    if let Err(e) = RerankChain::parse(&spec) {
+        usage(&format!("invalid --rerank spec: {e}"));
+    }
+    let rules = flags.get("rerank-rules").map(|path| {
+        Arc::new(
+            BusinessRules::load(path)
+                .unwrap_or_else(|e| usage(&format!("cannot load --rerank-rules {path}: {e}"))),
+        )
+    });
+    RerankConfig { spec, rules }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) {
@@ -223,6 +252,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        rerank: rerank_flag(flags),
         ..Default::default()
     };
     let filtered = log.filter_min_interactions(3);
@@ -243,7 +273,10 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         }
         None => UniMatch::new(config).fit(filtered),
     };
-    save_model(&fitted.model, out).unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
+    // the training marginals ride along in the checkpoint's optional
+    // section, so a serving process can debias with the exact p̂ tables
+    save_model_with_marginals(&fitted.model, Some(fitted.marginals()), out)
+        .unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
     let (up, ip) = vocab_paths(out);
     std::fs::write(&up, vocab_to_json(&users))
         .unwrap_or_else(|e| usage(&format!("cannot write {up}: {e}")));
@@ -257,7 +290,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
 
 fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMatch, Vocab, Vocab) {
     let model_path = flag(flags, "model");
-    let model = load_model(model_path)
+    let (model, store, marginals) = unimatch_core::load_checkpoint(model_path)
         .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
     let (log, _, _) = read_log(flag(flags, "log"));
     let (up, ip) = vocab_paths(model_path);
@@ -267,9 +300,20 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        rerank: rerank_flag(flags),
         ..Default::default()
     };
-    let fitted = UniMatch::new(config).serve(model, log.filter_min_interactions(3));
+    let mut config = config;
+    config.embed_dim = model.config().embed_dim;
+    config.max_seq_len = model.config().max_seq_len;
+    config.extractor = model.config().extractor;
+    config.aggregator = model.config().aggregator;
+    let fitted = UniMatch::new(config).serve_with_store_and_marginals(
+        model,
+        log.filter_min_interactions(3),
+        store,
+        marginals,
+    );
     (fitted, users, items)
 }
 
@@ -310,15 +354,58 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
     let model = load_model(model_path)
         .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
     let (log, _, _) = read_log(flag(flags, "log"));
-    let prepared = unimatch_core::PreparedData::from_log(
-        log.filter_min_interactions(3),
-        model.config().max_seq_len,
-    );
+    let filtered = log.filter_min_interactions(3);
+    let prepared =
+        unimatch_core::PreparedData::from_log(filtered.clone(), model.config().max_seq_len);
     let protocol = ProtocolConfig {
         top_n: flag_or(flags, "top-n", 10),
         negatives: flag_or(flags, "negatives", 99),
     };
     let seed: u64 = flag_or(flags, "seed", 7);
+    // --rerank SPEC gates a chain before rollout: the same model answers
+    // the same full-catalog IR cases raw and through the chain, and the
+    // accuracy / diversity / popularity deltas are printed side by side.
+    if flags.contains_key("rerank") {
+        let rerank = rerank_flag(flags);
+        let config = UniMatchConfig {
+            embed_dim: model.config().embed_dim,
+            max_seq_len: model.config().max_seq_len,
+            extractor: model.config().extractor,
+            aggregator: model.config().aggregator,
+            parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+            retriever: retriever_flag(flags),
+            shards: shards_flag(flags),
+            rerank,
+            ..Default::default()
+        };
+        let counts = filtered.item_counts();
+        let fitted = UniMatch::new(config).serve(model, filtered);
+        let r = evaluate_ir_rerank(&fitted, &prepared.split, &protocol, seed, &counts);
+        println!("rerank chain: {:?} ({} cases, top-{})", r.spec, r.cases, protocol.top_n);
+        println!(
+            "           {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "Recall", "NDCG", "coverage", "gini", "popularity"
+        );
+        for (name, side) in [("raw", &r.raw), ("reranked", &r.reranked)] {
+            println!(
+                "{name:<10} {:>9.2}% {:>9.2}% {:>9.2}% {:>10.4} {:>12.1}",
+                100.0 * side.ir.recall,
+                100.0 * side.ir.ndcg,
+                100.0 * side.coverage,
+                side.gini,
+                side.popularity.mean
+            );
+        }
+        println!(
+            "delta      {:>+9.2}% {:>+9.2}% {:>+9.2}% {:>+10.4}  lift {:>+6.2}%",
+            100.0 * (r.reranked.ir.recall - r.raw.ir.recall),
+            100.0 * (r.reranked.ir.ndcg - r.raw.ir.ndcg),
+            100.0 * (r.reranked.coverage - r.raw.coverage),
+            r.reranked.gini - r.raw.gini,
+            100.0 * r.popularity_lift()
+        );
+        return;
+    }
     let out = evaluate(&model, &prepared.split, &protocol, prepared.max_seq_len, seed);
     println!(
         "IR : Recall@{} {:.2}%  NDCG@{} {:.2}%  ({} cases)",
@@ -436,14 +523,16 @@ fn cmd_bench(args: &[String]) {
 }
 
 /// `loadgen` — open-loop Poisson load against a running `unimatch-serve`
-/// (`crates/bench::loadgen`). Parses its own argv for the boolean
-/// `--smoke`.
+/// (`crates/bench::loadgen`). Parses its own argv for the booleans
+/// `--smoke` and `--rerank-mix`.
 fn cmd_loadgen(args: &[String]) {
     let mut smoke = false;
+    let mut rerank_mix = false;
     let mut rest: Vec<String> = Vec::new();
     for a in args {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--rerank-mix" => rerank_mix = true,
             _ => rest.push(a.clone()),
         }
     }
@@ -461,6 +550,7 @@ fn cmd_loadgen(args: &[String]) {
         seed: flag_or(&flags, "seed", 42),
         out_dir: flags.get("out").cloned().unwrap_or_else(|| ".".to_string()).into(),
         smoke,
+        rerank_mix,
     };
     let (report, path) = unimatch_bench::loadgen::run(&opts)
         .unwrap_or_else(|e| usage(&format!("loadgen failed: {e}")));
@@ -524,6 +614,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        rerank: rerank_flag(flags),
         ..Default::default()
     });
     let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
@@ -536,6 +627,11 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         server.model().version(),
         server.model().current().fitted.num_items(),
         server.model().current().fitted.num_pool_users(),
+    );
+    let chain = server.model().current().fitted.rerank_spec().to_string();
+    println!(
+        "rerank chain: {}",
+        if chain.is_empty() { "identity (raw top-k)" } else { chain.as_str() }
     );
     println!("routes: POST /recommend /target /reload — GET /healthz /metrics");
     // serve until the process is killed

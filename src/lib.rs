@@ -11,6 +11,7 @@ pub use unimatch_losses as losses;
 pub use unimatch_models as models;
 pub use unimatch_obs as obs;
 pub use unimatch_parallel as parallel;
+pub use unimatch_rerank as rerank;
 pub use unimatch_serve as serve;
 pub use unimatch_tensor as tensor;
 pub use unimatch_train as train;
