@@ -16,14 +16,19 @@
 # 6. the re-ranking suites: the unimatch-rerank unit/property tests and
 #    the chain differential suite (identity-chain bitwise parity across
 #    backends and shard counts, seeded determinism, obs invariance)
-# 7. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
-#    end, including the rerank suite) plus a report-only diff against the
-#    committed baselines
-# 8. a smoke open-loop load run (loadgen --rerank-mix) against a live
-#    loopback server running a re-ranking chain, diffed report-only
-#    against the committed BENCH_load.json
-# 9. clippy over every target with warnings denied
-# 10. rustdoc for the workspace's own crates, failing on any doc warning
+# 7. the quantization suites: codec property tests (f16/i8 error bounds,
+#    edge cases, fused dequant-dot oracle) and the recall-gated
+#    differential suite (every backend x shard count x store format vs
+#    the exact-f32 oracle, plus mmap==owned bitwise parity)
+# 8. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+#    end, including the rerank and quant suites) plus a report-only diff
+#    against the committed baselines
+# 9. a smoke open-loop load run (loadgen --rerank-mix) against a live
+#    loopback server running a re-ranking chain over a quantized,
+#    mmap-backed store (--store i8 --mmap), diffed report-only against
+#    the committed BENCH_load.json
+# 10. clippy over every target with warnings denied
+# 11. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -60,6 +65,11 @@ echo "==> re-ranking suites (spec properties + chain differential parity)"
 cargo test -q -p unimatch-rerank
 cargo test -q --test rerank_parity
 
+echo "==> quantization suites (codec properties + recall-gated differential)"
+cargo test -q -p unimatch-ann --test quant_properties
+cargo test -q -p unimatch-ann --test quant_differential
+cargo test -q --test determinism
+
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"
 LOAD_DIR="$(mktemp -d)"
@@ -77,10 +87,14 @@ target/release/unimatch-cli bench diff --baseline . --current "$SNAP_DIR" || tru
 echo "==> loadgen --smoke (open-loop load harness vs a loopback server)"
 target/release/unimatch-cli generate --profile ecomp --scale 0.1 --seed 7 \
     --out "$LOAD_DIR/log.csv"
+# --store i8 advertises a quantized sidecar table next to the checkpoint;
+# serve then memory-maps it (--mmap), so the load run exercises the
+# quantized read path end to end.
 target/release/unimatch-cli fit --log "$LOAD_DIR/log.csv" \
-    --out "$LOAD_DIR/model.json"
+    --out "$LOAD_DIR/model.json" --store i8
 target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
     --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7979 --shards 2 \
+    --store i8 --mmap true \
     --rerank 'debias@0.5,mmr@0.3,explore@0.1' &
 SERVE_PID=$!
 # loadgen probes /healthz itself; retry while the server finishes its

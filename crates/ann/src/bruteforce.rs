@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use crate::index::{batch_entry_hooks, Hit, Retriever};
-use crate::kernel::{dot, top_k_exact, TopK};
+use crate::kernel::{top_k_exact_store, TopK};
 use crate::store::EmbeddingStore;
 use unimatch_obs as obs;
 
@@ -50,7 +50,7 @@ impl Retriever for BruteForceIndex {
         let _search_span = obs::span_us("unimatch_ann_search_us", "index=\"bruteforce\"");
         let mut top = TopK::new(k);
         for r in 0..self.len() {
-            top.push(r as u32, dot(query, self.store.row(r)));
+            top.push(r as u32, self.store.score_row(query, r));
         }
         if obs::enabled() {
             obs::registry::counter_labeled("unimatch_ann_searches_total", "index=\"bruteforce\"")
@@ -66,9 +66,11 @@ impl Retriever for BruteForceIndex {
     }
 
     /// Exact batch search through the blocked kernel
-    /// ([`crate::kernel::top_k_exact`]): same scores and ordering as the
-    /// per-query path, but targets are streamed tile-by-tile across each
-    /// query block instead of re-read per query.
+    /// ([`crate::kernel::top_k_exact_store`]): same scores and ordering
+    /// as the per-query path, but targets are streamed tile-by-tile
+    /// across each query block instead of re-read per query. Works over
+    /// every row format and backing — quantized stores score through the
+    /// fused dequant-dot inner loop.
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
         let _span = batch_entry_hooks(self.obs_label());
         let d = self.dim();
@@ -81,7 +83,7 @@ impl Retriever for BruteForceIndex {
             d
         );
         let nq = queries.len() / d;
-        let hits = top_k_exact(queries, self.store.as_slice(), d, k);
+        let hits = top_k_exact_store(queries, &self.store, k);
         if obs::enabled() {
             obs::registry::counter_labeled("unimatch_ann_searches_total", "index=\"bruteforce\"")
                 .add(nq as u64);

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use crate::index::{Hit, Retriever};
-use crate::kernel::{dot, TopK};
+use crate::kernel::TopK;
 use crate::store::EmbeddingStore;
 use rand::Rng;
 use unimatch_obs as obs;
@@ -78,12 +78,8 @@ impl HnswIndex {
         &self.store
     }
 
-    fn row(&self, r: u32) -> &[f32] {
-        self.store.row(r as usize)
-    }
-
     fn score(&self, q: &[f32], r: u32) -> f32 {
-        dot(q, self.row(r))
+        self.store.score_row(q, r as usize)
     }
 
     /// Greedy beam search on one layer; returns up to `ef` best (score desc).
@@ -136,7 +132,7 @@ impl HnswIndex {
             return;
         }
         self.nodes.push(node);
-        let q: Vec<f32> = self.row(id).to_vec();
+        let q: Vec<f32> = self.store.decode_row(id as usize).into_owned();
 
         // descend from the top to level+1 greedily
         let mut ep = self.entry;
@@ -162,11 +158,11 @@ impl HnswIndex {
                 nb_list.push(id);
                 if nb_list.len() > m_max {
                     // prune the neighbour's list back to its best m_max
-                    let origin: Vec<f32> = self.row(nb).to_vec();
+                    let origin: Vec<f32> = self.store.decode_row(nb as usize).into_owned();
                     let mut list = std::mem::take(&mut self.nodes[nb as usize].neighbours[l]);
                     list.sort_by(|&a, &b| {
-                        let sa = dot(&origin, self.row(a));
-                        let sb = dot(&origin, self.row(b));
+                        let sa = self.store.score_row(&origin, a as usize);
+                        let sb = self.store.score_row(&origin, b as usize);
                         sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
                     });
                     list.truncate(m_max);

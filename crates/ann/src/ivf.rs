@@ -52,7 +52,9 @@ impl IvfIndex {
         let n = store.rows();
         assert!(n > 0, "cannot build IVF over an empty set");
         let nlist = cfg.nlist.min(n).max(1);
-        let row = |r: usize| store.row(r);
+        // One scratch row: quantized stores decode into it (for f32 it is
+        // a plain copy, so the arithmetic is unchanged bit for bit).
+        let mut scratch = vec![0.0f32; dim];
 
         // k-means++ -lite seeding: random distinct rows
         let mut chosen = std::collections::HashSet::new();
@@ -61,16 +63,18 @@ impl IvfIndex {
         }
         let mut centroids: Vec<f32> = Vec::with_capacity(nlist * dim);
         for &c in &chosen {
-            centroids.extend_from_slice(row(c));
+            store.decode_row_into(c, &mut scratch);
+            centroids.extend_from_slice(&scratch);
         }
 
         let mut assign = vec![0usize; n];
         for _ in 0..cfg.kmeans_iters {
             // assignment by max inner product (spherical k-means)
             for (r, slot) in assign.iter_mut().enumerate() {
+                store.decode_row_into(r, &mut scratch);
                 let mut best = f32::NEG_INFINITY;
                 for c in 0..nlist {
-                    let s = dot(row(r), &centroids[c * dim..(c + 1) * dim]);
+                    let s = dot(&scratch, &centroids[c * dim..(c + 1) * dim]);
                     if s > best {
                         best = s;
                         *slot = c;
@@ -82,7 +86,8 @@ impl IvfIndex {
             let mut counts = vec![0usize; nlist];
             for (r, &c) in assign.iter().enumerate() {
                 counts[c] += 1;
-                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row(r)) {
+                store.decode_row_into(r, &mut scratch);
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(&scratch) {
                     *s += x;
                 }
             }
@@ -90,7 +95,7 @@ impl IvfIndex {
                 if counts[c] == 0 {
                     // re-seed empty centroid on a random row
                     let r = rng.gen_range(0..n);
-                    sums[c * dim..(c + 1) * dim].copy_from_slice(row(r));
+                    store.decode_row_into(r, &mut sums[c * dim..(c + 1) * dim]);
                     counts[c] = 1;
                 }
                 let slice = &mut sums[c * dim..(c + 1) * dim];
@@ -105,10 +110,11 @@ impl IvfIndex {
         // final assignment into inverted lists
         let mut lists = vec![Vec::new(); nlist];
         for r in 0..n {
+            store.decode_row_into(r, &mut scratch);
             let mut best = f32::NEG_INFINITY;
             let mut best_c = 0;
             for c in 0..nlist {
-                let s = dot(row(r), &centroids[c * dim..(c + 1) * dim]);
+                let s = dot(&scratch, &centroids[c * dim..(c + 1) * dim]);
                 if s > best {
                     best = s;
                     best_c = c;
@@ -128,10 +134,6 @@ impl IvfIndex {
     /// The embedding arena this index scores against.
     pub fn store(&self) -> &Arc<EmbeddingStore> {
         &self.store
-    }
-
-    fn row(&self, r: usize) -> &[f32] {
-        self.store.row(r)
     }
 }
 
@@ -165,7 +167,7 @@ impl Retriever for IvfIndex {
         for &c in order.iter().take(self.nprobe) {
             scanned += self.lists[c].len();
             for &r in &self.lists[c] {
-                top.push(r, dot(query, self.row(r as usize)));
+                top.push(r, self.store.score_row(query, r as usize));
             }
         }
         if obs::enabled() {

@@ -155,6 +155,58 @@ pub fn top_k_exact(queries: &[f32], targets: &[f32], dim: usize, k: usize) -> Ve
     per_block.into_iter().flatten().collect()
 }
 
+/// Exact blocked top-k over an [`EmbeddingStore`](crate::EmbeddingStore)
+/// in any row format: the store-aware twin of [`top_k_exact`].
+///
+/// For `f32` stores this delegates to [`top_k_exact`] over the store's
+/// slice, so results are bit-identical to the historical path. For
+/// quantized stores it runs the same query-block × target-tile loop
+/// structure with the store's fused dequant-dot
+/// ([`score_row`](crate::EmbeddingStore::score_row)) as the inner
+/// kernel — rows are
+/// decoded inside the multiply-add loop, never materialized as `f32`,
+/// and each score is one sequential reduction, so the determinism
+/// contract (bit-identical across thread counts, tilings, and owned vs
+/// mmap backings) carries over unchanged.
+pub fn top_k_exact_store(
+    queries: &[f32],
+    store: &crate::EmbeddingStore,
+    k: usize,
+) -> Vec<Vec<Hit>> {
+    let dim = store.dim();
+    if store.format() == crate::RowFormat::F32 {
+        return top_k_exact(queries, store.as_slice(), dim, k);
+    }
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(queries.len() % dim, 0, "query buffer not a multiple of dim");
+    let nq = queries.len() / dim;
+    let nt = store.rows();
+    let k = k.min(nt);
+    if nq == 0 {
+        return Vec::new();
+    }
+    let n_blocks = nq.div_ceil(QUERY_BLOCK);
+    let work = nq * nt * dim * 2;
+    let per_block: Vec<Vec<Vec<Hit>>> = par_map_indexed(n_blocks, work, |b| {
+        let q_start = b * QUERY_BLOCK;
+        let q_end = (q_start + QUERY_BLOCK).min(nq);
+        let mut tops: Vec<TopK> = (q_start..q_end).map(|_| TopK::new(k)).collect();
+        let mut t_start = 0;
+        while t_start < nt {
+            let t_end = (t_start + TARGET_TILE).min(nt);
+            for (top, q) in tops.iter_mut().zip(q_start..q_end) {
+                let query = &queries[q * dim..(q + 1) * dim];
+                for t in t_start..t_end {
+                    top.push(t as u32, store.score_row(query, t));
+                }
+            }
+            t_start = t_end;
+        }
+        tops.into_iter().map(TopK::into_sorted).collect()
+    });
+    per_block.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +327,48 @@ mod tests {
         assert!(hits[0].is_empty());
         let hits = top_k_exact(&[1.0, 0.0], &[1.0, 0.0], 2, 0);
         assert!(hits[0].is_empty());
+    }
+
+    #[test]
+    fn store_kernel_matches_flat_kernel_for_f32() {
+        let dim = 5;
+        let queries = pseudo_random(37 * dim, 0xabc);
+        let targets = pseudo_random(600 * dim, 0xdef);
+        let store = crate::EmbeddingStore::from_rows(&targets, dim);
+        let flat = top_k_exact(&queries, &targets, dim, 7);
+        let via_store = top_k_exact_store(&queries, &store, 7);
+        assert_eq!(flat.len(), via_store.len());
+        for (a, b) in flat.iter().zip(&via_store) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn store_kernel_matches_naive_scan_for_quantized() {
+        // Same oracle contract as the flat kernel, but the "truth" is a
+        // naive one-row-at-a-time fused scan over the quantized store.
+        let dim = 6;
+        let queries = pseudo_random(140 * dim, 0x111);
+        let targets = pseudo_random(531 * dim, 0x222);
+        for format in [crate::RowFormat::F16, crate::RowFormat::I8] {
+            let store = crate::EmbeddingStore::from_rows(&targets, dim).quantize(format);
+            let got = top_k_exact_store(&queries, &store, 9);
+            for (q, hits) in got.iter().enumerate() {
+                let query = &queries[q * dim..(q + 1) * dim];
+                let mut top = TopK::new(9);
+                for t in 0..store.rows() {
+                    top.push(t as u32, store.score_row(query, t));
+                }
+                let want = top.into_sorted();
+                assert_eq!(hits.len(), want.len(), "{format:?} q={q}");
+                for (g, w) in hits.iter().zip(&want) {
+                    assert_eq!(g.id, w.id, "{format:?} q={q}");
+                    assert_eq!(g.score.to_bits(), w.score.to_bits(), "{format:?} q={q}");
+                }
+            }
+        }
     }
 }

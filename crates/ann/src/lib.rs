@@ -9,9 +9,14 @@
 //!
 //! * [`EmbeddingStore`] — the shared, 32-byte-aligned, row-major
 //!   embedding arena every backend scores against (one copy of the
-//!   vectors, however many indexes are built over it);
+//!   vectors, however many indexes are built over it). Rows can be
+//!   stored full-precision or quantized ([`RowFormat`]: `f32`/`f16`/
+//!   per-row affine `i8`), and the arena bytes can live on the heap or
+//!   in a read-only mmap of a [`table`] sidecar file ([`StoreBacking`]);
 //! * [`kernel`] — the single exact-scoring kernel: the workspace's one
-//!   [`kernel::dot`] and the blocked/tiled [`kernel::top_k_exact`];
+//!   [`kernel::dot`], the blocked/tiled [`kernel::top_k_exact`], and its
+//!   store-aware twin [`kernel::top_k_exact_store`] whose inner loop is
+//!   the fused dequant-dot for quantized rows;
 //! * [`Retriever`] — the backend-agnostic search trait, implemented by
 //!   [`BruteForceIndex`] (exact scan, the correctness baseline),
 //!   [`IvfIndex`] (spherical k-means inverted lists with `nprobe`
@@ -37,11 +42,16 @@ pub mod ivf;
 pub mod kernel;
 pub mod sharded;
 pub mod store;
+pub mod table;
 
 pub use bruteforce::BruteForceIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use index::{Hit, Retriever, Retriever as AnnIndex};
 pub use ivf::{IvfConfig, IvfIndex};
-pub use kernel::{dot, top_k_exact};
+pub use kernel::{dot, top_k_exact, top_k_exact_store};
 pub use sharded::ShardedRetriever;
-pub use store::{EmbeddingStore, STORE_ALIGN};
+pub use store::{
+    f16_to_f32, f32_to_f16, i8_decode, i8_encode, i8_row_params, EmbeddingStore, RowFormat,
+    StoreBacking, STORE_ALIGN,
+};
+pub use table::{open_table, open_table_with, read_table_header, write_table, TableHeader};

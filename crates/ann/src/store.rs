@@ -1,65 +1,287 @@
 //! The shared embedding arena every retrieval path scores against.
 //!
-//! [`EmbeddingStore`] owns a row-major `f32` matrix in a 32-byte-aligned
-//! allocation (one cache-line-friendly, SIMD-ready block — the alignment
-//! a future vectorized or mmap-backed kernel can rely on) plus an
+//! [`EmbeddingStore`] owns a row-major matrix in a 32-byte-aligned
+//! allocation (one cache-line-friendly, SIMD-ready block) plus an
 //! optional id↔row mapping for corpora whose external ids are not dense
 //! row indices (e.g. the user pool's user ids). Indexes hold the store
 //! behind an `Arc`, so brute force, HNSW, and IVF built over the same
 //! embeddings share one arena instead of three private copies.
+//!
+//! Two orthogonal axes extend the original f32 arena:
+//!
+//! * **[`RowFormat`]** — rows are stored as `f32`, IEEE 754 half
+//!   precision (`f16`), or per-row affine-quantized 8-bit codes (`i8`).
+//!   Quantized stores never hand out borrowed `&[f32]` rows; scoring
+//!   goes through the fused [`EmbeddingStore::score_row`] (dequantize
+//!   inside the multiply-add loop, no row materialized) and cold paths
+//!   through [`EmbeddingStore::decode_row`].
+//! * **[`StoreBacking`]** — the arena bytes are either an owned
+//!   allocation or a read-only `mmap` of a table sidecar file (see
+//!   [`crate::table`]), so a multi-GB item table is paged in lazily and
+//!   shared across processes instead of copied onto every heap.
+//!
+//! Determinism contract: for a fixed format, [`EmbeddingStore::score_row`]
+//! is one sequential multiply-add reduction in row order — the same
+//! association order as [`crate::dot`] — so scores are bit-identical
+//! across runs, thread counts, and backings (owned and mmap arenas hold
+//! identical bytes).
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-/// Alignment (bytes) of every [`EmbeddingStore`] allocation.
+use crate::table::MmapRegion;
+
+/// Alignment (bytes) of every owned [`EmbeddingStore`] allocation.
 pub const STORE_ALIGN: usize = 32;
 
-/// A fixed-size, 32-byte-aligned `f32` buffer.
+/// How a store's rows are encoded in the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowFormat {
+    /// Full-precision `f32` rows (the training/checkpoint format).
+    F32,
+    /// IEEE 754 binary16 rows: 2 bytes per value, ~3 decimal digits.
+    F16,
+    /// Per-row affine 8-bit codes: 1 byte per value plus a `[scale,
+    /// zero]` pair per row; `value = zero + scale * code`.
+    I8,
+}
+
+impl RowFormat {
+    /// Bytes one value occupies in this format.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            RowFormat::F32 => 4,
+            RowFormat::F16 => 2,
+            RowFormat::I8 => 1,
+        }
+    }
+
+    /// The CLI / schema name (`f32`, `f16`, `i8`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowFormat::F32 => "f32",
+            RowFormat::F16 => "f16",
+            RowFormat::I8 => "i8",
+        }
+    }
+
+    /// Parses a CLI / schema name.
+    pub fn parse(s: &str) -> Option<RowFormat> {
+        match s {
+            "f32" => Some(RowFormat::F32),
+            "f16" => Some(RowFormat::F16),
+            "i8" => Some(RowFormat::I8),
+            _ => None,
+        }
+    }
+
+    /// Stable on-disk code for the table sidecar header.
+    pub(crate) fn code(self) -> u32 {
+        match self {
+            RowFormat::F32 => 0,
+            RowFormat::F16 => 1,
+            RowFormat::I8 => 2,
+        }
+    }
+
+    /// Inverse of [`RowFormat::code`].
+    pub(crate) fn from_code(c: u32) -> Option<RowFormat> {
+        match c {
+            0 => Some(RowFormat::F32),
+            1 => Some(RowFormat::F16),
+            2 => Some(RowFormat::I8),
+            _ => None,
+        }
+    }
+
+    /// Every format, in declaration order (bench/eval sweeps).
+    pub const ALL: [RowFormat; 3] = [RowFormat::F32, RowFormat::F16, RowFormat::I8];
+}
+
+/// Where a store's arena bytes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreBacking {
+    /// An owned, 32-byte-aligned heap allocation.
+    Owned,
+    /// A read-only memory map of a table sidecar file.
+    Mmap,
+}
+
+impl StoreBacking {
+    /// The CLI / `/healthz` name (`owned`, `mmap`).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreBacking::Owned => "owned",
+            StoreBacking::Mmap => "mmap",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f16 codec (no `half` crate in the workspace — hand-rolled bit transport)
+// ---------------------------------------------------------------------------
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
+/// Infinities and NaN map to their half-precision counterparts (store
+/// construction rejects non-finite values before encoding).
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: keep NaN-ness with a quiet payload bit.
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        let mut half_exp = (unbiased + 15) as u32;
+        let mut half_man = man >> 13;
+        let round = man & 0x1fff;
+        if round > 0x1000 || (round == 0x1000 && half_man & 1 == 1) {
+            half_man += 1;
+            if half_man == 0x400 {
+                half_man = 0;
+                half_exp += 1;
+                if half_exp >= 31 {
+                    return sign | 0x7c00;
+                }
+            }
+        }
+        return sign | ((half_exp as u16) << 10) | half_man as u16;
+    }
+    if unbiased < -25 {
+        return sign; // underflow → ±0
+    }
+    // Subnormal half: shift the hidden bit into the mantissa field.
+    let man = man | 0x0080_0000;
+    let shift = (13 - 14 - unbiased) as u32;
+    let mut half_man = man >> shift;
+    let round = man & ((1u32 << shift) - 1);
+    let halfway = 1u32 << (shift - 1);
+    if round > halfway || (round == halfway && half_man & 1 == 1) {
+        // A carry out of the subnormal range lands on 0x0400, which is
+        // exactly the smallest normal encoding — no fixup needed.
+        half_man += 1;
+    }
+    sign | half_man as u16
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x03ff) as u32;
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign // ±0
+        } else {
+            // Subnormal half: renormalize into an f32 exponent.
+            let mut e: i32 = 113;
+            let mut m = man;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (man << 13) // ±inf / NaN
+    } else {
+        sign | ((exp + 112) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+// ---------------------------------------------------------------------------
+// i8 codec: per-row affine quantization
+// ---------------------------------------------------------------------------
+
+/// Per-row `[scale, zero]` for a row's `i8` codes: `value = zero +
+/// scale * code`, codes in `0..=255`. The overflow-safe `max/255 -
+/// min/255` form keeps the scale finite even for ±`f32::MAX` rows.
+pub fn i8_row_params(row: &[f32]) -> [f32; 2] {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in row {
+        assert!(x.is_finite(), "non-finite value {x} cannot be quantized");
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let scale = max / 255.0 - min / 255.0;
+    [scale, min]
+}
+
+/// Encodes one value against a row's `[scale, zero]` params.
+pub fn i8_encode(x: f32, params: [f32; 2]) -> u8 {
+    let [scale, zero] = params;
+    if scale <= 0.0 {
+        return 0; // constant row: every value decodes to `zero` exactly
+    }
+    ((x - zero) / scale).round().clamp(0.0, 255.0) as u8
+}
+
+/// Decodes one `i8` code against a row's `[scale, zero]` params.
+pub fn i8_decode(code: u8, params: [f32; 2]) -> f32 {
+    params[1] + params[0] * code as f32
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+/// A fixed-size, 32-byte-aligned byte buffer.
 ///
-/// `Vec<f32>` only guarantees 4-byte alignment; this buffer allocates
+/// `Vec<u8>` only guarantees 1-byte alignment; this buffer allocates
 /// through [`std::alloc`] with an explicit [`STORE_ALIGN`]-byte layout so
-/// the arena's base address is stable for aligned loads.
-struct AlignedBuf {
-    ptr: NonNull<f32>,
+/// the arena's base address is stable for aligned `f32` loads.
+pub(crate) struct AlignedBuf {
+    ptr: NonNull<u8>,
     len: usize,
 }
 
-// SAFETY: the buffer is an owned allocation of plain floats; sharing or
-// sending it across threads is exactly as safe as for a Vec<f32>.
+// SAFETY: the buffer is an owned allocation of plain bytes; sharing or
+// sending it across threads is exactly as safe as for a Vec<u8>.
 unsafe impl Send for AlignedBuf {}
 unsafe impl Sync for AlignedBuf {}
 
 impl AlignedBuf {
-    /// Layout of a `len`-float allocation. Panics if the size overflows.
+    /// Layout of a `len`-byte allocation. Panics if the size overflows.
     fn layout(len: usize) -> Layout {
-        let bytes = len.checked_mul(std::mem::size_of::<f32>()).expect("store size overflow");
-        Layout::from_size_align(bytes, STORE_ALIGN).expect("store layout")
+        Layout::from_size_align(len, STORE_ALIGN).expect("store layout")
     }
 
-    /// An aligned, zero-initialized buffer of `len` floats.
+    /// An aligned, zero-initialized buffer of `len` bytes.
     fn zeroed(len: usize) -> AlignedBuf {
         if len == 0 {
-            return AlignedBuf { ptr: NonNull::dangling(), len: 0 };
+            // Dangle at STORE_ALIGN so empty windows still cast to &[f32].
+            let ptr = NonNull::new(STORE_ALIGN as *mut u8).expect("non-zero align");
+            return AlignedBuf { ptr, len: 0 };
         }
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > 0 checked above).
         let raw = unsafe { alloc_zeroed(layout) };
-        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+        let Some(ptr) = NonNull::new(raw) else {
             handle_alloc_error(layout);
         };
         AlignedBuf { ptr, len }
     }
 
-    fn as_slice(&self) -> &[f32] {
-        // SAFETY: ptr covers exactly len initialized floats (zeroed at
-        // allocation, only ever written through as_mut_slice).
+    fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr covers exactly len initialized bytes (zeroed at
+        // allocation, only ever written through as_bytes_mut).
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
 
-    fn as_mut_slice(&mut self) -> &mut [f32] {
-        // SAFETY: as as_slice, plus &mut self guarantees uniqueness.
+    fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as as_bytes, plus &mut self guarantees uniqueness.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
     }
 }
@@ -68,16 +290,44 @@ impl Drop for AlignedBuf {
     fn drop(&mut self) {
         if self.len > 0 {
             // SAFETY: allocated in zeroed() with this exact layout.
-            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+            unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.len)) };
         }
     }
 }
 
-impl Clone for AlignedBuf {
-    fn clone(&self) -> AlignedBuf {
-        let mut out = AlignedBuf::zeroed(self.len);
-        out.as_mut_slice().copy_from_slice(self.as_slice());
-        out
+/// The arena bytes behind a store: one owned allocation or one mmap.
+pub(crate) enum Arena {
+    /// Owned aligned heap bytes.
+    Owned(AlignedBuf),
+    /// A read-only map of a table sidecar file.
+    Mmap(MmapRegion),
+}
+
+impl Arena {
+    /// Wraps an mmap'd table file as an arena.
+    pub(crate) fn mmap(region: MmapRegion) -> Arena {
+        Arena::Mmap(region)
+    }
+
+    /// Copies raw bytes into a fresh owned, aligned arena.
+    pub(crate) fn owned_copy(bytes: &[u8]) -> Arena {
+        let mut buf = AlignedBuf::zeroed(bytes.len());
+        buf.as_bytes_mut().copy_from_slice(bytes);
+        Arena::Owned(buf)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Arena::Owned(buf) => buf.as_bytes(),
+            Arena::Mmap(map) => map.as_bytes(),
+        }
+    }
+
+    fn backing(&self) -> StoreBacking {
+        match self {
+            Arena::Owned(_) => StoreBacking::Owned,
+            Arena::Mmap(_) => StoreBacking::Mmap,
+        }
     }
 }
 
@@ -91,44 +341,62 @@ struct IdMap {
 }
 
 /// An aligned, row-major embedding matrix with id↔row mapping — either a
-/// whole owned arena or a zero-copy row-range *view* into one.
+/// whole arena (owned or mmap'd, see [`StoreBacking`]) or a zero-copy
+/// row-range *view* into one, in any [`RowFormat`].
 ///
 /// Built either by copying rows in ([`EmbeddingStore::from_vec`],
-/// [`EmbeddingStore::with_ids`]) or zero-fill-then-write
+/// [`EmbeddingStore::with_ids`]), zero-fill-then-write
 /// ([`EmbeddingStore::zeroed`] + [`EmbeddingStore::data_mut`] — the
-/// checkpoint-direct load path, which decodes the embedding section of a
-/// serialized model straight into the arena without materializing any
-/// intermediate parameter set).
+/// checkpoint-direct load path), re-encoding an f32 store
+/// ([`EmbeddingStore::quantize`]), or opening a table sidecar file
+/// ([`crate::table::open_table`]).
 ///
 /// The arena itself sits behind an `Arc`, so
 /// [`EmbeddingStore::view_rows`] can cut a contiguous row range into its
-/// own `EmbeddingStore` without copying a float — the mechanism the
+/// own `EmbeddingStore` without copying a value — the mechanism the
 /// sharded retriever uses to hand each shard a window of one shared
-/// arena. Views are read-only: the mutating accessors
-/// ([`EmbeddingStore::data_mut`], [`EmbeddingStore::row_mut`]) require
-/// the arena to still be uniquely owned, which is exactly the
-/// fill-then-share lifecycle every construction path follows.
+/// arena, identically for owned and mmap backings. Views are read-only:
+/// the mutating accessors ([`EmbeddingStore::data_mut`],
+/// [`EmbeddingStore::row_mut`]) require an uniquely-owned f32 arena,
+/// which is exactly the fill-then-share lifecycle every construction
+/// path follows.
 pub struct EmbeddingStore {
-    buf: Arc<AlignedBuf>,
-    /// First float of this store's window into the arena
-    /// (`row offset × dim`).
-    offset: usize,
-    /// Floats in this store's window (`rows × dim`).
-    len: usize,
+    arena: Arc<Arena>,
+    /// Byte offset of arena row 0 (non-zero for table-file maps, whose
+    /// arena spans the whole file including header and params).
+    base: usize,
+    format: RowFormat,
+    /// First row of this store's window, absolute within the arena.
+    row_offset: usize,
+    /// Rows in this store's window.
+    rows: usize,
     dim: usize,
+    /// Per-row `[scale, zero]` dequant params for the whole arena,
+    /// indexed by absolute row (`I8` only; empty otherwise). Shared by
+    /// views, like the arena itself.
+    params: Arc<Vec<[f32; 2]>>,
     ids: Option<IdMap>,
 }
 
 impl EmbeddingStore {
-    /// A zero-initialized `rows × dim` store (fill via
+    /// A zero-initialized f32 `rows × dim` store (fill via
     /// [`EmbeddingStore::data_mut`] / [`EmbeddingStore::row_mut`]).
     pub fn zeroed(rows: usize, dim: usize) -> EmbeddingStore {
         assert!(dim > 0, "dim must be positive");
-        let len = rows * dim;
-        EmbeddingStore { buf: Arc::new(AlignedBuf::zeroed(len)), offset: 0, len, dim, ids: None }
+        let bytes = rows.checked_mul(dim).and_then(|n| n.checked_mul(4)).expect("store size");
+        EmbeddingStore {
+            arena: Arc::new(Arena::Owned(AlignedBuf::zeroed(bytes))),
+            base: 0,
+            format: RowFormat::F32,
+            row_offset: 0,
+            rows,
+            dim,
+            params: Arc::new(Vec::new()),
+            ids: None,
+        }
     }
 
-    /// Copies a row-major `n × dim` buffer into a fresh aligned arena.
+    /// Copies a row-major `n × dim` f32 buffer into a fresh aligned arena.
     pub fn from_rows(data: &[f32], dim: usize) -> EmbeddingStore {
         assert!(dim > 0, "dim must be positive");
         assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
@@ -150,6 +418,34 @@ impl EmbeddingStore {
         store
     }
 
+    /// Crate-internal constructor for table-file loads: the arena holds
+    /// the file image (owned copy or mmap) and `base` points at row 0.
+    pub(crate) fn from_table_parts(
+        arena: Arc<Arena>,
+        base: usize,
+        format: RowFormat,
+        rows: usize,
+        dim: usize,
+        params: Vec<[f32; 2]>,
+    ) -> EmbeddingStore {
+        assert!(dim > 0, "dim must be positive");
+        let need = base + rows * dim * format.bytes_per_value();
+        assert!(arena.bytes().len() >= need, "table arena too small");
+        if format == RowFormat::I8 {
+            assert_eq!(params.len(), rows, "one [scale, zero] pair per i8 row");
+        }
+        EmbeddingStore {
+            arena,
+            base,
+            format,
+            row_offset: 0,
+            rows,
+            dim,
+            params: Arc::new(params),
+            ids: None,
+        }
+    }
+
     /// Attaches (or replaces) the external-id mapping. Ids must be unique
     /// and one per row.
     pub fn set_ids(&mut self, ids: Vec<u32>) {
@@ -164,17 +460,17 @@ impl EmbeddingStore {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.len / self.dim
+        self.rows
     }
 
     /// Alias for [`EmbeddingStore::rows`], matching the index trait.
     pub fn len(&self) -> usize {
-        self.rows()
+        self.rows
     }
 
     /// True when no rows are stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.rows == 0
     }
 
     /// Embedding dimension.
@@ -182,7 +478,53 @@ impl EmbeddingStore {
         self.dim
     }
 
-    /// Row `r` as a slice.
+    /// How rows are encoded.
+    pub fn format(&self) -> RowFormat {
+        self.format
+    }
+
+    /// Where the arena bytes live.
+    pub fn backing(&self) -> StoreBacking {
+        self.arena.backing()
+    }
+
+    /// Bytes one row occupies.
+    fn stride(&self) -> usize {
+        self.dim * self.format.bytes_per_value()
+    }
+
+    /// This store's window of the arena, raw row-major bytes.
+    pub(crate) fn window_bytes(&self) -> &[u8] {
+        let start = self.base + self.row_offset * self.stride();
+        &self.arena.bytes()[start..start + self.rows * self.stride()]
+    }
+
+    /// Row `r`'s raw encoded bytes.
+    fn row_bytes(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        let stride = self.stride();
+        &self.window_bytes()[r * stride..(r + 1) * stride]
+    }
+
+    /// Per-row `[scale, zero]` dequant params (`I8` stores only).
+    pub fn row_params(&self, r: usize) -> [f32; 2] {
+        assert_eq!(self.format, RowFormat::I8, "row params only exist for i8 stores");
+        self.params[self.row_offset + r]
+    }
+
+    /// The window's `[scale, zero]` pairs, one per row (`I8` stores only;
+    /// the table writer serializes these ahead of the code bytes).
+    pub(crate) fn window_params(&self) -> &[[f32; 2]] {
+        assert_eq!(self.format, RowFormat::I8, "row params only exist for i8 stores");
+        &self.params[self.row_offset..self.row_offset + self.rows]
+    }
+
+    /// Row `r` as an `f32` slice.
+    ///
+    /// # Panics
+    /// Panics on quantized stores, which cannot lend borrowed `f32`
+    /// rows — score through [`EmbeddingStore::score_row`] or decode via
+    /// [`EmbeddingStore::decode_row`].
     pub fn row(&self, r: usize) -> &[f32] {
         &self.as_slice()[r * self.dim..(r + 1) * self.dim]
     }
@@ -191,41 +533,183 @@ impl EmbeddingStore {
     ///
     /// # Panics
     /// Panics if the arena is already shared (a view exists or the store
-    /// sits behind a cloned `Arc`) — stores follow a strict
-    /// fill-then-share lifecycle.
+    /// sits behind a cloned `Arc`), quantized, or mmap-backed — stores
+    /// follow a strict fill-then-share lifecycle.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         let d = self.dim;
         &mut self.data_mut()[r * d..(r + 1) * d]
     }
 
-    /// This store's window of the arena, row-major.
+    /// This store's window of the arena, row-major `f32`.
+    ///
+    /// # Panics
+    /// Panics on quantized stores — see [`EmbeddingStore::row`].
     pub fn as_slice(&self) -> &[f32] {
-        &self.buf.as_slice()[self.offset..self.offset + self.len]
+        assert_eq!(
+            self.format,
+            RowFormat::F32,
+            "f32 slice access on a {} store — use score_row/decode_row",
+            self.format.name()
+        );
+        let bytes = self.window_bytes();
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0, "f32 window misaligned");
+        // SAFETY: an F32 store's window is rows*dim*4 bytes of initialized
+        // f32 data; owned arenas are 32-byte aligned and table files place
+        // the data section on a 64-byte boundary, so the pointer is
+        // f32-aligned. Any bit pattern is a valid f32.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
     }
 
     /// The whole arena, mutable (checkpoint-load fill path).
     ///
     /// # Panics
-    /// Panics if the arena is already shared — see
-    /// [`EmbeddingStore::row_mut`].
+    /// Panics if the arena is already shared, quantized, or mmap-backed —
+    /// see [`EmbeddingStore::row_mut`].
     pub fn data_mut(&mut self) -> &mut [f32] {
-        let (offset, len) = (self.offset, self.len);
-        let buf = Arc::get_mut(&mut self.buf)
+        assert_eq!(
+            self.format,
+            RowFormat::F32,
+            "mutating a {} store — quantized stores are write-once",
+            self.format.name()
+        );
+        let start = self.base + self.row_offset * self.stride();
+        let len = self.rows * self.stride();
+        let arena = Arc::get_mut(&mut self.arena)
             .expect("mutating an embedding arena that is already shared");
-        &mut buf.as_mut_slice()[offset..offset + len]
+        let Arena::Owned(buf) = arena else {
+            panic!("mutating an mmap-backed arena — maps are read-only")
+        };
+        let bytes = &mut buf.as_bytes_mut()[start..start + len];
+        // SAFETY: as as_slice, plus Arc::get_mut guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<f32>(), len / 4) }
+    }
+
+    /// Re-encodes this f32 store into `format`, preserving the id
+    /// mapping. `quantize(RowFormat::F32)` is a deep copy.
+    ///
+    /// # Panics
+    /// Panics if `self` is not `f32`, or contains non-finite values.
+    pub fn quantize(&self, format: RowFormat) -> EmbeddingStore {
+        assert_eq!(self.format, RowFormat::F32, "quantize re-encodes an f32 store");
+        if format == RowFormat::F32 {
+            return self.clone();
+        }
+        let src = self.as_slice();
+        let bytes_len = self.rows * self.dim * format.bytes_per_value();
+        let mut buf = AlignedBuf::zeroed(bytes_len);
+        let mut params = Vec::new();
+        match format {
+            RowFormat::F32 => unreachable!(),
+            RowFormat::F16 => {
+                for (out, &x) in buf.as_bytes_mut().chunks_exact_mut(2).zip(src) {
+                    assert!(x.is_finite(), "non-finite value {x} cannot be quantized");
+                    out.copy_from_slice(&f32_to_f16(x).to_le_bytes());
+                }
+            }
+            RowFormat::I8 => {
+                params.reserve(self.rows);
+                for (out, row) in
+                    buf.as_bytes_mut().chunks_exact_mut(self.dim).zip(src.chunks_exact(self.dim))
+                {
+                    let p = i8_row_params(row);
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        *o = i8_encode(x, p);
+                    }
+                    params.push(p);
+                }
+            }
+        }
+        EmbeddingStore {
+            arena: Arc::new(Arena::Owned(buf)),
+            base: 0,
+            format,
+            row_offset: 0,
+            rows: self.rows,
+            dim: self.dim,
+            params: Arc::new(params),
+            ids: self.ids.clone(),
+        }
+    }
+
+    /// Row `r` as `f32` values: borrowed for f32 stores, decoded into an
+    /// owned buffer for quantized ones (cold paths — index construction,
+    /// query gathering; hot scoring goes through
+    /// [`EmbeddingStore::score_row`]).
+    pub fn decode_row(&self, r: usize) -> Cow<'_, [f32]> {
+        match self.format {
+            RowFormat::F32 => Cow::Borrowed(self.row(r)),
+            _ => {
+                let mut out = vec![0.0; self.dim];
+                self.decode_row_into(r, &mut out);
+                Cow::Owned(out)
+            }
+        }
+    }
+
+    /// Decodes row `r` into `out` (`out.len() == dim`).
+    pub fn decode_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output buffer must hold one row");
+        match self.format {
+            RowFormat::F32 => out.copy_from_slice(self.row(r)),
+            RowFormat::F16 => {
+                for (o, h) in out.iter_mut().zip(self.row_bytes(r).chunks_exact(2)) {
+                    *o = f16_to_f32(u16::from_le_bytes([h[0], h[1]]));
+                }
+            }
+            RowFormat::I8 => {
+                let p = self.row_params(r);
+                for (o, &c) in out.iter_mut().zip(self.row_bytes(r)) {
+                    *o = i8_decode(c, p);
+                }
+            }
+        }
+    }
+
+    /// Fused dequantize-dot of `query` against row `r` — the one scoring
+    /// primitive every retrieval path uses. Quantized rows are decoded
+    /// inside the multiply-add loop (no `f32` row is materialized), and
+    /// the accumulation is a fixed sequential reduction in value order —
+    /// the same association order as [`crate::dot`] — so scores are
+    /// bit-reproducible across runs and identical for owned and mmap
+    /// backings. The scalar loops carry no cross-iteration control flow,
+    /// so the compiler can vectorize the byte→f32 conversions.
+    pub fn score_row(&self, query: &[f32], r: usize) -> f32 {
+        debug_assert_eq!(query.len(), self.dim, "query/dim mismatch");
+        match self.format {
+            RowFormat::F32 => crate::kernel::dot(query, self.row(r)),
+            RowFormat::F16 => {
+                let mut acc = 0.0f32;
+                for (q, h) in query.iter().zip(self.row_bytes(r).chunks_exact(2)) {
+                    acc += q * f16_to_f32(u16::from_le_bytes([h[0], h[1]]));
+                }
+                acc
+            }
+            RowFormat::I8 => {
+                let [scale, zero] = self.row_params(r);
+                let mut acc = 0.0f32;
+                for (q, &c) in query.iter().zip(self.row_bytes(r)) {
+                    acc += q * (zero + scale * c as f32);
+                }
+                acc
+            }
+        }
     }
 
     /// A zero-copy view of rows `start..end` sharing this store's arena:
     /// row `r` of the view is row `start + r` of `self`. The view carries
     /// no id mapping — callers translate through the parent store (the
-    /// sharded retriever's offset arithmetic does exactly that).
+    /// sharded retriever's offset arithmetic does exactly that). Works
+    /// identically over owned and mmap arenas and every row format.
     pub fn view_rows(&self, start: usize, end: usize) -> EmbeddingStore {
         assert!(start <= end && end <= self.rows(), "view {start}..{end} out of bounds");
         EmbeddingStore {
-            buf: self.buf.clone(),
-            offset: self.offset + start * self.dim,
-            len: (end - start) * self.dim,
+            arena: self.arena.clone(),
+            base: self.base,
+            format: self.format,
+            row_offset: self.row_offset + start,
+            rows: end - start,
             dim: self.dim,
+            params: self.params.clone(),
             ids: None,
         }
     }
@@ -233,7 +717,7 @@ impl EmbeddingStore {
     /// True when `self` and `other` are windows over the same allocation
     /// (i.e. a view relationship, not a copy).
     pub fn shares_arena(&self, other: &EmbeddingStore) -> bool {
-        Arc::ptr_eq(&self.buf, &other.buf)
+        Arc::ptr_eq(&self.arena, &other.arena)
     }
 
     /// The external id of row `row` (the row index itself when no mapping
@@ -260,14 +744,29 @@ impl EmbeddingStore {
 }
 
 impl Clone for EmbeddingStore {
-    /// Deep copy of this store's window into a fresh arena (views stay
-    /// zero-copy only through [`EmbeddingStore::view_rows`]; `clone` is
-    /// always an independent allocation).
+    /// Deep copy of this store's window into a fresh owned arena (views
+    /// stay zero-copy only through [`EmbeddingStore::view_rows`]; `clone`
+    /// is always an independent allocation — cloning an mmap-backed store
+    /// yields an owned one holding identical bytes).
     fn clone(&self) -> EmbeddingStore {
-        let mut copy = EmbeddingStore::zeroed(self.rows(), self.dim);
-        copy.data_mut().copy_from_slice(self.as_slice());
-        copy.ids = self.ids.clone();
-        copy
+        let src = self.window_bytes();
+        let mut buf = AlignedBuf::zeroed(src.len());
+        buf.as_bytes_mut().copy_from_slice(src);
+        let params = if self.format == RowFormat::I8 {
+            self.window_params().to_vec()
+        } else {
+            Vec::new()
+        };
+        EmbeddingStore {
+            arena: Arc::new(Arena::Owned(buf)),
+            base: 0,
+            format: self.format,
+            row_offset: 0,
+            rows: self.rows,
+            dim: self.dim,
+            params: Arc::new(params),
+            ids: self.ids.clone(),
+        }
     }
 }
 
@@ -276,6 +775,8 @@ impl std::fmt::Debug for EmbeddingStore {
         f.debug_struct("EmbeddingStore")
             .field("rows", &self.rows())
             .field("dim", &self.dim)
+            .field("format", &self.format.name())
+            .field("backing", &self.backing().name())
             .field("mapped", &self.ids.is_some())
             .finish()
     }
@@ -300,6 +801,8 @@ mod tests {
         assert_eq!(store.rows(), 3);
         assert_eq!(store.row(1), &[3.0, 4.0]);
         assert_eq!(store.as_slice(), data.as_slice());
+        assert_eq!(store.format(), RowFormat::F32);
+        assert_eq!(store.backing(), StoreBacking::Owned);
     }
 
     #[test]
@@ -377,5 +880,111 @@ mod tests {
         assert_eq!(b.id_of_row(0), 9);
         assert_eq!(b.as_slice().as_ptr() as usize % STORE_ALIGN, 0);
         assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    // ---- quantized formats -------------------------------------------------
+
+    fn ramp_store(rows: usize, dim: usize) -> EmbeddingStore {
+        let data: Vec<f32> = (0..rows * dim).map(|i| (i as f32).sin()).collect();
+        EmbeddingStore::from_rows(&data, dim)
+    }
+
+    #[test]
+    fn f16_codec_round_trips_representable_values() {
+        // the last entry is 2^-14, the smallest normal binary16 value
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 2.0f32.powi(-14)] {
+            assert_eq!(f16_to_f32(f32_to_f16(x)), x, "{x} is exactly representable");
+        }
+        assert_eq!(f32_to_f16(1e9), 0x7c00, "overflow saturates to +inf");
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn quantize_preserves_shape_ids_and_approximate_values() {
+        for format in [RowFormat::F16, RowFormat::I8] {
+            let mut base = ramp_store(5, 8);
+            base.set_ids(vec![10, 20, 30, 40, 50]);
+            let q = base.quantize(format);
+            assert_eq!(q.rows(), 5);
+            assert_eq!(q.dim(), 8);
+            assert_eq!(q.format(), format);
+            assert_eq!(q.id_of_row(2), 30);
+            for r in 0..5 {
+                let orig = base.row(r);
+                let decoded = q.decode_row(r);
+                for (a, b) in orig.iter().zip(decoded.iter()) {
+                    assert!((a - b).abs() < 0.01, "{format:?} row {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_constant_rows_decode_exactly() {
+        let store = EmbeddingStore::from_rows(&[0.25; 6], 3).quantize(RowFormat::I8);
+        assert_eq!(store.decode_row(1).as_ref(), &[0.25, 0.25, 0.25]);
+        let zeros = EmbeddingStore::zeroed(2, 3).quantize(RowFormat::I8);
+        assert_eq!(zeros.decode_row(0).as_ref(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn quantize_rejects_non_finite() {
+        EmbeddingStore::from_rows(&[1.0, f32::NAN], 2).quantize(RowFormat::I8);
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 slice access")]
+    fn quantized_stores_refuse_borrowed_rows() {
+        let q = ramp_store(2, 4).quantize(RowFormat::I8);
+        let _ = q.row(0);
+    }
+
+    #[test]
+    fn score_row_matches_dot_exactly_for_f32() {
+        let store = ramp_store(7, 5);
+        let query: Vec<f32> = (0..5).map(|i| (i as f32).cos()).collect();
+        for r in 0..7 {
+            assert_eq!(
+                store.score_row(&query, r).to_bits(),
+                crate::kernel::dot(&query, store.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn score_row_equals_dot_over_decoded_row_for_quantized() {
+        // The fused kernel must equal a dot over the decoded row bit for
+        // bit: same per-element dequant expression, same accumulation
+        // order, no row materialized on the fused side.
+        for format in [RowFormat::F16, RowFormat::I8] {
+            let q = ramp_store(6, 9).quantize(format);
+            let query: Vec<f32> = (0..9).map(|i| 0.3 * i as f32 - 1.0).collect();
+            for r in 0..6 {
+                let fused = q.score_row(&query, r);
+                let decoded = crate::kernel::dot(&query, &q.decode_row(r));
+                assert_eq!(fused.to_bits(), decoded.to_bits(), "{format:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_views_share_arena_and_score_identically() {
+        let q = ramp_store(10, 4).quantize(RowFormat::I8);
+        let view = q.view_rows(3, 8);
+        assert!(view.shares_arena(&q));
+        let query = [0.5, -0.5, 1.0, 0.25];
+        for r in 0..view.rows() {
+            assert_eq!(
+                view.score_row(&query, r).to_bits(),
+                q.score_row(&query, r + 3).to_bits()
+            );
+        }
+        // clone of a quantized view re-bases params and bytes
+        let copy = view.clone();
+        assert!(!copy.shares_arena(&q));
+        for r in 0..view.rows() {
+            assert_eq!(copy.score_row(&query, r).to_bits(), view.score_row(&query, r).to_bits());
+        }
     }
 }

@@ -1,0 +1,238 @@
+//! Differential suite for quantized stores: every backend (exact, HNSW,
+//! IVF), sharded 1-way and 3-way, single-query and batched, searched
+//! over f16 and i8 stores and gated on recall@10 against the exact-f32
+//! oracle — ≥ 0.99 for f16, ≥ 0.95 for i8. The backends are configured
+//! effectively exact (`ef_search ≥ rows`, `nprobe = nlist`) so the gate
+//! measures quantization loss alone, not index approximation.
+//!
+//! Two bitwise contracts ride along: quantized scores are deterministic
+//! across independent retriever builds and runs, and an mmap'd table
+//! backing returns results bit-identical to the owned-arena backing for
+//! every backend.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unimatch_ann::{
+    open_table, write_table, BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex,
+    IvfConfig, IvfIndex, Retriever, RowFormat, ShardedRetriever, StoreBacking,
+};
+
+const DIM: usize = 16;
+/// Deliberately not divisible by 3, so shard boundaries land unevenly.
+const ROWS: usize = 250;
+const K: usize = 10;
+const N_QUERIES: usize = 40;
+const SHARD_COUNTS: [usize; 2] = [1, 3];
+
+fn unit_cloud(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * DIM);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+        data.extend(v.into_iter().map(|x| x / norm));
+    }
+    data
+}
+
+/// One backend's retrievers, keyed by the shard count they were built with.
+type ShardedBackends = Vec<(usize, Box<dyn Retriever>)>;
+
+/// Effectively-exact retrievers of every backend over one store, plus a
+/// sharded arrangement per tested shard count.
+fn build_backends(store: &Arc<EmbeddingStore>) -> Vec<(&'static str, ShardedBackends)> {
+    let hnsw_cfg = HnswConfig { m: 16, ef_construction: 128, ef_search: ROWS };
+    let ivf_cfg = IvfConfig { nlist: 8, nprobe: 8, kmeans_iters: 4 };
+    let mut out: Vec<(&'static str, ShardedBackends)> = Vec::new();
+    for backend in ["exact", "hnsw", "ivf"] {
+        let mut arrangements: ShardedBackends = Vec::new();
+        for n in SHARD_COUNTS {
+            let retriever: Box<dyn Retriever> = match backend {
+                "exact" => Box::new(ShardedRetriever::build(store, n, |view| {
+                    Box::new(BruteForceIndex::over(view))
+                })),
+                "hnsw" => {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    Box::new(ShardedRetriever::build(store, n, |view| {
+                        Box::new(HnswIndex::build_over(view, hnsw_cfg, &mut rng))
+                    }))
+                }
+                _ => {
+                    let mut rng = StdRng::seed_from_u64(12);
+                    Box::new(ShardedRetriever::build(store, n, |view| {
+                        Box::new(IvfIndex::build_over(view, ivf_cfg, &mut rng))
+                    }))
+                }
+            };
+            arrangements.push((n, retriever));
+        }
+        out.push((backend, arrangements));
+    }
+    out
+}
+
+fn recall_against(oracle: &[Vec<Hit>], lists: &[Vec<Hit>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (o, l) in oracle.iter().zip(lists) {
+        let truth: std::collections::HashSet<u32> = o.iter().map(|h| h.id).collect();
+        total += truth.len();
+        hit += l.iter().filter(|h| truth.contains(&h.id)).count();
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+fn assert_bitwise(a: &[Hit], b: &[Hit], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: hit counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.id, y.id, "{context}: id diverges at rank {i}");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{context}: score bits diverge at rank {i} (id {})",
+            x.id
+        );
+    }
+}
+
+/// The recall gate each format must clear against the exact-f32 oracle.
+fn gate(format: RowFormat) -> f64 {
+    match format {
+        RowFormat::F32 => 1.0,
+        RowFormat::F16 => 0.99,
+        RowFormat::I8 => 0.95,
+    }
+}
+
+#[test]
+fn every_backend_meets_the_recall_gate_over_quantized_stores() {
+    let data = unit_cloud(ROWS, 0x9a27);
+    let queries = unit_cloud(N_QUERIES, 0x9a28);
+    let f32_store = Arc::new(EmbeddingStore::from_vec(data, DIM));
+
+    // the oracle: exact top-k over the unquantized store
+    let oracle_index = BruteForceIndex::over(f32_store.clone());
+    let oracle: Vec<Vec<Hit>> =
+        queries.chunks(DIM).map(|q| oracle_index.search(q, K)).collect();
+
+    for format in RowFormat::ALL {
+        let store = if format == RowFormat::F32 {
+            f32_store.clone()
+        } else {
+            Arc::new(f32_store.quantize(format))
+        };
+        for (backend, arrangements) in build_backends(&store) {
+            for (shards, retriever) in arrangements {
+                let single: Vec<Vec<Hit>> =
+                    queries.chunks(DIM).map(|q| retriever.search(q, K)).collect();
+                let batched = retriever.search_batch(&queries, K);
+                for (mode, lists) in [("single", &single), ("batch", &batched)] {
+                    let recall = recall_against(&oracle, lists);
+                    assert!(
+                        recall >= gate(format),
+                        "{} {backend} shards={shards} {mode}: recall@{K} {recall:.4} \
+                         below gate {:.2}",
+                        format.name(),
+                        gate(format)
+                    );
+                }
+                // single and batched answers agree bitwise: the batch path
+                // is a fan-out over the same kernel, not a different one
+                for (qi, (a, b)) in single.iter().zip(&batched).enumerate() {
+                    assert_bitwise(
+                        a,
+                        b,
+                        &format!("{} {backend} shards={shards} q={qi}", format.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_search_is_bitwise_deterministic_across_builds() {
+    let data = unit_cloud(ROWS, 0xde7);
+    let queries = unit_cloud(N_QUERIES, 0xde8);
+    let f32_store = Arc::new(EmbeddingStore::from_vec(data, DIM));
+    for format in [RowFormat::F16, RowFormat::I8] {
+        // two fully independent quantize → build → search pipelines
+        let run = || -> Vec<Vec<Vec<Hit>>> {
+            let store = Arc::new(f32_store.quantize(format));
+            build_backends(&store)
+                .iter()
+                .flat_map(|(_, arrangements)| {
+                    arrangements
+                        .iter()
+                        .map(|(_, r)| r.search_batch(&queries, K))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (ai, bi) in a.iter().zip(&b) {
+            for (qi, (x, y)) in ai.iter().zip(bi).enumerate() {
+                assert_bitwise(x, y, &format!("{} rerun q={qi}", format.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn mmap_backing_is_bitwise_identical_to_owned_for_every_backend() {
+    let data = unit_cloud(ROWS, 0x3a9);
+    let queries = unit_cloud(N_QUERIES, 0x3aa);
+    let f32_store = EmbeddingStore::from_vec(data, DIM);
+    let dir = std::env::temp_dir()
+        .join(format!("unimatch_quant_diff_mmap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    for format in RowFormat::ALL {
+        let source = if format == RowFormat::F32 {
+            f32_store.clone()
+        } else {
+            f32_store.quantize(format)
+        };
+        let path = dir.join(format!("store.{}.table", format.name()));
+        write_table(&source, 0xfeed, &path).expect("write table");
+        let (owned, _) = open_table(&path, false).expect("open owned");
+        let (mapped, _) = open_table(&path, true).expect("open mmap");
+        assert_eq!(owned.backing(), StoreBacking::Owned);
+        assert_eq!(mapped.backing(), StoreBacking::Mmap);
+
+        let owned = Arc::new(owned);
+        let mapped = Arc::new(mapped);
+        // scores agree bit-for-bit row by row...
+        for (qi, q) in queries.chunks(DIM).enumerate() {
+            for r in 0..ROWS {
+                assert_eq!(
+                    owned.score_row(q, r).to_bits(),
+                    mapped.score_row(q, r).to_bits(),
+                    "{} q={qi} row={r}: backings disagree",
+                    format.name()
+                );
+            }
+        }
+        // ...and so does every backend built over each backing (same
+        // build seeds: identical decoded values force identical indexes)
+        let a = build_backends(&owned);
+        let b = build_backends(&mapped);
+        for ((backend, arr_a), (_, arr_b)) in a.iter().zip(&b) {
+            for ((shards, ra), (_, rb)) in arr_a.iter().zip(arr_b) {
+                let la = ra.search_batch(&queries, K);
+                let lb = rb.search_batch(&queries, K);
+                for (qi, (x, y)) in la.iter().zip(&lb).enumerate() {
+                    assert_bitwise(
+                        x,
+                        y,
+                        &format!("{} {backend} shards={shards} q={qi}", format.name()),
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

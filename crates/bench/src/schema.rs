@@ -25,10 +25,10 @@ use unimatch_data::json::Json;
 /// Current snapshot schema version.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// The suites a snapshot can describe. `train`/`ann`/`serve`/`rerank`
-/// come from `bench snapshot`; `load` from the open-loop `loadgen`
-/// harness.
-pub const SUITES: [&str; 5] = ["train", "ann", "serve", "rerank", "load"];
+/// The suites a snapshot can describe. `train`/`ann`/`serve`/`rerank`/
+/// `quant` come from `bench snapshot`; `load` from the open-loop
+/// `loadgen` harness.
+pub const SUITES: [&str; 6] = ["train", "ann", "serve", "rerank", "quant", "load"];
 
 /// Which way a metric improves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -305,6 +305,33 @@ mod tests {
             let doc = Json::parse(s.to_json().to_string().as_bytes()).expect("parse");
             validate(&doc).unwrap_or_else(|e| panic!("suite {suite} rejected: {e}"));
         }
+    }
+
+    #[test]
+    fn quant_suite_is_schema_first_class() {
+        // the shape `bench snapshot` emits for the quantized-store suite:
+        // per-format throughput plus recall@10 against the f32 oracle
+        let mut s = Snapshot::new(
+            "quant",
+            SnapshotConfig { scale: 1.0, seed: 42, smoke: true, threads: 0 },
+        );
+        for fmt in ["f32", "f16", "i8"] {
+            s.push(&format!("{fmt}_qps_b32"), 50_000.0, "per_s", Direction::HigherBetter);
+            s.push(&format!("{fmt}_recall_at_10"), 0.99, "ratio", Direction::HigherBetter);
+            s.push(&format!("{fmt}_bytes_per_row"), 64.0, "bytes", Direction::LowerBetter);
+        }
+        let doc = Json::parse(s.to_json().to_string().as_bytes()).expect("parse");
+        validate(&doc).expect("quant snapshot validates");
+        // a recall drop beyond tolerance must read as a regression
+        let mut worse = s.clone();
+        for (name, m) in &mut worse.metrics {
+            if name == "i8_recall_at_10" {
+                m.value = 0.80;
+            }
+        }
+        let rows = diff(&s.to_json(), &worse.to_json(), 0.05).expect("diff");
+        let r = rows.iter().find(|r| r.name == "i8_recall_at_10").expect("row");
+        assert!(r.regressed, "recall 0.99 -> 0.80 must regress at 5% tolerance");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The `bench snapshot` runner: measures the four hot paths — training,
-//! ANN retrieval, post-retrieval re-ranking, and online serving — and
+//! The `bench snapshot` runner: measures the five hot paths — training,
+//! ANN retrieval, post-retrieval re-ranking, online serving, and the
+//! quantized-store kernel — and
 //! emits one schema-validated `BENCH_<suite>.json` per suite (see
 //! [`crate::schema`]).
 //!
@@ -18,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use unimatch_ann::{
     AnnIndex, BruteForceIndex, EmbeddingStore, HnswConfig, HnswIndex, IvfConfig, IvfIndex,
+    RowFormat,
 };
 use unimatch_core::persist::save_model;
 use unimatch_core::{ModelHandle, UniMatch, UniMatchConfig};
@@ -61,12 +63,13 @@ impl SnapshotOptions {
     }
 }
 
-/// Runs all four suites and writes their snapshot files. Returns the
+/// Runs all five suites and writes their snapshot files. Returns the
 /// paths written. Enables observability for the duration — a snapshot
 /// is exactly the place to exercise the instrumented paths.
 pub fn run_all(opts: &SnapshotOptions) -> std::io::Result<Vec<PathBuf>> {
     obs::set_enabled(true);
-    let snaps = [run_train(opts), run_ann(opts), run_rerank(opts), run_serve(opts)];
+    let snaps =
+        [run_train(opts), run_ann(opts), run_rerank(opts), run_serve(opts), run_quant(opts)];
     obs::set_enabled(false);
     let mut paths = Vec::new();
     for snap in snaps {
@@ -260,6 +263,73 @@ pub fn run_ann(opts: &SnapshotOptions) -> Snapshot {
                 Direction::HigherBetter,
             );
         }
+    }
+    snap
+}
+
+/// Measures the quantized-store hot path: for every row encoding, exact
+/// top-k over the same seeded corpus through the fused dequant-dot
+/// kernel — throughput at serving batch sizes, recall@10 against the
+/// f32 exact oracle, and the per-row footprint the encoding buys.
+pub fn run_quant(opts: &SnapshotOptions) -> Snapshot {
+    let n = (((if opts.smoke { 2_000.0 } else { 20_000.0 }) * opts.scale) as usize).max(200);
+    let dim = 16;
+    let k = 10;
+    let n_queries = if opts.smoke { 30 } else { 200 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let f32_store =
+        std::sync::Arc::new(EmbeddingStore::from_vec(unit_cloud(n, dim, &mut rng), dim));
+    let queries = unit_cloud(n_queries, dim, &mut rng);
+
+    let oracle: Vec<std::collections::HashSet<u32>> = {
+        let bf = BruteForceIndex::over(f32_store.clone());
+        queries.chunks(dim).map(|q| bf.search(q, k).iter().map(|h| h.id).collect()).collect()
+    };
+
+    let mut snap = Snapshot::new("quant", opts.config());
+    for format in RowFormat::ALL {
+        let store = if format == RowFormat::F32 {
+            f32_store.clone()
+        } else {
+            std::sync::Arc::new(f32_store.quantize(format))
+        };
+        let index = BruteForceIndex::over(store);
+        let name = format.name();
+
+        let mut recalled = 0usize;
+        for (qi, q) in queries.chunks(dim).enumerate() {
+            recalled += index.search(q, k).iter().filter(|h| oracle[qi].contains(&h.id)).count();
+        }
+        snap.push(
+            &format!("{name}_recall_at_{k}"),
+            recalled as f64 / (n_queries * k) as f64,
+            "ratio",
+            Direction::HigherBetter,
+        );
+
+        for batch in [1usize, 32] {
+            let mut batched = Vec::with_capacity(batch * dim);
+            for qi in 0..batch {
+                batched.extend_from_slice(&queries[(qi % n_queries) * dim..][..dim]);
+            }
+            let reps = ((if opts.smoke { 64 } else { 1_024 }) / batch).max(1);
+            let started = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(index.search_batch(&batched, k));
+            }
+            let wall = started.elapsed().as_secs_f64();
+            snap.push(
+                &format!("{name}_qps_b{batch}"),
+                (reps * batch) as f64 / wall,
+                "per_s",
+                Direction::HigherBetter,
+            );
+        }
+
+        // code bytes per row, plus i8's per-row [scale, zero] sidecar pair
+        let row_bytes = dim * format.bytes_per_value()
+            + if format == RowFormat::I8 { 2 * std::mem::size_of::<f32>() } else { 0 };
+        snap.push(&format!("{name}_bytes_per_row"), row_bytes as f64, "bytes", Direction::LowerBetter);
     }
     snap
 }
@@ -502,7 +572,7 @@ mod tests {
             out_dir: dir.clone(),
         };
         let paths = run_all(&opts).expect("snapshot run");
-        assert_eq!(paths.len(), 4);
+        assert_eq!(paths.len(), 5);
         for path in &paths {
             let bytes = std::fs::read(path).expect("read snapshot");
             let doc = Json::parse(&bytes).expect("parse snapshot");

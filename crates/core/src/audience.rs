@@ -134,7 +134,8 @@ fn subject_query(fitted: &FittedUniMatch, items: &[u32]) -> Vec<f32> {
     let d = store.dim();
     let mut query = vec![0.0f32; d];
     for &i in items {
-        for (q, &x) in query.iter_mut().zip(store.row(i as usize)) {
+        let row = store.decode_row(i as usize);
+        for (q, &x) in query.iter_mut().zip(row.iter()) {
             *q += x;
         }
     }

@@ -1,10 +1,12 @@
 //! Model evaluation under the paper's protocol: embeds test users/items
 //! with the trained towers and runs the IR / UT ranking tasks.
 
-use crate::framework::FittedUniMatch;
+use crate::framework::{FittedUniMatch, RetrieverKind, UniMatch, UniMatchConfig};
+use crate::prepare::PreparedData;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use unimatch_data::{SeqBatch, TemporalSplit};
+use unimatch_ann::RowFormat;
+use unimatch_data::{InteractionLog, SeqBatch, TemporalSplit};
 use unimatch_eval::{
     build_ir_cases, build_ut_cases, catalog_coverage, evaluate_single_positive_cases,
     exposure_gini, popularity_stats, retrieved_popularity, score_candidates, top_n_candidates,
@@ -229,6 +231,96 @@ pub fn evaluate_ir_rerank(
     }
 }
 
+/// End-metric accuracy of one serving store format: the same seeded
+/// full-catalog IR cases answered by an exact-retriever deployment whose
+/// item store is encoded in [`StoreFormatEval::format`], plus deltas
+/// against the exact-f32 oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreFormatEval {
+    /// The row encoding under test.
+    pub format: RowFormat,
+    /// Mean IR ranking metrics over all cases.
+    pub ir: CaseMetrics,
+    /// `recall − recall(f32)`. Exactly `0.0` for the f32 entry.
+    pub delta_recall: f64,
+    /// `ndcg − ndcg(f32)`. Exactly `0.0` for the f32 entry.
+    pub delta_ndcg: f64,
+}
+
+/// Quantization's end-metric cost, measured end to end (the first slice
+/// of the retriever-aware evaluation): for every [`RowFormat`] an
+/// exact-retriever deployment is built over the same model and log with
+/// its item store encoded in that format, and all deployments answer the
+/// same seeded **full-catalog** IR cases through the fused dequant-dot
+/// scoring path they would use in production. Entries follow
+/// [`RowFormat::ALL`] order (f32 first) and carry recall/NDCG deltas
+/// against the f32 entry, so `recall@N(i8) − recall@N(f32)` reads off
+/// directly.
+///
+/// `base` supplies the non-model-shaped serving knobs (seed, retriever
+/// params, …); its model-shaped fields, retriever kind (forced to
+/// [`RetrieverKind::Exact`] so index approximation never pollutes the
+/// format comparison), store format, and mmap flag are overridden per
+/// deployment.
+pub fn evaluate_store_formats(
+    model: &TwoTower,
+    log: &InteractionLog,
+    base: &UniMatchConfig,
+    protocol: &ProtocolConfig,
+    seed: u64,
+) -> Vec<StoreFormatEval> {
+    let max_seq_len = model.config().max_seq_len;
+    let split = PreparedData::from_log(log.clone(), max_seq_len).split;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clamped = protocol.clamped(unimatch_eval::item_pool(&split).len());
+    let cases = build_ir_cases(&split, &clamped, &mut rng);
+    let histories: Vec<&[u32]> = cases.iter().map(|c| c.history.as_slice()).collect();
+    // user embeddings come from the model towers, not the store — one
+    // shared query matrix keeps every format answering identical queries
+    let queries = embed_histories(model, &histories, max_seq_len);
+
+    let mut out = Vec::with_capacity(RowFormat::ALL.len());
+    for format in RowFormat::ALL {
+        let mut cfg = base.clone();
+        cfg.embed_dim = model.config().embed_dim;
+        cfg.max_seq_len = max_seq_len;
+        cfg.extractor = model.config().extractor;
+        cfg.aggregator = model.config().aggregator;
+        cfg.retriever = RetrieverKind::Exact;
+        cfg.store = format;
+        cfg.mmap = false;
+        // TwoTower is deliberately not Clone; rebuild the architecture
+        // and overwrite its fresh weights (the persist loader's trick)
+        let copy = {
+            let mut init_rng = StdRng::seed_from_u64(0);
+            let mut m = TwoTower::new(model.config().clone(), &mut init_rng);
+            m.params = model.params.clone();
+            m
+        };
+        let fitted = UniMatch::new(cfg).serve(copy, log.clone());
+        let top_n = clamped.top_n.min(fitted.num_items()).max(1);
+        let lists = fitted.recommend_by_embeddings_raw(&queries, top_n);
+        let mut acc = MetricAccumulator::new();
+        for (case, hits) in cases.iter().zip(&lists) {
+            let positive = case.candidates[0];
+            let relevant: Vec<bool> = hits.iter().map(|h| h.id == positive).collect();
+            acc.add(unimatch_eval::case_metrics(&relevant, 1, top_n));
+        }
+        out.push(StoreFormatEval {
+            format,
+            ir: acc.mean(),
+            delta_recall: 0.0,
+            delta_ndcg: 0.0,
+        });
+    }
+    let oracle = out[0].ir;
+    for e in &mut out {
+        e.delta_recall = e.ir.recall - oracle.recall;
+        e.delta_ndcg = e.ir.ndcg - oracle.ndcg;
+    }
+    out
+}
+
 fn evaluate_inner(
     model: &TwoTower,
     split: &TemporalSplit,
@@ -422,6 +514,34 @@ mod tests {
         let again = evaluate_ir_rerank(&fitted, &split, &protocol, 5, &counts);
         assert_eq!(eval.reranked.ir, again.reranked.ir);
         assert_eq!(eval.reranked.gini, again.reranked.gini);
+    }
+
+    #[test]
+    fn store_format_eval_reports_deltas_vs_f32() {
+        let log = DatasetProfile::EComp.generate(0.15, 11).filter_min_interactions(3);
+        let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+        let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+        let protocol = ProtocolConfig { top_n: 10, negatives: 20 };
+        let evals = evaluate_store_formats(&fitted.model, &log, &cfg, &protocol, 5);
+        assert_eq!(evals.len(), RowFormat::ALL.len());
+        assert_eq!(evals[0].format, RowFormat::F32);
+        assert_eq!(evals[0].delta_recall, 0.0);
+        assert_eq!(evals[0].delta_ndcg, 0.0);
+        for e in &evals {
+            assert!((0.0..=1.0).contains(&e.ir.recall));
+            assert!((0.0..=1.0).contains(&e.ir.ndcg));
+            assert_eq!(e.delta_recall, e.ir.recall - evals[0].ir.recall);
+            assert_eq!(e.delta_ndcg, e.ir.ndcg - evals[0].ir.ndcg);
+        }
+        // half precision is near-lossless on unit-norm rows; int8's
+        // per-row affine grid costs at most a few list positions
+        assert!(evals[1].delta_recall.abs() <= 0.02, "f16 delta {}", evals[1].delta_recall);
+        assert!(evals[2].delta_recall.abs() <= 0.10, "i8 delta {}", evals[2].delta_recall);
+        // deterministic under a fixed seed
+        let again = evaluate_store_formats(&fitted.model, &log, &cfg, &protocol, 5);
+        for (a, b) in evals.iter().zip(&again) {
+            assert_eq!(a.ir, b.ir);
+        }
     }
 
     #[test]

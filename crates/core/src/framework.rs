@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use unimatch_ann::{
     BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
-    ShardedRetriever,
+    RowFormat, ShardedRetriever, StoreBacking,
 };
 use unimatch_data::{InteractionLog, Marginals, SeqBatch};
 use unimatch_eval::UserPool;
@@ -67,6 +67,18 @@ pub struct UniMatchConfig {
     /// The default (empty spec, no rules) is the identity chain, which
     /// is bitwise invisible at every call site.
     pub rerank: RerankConfig,
+    /// Row format of both towers' serving stores. [`RowFormat::F32`]
+    /// (the default) is the bit-exact reference; `F16`/`I8` quantize the
+    /// embedding arenas after training — 2×/4× smaller tables scored
+    /// through the fused dequant-dot kernel, recall-gated by the quant
+    /// differential suite (see docs/OPERATIONS.md for the trade-offs).
+    pub store: RowFormat,
+    /// Memory-map the persisted item table instead of copying it into an
+    /// owned arena. Only the load/serve paths consult this (the fitting
+    /// path always trains in owned memory); it never changes checkpoint
+    /// bytes or scores — mmap-backed serving is pinned bitwise-identical
+    /// to owned-arena serving.
+    pub mmap: bool,
 }
 
 /// Configuration of the post-retrieval re-ranking pipeline.
@@ -158,6 +170,8 @@ impl Default for UniMatchConfig {
             retriever: RetrieverKind::default(),
             shards: 1,
             rerank: RerankConfig::default(),
+            store: RowFormat::F32,
+            mmap: false,
         }
     }
 }
@@ -387,15 +401,28 @@ impl UniMatch {
                 Arc::new(EmbeddingStore::from_rows(items.data(), cfg.embed_dim))
             }
         };
+        // Requantize only on a format mismatch: a store already delivered
+        // in the configured format (e.g. mmap'd straight out of a sidecar
+        // table) is indexed as-is, keeping checkpoint→serve zero-copy.
+        let item_store = if item_store.format() == cfg.store {
+            item_store
+        } else {
+            Arc::new(item_store.quantize(cfg.store))
+        };
         let item_index = cfg.retriever.build(item_store.clone(), cfg.shards, &mut rng);
         let user_pool = UserPool::build(&prepared.split, cfg.max_seq_len);
         let histories: Vec<&[u32]> = user_pool.histories().iter().map(|h| h.as_slice()).collect();
         let user_embeddings = embed_histories(&model, &histories, cfg.max_seq_len);
-        let user_store = Arc::new(EmbeddingStore::with_ids(
+        let user_store = EmbeddingStore::with_ids(
             &user_embeddings,
             cfg.embed_dim,
             user_pool.users().to_vec(),
-        ));
+        );
+        let user_store = Arc::new(if cfg.store == RowFormat::F32 {
+            user_store
+        } else {
+            user_store.quantize(cfg.store)
+        });
         let user_index = cfg.retriever.build(user_store.clone(), cfg.shards, &mut rng);
 
         let rerank = RerankChain::parse(&cfg.rerank.spec)
@@ -475,7 +502,7 @@ impl FittedUniMatch {
     /// comes straight from the item store — no per-call re-inference over
     /// the item tower.
     pub fn target_users(&self, item: u32, k: usize) -> Vec<(u32, f32)> {
-        self.target_users_by_embedding(self.item_store.row(item as usize), k)
+        self.target_users_by_embedding(&self.item_store.decode_row(item as usize), k)
     }
 
     /// UT against an arbitrary query embedding (e.g. a bundle blend built
@@ -511,7 +538,7 @@ impl FittedUniMatch {
     pub fn target_users_batch(&self, items: &[u32], k: usize) -> Vec<Vec<(u32, f32)>> {
         let queries: Vec<f32> = items
             .iter()
-            .flat_map(|&i| self.item_store.row(i as usize).iter().copied())
+            .flat_map(|&i| self.item_store.decode_row(i as usize).into_owned())
             .collect();
         let dim = self.user_store.dim();
         self.user_index
@@ -617,6 +644,18 @@ impl FittedUniMatch {
     /// Shard fan-out of the serving retrieval indexes (1 = unsharded).
     pub fn retriever_shards(&self) -> usize {
         self.item_index.shards()
+    }
+
+    /// Row format of the serving embedding stores (`f32`/`f16`/`i8`).
+    pub fn store_format(&self) -> RowFormat {
+        self.item_store.format()
+    }
+
+    /// Backing of the item-tower arena: [`StoreBacking::Mmap`] when the
+    /// table was memory-mapped from a persisted sidecar, otherwise
+    /// [`StoreBacking::Owned`].
+    pub fn store_backing(&self) -> StoreBacking {
+        self.item_store.backing()
     }
 }
 

@@ -48,16 +48,19 @@ pub use cost::{CostComparison, Regime};
 pub use durable::{
     train_durable, DurableConfig, DurableError, DurableRun, MonthRecord, RunManifest,
 };
-pub use evaluate::{evaluate, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_with_audit, EvalOutcome, RerankEval, RerankSide, RetrievalAudit};
+pub use evaluate::{evaluate, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_store_formats, evaluate_with_audit, EvalOutcome, RerankEval, RerankSide, RetrievalAudit, StoreFormatEval};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
 pub use framework::{FittedUniMatch, RerankConfig, RetrieverKind, UniMatch, UniMatchConfig};
+pub use unimatch_ann::{RowFormat, StoreBacking};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};
 pub use persist::{
-    load_checkpoint, load_checkpoint_with_retry, load_item_store, load_model,
-    load_model_and_store, load_model_and_store_with_retry, load_model_with_retry,
-    model_from_json, model_to_json, save_model, save_model_with_marginals, RetryPolicy,
+    embedding_checksum_of, load_checkpoint, load_checkpoint_with_format,
+    load_checkpoint_with_format_and_retry, load_checkpoint_with_retry, load_item_store,
+    load_model, load_model_and_store, load_model_and_store_with_retry, load_model_with_retry,
+    model_from_json, model_to_json, save_checkpoint_with_table, save_model,
+    save_model_with_marginals, table_path, RetryPolicy,
 };
 pub use prepare::PreparedData;
 pub use serving::{ModelHandle, ServingState};

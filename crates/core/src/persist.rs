@@ -38,10 +38,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
-use unimatch_ann::EmbeddingStore;
+use unimatch_ann::{
+    open_table_with, read_table_header, write_table, EmbeddingStore, RowFormat,
+};
 use unimatch_data::json::Json;
 use unimatch_data::Marginals;
 use unimatch_faults::FaultPoint;
@@ -229,17 +231,7 @@ pub fn model_to_json_value(model: &TwoTower) -> Json {
             })
             .collect(),
     );
-    let embedding_checksum = model
-        .params
-        .iter()
-        .find(|(_, p)| p.name == EMBEDDING_PARAM)
-        .map(|(_, p)| {
-            checksum_embedding_section(
-                p.value.shape().dims(),
-                p.value.data().iter().map(|x| x.to_bits()),
-            )
-        })
-        .expect("model has an item_embedding parameter");
+    let embedding_checksum = embedding_checksum_of(model);
     Json::obj(vec![
         ("magic", Json::str(MAGIC)),
         ("format_version", Json::int(FORMAT_VERSION as usize)),
@@ -253,6 +245,23 @@ pub fn model_to_json_value(model: &TwoTower) -> Json {
 /// Serializes a model to JSON bytes.
 pub fn model_to_json(model: &TwoTower) -> Vec<u8> {
     model_to_json_value(model).to_bytes()
+}
+
+/// The embedding-section checksum of an in-memory model — the value a
+/// v2 save writes as `embedding_checksum`, and the `source_checksum`
+/// that binds a quantized sidecar table to its source checkpoint.
+pub fn embedding_checksum_of(model: &TwoTower) -> u64 {
+    model
+        .params
+        .iter()
+        .find(|(_, p)| p.name == EMBEDDING_PARAM)
+        .map(|(_, p)| {
+            checksum_embedding_section(
+                p.value.shape().dims(),
+                p.value.data().iter().map(|x| x.to_bits()),
+            )
+        })
+        .expect("model has an item_embedding parameter")
 }
 
 fn f32_array(xs: &[f32]) -> Json {
@@ -662,11 +671,16 @@ pub fn save_model_with_marginals(
         let Json::Obj(entries) = &mut doc else { unreachable!("model doc is an object") };
         entries.push(("marginals".to_string(), marginals_to_json_value(m)));
     }
-    let path = path.as_ref();
+    write_atomic(path.as_ref(), &doc.to_bytes())
+}
+
+/// Writes `bytes` to a `.tmp` sibling and `rename`s it into place —
+/// readers observe either the previous complete file or the new one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, doc.to_bytes())?;
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {
@@ -745,6 +759,182 @@ pub fn load_checkpoint_with_retry(
 }
 
 // ---------------------------------------------------------------------------
+// quantized sidecar tables
+// ---------------------------------------------------------------------------
+
+/// The sidecar table path for a checkpoint and row format:
+/// `<checkpoint>.<format>.table` (e.g. `model.json.i8.table`).
+pub fn table_path(checkpoint: impl AsRef<Path>, format: RowFormat) -> PathBuf {
+    let mut os = checkpoint.as_ref().as_os_str().to_owned();
+    os.push(format!(".{}.table", format.name()));
+    PathBuf::from(os)
+}
+
+/// The checkpoint's `embedding_checksum` field as the u64 the sidecar's
+/// `source_checksum` must match.
+fn embedding_checksum_from_doc(doc: &Json) -> io::Result<u64> {
+    let s = field(doc, "embedding_checksum")?
+        .as_str()
+        .ok_or_else(|| bad("embedding_checksum is not a string"))?;
+    u64::from_str_radix(s, 16).map_err(|_| bad("embedding_checksum is not a hex u64"))
+}
+
+/// [`save_model_with_marginals`] plus the quantized-table sidecar: a
+/// quantized `store` is serialized to [`table_path`]`(path, format)`
+/// and the checkpoint document gains a `quant_tables` section recording
+/// the sidecar's format, file name, and whole-file checksum — all bound
+/// to the embedding section through `embedding_checksum`. An f32 store
+/// writes exactly the document [`save_model_with_marginals`] writes, so
+/// old readers are unaffected; the document depends only on the store's
+/// *format*, never on how a load will back the arena, which is what
+/// keeps mmap-on and mmap-off checkpoints byte-identical.
+pub fn save_checkpoint_with_table(
+    model: &TwoTower,
+    marginals: Option<&Marginals>,
+    store: &EmbeddingStore,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    if store.format() == RowFormat::F32 {
+        return save_model_with_marginals(model, marginals, path);
+    }
+    if let Some(e) = SAVE_FAULT.io_error() {
+        return Err(e);
+    }
+    let path = path.as_ref();
+    let sidecar = table_path(path, store.format());
+    let header = write_table(store, embedding_checksum_of(model), &sidecar)?;
+    let mut doc = model_to_json_value(model);
+    let Json::Obj(entries) = &mut doc else { unreachable!("model doc is an object") };
+    if let Some(m) = marginals {
+        entries.push(("marginals".to_string(), marginals_to_json_value(m)));
+    }
+    let file_name =
+        sidecar.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+    entries.push((
+        "quant_tables".to_string(),
+        Json::obj(vec![(
+            store.format().name(),
+            Json::obj(vec![
+                ("file", Json::str(file_name)),
+                ("checksum", Json::str(format!("{:016x}", header.table_checksum))),
+            ]),
+        )]),
+    ));
+    write_atomic(path, &doc.to_bytes())
+}
+
+/// [`load_checkpoint`] in a serving store format: the model, the item
+/// store in `format` (mmap-backed when `mmap` is set), and the optional
+/// marginals.
+///
+/// When the checkpoint's `quant_tables` section advertises a sidecar
+/// for `format`, the sidecar must open and validate end to end — magic,
+/// whole-file checksum, `source_checksum` equal to the checkpoint's
+/// `embedding_checksum`, and the section's recorded table checksum — or
+/// the load fails (so a serving `/reload` keeps the previous version).
+/// Without a section, the store is derived from the checkpoint's f32
+/// embedding section (bit-identical to what a fit-time sidecar would
+/// hold, because quantization is deterministic) and, when `mmap` is
+/// set, persisted as a sidecar first so the arena can be memory-mapped.
+pub fn load_checkpoint_with_format(
+    path: impl AsRef<Path>,
+    format: RowFormat,
+    mmap: bool,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>, Option<Marginals>)> {
+    if let Some(e) = LOAD_FAULT.io_error() {
+        return Err(e);
+    }
+    let mut bytes = std::fs::read(path.as_ref())?;
+    LOAD_CORRUPT_FAULT.corrupt(&mut bytes);
+    let doc = Json::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+    let model = model_from_json_value(&doc)?;
+    let marginals = marginals_from_json_value(&doc)?;
+    let store = item_store_with_format(&doc, path.as_ref(), format, mmap)?;
+    Ok((model, Arc::new(store), marginals))
+}
+
+/// [`load_checkpoint_with_format`] with the same retry policy as
+/// [`load_model_with_retry`].
+pub fn load_checkpoint_with_format_and_retry(
+    path: impl AsRef<Path>,
+    format: RowFormat,
+    mmap: bool,
+    policy: &RetryPolicy,
+) -> io::Result<(TwoTower, Arc<EmbeddingStore>, Option<Marginals>)> {
+    retry_load(policy, || load_checkpoint_with_format(path.as_ref(), format, mmap))
+}
+
+/// Resolves a parsed checkpoint document to an item store in `format`,
+/// preferring an advertised sidecar table and falling back to the
+/// embedding section. See [`load_checkpoint_with_format`].
+fn item_store_with_format(
+    doc: &Json,
+    path: &Path,
+    format: RowFormat,
+    mmap: bool,
+) -> io::Result<EmbeddingStore> {
+    if format == RowFormat::F32 && !mmap {
+        // the historical in-memory load, untouched
+        return item_store_from_json_value(doc);
+    }
+    let source = embedding_checksum_from_doc(doc)?;
+    let sidecar = table_path(path, format);
+    if let Some(section) = doc.get("quant_tables").and_then(|t| t.get(format.name())) {
+        let recorded = field(section, "checksum")?
+            .as_str()
+            .ok_or_else(|| bad("quant_tables checksum is not a string"))?;
+        let (store, header) =
+            open_table_with(&sidecar, mmap, |b| {
+                LOAD_CORRUPT_FAULT.corrupt(b);
+            })?;
+        if header.format != format {
+            return Err(bad(format!(
+                "sidecar {} holds a {} table, expected {}",
+                sidecar.display(),
+                header.format.name(),
+                format.name()
+            )));
+        }
+        if header.source_checksum != source {
+            return Err(bad(format!(
+                "sidecar {} derives from a different checkpoint (source checksum mismatch)",
+                sidecar.display()
+            )));
+        }
+        let computed = format!("{:016x}", header.table_checksum);
+        if computed != recorded {
+            return Err(bad(format!(
+                "sidecar {} checksum mismatch: checkpoint records {recorded}, file holds {computed}",
+                sidecar.display()
+            )));
+        }
+        return Ok(store);
+    }
+    // No advertised sidecar: derive the store from the embedding section.
+    let store = item_store_from_json_value(doc)?;
+    let store = if format == RowFormat::F32 { store } else { store.quantize(format) };
+    if !mmap {
+        return Ok(store);
+    }
+    // Memory-mapping needs a file image; reuse an existing sidecar only
+    // when it provably derives from this checkpoint, otherwise (re)write
+    // one — the byte image is deterministic, so concurrent loaders that
+    // race the rename still agree on every byte.
+    let reuse = matches!(
+        read_table_header(&sidecar),
+        Ok(h) if h.source_checksum == source && h.format == format
+    );
+    if reuse {
+        if let Ok((mapped, _)) = open_table_with(&sidecar, true, |_| {}) {
+            return Ok(mapped);
+        }
+    }
+    write_table(&store, source, &sidecar)?;
+    let (mapped, _) = open_table_with(&sidecar, true, |_| {})?;
+    Ok(mapped)
+}
+
+// ---------------------------------------------------------------------------
 // retry
 // ---------------------------------------------------------------------------
 
@@ -809,6 +999,7 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU32, Ordering};
+    use unimatch_ann::StoreBacking;
     use unimatch_data::SeqBatch;
     use unimatch_faults::{FaultKind, FaultPlan, FaultRule};
 
@@ -1224,5 +1415,236 @@ mod tests {
         let start = std::time::Instant::now();
         assert!(load_model_with_retry(&missing, &policy).is_err());
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    // ---- quantized sidecar tables ------------------------------------------
+
+    /// Like [`model`], but with a caller-chosen seed — tests that need two
+    /// models with *different* item embeddings (the item table is drawn
+    /// before any extractor weights, so same-seed models share it).
+    fn model_seeded(seed: u64) -> TwoTower {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TwoTower::new(
+            ModelConfig {
+                num_items: 20,
+                embed_dim: 8,
+                max_seq_len: 6,
+                extractor: ContextExtractor::YoutubeDnn,
+                aggregator: Aggregator::Attention,
+                temperature: 0.2,
+                normalize: true,
+            },
+            &mut rng,
+        )
+    }
+
+    fn f32_store_of(m: &TwoTower) -> EmbeddingStore {
+        let doc = Json::parse(&model_to_json(m)).expect("parse");
+        item_store_from_json_value(&doc).expect("embedding section decodes")
+    }
+
+    /// Bitwise equality of two stores through their public decode surface:
+    /// same format + params + decoded bits ⇒ same code bytes.
+    fn assert_store_bits_equal(a: &EmbeddingStore, b: &EmbeddingStore) {
+        assert_eq!(a.format(), b.format());
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.dim(), b.dim());
+        for r in 0..a.rows() {
+            if a.format() == RowFormat::I8 {
+                assert_eq!(a.row_params(r), b.row_params(r), "row {r} params");
+            }
+            let (ra, rb) = (a.decode_row(r), b.decode_row(r));
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_checkpoint_round_trips_bit_for_bit() {
+        let m = model(ContextExtractor::YoutubeDnn);
+        let f32_store = f32_store_of(&m);
+        for format in [RowFormat::F16, RowFormat::I8] {
+            let quantized = f32_store.quantize(format);
+            let dir = unique_tmp("quant_rt");
+            let path = dir.join("model.json");
+            save_checkpoint_with_table(&m, None, &quantized, &path).expect("save");
+            assert!(table_path(&path, format).exists(), "sidecar written");
+            for mmap in [false, true] {
+                let (restored, store, marginals) =
+                    load_checkpoint_with_format(&path, format, mmap).expect("load");
+                assert!(marginals.is_none());
+                assert_eq!(
+                    embedding_checksum_of(&restored),
+                    embedding_checksum_of(&m),
+                    "same embedding table"
+                );
+                let want = if mmap { StoreBacking::Mmap } else { StoreBacking::Owned };
+                assert_eq!(store.backing(), want);
+                assert_store_bits_equal(&store, &quantized);
+            }
+            // the embedding section still serves other formats, f32 included
+            let (_, as_f32, _) =
+                load_checkpoint_with_format(&path, RowFormat::F32, false).expect("f32 load");
+            assert_store_bits_equal(&as_f32, &f32_store);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn quantized_checkpoint_keeps_marginals_section() {
+        let m = model(ContextExtractor::Gru);
+        let marg = sample_marginals();
+        let quantized = f32_store_of(&m).quantize(RowFormat::I8);
+        let dir = unique_tmp("quant_marg");
+        let path = dir.join("model.json");
+        save_checkpoint_with_table(&m, Some(&marg), &quantized, &path).expect("save");
+        let (_, _, restored) =
+            load_checkpoint_with_format(&path, RowFormat::I8, false).expect("load");
+        let restored = restored.expect("marginals round-trip");
+        for (a, b) in restored.log_pi_all().iter().zip(marg.log_pi_all()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(restored.floor_i().to_bits(), marg.floor_i().to_bits());
+    }
+
+    #[test]
+    fn unadvertised_format_is_derived_identically_from_the_embedding_section() {
+        let m = model(ContextExtractor::Transformer);
+        let f32_store = f32_store_of(&m);
+        let dir = unique_tmp("quant_derive");
+        let path = dir.join("model.json");
+        // a plain f32 checkpoint advertises no tables at all
+        save_model(&m, &path).expect("save");
+        for format in [RowFormat::F16, RowFormat::I8] {
+            let expected = f32_store.quantize(format);
+            let (_, owned, _) =
+                load_checkpoint_with_format(&path, format, false).expect("derive owned");
+            assert_eq!(owned.backing(), StoreBacking::Owned);
+            assert_store_bits_equal(&owned, &expected);
+            assert!(!table_path(&path, format).exists(), "in-memory derivation writes nothing");
+            // mmap needs real bytes on disk: the loader materializes the
+            // sidecar once, then maps it — and reuses it on the next load
+            let (_, mapped, _) =
+                load_checkpoint_with_format(&path, format, true).expect("derive mmap");
+            assert_eq!(mapped.backing(), StoreBacking::Mmap);
+            assert_store_bits_equal(&mapped, &expected);
+            let sidecar = table_path(&path, format);
+            assert!(sidecar.exists());
+            let bytes_first = std::fs::read(&sidecar).expect("sidecar bytes");
+            let (_, remapped, _) =
+                load_checkpoint_with_format(&path, format, true).expect("reuse mmap");
+            assert_store_bits_equal(&remapped, &expected);
+            assert_eq!(
+                bytes_first,
+                std::fs::read(&sidecar).expect("sidecar bytes"),
+                "reuse must not rewrite the sidecar"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_or_truncated_sidecar_is_rejected() {
+        let m = model(ContextExtractor::YoutubeDnn);
+        let quantized = f32_store_of(&m).quantize(RowFormat::I8);
+        let dir = unique_tmp("quant_tamper");
+        let path = dir.join("model.json");
+        save_checkpoint_with_table(&m, None, &quantized, &path).expect("save");
+        let sidecar = table_path(&path, RowFormat::I8);
+        let clean = std::fs::read(&sidecar).expect("sidecar bytes");
+
+        // flip one bit in the code section — both backings must refuse
+        let mut flipped = clean.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        std::fs::write(&sidecar, &flipped).expect("write tampered");
+        for mmap in [false, true] {
+            let e = load_checkpoint_with_format(&path, RowFormat::I8, mmap)
+                .expect_err("tampered sidecar must not load");
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+        }
+
+        // a torn write (truncation) must be refused, not mapped short
+        std::fs::write(&sidecar, &clean[..clean.len() / 2]).expect("truncate");
+        for mmap in [false, true] {
+            assert!(load_checkpoint_with_format(&path, RowFormat::I8, mmap).is_err());
+        }
+
+        // restoring the original bytes restores the load
+        std::fs::write(&sidecar, &clean).expect("restore");
+        assert!(load_checkpoint_with_format(&path, RowFormat::I8, true).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_from_another_model_is_rejected() {
+        let a = model_seeded(77);
+        let b = model_seeded(78);
+        assert_ne!(embedding_checksum_of(&a), embedding_checksum_of(&b));
+        let qa = f32_store_of(&a).quantize(RowFormat::I8);
+        let qb = f32_store_of(&b).quantize(RowFormat::I8);
+        let dir = unique_tmp("quant_stale");
+        let path = dir.join("model.json");
+        save_checkpoint_with_table(&a, None, &qa, &path).expect("save a");
+        // clobber a's sidecar with a table built from b's embeddings: the
+        // advertised checksum (and the source binding) no longer match
+        write_table(&qb, embedding_checksum_of(&b), &table_path(&path, RowFormat::I8))
+            .expect("write stale sidecar");
+        for mmap in [false, true] {
+            let e = load_checkpoint_with_format(&path, RowFormat::I8, mmap)
+                .expect_err("stale sidecar must not load");
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_unadvertised_sidecar_is_rewritten_before_mapping() {
+        let a = model_seeded(77);
+        let b = model_seeded(79);
+        assert_ne!(embedding_checksum_of(&a), embedding_checksum_of(&b));
+        let dir = unique_tmp("quant_rewrite");
+        let path = dir.join("model.json");
+        // plain checkpoint for b, but a stale sidecar from a squats on the
+        // path mmap wants — the loader must rebuild it from b's embeddings
+        save_model(&b, &path).expect("save b");
+        let qa = f32_store_of(&a).quantize(RowFormat::I8);
+        write_table(&qa, embedding_checksum_of(&a), &table_path(&path, RowFormat::I8))
+            .expect("plant stale sidecar");
+        let expected = f32_store_of(&b).quantize(RowFormat::I8);
+        let (_, store, _) =
+            load_checkpoint_with_format(&path, RowFormat::I8, true).expect("load b");
+        assert_eq!(store.backing(), StoreBacking::Mmap);
+        assert_store_bits_equal(&store, &expected);
+        let header = read_table_header(&table_path(&path, RowFormat::I8)).expect("header");
+        assert_eq!(header.source_checksum, embedding_checksum_of(&b));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_sidecar_bit_flip_is_caught() {
+        let _guard = crate::fault_test_lock();
+        let m = model(ContextExtractor::YoutubeDnn);
+        let quantized = f32_store_of(&m).quantize(RowFormat::I8);
+        let dir = unique_tmp("quant_fault");
+        let path = dir.join("model.json");
+        save_checkpoint_with_table(&m, None, &quantized, &path).expect("save");
+        // the first persist.load.corrupt call tampers the checkpoint JSON;
+        // skipping it aims the single budgeted flip at the sidecar bytes
+        unimatch_faults::set_plan(FaultPlan {
+            seed: 4,
+            rules: vec![FaultRule::new("persist.load.corrupt", FaultKind::BitFlip)
+                .with_probability(1.0)
+                .with_skip_first(1)
+                .with_max_fires(1)],
+        });
+        let e = load_checkpoint_with_format(&path, RowFormat::I8, true)
+            .expect_err("flipped sidecar bit must not load");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+        // budget spent: the same call now succeeds against the clean file
+        assert!(load_checkpoint_with_format(&path, RowFormat::I8, true).is_ok());
+        unimatch_faults::clear();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,7 +12,7 @@
 //! already admitted.
 
 use crate::framework::{FittedUniMatch, UniMatch};
-use crate::persist::{load_checkpoint_with_retry, RetryPolicy};
+use crate::persist::{load_checkpoint_with_format_and_retry, RetryPolicy};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,8 +55,12 @@ impl ModelHandle {
         log: InteractionLog,
     ) -> io::Result<ModelHandle> {
         let checkpoint = checkpoint.as_ref().to_path_buf();
-        let (model, store, marginals) =
-            load_checkpoint_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let (model, store, marginals) = load_checkpoint_with_format_and_retry(
+            &checkpoint,
+            framework.config.store,
+            framework.config.mmap,
+            &RetryPolicy::default(),
+        )?;
         let fitted = build_fitted(&framework, &log, model, store, marginals, &checkpoint)?;
         Ok(ModelHandle {
             framework,
@@ -94,8 +98,12 @@ impl ModelHandle {
             Some(p) => p.to_path_buf(),
             None => self.current().checkpoint.clone(),
         };
-        let (model, store, marginals) =
-            load_checkpoint_with_retry(&checkpoint, &RetryPolicy::default())?;
+        let (model, store, marginals) = load_checkpoint_with_format_and_retry(
+            &checkpoint,
+            self.framework.config.store,
+            self.framework.config.mmap,
+            &RetryPolicy::default(),
+        )?;
         let fitted = build_fitted(&self.framework, &self.log, model, store, marginals, &checkpoint)?;
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(ServingState { fitted, version, checkpoint });

@@ -3,7 +3,6 @@
 use crate::mix;
 use crate::stage::{sort_canonical, CandidateList, RerankContext, RerankStage};
 use std::collections::HashMap;
-use unimatch_ann::dot;
 
 /// Popularity debias: `score' = score − w · log p̂(i)`.
 ///
@@ -83,9 +82,12 @@ impl RerankStage for MmrStage {
                 }
             }
             let (picked, _) = rest.remove(best);
-            let picked_row = store.row(picked.id as usize);
+            // decode once per pick (borrowed for f32 stores), then score
+            // the remainder through the store's fused dequant-dot so the
+            // stage works over every row format and backing
+            let picked_row = store.decode_row(picked.id as usize);
             for (h, max_sim) in rest.iter_mut() {
-                let sim = dot(picked_row, store.row(h.id as usize));
+                let sim = store.score_row(&picked_row, h.id as usize);
                 if sim > *max_sim {
                     *max_sim = sim;
                 }

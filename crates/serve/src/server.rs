@@ -381,6 +381,8 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("retriever", Json::str(state.fitted.retriever_backend())),
                 ("shards", Json::int(state.fitted.retriever_shards())),
                 ("rerank", Json::str(state.fitted.rerank_spec())),
+                ("store", Json::str(state.fitted.store_format().name())),
+                ("backing", Json::str(state.fitted.store_backing().name())),
             ])
             .to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)

@@ -23,8 +23,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
-use unimatch_core::persist::save_model;
-use unimatch_core::{ModelHandle, UniMatch, UniMatchConfig};
+use unimatch_core::persist::{save_checkpoint_with_table, save_model, table_path};
+use unimatch_core::{ModelHandle, RowFormat, UniMatch, UniMatchConfig};
 use unimatch_data::{DatasetProfile, InteractionLog};
 use unimatch_faults::{FaultKind, FaultPlan, FaultRule};
 use unimatch_serve::{recommend_body, target_body, ServeConfig, Server};
@@ -456,5 +456,75 @@ fn corrupt_reload_under_live_traffic_keeps_old_version_serving() {
         "only the successful reload may count"
     );
     assert!(metric_value(&metrics, "unimatch_responses_total{class=\"5xx\"}") >= 2.0);
+    drop(server);
+}
+
+#[test]
+fn corrupt_quantized_table_reload_keeps_old_version_serving() {
+    let _guard = fault_lock();
+    unimatch_faults::clear();
+    let f = fixture();
+    // serve quantized + mmap'd: the loader derives an i8 sidecar from the
+    // plain fixture checkpoint and maps it
+    let cfg = UniMatchConfig { store: RowFormat::I8, mmap: true, ..f.cfg.clone() };
+    let handle = Arc::new(
+        ModelHandle::from_checkpoint(UniMatch::new(cfg), &f.checkpoint, f.log.clone())
+            .expect("fixture checkpoint loads quantized"),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        handle.clone(),
+        ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let expected = recommend_body(5, &handle.current().fitted.recommend_items(&[1, 2, 3], 5));
+
+    let (status, _, health) = request(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = String::from_utf8_lossy(&health).to_string();
+    assert!(health.contains("\"store\":\"i8\""), "healthz must report the store format:\n{health}");
+    assert!(health.contains("\"backing\":\"mmap\""), "healthz must report the backing:\n{health}");
+
+    // a v2 checkpoint with an *advertised* i8 sidecar, then corrupt the
+    // sidecar: the reload must validate the table and refuse the swap
+    let cur = handle.current();
+    let qpath = f.dir.join("quantized.json");
+    save_checkpoint_with_table(&cur.fitted.model, Some(cur.fitted.marginals()), cur.fitted.item_store(), &qpath)
+        .expect("save quantized checkpoint");
+    let sidecar = table_path(&qpath, RowFormat::I8);
+    let good = std::fs::read(&sidecar).expect("read sidecar");
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x10;
+    std::fs::write(&sidecar, &bad).expect("write corrupt sidecar");
+
+    let body = format!("{{\"checkpoint\":{:?}}}", qpath.to_str().expect("utf8 path"));
+    let (status, _, reply) = request(&addr, "POST", "/reload", body.as_bytes());
+    assert_eq!(
+        status,
+        500,
+        "corrupt quantized table must be rejected: {}",
+        String::from_utf8_lossy(&reply)
+    );
+
+    // the old mmap'd version keeps serving, byte-identically
+    let (status, _, health) = request(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = String::from_utf8_lossy(&health).to_string();
+    assert!(health.contains("\"version\":1"), "failed reload must leave version 1:\n{health}");
+    assert!(health.contains("\"backing\":\"mmap\""));
+    let (status, _, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "payload must survive the rejected reload untouched");
+
+    // restoring the sidecar lets the identical reload succeed
+    std::fs::write(&sidecar, &good).expect("restore sidecar");
+    let (status, _, reply) = request(&addr, "POST", "/reload", body.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&reply));
+    assert!(String::from_utf8_lossy(&reply).contains("\"version\":2"));
+    let (status, _, got) = request(&addr, "POST", "/recommend", b"{\"history\":[1,2,3],\"k\":5}");
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "same params reloaded must answer byte-identically");
     drop(server);
 }

@@ -22,8 +22,8 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 use unimatch_core::{
-    evaluate, evaluate_ir_rerank, load_model, save_model_with_marginals, DurableConfig,
-    ModelHandle, RerankConfig, RetrieverKind, UniMatch, UniMatchConfig,
+    evaluate, evaluate_ir_rerank, load_model, save_checkpoint_with_table, DurableConfig,
+    ModelHandle, RerankConfig, RetrieverKind, RowFormat, UniMatch, UniMatchConfig,
 };
 use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
@@ -71,19 +71,24 @@ fn usage(msg: &str) -> ! {
          generate  --profile <books|electronics|ecomp|wcomp|large> [--scale F] [--seed N] --out FILE\n\
          fit       --log FILE --out FILE [--epochs N] [--temperature F] [--batch N] [--seed N]\n\
          \u{20}         [--run-dir DIR] [--retriever KIND] [--shards N]   (crash-safe resume)\n\
-         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE] [--store f32|f16|i8] [--mmap true]\n\
          recommend --model FILE --log FILE --user ID [--k N] [--retriever KIND] [--shards N]\n\
-         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE] [--store f32|f16|i8] [--mmap true]\n\
          target    --model FILE --log FILE --item ID [--k N] [--retriever KIND] [--shards N]\n\
-         \u{20}         [--rerank SPEC] [--rerank-rules FILE]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE] [--store f32|f16|i8] [--mmap true]\n\
          evaluate  --model FILE --log FILE [--top-n N] [--negatives N] [--seed N]\n\
          \u{20}         [--rerank SPEC] [--rerank-rules FILE]   (gates a chain before rollout:\n\
          \u{20}          prints raw vs reranked recall/NDCG/coverage/gini + popularity lift)\n\
+         \u{20}         [--store-deltas true]   (per-format recall/NDCG deltas vs exact f32)\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
          \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
          \u{20}         [--shards N] [--obs true] [--rerank SPEC] [--rerank-rules FILE]\n\
+         \u{20}         [--store f32|f16|i8] [--mmap true]\n\
          \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
+         \u{20}         (--store: row format of the serving embedding arenas — f16/i8 are\n\
+         \u{20}          2×/4× smaller, scored by the fused dequant-dot kernel;\n\
+         \u{20}          --mmap true memory-maps the sidecar table, zero-copy load)\n\
          \u{20}         (--shards N: split each tower's index into N row-range shards,\n\
          \u{20}          searched in parallel and merged exactly; default 1)\n\
          \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
@@ -147,6 +152,20 @@ fn shards_flag(flags: &HashMap<String, String>) -> usize {
         usage("--shards must be at least 1");
     }
     shards
+}
+
+/// Serving-store row format (`--store f32|f16|i8`, default f32).
+fn store_flag(flags: &HashMap<String, String>) -> RowFormat {
+    match flags.get("store") {
+        None => RowFormat::F32,
+        Some(v) => RowFormat::parse(v)
+            .unwrap_or_else(|| usage(&format!("unknown store format {v} (f32|f16|i8)"))),
+    }
+}
+
+/// Memory-map the item table sidecar (`--mmap true`, default false).
+fn mmap_flag(flags: &HashMap<String, String>) -> bool {
+    flag_or(flags, "mmap", false)
 }
 
 /// The post-retrieval re-ranking pipeline (`--rerank SPEC` +
@@ -253,6 +272,8 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
         rerank: rerank_flag(flags),
+        store: store_flag(flags),
+        mmap: mmap_flag(flags),
         ..Default::default()
     };
     let filtered = log.filter_min_interactions(3);
@@ -274,8 +295,10 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         None => UniMatch::new(config).fit(filtered),
     };
     // the training marginals ride along in the checkpoint's optional
-    // section, so a serving process can debias with the exact p̂ tables
-    save_model_with_marginals(&fitted.model, Some(fitted.marginals()), out)
+    // section, so a serving process can debias with the exact p̂ tables;
+    // a quantized serving store also writes its sidecar table next to
+    // the checkpoint (recorded in the quant_tables section)
+    save_checkpoint_with_table(&fitted.model, Some(fitted.marginals()), fitted.item_store(), out)
         .unwrap_or_else(|e| usage(&format!("cannot write {out}: {e}")));
     let (up, ip) = vocab_paths(out);
     std::fs::write(&up, vocab_to_json(&users))
@@ -290,8 +313,11 @@ fn cmd_fit(flags: &HashMap<String, String>) {
 
 fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMatch, Vocab, Vocab) {
     let model_path = flag(flags, "model");
-    let (model, store, marginals) = unimatch_core::load_checkpoint(model_path)
-        .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
+    let store_format = store_flag(flags);
+    let mmap = mmap_flag(flags);
+    let (model, store, marginals) =
+        unimatch_core::load_checkpoint_with_format(model_path, store_format, mmap)
+            .unwrap_or_else(|e| usage(&format!("cannot load {model_path}: {e}")));
     let (log, _, _) = read_log(flag(flags, "log"));
     let (up, ip) = vocab_paths(model_path);
     let users = read_vocab(&up);
@@ -301,6 +327,8 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
         rerank: rerank_flag(flags),
+        store: store_format,
+        mmap,
         ..Default::default()
     };
     let mut config = config;
@@ -404,6 +432,32 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
             r.reranked.gini - r.raw.gini,
             100.0 * r.popularity_lift()
         );
+        return;
+    }
+    // --store-deltas true prints what each row encoding costs in end
+    // metrics: one exact-retriever deployment per format answers the same
+    // full-catalog IR cases, reported as deltas against the f32 oracle.
+    if flag_or(flags, "store-deltas", false) {
+        let config = UniMatchConfig {
+            parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+            ..Default::default()
+        };
+        let evals = unimatch_core::evaluate_store_formats(&model, &filtered, &config, &protocol, seed);
+        println!("store-format end metrics (exact retriever, top-{}):", protocol.top_n);
+        println!(
+            "           {:>10} {:>10} {:>12} {:>12}",
+            "Recall", "NDCG", "ΔRecall", "ΔNDCG"
+        );
+        for e in &evals {
+            println!(
+                "{:<10} {:>9.2}% {:>9.2}% {:>+11.2}% {:>+11.2}%",
+                e.format.name(),
+                100.0 * e.ir.recall,
+                100.0 * e.ir.ndcg,
+                100.0 * e.delta_recall,
+                100.0 * e.delta_ndcg
+            );
+        }
         return;
     }
     let out = evaluate(&model, &prepared.split, &protocol, prepared.max_seq_len, seed);
@@ -615,6 +669,8 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
         rerank: rerank_flag(flags),
+        store: store_flag(flags),
+        mmap: mmap_flag(flags),
         ..Default::default()
     });
     let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
