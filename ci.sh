@@ -8,8 +8,9 @@
 # 3. the serving end-to-end test (real server on a loopback port)
 # 4. the robustness suites: deterministic fault injection (including the
 #    faults-disabled overhead assertion), durable/crash-safe training,
-#    and the chaos serving e2e (armed fault plans + corrupt reloads
-#    under live traffic)
+#    the chaos serving e2e (armed fault plans + corrupt reloads under
+#    live traffic), and the degraded serving e2e (shard quorum partial
+#    results + the brownout ladder under deadline pressure)
 # 5. the retrieval-engine differential suites (blocked kernel + every
 #    backend + every refactored call site vs the stable-sort oracle,
 #    bitwise), including sharded-vs-unsharded parity
@@ -26,7 +27,9 @@
 # 9. a smoke open-loop load run (loadgen --rerank-mix) against a live
 #    loopback server running a re-ranking chain over a quantized,
 #    mmap-backed store (--store i8 --mmap), diffed report-only against
-#    the committed BENCH_load.json
+#    the committed BENCH_load.json; then a second smoke run with client
+#    retries against a server whose shard 0 is wedged by an armed fault,
+#    proving quorum keeps the 200s flowing under partial failure
 # 10. clippy over every target with warnings denied
 # 11. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
@@ -54,6 +57,9 @@ cargo test -q -p unimatch-core persist
 
 echo "==> chaos serving e2e (armed faults + corrupt reloads under traffic)"
 cargo test -q -p unimatch-serve --test chaos
+
+echo "==> degraded serving e2e (shard quorum + brownout ladder under traffic)"
+cargo test -q -p unimatch-serve --test degraded
 
 echo "==> retrieval-engine differential suites (bitwise vs oracle)"
 cargo test -q -p unimatch-ann --test retrieval_differential
@@ -115,6 +121,29 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 # Report-only for the same reason as the snapshot diff above.
 target/release/unimatch-cli bench diff --baseline . --current "$LOAD_DIR" || true
+
+echo "==> loadgen --smoke vs a wedged shard (quorum keeps 200s flowing)"
+# Shard 0 sleeps 60 ms per search against a 30 ms per-shard deadline, so
+# every fan-out drops it; --min-shards 1 keeps the merge answering
+# (flagged degraded), and the client retries ride out any stragglers.
+target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
+    --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7980 --shards 2 \
+    --min-shards 1 --shard-deadline-ms 30 \
+    --faults 'ann.shard.search.0=latency:60000' &
+SERVE_PID=$!
+tries=0
+until target/release/unimatch-cli loadgen --addr 127.0.0.1:7980 --smoke \
+    --retries 2 --out "$LOAD_DIR" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 15 ]; then
+        echo "wedged-shard smoke: server never became reachable" >&2
+        exit 1
+    fi
+    sleep 1
+done
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
 
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings

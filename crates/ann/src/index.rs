@@ -15,6 +15,8 @@
 //! The historical `AnnIndex` name remains available as an alias of
 //! [`Retriever`] from the crate root.
 
+use std::fmt;
+
 use unimatch_faults::FaultPoint;
 use unimatch_obs as obs;
 use unimatch_parallel::par_map_indexed;
@@ -23,6 +25,90 @@ use unimatch_parallel::par_map_indexed;
 /// index (cold page cache, an overloaded shard). Disarmed cost is one
 /// relaxed atomic load per batch.
 const SEARCH_FAULT: FaultPoint = FaultPoint::new("ann.search");
+
+/// Why one shard's contribution to a fan-out was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFailureKind {
+    /// The shard's search reported an I/O error (injected or real).
+    Io,
+    /// The shard's search panicked; the fan-out captured the unwind.
+    Panic,
+    /// The shard answered, but past its per-shard deadline.
+    Deadline,
+}
+
+impl ShardFailureKind {
+    /// Stable label (`"io"`, `"panic"`, `"deadline"`) for metrics/logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardFailureKind::Io => "io",
+            ShardFailureKind::Panic => "panic",
+            ShardFailureKind::Deadline => "deadline",
+        }
+    }
+}
+
+/// Health report of one checked search fan-out: how many partitions were
+/// asked, and which of them failed (with the reason). An empty failure
+/// list means the answer is complete; a non-empty one means the hits are
+/// a *partial* top-k over the shards that did answer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Partitions the fan-out covers (1 for unsharded backends).
+    pub total: usize,
+    /// `(shard index, reason)` for every dropped shard.
+    pub failures: Vec<(u32, ShardFailureKind)>,
+}
+
+impl ShardHealth {
+    /// A fully healthy fan-out over `total` partitions.
+    pub fn healthy(total: usize) -> ShardHealth {
+        ShardHealth { total, failures: Vec::new() }
+    }
+
+    /// True when at least one shard was dropped (the answer is partial).
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Shards that answered in time.
+    pub fn healthy_shards(&self) -> usize {
+        self.total - self.failures.len()
+    }
+}
+
+/// Fewer shards answered than the quorum policy requires; the query has
+/// no usable (even partial) result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuorumError {
+    /// Shards that answered in time.
+    pub healthy: usize,
+    /// Minimum healthy shards the effective policy demanded.
+    pub required: usize,
+    /// Total shards in the fan-out.
+    pub total: usize,
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard quorum missed: {}/{} shards healthy, policy requires {}",
+            self.healthy, self.total, self.required
+        )
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+/// Per-call options for [`Retriever::search_batch_checked`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Relax the quorum to a single healthy shard for this call — the
+    /// brownout ladder's "answer from whatever is still standing" step.
+    /// Ignored by unsharded backends.
+    pub relax_quorum: bool,
+}
 
 /// A scored search hit.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -113,6 +199,22 @@ pub trait Retriever: Send + Sync {
         // for the pruned indexes (IVF probes a subset, HNSW walks a graph).
         let work = nq * self.len() * d * 2;
         par_map_indexed(nq, work, |i| self.search(&queries[i * d..(i + 1) * d], k))
+    }
+
+    /// Fallible form of [`Retriever::search_batch`] that also reports
+    /// fan-out health. Unsharded backends have no partitions to isolate,
+    /// so the default implementation delegates to the infallible path and
+    /// always reports a healthy single-partition fan-out;
+    /// [`crate::ShardedRetriever`] overrides it with per-shard failure
+    /// isolation and a quorum policy.
+    fn search_batch_checked(
+        &self,
+        queries: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<(Vec<Vec<Hit>>, ShardHealth), QuorumError> {
+        let _ = opts;
+        Ok((self.search_batch(queries, k), ShardHealth::healthy(self.shards())))
     }
 }
 

@@ -46,10 +46,13 @@ pub mod table;
 
 pub use bruteforce::BruteForceIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
-pub use index::{Hit, Retriever, Retriever as AnnIndex};
+pub use index::{
+    Hit, QuorumError, Retriever, Retriever as AnnIndex, SearchOptions, ShardFailureKind,
+    ShardHealth,
+};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kernel::{dot, top_k_exact, top_k_exact_store};
-pub use sharded::ShardedRetriever;
+pub use sharded::{ShardPolicy, ShardedRetriever};
 pub use store::{
     f16_to_f32, f32_to_f16, i8_decode, i8_encode, i8_row_params, EmbeddingStore, RowFormat,
     StoreBacking, STORE_ALIGN,

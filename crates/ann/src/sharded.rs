@@ -30,6 +30,26 @@
 //! exact (`ef ≥ rows`, `nprobe = nlist`) they inherit the same bitwise
 //! guarantee, which the sharded differential suite pins.
 //!
+//! ## Failure isolation
+//!
+//! The fan-out is *fallible*: each shard's search runs inside a panic
+//! capture, behind the `ann.shard.search` chaos seams, and (when a
+//! [`ShardPolicy`] configures one) under a per-shard wall-clock deadline.
+//! A shard that errors, panics, or blows its deadline is dropped from the
+//! k-way merge instead of wedging the whole query. The policy's
+//! `min_shards` quorum decides what a partial fan-out means:
+//!
+//! * **strict** (the default, `min_shards = None`): any shard failure
+//!   fails the query — exactly the pre-policy contract;
+//! * **quorum `m`**: as long as ≥ `m` shards answered, the merge returns
+//!   the partial top-k and the [`ShardHealth`] report flags it degraded,
+//!   naming each dropped shard and why.
+//!
+//! With no faults armed and no deadline configured the isolated path is
+//! byte-identical to the original fan-out (same scores, same order), and
+//! its only extra cost is one relaxed atomic load per shard plus the
+//! unwind guard.
+//!
 //! ## Observability
 //!
 //! With the global `unimatch-obs` flag on, every search records one
@@ -38,10 +58,15 @@
 //! own series — the data `/metrics` consumers use to spot a straggler
 //! shard or a merge that grew past its budget.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::index::{batch_entry_hooks, Hit, Retriever};
+use crate::index::{
+    batch_entry_hooks, Hit, QuorumError, Retriever, SearchOptions, ShardFailureKind, ShardHealth,
+};
 use crate::store::EmbeddingStore;
+use unimatch_faults::{FaultKind, FaultPoint};
 use unimatch_obs as obs;
 use unimatch_parallel::par_map_indexed;
 
@@ -74,6 +99,69 @@ fn shard_label(s: usize) -> &'static str {
     SHARD_LABELS.get(s).copied().unwrap_or(SHARD_OVERFLOW_LABEL)
 }
 
+/// Chaos seam fired once per shard per fan-out: a plan targeting
+/// `ann.shard.search` hits *every* shard (a correlated storm), while the
+/// indexed variants below wedge exactly one shard.
+const SHARD_FAULT: FaultPoint = FaultPoint::new("ann.shard.search");
+
+/// Per-shard chaos seams (`ann.shard.search.N`): arming one wedges only
+/// shard N, which is how the degraded-serving suite proves the other
+/// shards keep answering. Shards past the table only honor the
+/// un-indexed `ann.shard.search` point.
+const SHARD_FAULT_NAMES: [&str; 16] = [
+    "ann.shard.search.0",
+    "ann.shard.search.1",
+    "ann.shard.search.2",
+    "ann.shard.search.3",
+    "ann.shard.search.4",
+    "ann.shard.search.5",
+    "ann.shard.search.6",
+    "ann.shard.search.7",
+    "ann.shard.search.8",
+    "ann.shard.search.9",
+    "ann.shard.search.10",
+    "ann.shard.search.11",
+    "ann.shard.search.12",
+    "ann.shard.search.13",
+    "ann.shard.search.14",
+    "ann.shard.search.15",
+];
+
+/// Consults both the blanket and the per-shard chaos seam for shard `s`.
+/// Disarmed cost: one relaxed atomic load.
+fn shard_fault(s: usize) -> Option<FaultKind> {
+    if !unimatch_faults::armed() {
+        return None;
+    }
+    SHARD_FAULT
+        .fire()
+        .or_else(|| SHARD_FAULT_NAMES.get(s).and_then(|name| FaultPoint::should_fire(name)))
+}
+
+/// Failure-isolation policy for a sharded fan-out.
+///
+/// The default (`deadline: None`, `min_shards: None`) reproduces the
+/// strict pre-policy contract: no per-shard budget, and any shard failure
+/// fails the whole query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Per-shard wall-clock budget, measured around the shard's search
+    /// (injected latency included). A shard that answers past the budget
+    /// is counted failed and its hits are dropped from the merge. `None`
+    /// means unbounded — and the clock is never read.
+    pub deadline: Option<Duration>,
+    /// Minimum healthy shards required to answer at all. `None` means
+    /// every shard must answer (strict); `Some(m)` tolerates up to
+    /// `shards - m` failures, returning a degraded partial top-k.
+    pub min_shards: Option<usize>,
+}
+
+/// What one shard contributed to a fan-out.
+enum ShardOutcome<T> {
+    Hits(T),
+    Failed(ShardFailureKind),
+}
+
 /// N backend indexes over contiguous row ranges of one shared arena,
 /// searched in parallel and merged under the canonical top-k order.
 ///
@@ -103,13 +191,15 @@ pub struct ShardedRetriever {
     len: usize,
     dim: usize,
     backend: &'static str,
+    policy: ShardPolicy,
 }
 
 impl ShardedRetriever {
     /// Partitions `store` into `shards` contiguous row ranges (sizes
     /// differing by at most one row) and builds one backend index per
     /// range via `build_shard`, each over a zero-copy view of the shared
-    /// arena.
+    /// arena. Uses the strict default [`ShardPolicy`]; see
+    /// [`ShardedRetriever::build_with_policy`].
     ///
     /// `shards` is clamped to the row count (an empty store builds one
     /// empty shard). Shards are built in ascending row order, so a
@@ -118,7 +208,23 @@ impl ShardedRetriever {
     /// # Panics
     /// Panics if `shards == 0`, or if `build_shard` returns an index
     /// whose `len`/`dim` disagree with the view it was given.
-    pub fn build<F>(store: &Arc<EmbeddingStore>, shards: usize, mut build_shard: F) -> Self
+    pub fn build<F>(store: &Arc<EmbeddingStore>, shards: usize, build_shard: F) -> Self
+    where
+        F: FnMut(Arc<EmbeddingStore>) -> Box<dyn Retriever>,
+    {
+        Self::build_with_policy(store, shards, ShardPolicy::default(), build_shard)
+    }
+
+    /// [`ShardedRetriever::build`] with an explicit failure-isolation
+    /// policy. A `min_shards` larger than the (clamped) shard count is
+    /// itself clamped at search time, so a quorum of "1" is always
+    /// satisfiable on a healthy fan-out.
+    pub fn build_with_policy<F>(
+        store: &Arc<EmbeddingStore>,
+        shards: usize,
+        policy: ShardPolicy,
+        mut build_shard: F,
+    ) -> Self
     where
         F: FnMut(Arc<EmbeddingStore>) -> Box<dyn Retriever>,
     {
@@ -138,29 +244,130 @@ impl ShardedRetriever {
             offsets.push(start as u32);
         }
         let backend = built[0].backend();
-        ShardedRetriever { shards: built, offsets, len: rows, dim: store.dim(), backend }
+        ShardedRetriever { shards: built, offsets, len: rows, dim: store.dim(), backend, policy }
+    }
+
+    /// The failure-isolation policy this fan-out runs under.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Runs one shard's search under the isolation envelope: chaos seams
+    /// first (latency sleeps in place and counts toward the deadline, an
+    /// I/O fault fails the shard, a crash fault panics inside the capture
+    /// below), then the search itself inside `catch_unwind`, then the
+    /// deadline check. `AssertUnwindSafe` is sound here because `op` only
+    /// reads through `&self` — a captured panic cannot leave observable
+    /// index state half-written.
+    fn run_shard<T>(&self, s: usize, op: impl FnOnce() -> T) -> ShardOutcome<T> {
+        let start = self.policy.deadline.map(|_| Instant::now());
+        let fault = shard_fault(s);
+        match fault {
+            Some(FaultKind::IoError) => return ShardOutcome::Failed(ShardFailureKind::Io),
+            Some(FaultKind::LatencyUs(us)) => {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+            _ => {}
+        }
+        let crash = matches!(fault, Some(FaultKind::Crash));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if crash {
+                panic!("injected crash at fault point {}", SHARD_FAULT.name());
+            }
+            op()
+        }));
+        match result {
+            Err(_) => ShardOutcome::Failed(ShardFailureKind::Panic),
+            Ok(v) => match (start, self.policy.deadline) {
+                (Some(t0), Some(budget)) if t0.elapsed() > budget => {
+                    ShardOutcome::Failed(ShardFailureKind::Deadline)
+                }
+                _ => ShardOutcome::Hits(v),
+            },
+        }
+    }
+
+    /// Effective quorum for this call: the configured `min_shards`
+    /// (strict = all shards) clamped to the real fan-out width, or 1 when
+    /// the caller relaxed it.
+    fn required_shards(&self, opts: SearchOptions) -> usize {
+        let n = self.shards.len();
+        if opts.relax_quorum {
+            1
+        } else {
+            self.policy.min_shards.unwrap_or(n).clamp(1, n)
+        }
+    }
+
+    /// Folds per-shard outcomes into `(per-shard payloads, health)`,
+    /// failing the whole call when fewer shards than the quorum answered.
+    /// Failed shards yield `None` payloads so merge callers skip them by
+    /// position (keeping shard index = offset index).
+    fn assemble<T>(
+        &self,
+        outcomes: Vec<ShardOutcome<T>>,
+        opts: SearchOptions,
+    ) -> Result<(Vec<Option<T>>, ShardHealth), QuorumError> {
+        let total = outcomes.len();
+        let mut payloads = Vec::with_capacity(total);
+        let mut health = ShardHealth::healthy(total);
+        for (s, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                ShardOutcome::Hits(v) => payloads.push(Some(v)),
+                ShardOutcome::Failed(kind) => {
+                    health.failures.push((s as u32, kind));
+                    payloads.push(None);
+                }
+            }
+        }
+        let required = self.required_shards(opts);
+        if health.healthy_shards() < required {
+            return Err(QuorumError { healthy: health.healthy_shards(), required, total });
+        }
+        Ok((payloads, health))
     }
 
     /// Searches every shard (in parallel when the fan-out clears the
-    /// global work threshold) and returns the per-shard lists with local
-    /// row ids already translated to global ids.
-    fn search_shards(&self, query: &[f32], k: usize) -> Vec<Vec<Hit>> {
+    /// global work threshold) under the isolation envelope, returning the
+    /// per-shard outcomes with local row ids already translated to global
+    /// ids.
+    fn search_shards(&self, query: &[f32], k: usize) -> Vec<ShardOutcome<Vec<Hit>>> {
         let work = self.len * self.dim * 2;
         par_map_indexed(self.shards.len(), work, |s| {
             let _span = obs::span_us("unimatch_shard_search_us", shard_label(s));
-            let offset = self.offsets[s];
-            let mut hits = self.shards[s].search(query, k);
-            for h in &mut hits {
-                h.id += offset;
-            }
-            hits
+            self.run_shard(s, || {
+                let offset = self.offsets[s];
+                let mut hits = self.shards[s].search(query, k);
+                for h in &mut hits {
+                    h.id += offset;
+                }
+                hits
+            })
         })
+    }
+
+    /// Fallible single-query search; see
+    /// [`Retriever::search_batch_checked`] for the batch form.
+    pub fn search_checked(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<(Vec<Hit>, ShardHealth), QuorumError> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let (per_shard, health) = self.assemble(self.search_shards(query, k), opts)?;
+        let _merge_span = obs::span_us("unimatch_shard_merge_us", "");
+        let refs: Vec<&[Hit]> =
+            per_shard.iter().filter_map(|l| l.as_deref()).collect();
+        Ok((merge_topk(&refs, k), health))
     }
 }
 
 /// K-way merges per-shard top-k lists (each sorted by `(score desc, id
 /// asc)` with globally unique ids) into the global top-k under the same
-/// order. NaN scores compare equal, matching the kernel's comparator.
+/// order. Scores compare under [`f32::total_cmp`], so a NaN that slips
+/// out of a backend orders deterministically (above +inf) instead of
+/// comparing "equal to everything" and destabilizing the merge.
 fn merge_topk(lists: &[&[Hit]], k: usize) -> Vec<Hit> {
     use std::cmp::Ordering;
     if lists.len() == 1 {
@@ -177,8 +384,7 @@ fn merge_topk(lists: &[&[Hit]], k: usize) -> Vec<Hit> {
             if let Some(&h) = list.get(cursors[li]) {
                 let better = match &best {
                     None => true,
-                    Some((_, b)) => match h.score.partial_cmp(&b.score).unwrap_or(Ordering::Equal)
-                    {
+                    Some((_, b)) => match h.score.total_cmp(&b.score) {
                         Ordering::Greater => true,
                         Ordering::Less => false,
                         Ordering::Equal => h.id < b.id,
@@ -217,18 +423,34 @@ impl Retriever for ShardedRetriever {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
-        let per_shard = self.search_shards(query, k);
-        let _merge_span = obs::span_us("unimatch_shard_merge_us", "");
-        let refs: Vec<&[Hit]> = per_shard.iter().map(|l| l.as_slice()).collect();
-        merge_topk(&refs, k)
+        match self.search_checked(query, k, SearchOptions::default()) {
+            Ok((hits, _)) => hits,
+            Err(e) => panic!("sharded search failed: {e}"),
+        }
     }
 
     /// Fans the whole batch across shards (each shard answers every
     /// query over its row range; nested per-query parallelism inside a
     /// shard runs inline), then merges per query. Identical results to
-    /// per-query [`ShardedRetriever::search`].
+    /// per-query [`ShardedRetriever::search`]; a strict-quorum failure
+    /// panics, matching the single-query path.
     fn search_batch(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
+        match self.search_batch_checked(queries, k, SearchOptions::default()) {
+            Ok((lists, _)) => lists,
+            Err(e) => panic!("sharded search failed: {e}"),
+        }
+    }
+
+    /// The fallible fan-out: failed shards (I/O fault, captured panic,
+    /// blown per-shard deadline) are dropped from every query's merge,
+    /// and the health report names them; fewer healthy shards than the
+    /// effective quorum fails the whole batch instead.
+    fn search_batch_checked(
+        &self,
+        queries: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<(Vec<Vec<Hit>>, ShardHealth), QuorumError> {
         let _span = batch_entry_hooks(self.obs_label());
         let d = self.dim;
         assert!(d > 0, "search_batch on an index with zero dimension");
@@ -241,26 +463,33 @@ impl Retriever for ShardedRetriever {
         );
         let nq = queries.len() / d;
         let work = nq * self.len * d * 2;
-        let per_shard: Vec<Vec<Vec<Hit>>> = par_map_indexed(self.shards.len(), work, |s| {
-            let _span = obs::span_us("unimatch_shard_search_us", shard_label(s));
-            let offset = self.offsets[s];
-            let mut lists = self.shards[s].search_batch(queries, k);
-            for hits in &mut lists {
-                for h in hits {
-                    h.id += offset;
-                }
-            }
-            lists
-        });
+        let outcomes: Vec<ShardOutcome<Vec<Vec<Hit>>>> =
+            par_map_indexed(self.shards.len(), work, |s| {
+                let _span = obs::span_us("unimatch_shard_search_us", shard_label(s));
+                self.run_shard(s, || {
+                    let offset = self.offsets[s];
+                    let mut lists = self.shards[s].search_batch(queries, k);
+                    for hits in &mut lists {
+                        for h in hits {
+                            h.id += offset;
+                        }
+                    }
+                    lists
+                })
+            });
+        let (per_shard, health) = self.assemble(outcomes, opts)?;
         let _merge_span = obs::span_us("unimatch_shard_merge_us", "");
         let mut scratch: Vec<&[Hit]> = Vec::with_capacity(self.shards.len());
-        (0..nq)
+        let merged = (0..nq)
             .map(|q| {
                 scratch.clear();
-                scratch.extend(per_shard.iter().map(|lists| lists[q].as_slice()));
+                scratch.extend(per_shard.iter().filter_map(|lists| {
+                    lists.as_ref().map(|l| l[q].as_slice())
+                }));
                 merge_topk(&scratch, k)
             })
-            .collect()
+            .collect();
+        Ok((merged, health))
     }
 }
 
@@ -268,6 +497,13 @@ impl Retriever for ShardedRetriever {
 mod tests {
     use super::*;
     use crate::bruteforce::BruteForceIndex;
+    use unimatch_faults::{self as faults, FaultPlan, FaultRule};
+
+    /// Serializes tests that arm the process-global fault plan.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn store(rows: usize, dim: usize, seed: u64) -> Arc<EmbeddingStore> {
         let mut state = seed;
@@ -282,6 +518,13 @@ mod tests {
 
     fn sharded_exact(store: &Arc<EmbeddingStore>, n: usize) -> ShardedRetriever {
         ShardedRetriever::build(store, n, |view| Box::new(BruteForceIndex::over(view)))
+    }
+
+    fn sharded_quorum(store: &Arc<EmbeddingStore>, n: usize, min: usize) -> ShardedRetriever {
+        let policy = ShardPolicy { deadline: None, min_shards: Some(min) };
+        ShardedRetriever::build_with_policy(store, n, policy, |view| {
+            Box::new(BruteForceIndex::over(view))
+        })
     }
 
     #[test]
@@ -374,5 +617,162 @@ mod tests {
         let merged = merge_topk(&refs, 10);
         let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn merge_orders_nan_scores_deterministically() {
+        // total_cmp puts +NaN above +inf; under the old partial_cmp
+        // comparator ("NaN == everything") the outcome depended on list
+        // arrival order. Either way the merge must terminate and keep
+        // every element exactly once.
+        let lists: Vec<Vec<Hit>> = vec![
+            vec![Hit { id: 0, score: f32::NAN }, Hit { id: 3, score: 0.2 }],
+            vec![Hit { id: 1, score: 0.9 }, Hit { id: 2, score: 0.5 }],
+        ];
+        let refs: Vec<&[Hit]> = lists.iter().map(|l| l.as_slice()).collect();
+        let merged = merge_topk(&refs, 10);
+        let ids: Vec<u32> = merged.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "NaN sorts first under total_cmp");
+        // Swapping the lists must not change the merged order.
+        let swapped: Vec<&[Hit]> = vec![refs[1], refs[0]];
+        let ids2: Vec<u32> = merge_topk(&swapped, 10).iter().map(|h| h.id).collect();
+        assert_eq!(ids, ids2, "merge order must not depend on shard order");
+    }
+
+    #[test]
+    fn io_fault_on_one_shard_degrades_under_quorum() {
+        let _guard = fault_lock();
+        let s = store(30, 4, 0xabc);
+        let whole = BruteForceIndex::over(s.clone());
+        let sharded = sharded_quorum(&s, 3, 1);
+        faults::set_plan(FaultPlan {
+            seed: 1,
+            rules: vec![FaultRule::new("ann.shard.search.0", FaultKind::IoError)
+                .with_probability(1.0)],
+        });
+        let (hits, health) = sharded
+            .search_checked(s.row(2), 5, SearchOptions::default())
+            .expect("quorum of 1 met");
+        faults::clear();
+        assert!(health.degraded());
+        assert_eq!(health.total, 3);
+        assert_eq!(health.failures, vec![(0, ShardFailureKind::Io)]);
+        // The partial answer is exactly the full answer minus shard 0's rows.
+        let expected: Vec<Hit> = whole
+            .search(s.row(2), 30)
+            .into_iter()
+            .filter(|h| h.id >= 10)
+            .take(5)
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn strict_policy_fails_the_query_on_any_shard_failure() {
+        let _guard = fault_lock();
+        let s = store(20, 4, 0x11);
+        let sharded = sharded_exact(&s, 2);
+        faults::set_plan(FaultPlan {
+            seed: 2,
+            rules: vec![FaultRule::new("ann.shard.search.1", FaultKind::IoError)
+                .with_probability(1.0)],
+        });
+        let err = sharded
+            .search_checked(s.row(0), 3, SearchOptions::default())
+            .expect_err("strict policy");
+        faults::clear();
+        assert_eq!(err, QuorumError { healthy: 1, required: 2, total: 2 });
+    }
+
+    #[test]
+    fn relax_quorum_overrides_a_strict_policy() {
+        let _guard = fault_lock();
+        let s = store(20, 4, 0x12);
+        let sharded = sharded_exact(&s, 2);
+        faults::set_plan(FaultPlan {
+            seed: 3,
+            rules: vec![FaultRule::new("ann.shard.search.1", FaultKind::IoError)
+                .with_probability(1.0)],
+        });
+        let (hits, health) = sharded
+            .search_checked(s.row(0), 3, SearchOptions { relax_quorum: true })
+            .expect("relaxed quorum of 1");
+        faults::clear();
+        assert!(health.degraded());
+        assert!(hits.iter().all(|h| h.id < 10), "only shard 0 rows remain");
+    }
+
+    #[test]
+    fn shard_panic_is_captured_as_a_failure() {
+        let _guard = fault_lock();
+        let s = store(24, 4, 0x13);
+        let sharded = sharded_quorum(&s, 2, 1);
+        faults::set_plan(FaultPlan {
+            seed: 4,
+            rules: vec![
+                FaultRule::new("ann.shard.search.0", FaultKind::Crash).with_probability(1.0)
+            ],
+        });
+        let (_, health) = sharded
+            .search_batch_checked(s.row(1), 4, SearchOptions::default())
+            .expect("one healthy shard");
+        faults::clear();
+        assert_eq!(health.failures, vec![(0, ShardFailureKind::Panic)]);
+    }
+
+    #[test]
+    fn blown_per_shard_deadline_drops_the_shard() {
+        let _guard = fault_lock();
+        let s = store(24, 4, 0x14);
+        let policy = ShardPolicy {
+            deadline: Some(Duration::from_millis(5)),
+            min_shards: Some(1),
+        };
+        let sharded = ShardedRetriever::build_with_policy(&s, 2, policy, |view| {
+            Box::new(BruteForceIndex::over(view))
+        });
+        faults::set_plan(FaultPlan {
+            seed: 5,
+            rules: vec![FaultRule::new("ann.shard.search.1", FaultKind::LatencyUs(20_000))
+                .with_probability(1.0)],
+        });
+        let (hits, health) = sharded
+            .search_checked(s.row(0), 4, SearchOptions::default())
+            .expect("shard 0 within budget");
+        faults::clear();
+        assert_eq!(health.failures, vec![(1, ShardFailureKind::Deadline)]);
+        assert!(hits.iter().all(|h| h.id < 12), "only shard 0 rows remain");
+    }
+
+    #[test]
+    fn blanket_shard_fault_misses_quorum_everywhere() {
+        let _guard = fault_lock();
+        let s = store(24, 4, 0x15);
+        let sharded = sharded_quorum(&s, 3, 1);
+        faults::set_plan(FaultPlan {
+            seed: 6,
+            rules: vec![
+                FaultRule::new("ann.shard.search", FaultKind::IoError).with_probability(1.0)
+            ],
+        });
+        let err = sharded
+            .search_checked(s.row(0), 4, SearchOptions::default())
+            .expect_err("all shards down");
+        faults::clear();
+        assert_eq!(err.healthy, 0);
+        assert_eq!(err.total, 3);
+    }
+
+    #[test]
+    fn healthy_checked_path_is_bitwise_identical_and_reports_healthy() {
+        let s = store(50, 8, 0x16);
+        let sharded = sharded_quorum(&s, 4, 2);
+        let plain = sharded.search_batch(s.row(7), 9);
+        let (checked, health) = sharded
+            .search_batch_checked(s.row(7), 9, SearchOptions::default())
+            .expect("healthy");
+        assert!(!health.degraded());
+        assert_eq!(health.total, 4);
+        assert_eq!(plain, checked);
     }
 }

@@ -11,8 +11,16 @@
 //! signal capacity planning needs (see `docs/OPERATIONS.md`).
 //!
 //! The run is deterministic per seed on the client side: the arrival
-//! schedule and every request body derive from `LoadgenOptions::seed`
-//! and the request index alone.
+//! schedule, every request body, and every retry's backoff jitter derive
+//! from `LoadgenOptions::seed` and the request index alone.
+//!
+//! With `retries > 0` the client is also a resilience reference
+//! implementation: overload answers (429/503) and transport failures are
+//! retried with exponential backoff plus deterministic jitter, a
+//! `Retry-After` header overrides the computed backoff, every socket
+//! carries a read/write timeout, and a per-target circuit breaker opens
+//! after consecutive transport failures so a dead server is not hammered
+//! by every scheduled arrival.
 //!
 //! Results go two places:
 //!
@@ -90,10 +98,16 @@ pub struct LoadgenOptions {
     /// into the snapshot (`rerank_mix`), so `bench diff` flags a
     /// comparison of mixed and plain runs instead of absorbing it.
     pub rerank_mix: bool,
+    /// Additional attempts per request after a shed (429/503) or
+    /// transport failure. `0` reproduces the historical fire-once client
+    /// byte for byte; retried attempts back off exponentially with
+    /// deterministic jitter, honoring the server's `Retry-After`.
+    pub retries: u32,
 }
 
 /// One request's outcome. `status == 0` means the transport failed
-/// (connect refused/reset) — under overload that is data, not a bug.
+/// (connect refused/reset/timed out) — under overload that is data, not
+/// a bug.
 #[derive(Clone, Copy, Debug)]
 struct Sample {
     status: u16,
@@ -102,6 +116,68 @@ struct Sample {
     /// nonzero lag means the *client* could not sustain the offered
     /// load, and the latency numbers understate server queueing.
     lag: Duration,
+    /// Attempts beyond the first (0 without `--retries`). Latency spans
+    /// them all, backoff included — the client-observed answer time.
+    retries: u32,
+    /// The circuit breaker was open and the request failed fast without
+    /// touching the network (reported with `status == 0`).
+    fast_failed: bool,
+}
+
+/// Socket read/write timeout on every client connection: a wedged server
+/// surfaces as a transport failure (→ breaker food) instead of a worker
+/// parked forever.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Base backoff before attempt 1; attempt `a` waits `2^a` times this,
+/// plus up to 100 % deterministic jitter, unless `Retry-After` overrides.
+const BACKOFF_BASE: Duration = Duration::from_millis(25);
+
+/// Backoff ceiling, also applied to `Retry-After` hints — an open-loop
+/// client that parks for 30 s has left its measurement window.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// A per-target circuit breaker: opens after `threshold` *consecutive*
+/// transport failures, fails fast for `cooldown`, then half-opens (the
+/// next arrival probes the target; success closes, failure re-opens).
+/// One instance guards one target address, shared by all workers.
+struct CircuitBreaker {
+    consecutive_failures: AtomicUsize,
+    /// Micros since run start before which requests fail fast; 0 = closed.
+    open_until_us: std::sync::atomic::AtomicU64,
+    threshold: usize,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    fn new() -> CircuitBreaker {
+        CircuitBreaker {
+            consecutive_failures: AtomicUsize::new(0),
+            open_until_us: std::sync::atomic::AtomicU64::new(0),
+            threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+
+    /// Whether a request may go out `now` (half-open probes are allowed:
+    /// the deadline passing admits exactly the traffic that re-tests).
+    fn allow(&self, now: Instant, started: Instant) -> bool {
+        let now_us = now.duration_since(started).as_micros() as u64;
+        now_us >= self.open_until_us.load(Ordering::Relaxed)
+    }
+
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.open_until_us.store(0, Ordering::Relaxed);
+    }
+
+    fn record_transport_failure(&self, now: Instant, started: Instant) {
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.threshold {
+            let until = now.duration_since(started) + self.cooldown;
+            self.open_until_us.store(until.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
 }
 
 /// What the run measured, before snapshot serialization.
@@ -127,6 +203,10 @@ pub struct LoadReport {
     pub schedule_lag_p99_us: f64,
     /// Total requests attempted.
     pub requests: usize,
+    /// Retry attempts per request (0.0 without `--retries`).
+    pub retry_rate: f64,
+    /// Fraction of requests failed fast by an open circuit breaker.
+    pub breaker_fast_fail_rate: f64,
 }
 
 /// Runs the load test and writes `BENCH_load.json` into
@@ -140,12 +220,12 @@ pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
     assert!(opts.concurrency > 0, "concurrency must be positive");
     // Probe /healthz: fails fast when nothing is listening, and the item
     // count bounds the ids request synthesis may use.
-    let (status, body) = http_request(&opts.addr, "GET", "/healthz", b"")
+    let probe = http_request(&opts.addr, "GET", "/healthz", b"")
         .map_err(|e| std::io::Error::other(format!("cannot reach {}: {e}", opts.addr)))?;
-    if status != 200 {
-        return Err(std::io::Error::other(format!("/healthz answered {status}")));
+    if probe.status != 200 {
+        return Err(std::io::Error::other(format!("/healthz answered {}", probe.status)));
     }
-    let health = Json::parse(&body)
+    let health = Json::parse(&probe.body)
         .map_err(|e| std::io::Error::other(format!("/healthz unparseable: {e}")))?;
     let num_items = health
         .get("items")
@@ -158,12 +238,13 @@ pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
 
     obs::set_enabled(true);
     let next = AtomicUsize::new(0);
+    let breaker = CircuitBreaker::new();
     let (tx, rx) = channel::<Sample>();
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..opts.concurrency {
             let tx = tx.clone();
-            let (next, schedule) = (&next, &schedule);
+            let (next, schedule, breaker) = (&next, &schedule, &breaker);
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_requests {
@@ -176,12 +257,7 @@ pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
                 }
                 let lag = started.elapsed().saturating_sub(schedule[i]);
                 let (path, request_body) = synthesize(opts, i, num_items);
-                let t0 = Instant::now();
-                let status = match http_request(&opts.addr, "POST", path, &request_body) {
-                    Ok((status, _)) => status,
-                    Err(_) => 0,
-                };
-                let sample = Sample { status, latency: t0.elapsed(), lag };
+                let sample = send_with_retries(opts, path, &request_body, i, breaker, started, lag);
                 record_obs(path, &sample);
                 let _ = tx.send(sample);
             });
@@ -203,6 +279,8 @@ pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
     let shed = samples.iter().filter(|s| s.status == 429 || s.status == 503).count();
     let errors = samples.len() - ok_lat.len() - shed;
     let lags: Vec<Duration> = samples.iter().map(|s| s.lag).collect();
+    let retries: u64 = samples.iter().map(|s| s.retries as u64).sum();
+    let fast_fails = samples.iter().filter(|s| s.fast_failed).count();
     std::fs::create_dir_all(&opts.out_dir)?;
     let report = LoadReport {
         offered_qps: opts.qps,
@@ -214,9 +292,60 @@ pub fn run(opts: &LoadgenOptions) -> std::io::Result<(LoadReport, PathBuf)> {
         error_rate: errors as f64 / samples.len() as f64,
         schedule_lag_p99_us: percentile_us(&lags, 0.99),
         requests: samples.len(),
+        retry_rate: retries as f64 / samples.len() as f64,
+        breaker_fast_fail_rate: fast_fails as f64 / samples.len() as f64,
     };
     let path = write_snapshot(&to_snapshot(&report, opts), &opts.out_dir)?;
     Ok((report, path))
+}
+
+/// Issues one scheduled request, retrying sheds (429/503) and transport
+/// failures up to `opts.retries` extra attempts. Backoff is exponential
+/// from [`BACKOFF_BASE`] with deterministic jitter derived from
+/// `(seed, request index, attempt)`; a server `Retry-After` overrides it
+/// (capped at [`BACKOFF_CAP`]). Transport failures feed the circuit
+/// breaker; an open breaker fails the request fast without a connection.
+fn send_with_retries(
+    opts: &LoadgenOptions,
+    path: &'static str,
+    body: &[u8],
+    index: usize,
+    breaker: &CircuitBreaker,
+    started: Instant,
+    lag: Duration,
+) -> Sample {
+    let t0 = Instant::now();
+    let mut attempt: u32 = 0;
+    loop {
+        if !breaker.allow(Instant::now(), started) {
+            return Sample { status: 0, latency: t0.elapsed(), lag, retries: attempt, fast_failed: true };
+        }
+        let (status, retry_after) = match http_request(&opts.addr, "POST", path, body) {
+            Ok(r) => {
+                breaker.record_success();
+                (r.status, r.retry_after)
+            }
+            Err(_) => {
+                breaker.record_transport_failure(Instant::now(), started);
+                (0, None)
+            }
+        };
+        let retryable = matches!(status, 0 | 429 | 503);
+        if !retryable || attempt >= opts.retries {
+            return Sample { status, latency: t0.elapsed(), lag, retries: attempt, fast_failed: false };
+        }
+        let backoff = match retry_after {
+            Some(secs) => Duration::from_secs(secs),
+            None => {
+                let exp = BACKOFF_BASE * 2u32.pow(attempt.min(16));
+                let mut rng =
+                    StdRng::seed_from_u64(opts.seed ^ (index as u64) << 8 ^ attempt as u64);
+                exp + Duration::from_micros(rng.gen_range(0..=exp.as_micros() as u64))
+            }
+        };
+        std::thread::sleep(backoff.min(BACKOFF_CAP));
+        attempt += 1;
+    }
 }
 
 /// Arrival offsets of a Poisson process: i.i.d. exponential
@@ -312,19 +441,33 @@ fn to_snapshot(report: &LoadReport, opts: &LoadgenOptions) -> Snapshot {
         "flag",
         Direction::HigherBetter,
     );
+    snap.push("retry_rate", report.retry_rate, "ratio", Direction::LowerBetter);
+    snap.push(
+        "breaker_fast_fail_rate",
+        report.breaker_fast_fail_rate,
+        "ratio",
+        Direction::LowerBetter,
+    );
     snap
 }
 
+/// A parsed client-side response: status, the `Retry-After` hint when
+/// the server sent one, and the body.
+struct HttpResponse {
+    status: u16,
+    retry_after: Option<u64>,
+    body: Vec<u8>,
+}
+
 /// One HTTP/1.1 request over a fresh connection (the server closes after
-/// each response, so read-to-EOF is the framing).
-fn http_request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: &[u8],
-) -> std::io::Result<(u16, Vec<u8>)> {
+/// each response, so read-to-EOF is the framing). Both socket directions
+/// carry [`CLIENT_TIMEOUT`], so a wedged server turns into an `Err`
+/// instead of a parked worker.
+fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
     let mut stream = std::net::TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
     stream.write_all(
         format!(
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
@@ -346,7 +489,11 @@ fn http_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::other("no status code in status line"))?;
-    Ok((status, response[head_end + 4..].to_vec()))
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
+    });
+    Ok(HttpResponse { status, retry_after, body: response[head_end + 4..].to_vec() })
 }
 
 #[cfg(test)]
@@ -379,6 +526,7 @@ mod tests {
             out_dir: PathBuf::from("."),
             smoke: true,
             rerank_mix: false,
+            retries: 0,
         };
         let (p0, b0) = synthesize(&opts, 0, 13);
         let (p1, b1) = synthesize(&opts, 1, 13);
@@ -410,6 +558,8 @@ mod tests {
             error_rate: 0.0,
             schedule_lag_p99_us: 120.0,
             requests: 8_000,
+            retry_rate: 0.01,
+            breaker_fast_fail_rate: 0.0,
         };
         let opts = LoadgenOptions {
             addr: String::new(),
@@ -422,10 +572,32 @@ mod tests {
             out_dir: PathBuf::from("."),
             smoke: false,
             rerank_mix: false,
+            retries: 2,
         };
         let doc = to_snapshot(&report, &opts).to_json();
         crate::schema::validate(&doc).expect("load snapshot validates");
         let text = doc.to_string();
         assert!(text.contains("\"suite\":\"load\""), "{text}");
+        assert!(text.contains("retry_rate"), "{text}");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_half_opens() {
+        let b = CircuitBreaker::new();
+        let t0 = Instant::now();
+        for _ in 0..b.threshold - 1 {
+            b.record_transport_failure(t0, t0);
+        }
+        assert!(b.allow(t0, t0), "below the threshold the breaker stays closed");
+        b.record_transport_failure(t0, t0);
+        assert!(!b.allow(t0, t0), "threshold consecutive failures open the breaker");
+        // past the cooldown the next request is allowed through (half-open)
+        let later = t0 + b.cooldown + Duration::from_millis(1);
+        assert!(b.allow(later, t0), "cooldown expiry admits a probe");
+        // a success closes it fully and clears the failure streak
+        b.record_success();
+        assert!(b.allow(t0, t0));
+        b.record_transport_failure(t0, t0);
+        assert!(b.allow(t0, t0), "one failure after reset does not re-open");
     }
 }

@@ -13,12 +13,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use unimatch_ann::{
-    BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
-    RowFormat, ShardedRetriever, StoreBacking,
+    BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, QuorumError,
+    Retriever, RowFormat, SearchOptions, ShardHealth, ShardPolicy, ShardedRetriever, StoreBacking,
 };
 use unimatch_data::{InteractionLog, Marginals, SeqBatch};
 use unimatch_eval::UserPool;
-use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext};
+use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext, StageSkip};
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_parallel::Parallelism;
@@ -63,6 +63,11 @@ pub struct UniMatchConfig {
     /// are bitwise independent of this setting; it is a
     /// throughput/latency knob (see docs/OPERATIONS.md).
     pub shards: usize,
+    /// Failure-isolation policy for sharded fan-outs (per-shard deadline
+    /// plus `min_shards` quorum; see [`ShardPolicy`]). The default is
+    /// strict — no deadline, every shard must answer — which reproduces
+    /// the historical behavior exactly. Ignored when `shards == 1`.
+    pub shard_policy: ShardPolicy,
     /// Post-retrieval re-ranking pipeline (see [`unimatch_rerank`]).
     /// The default (empty spec, no rules) is the identity chain, which
     /// is bitwise invisible at every call site.
@@ -133,9 +138,17 @@ impl RetrieverKind {
     /// Builds an index of this kind over a shared store, wrapped in a
     /// [`ShardedRetriever`] when `shards > 1` (one backend index per
     /// contiguous row range, each over a zero-copy view of `store`).
-    fn build(self, store: Arc<EmbeddingStore>, shards: usize, rng: &mut StdRng) -> Box<dyn Retriever> {
+    fn build(
+        self,
+        store: Arc<EmbeddingStore>,
+        shards: usize,
+        policy: ShardPolicy,
+        rng: &mut StdRng,
+    ) -> Box<dyn Retriever> {
         if shards > 1 {
-            Box::new(ShardedRetriever::build(&store, shards, |view| self.build_one(view, rng)))
+            Box::new(ShardedRetriever::build_with_policy(&store, shards, policy, |view| {
+                self.build_one(view, rng)
+            }))
         } else {
             self.build_one(store, rng)
         }
@@ -169,6 +182,7 @@ impl Default for UniMatchConfig {
             parallelism: Parallelism::auto(),
             retriever: RetrieverKind::default(),
             shards: 1,
+            shard_policy: ShardPolicy::default(),
             rerank: RerankConfig::default(),
             store: RowFormat::F32,
             mmap: false,
@@ -409,7 +423,8 @@ impl UniMatch {
         } else {
             Arc::new(item_store.quantize(cfg.store))
         };
-        let item_index = cfg.retriever.build(item_store.clone(), cfg.shards, &mut rng);
+        let item_index =
+            cfg.retriever.build(item_store.clone(), cfg.shards, cfg.shard_policy, &mut rng);
         let user_pool = UserPool::build(&prepared.split, cfg.max_seq_len);
         let histories: Vec<&[u32]> = user_pool.histories().iter().map(|h| h.as_slice()).collect();
         let user_embeddings = embed_histories(&model, &histories, cfg.max_seq_len);
@@ -423,7 +438,8 @@ impl UniMatch {
         } else {
             user_store.quantize(cfg.store)
         });
-        let user_index = cfg.retriever.build(user_store.clone(), cfg.shards, &mut rng);
+        let user_index =
+            cfg.retriever.build(user_store.clone(), cfg.shards, cfg.shard_policy, &mut rng);
 
         let rerank = RerankChain::parse(&cfg.rerank.spec)
             .unwrap_or_else(|e| panic!("invalid rerank spec {:?}: {e}", cfg.rerank.spec));
@@ -451,11 +467,60 @@ impl UniMatch {
     }
 }
 
+/// What a fallible, degradable batch query returns: per-query result
+/// lists plus the fan-out's [`ShardHealth`], or a [`QuorumError`] when
+/// too few shards answered.
+pub type CheckedBatch<T> = Result<(Vec<Vec<T>>, ShardHealth), QuorumError>;
+
+/// Serving-time degradation knobs for one batched answer — the brownout
+/// controller's hooks into [`FittedUniMatch`]. [`DegradeOptions::NONE`]
+/// (the default) is guaranteed bitwise invisible: every checked call
+/// with it produces exactly the bytes of its unchecked counterpart.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradeOptions {
+    /// Skip `explore` re-ranking stages.
+    pub skip_explore: bool,
+    /// Skip `mmr` re-ranking stages.
+    pub skip_mmr: bool,
+    /// Over-fetch with [`RerankChain::fetch_k_reduced`] instead of the
+    /// full headroom.
+    pub shrink_overfetch: bool,
+    /// Accept an answer from a single healthy shard (overrides the
+    /// configured quorum for this call).
+    pub relax_quorum: bool,
+}
+
+impl DegradeOptions {
+    /// Full quality — no degradation.
+    pub const NONE: DegradeOptions = DegradeOptions {
+        skip_explore: false,
+        skip_mmr: false,
+        shrink_overfetch: false,
+        relax_quorum: false,
+    };
+
+    /// The rerank-stage skip set these options imply.
+    fn stage_skip(self) -> StageSkip {
+        StageSkip { explore: self.skip_explore, mmr: self.skip_mmr }
+    }
+}
+
 impl FittedUniMatch {
     /// Runs the configured chain over an item-tower retrieval result.
     /// Identity chains return `hits` untouched — same allocation, same
     /// bytes — so an unconfigured deployment is bitwise unchanged.
     fn rerank_items(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+        self.rerank_items_degraded(query, hits, k, StageSkip::NONE)
+    }
+
+    /// [`FittedUniMatch::rerank_items`] minus the stages in `skip`.
+    fn rerank_items_degraded(
+        &self,
+        query: &[f32],
+        hits: Vec<Hit>,
+        k: usize,
+        skip: StageSkip,
+    ) -> Vec<Hit> {
         if self.rerank.is_identity() {
             return hits;
         }
@@ -468,13 +533,24 @@ impl FittedUniMatch {
             query_tag: query_tag(query),
             k,
         };
-        self.rerank.apply(&ctx, hits)
+        self.rerank.apply_degraded(&ctx, hits, skip)
     }
 
     /// Runs the configured chain over a user-tower retrieval result (hit
     /// ids are still pool rows here — translation to user ids happens
     /// after). Business rules describe items, so UT runs without them.
     fn rerank_users(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+        self.rerank_users_degraded(query, hits, k, StageSkip::NONE)
+    }
+
+    /// [`FittedUniMatch::rerank_users`] minus the stages in `skip`.
+    fn rerank_users_degraded(
+        &self,
+        query: &[f32],
+        hits: Vec<Hit>,
+        k: usize,
+        skip: StageSkip,
+    ) -> Vec<Hit> {
         if self.rerank.is_identity() {
             return hits;
         }
@@ -487,7 +563,7 @@ impl FittedUniMatch {
             query_tag: query_tag(query),
             k,
         };
-        self.rerank.apply(&ctx, hits)
+        self.rerank.apply_degraded(&ctx, hits, skip)
     }
 
     /// IR: top-k items for a user's purchase history.
@@ -585,6 +661,85 @@ impl FittedUniMatch {
             .enumerate()
             .map(|(q, hits)| self.rerank_items(&queries[q * dim..(q + 1) * dim], hits, k))
             .collect()
+    }
+
+    /// Fallible, degradable form of
+    /// [`FittedUniMatch::recommend_by_embeddings`]: the retrieval fan-out
+    /// runs under shard failure isolation (see
+    /// [`Retriever::search_batch_checked`]) and the returned
+    /// [`ShardHealth`] reports any dropped shards; `degrade` applies the
+    /// brownout ladder's quality reductions. With
+    /// [`DegradeOptions::NONE`] and a healthy fan-out the hit lists are
+    /// bitwise identical to the unchecked call.
+    pub fn recommend_by_embeddings_checked(
+        &self,
+        queries: &[f32],
+        k: usize,
+        degrade: DegradeOptions,
+    ) -> CheckedBatch<Hit> {
+        let dim = self.item_store.dim();
+        let fetch = if degrade.shrink_overfetch {
+            self.rerank.fetch_k_reduced(k)
+        } else {
+            self.rerank.fetch_k(k)
+        };
+        let opts = SearchOptions { relax_quorum: degrade.relax_quorum };
+        let (lists, health) = self.item_index.search_batch_checked(queries, fetch, opts)?;
+        let skip = degrade.stage_skip();
+        let reranked = lists
+            .into_iter()
+            .enumerate()
+            .map(|(q, hits)| {
+                self.rerank_items_degraded(&queries[q * dim..(q + 1) * dim], hits, k, skip)
+            })
+            .collect();
+        Ok((reranked, health))
+    }
+
+    /// Fallible, degradable form of [`FittedUniMatch::target_users_batch`];
+    /// same contract as [`FittedUniMatch::recommend_by_embeddings_checked`].
+    pub fn target_users_batch_checked(
+        &self,
+        items: &[u32],
+        k: usize,
+        degrade: DegradeOptions,
+    ) -> CheckedBatch<(u32, f32)> {
+        let queries: Vec<f32> = items
+            .iter()
+            .flat_map(|&i| self.item_store.decode_row(i as usize).into_owned())
+            .collect();
+        let dim = self.user_store.dim();
+        let fetch = if degrade.shrink_overfetch {
+            self.rerank.fetch_k_reduced(k)
+        } else {
+            self.rerank.fetch_k(k)
+        };
+        let opts = SearchOptions { relax_quorum: degrade.relax_quorum };
+        let (lists, health) = self.user_index.search_batch_checked(&queries, fetch, opts)?;
+        let skip = degrade.stage_skip();
+        let translated = lists
+            .into_iter()
+            .enumerate()
+            .map(|(q, hits)| {
+                let query = &queries[q * dim..(q + 1) * dim];
+                self.rerank_users_degraded(query, hits, k, skip)
+                    .into_iter()
+                    .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
+                    .collect()
+            })
+            .collect();
+        Ok((translated, health))
+    }
+
+    /// Whether `degrade` can change response *content* for this
+    /// deployment — true when it shrinks a non-identity chain's
+    /// over-fetch or skips a stage the chain actually runs. Quorum
+    /// relaxation alone never changes bytes on a healthy fan-out, so it
+    /// does not count; a fan-out that actually lost shards is flagged
+    /// through [`ShardHealth`] instead.
+    pub fn degrade_affects_content(&self, degrade: DegradeOptions) -> bool {
+        (degrade.shrink_overfetch && !self.rerank.is_identity())
+            || self.rerank.skip_affects(degrade.stage_skip())
     }
 
     /// The history truncation length the model was fitted with. Queries

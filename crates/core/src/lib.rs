@@ -50,8 +50,11 @@ pub use durable::{
 };
 pub use evaluate::{evaluate, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_store_formats, evaluate_with_audit, EvalOutcome, RerankEval, RerankSide, RetrievalAudit, StoreFormatEval};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
-pub use framework::{FittedUniMatch, RerankConfig, RetrieverKind, UniMatch, UniMatchConfig};
-pub use unimatch_ann::{RowFormat, StoreBacking};
+pub use framework::{
+    CheckedBatch, DegradeOptions, FittedUniMatch, RerankConfig, RetrieverKind, UniMatch,
+    UniMatchConfig,
+};
+pub use unimatch_ann::{QuorumError, RowFormat, ShardHealth, ShardPolicy, StoreBacking};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};
 pub use hyper::{Hyperparams, Pathway};

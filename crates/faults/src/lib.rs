@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod plan;
+pub mod points;
 
 pub use plan::{FaultKind, FaultPlan, FaultRule, PlanParseError};
 

@@ -1,0 +1,50 @@
+//! Pins the fault-point registry against the operator docs: every point
+//! in [`unimatch_faults::points::REGISTERED`] must have a row in the
+//! `docs/OPERATIONS.md` fault-point table, and every table row must name
+//! a registered point. Either drift direction fails here, so "what can I
+//! arm?" has exactly one answer.
+
+use std::collections::BTreeSet;
+
+const OPERATIONS_MD: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OPERATIONS.md"));
+
+/// Point names from the fault-point table: rows of the form
+/// `| `name` | … |` inside the "Fault points" section.
+fn documented_points() -> BTreeSet<String> {
+    let section = OPERATIONS_MD
+        .split("## Fault points")
+        .nth(1)
+        .expect("docs/OPERATIONS.md must have a `## Fault points` section");
+    let section = section.split("\n## ").next().unwrap_or(section);
+    let mut names = BTreeSet::new();
+    for line in section.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `") else { continue };
+        let Some(name) = rest.split('`').next() else { continue };
+        names.insert(name.to_string());
+    }
+    names
+}
+
+#[test]
+fn registry_and_operations_table_agree_both_ways() {
+    let registered: BTreeSet<String> = unimatch_faults::points::REGISTERED
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    let documented = documented_points();
+    assert!(!registered.is_empty() && !documented.is_empty());
+
+    let undocumented: Vec<_> = registered.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "fault points registered in unimatch-faults but missing from the \
+         docs/OPERATIONS.md fault-point table: {undocumented:?}"
+    );
+    let unregistered: Vec<_> = documented.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "fault points documented in docs/OPERATIONS.md but absent from \
+         unimatch_faults::points::REGISTERED: {unregistered:?}"
+    );
+}

@@ -12,6 +12,39 @@ use unimatch_obs::span_us;
 const OVERFETCH_FACTOR: usize = 4;
 const OVERFETCH_MIN_EXTRA: usize = 16;
 
+/// The brownout over-fetch: still more than `k` (filters and caps need
+/// *some* slack to return a full page), but half the normal headroom.
+const REDUCED_OVERFETCH_FACTOR: usize = 2;
+const REDUCED_OVERFETCH_MIN_EXTRA: usize = 8;
+
+/// Which *optional* stages a degraded `apply` should skip — the serving
+/// layer's brownout hook. Only the quality-enhancing stages (exploration,
+/// MMR diversity) are skippable; correctness-bearing stages (business
+/// rule filters, category caps, debias weighting) always run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageSkip {
+    /// Skip `explore` stages (seeded ε-exploration).
+    pub explore: bool,
+    /// Skip `mmr` stages (diversity re-scoring).
+    pub mmr: bool,
+}
+
+impl StageSkip {
+    /// Skip nothing — [`RerankChain::apply_degraded`] with this set is
+    /// exactly [`RerankChain::apply`].
+    pub const NONE: StageSkip = StageSkip { explore: false, mmr: false };
+
+    /// Whether the stage named `name` is skipped under this set.
+    pub fn skips(&self, name: &str) -> bool {
+        (self.explore && name == "explore") || (self.mmr && name == "mmr")
+    }
+
+    /// True when nothing is skipped.
+    pub fn is_none(&self) -> bool {
+        !self.explore && !self.mmr
+    }
+}
+
 /// An ordered sequence of [`RerankStage`]s applied after retrieval.
 ///
 /// Built from a spec string (grammar: `stage[@weight][:key=value]…`,
@@ -191,17 +224,50 @@ impl RerankChain {
         }
     }
 
+    /// The brownout over-fetch: half the headroom of
+    /// [`RerankChain::fetch_k`], for serving under pressure. The identity
+    /// chain still fetches exactly `k`.
+    pub fn fetch_k_reduced(&self, k: usize) -> usize {
+        if self.is_identity() {
+            k
+        } else {
+            (k * REDUCED_OVERFETCH_FACTOR).max(k + REDUCED_OVERFETCH_MIN_EXTRA)
+        }
+    }
+
+    /// Whether the chain contains a stage named `name`.
+    pub fn has_stage(&self, name: &str) -> bool {
+        self.stages.iter().any(|s| s.name() == name)
+    }
+
+    /// Whether `skip` would actually drop a stage this chain runs —
+    /// i.e. whether a degraded `apply` can differ from the full one.
+    pub fn skip_affects(&self, skip: StageSkip) -> bool {
+        self.stages.iter().any(|s| skip.skips(s.name()))
+    }
+
     /// Runs every stage in order and truncates to `ctx.k`. The identity
     /// chain returns `hits` untouched (same allocation, same bytes).
     /// Per-stage latency is recorded as
     /// `unimatch_rerank_stage_us{stage=}` spans when observability is
     /// enabled.
     pub fn apply(&self, ctx: &RerankContext, hits: Vec<Hit>) -> Vec<Hit> {
+        self.apply_degraded(ctx, hits, StageSkip::NONE)
+    }
+
+    /// [`RerankChain::apply`] minus the stages in `skip`. With
+    /// [`StageSkip::NONE`] this is exactly `apply` (same bytes); under a
+    /// brownout it sheds the optional quality stages while the
+    /// correctness-bearing ones (filter, cap, debias) still run.
+    pub fn apply_degraded(&self, ctx: &RerankContext, hits: Vec<Hit>, skip: StageSkip) -> Vec<Hit> {
         if self.is_identity() {
             return hits;
         }
         let mut candidates = CandidateList::from_hits(hits);
         for stage in &self.stages {
+            if skip.skips(stage.name()) {
+                continue;
+            }
             let _span = span_us("unimatch_rerank_stage_us", stage_label(stage.name()));
             stage.apply(ctx, &mut candidates);
         }
@@ -310,6 +376,42 @@ mod tests {
         let b = chain.apply(&c, hits(20));
         assert_eq!(a.len(), 5);
         assert_eq!(a, b, "chains are deterministic under a fixed context");
+    }
+
+    #[test]
+    fn stage_skip_none_matches_apply_bytewise() {
+        let log_p: Vec<f32> = (0..20).map(|i| -((i + 2) as f32).ln()).collect();
+        let chain = RerankChain::parse("debias@0.5,explore@0.2").unwrap();
+        let c = RerankContext { log_marginals: Some(&log_p), ..ctx(5) };
+        let full = chain.apply(&c, hits(20));
+        let none = chain.apply_degraded(&c, hits(20), StageSkip::NONE);
+        assert_eq!(full, none);
+    }
+
+    #[test]
+    fn skipping_explore_matches_the_chain_without_it() {
+        let log_p: Vec<f32> = (0..20).map(|i| -((i + 2) as f32).ln()).collect();
+        let with = RerankChain::parse("debias@0.5,explore@0.9").unwrap();
+        let without = RerankChain::parse("debias@0.5").unwrap();
+        let c = RerankContext { log_marginals: Some(&log_p), ..ctx(5) };
+        let skip = StageSkip { explore: true, mmr: false };
+        assert!(with.skip_affects(skip));
+        assert!(!without.skip_affects(skip));
+        let degraded = with.apply_degraded(&c, hits(20), skip);
+        let reference = without.apply(&c, hits(20));
+        assert_eq!(degraded, reference, "skipped stage must be a clean no-op");
+    }
+
+    #[test]
+    fn reduced_overfetch_sits_between_k_and_the_full_overfetch() {
+        let chain = RerankChain::parse("debias,explore").unwrap();
+        for k in [1, 5, 10, 100] {
+            let reduced = chain.fetch_k_reduced(k);
+            assert!(reduced > k, "filters still need slack (k={k})");
+            assert!(reduced < chain.fetch_k(k), "must shed work (k={k})");
+        }
+        let identity = RerankChain::identity();
+        assert_eq!(identity.fetch_k_reduced(7), 7);
     }
 
     #[test]

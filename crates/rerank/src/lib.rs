@@ -47,7 +47,7 @@ mod spec;
 mod stage;
 mod stages;
 
-pub use chain::RerankChain;
+pub use chain::{RerankChain, StageSkip};
 pub use rules::BusinessRules;
 pub use spec::SpecError;
 pub use stage::{CandidateList, RerankContext, RerankStage};

@@ -19,8 +19,13 @@
 //! * every job carries an admission deadline — jobs that out-wait it in
 //!   the queue are answered [`JobError::Expired`] (→ 503) instead of
 //!   executed, and each dequeue releases one slot of the queue-occupancy
-//!   counter the server sheds (→ 429) against.
+//!   counter the server sheds (→ 429) against;
+//! * every answer carries a `degraded` flag — `true` when a shard was
+//!   missing from the merge (quorum-tolerated failure) or an active
+//!   brownout rung changed response content; healthy full-quality
+//!   batches are bitwise identical to the unchecked serving APIs.
 
+use crate::brownout::BrownoutState;
 use crate::cache::LruCache;
 use crate::metrics::{Metrics, Route};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unimatch_ann::Hit;
 use unimatch_core::serving::ServingState;
-use unimatch_core::ModelHandle;
+use unimatch_core::{DegradeOptions, ModelHandle};
 use unimatch_faults::FaultPoint;
 
 /// Chaos-testing seam: a latency fault armed at `serve.batch` stalls the
@@ -51,6 +56,10 @@ pub enum JobError {
     Expired,
 }
 
+/// A batcher answer: the payload plus its `degraded` flag (`true` when a
+/// shard was missing from the merge or a brownout rung changed content).
+pub type JobResult<T> = Result<(T, bool), JobError>;
+
 /// An enqueued `/recommend` request.
 pub struct RecommendJob {
     /// The user's purchase history (dense item ids, oldest first).
@@ -61,7 +70,7 @@ pub struct RecommendJob {
     /// answered [`JobError::Expired`] instead of executed.
     pub deadline: Instant,
     /// Where the batcher delivers the result.
-    pub reply: Sender<Result<Vec<Hit>, JobError>>,
+    pub reply: Sender<JobResult<Vec<Hit>>>,
 }
 
 /// An enqueued `/target` request.
@@ -73,7 +82,7 @@ pub struct TargetJob {
     /// Load-shedding deadline (see [`RecommendJob::deadline`]).
     pub deadline: Instant,
     /// Where the batcher delivers the result.
-    pub reply: Sender<Result<Vec<(u32, f32)>, JobError>>,
+    pub reply: Sender<JobResult<Vec<(u32, f32)>>>,
 }
 
 /// Batching parameters (see `ServeConfig`).
@@ -143,6 +152,7 @@ pub fn run_recommend_batcher(
     metrics: Arc<Metrics>,
     cfg: BatchConfig,
     depth: Arc<AtomicUsize>,
+    brownout: Option<Arc<BrownoutState>>,
 ) {
     let mut cache: LruCache<Vec<u32>, Vec<f32>> = LruCache::new(cfg.cache_capacity);
     let mut cache_version = 0u64;
@@ -165,7 +175,13 @@ pub fn run_recommend_batcher(
             cache.clear();
             cache_version = state.version;
         }
-        execute_recommend(batch, &state, &metrics, &mut cache);
+        // sample the brownout level once per batch — one model snapshot,
+        // one degradation level
+        let degrade = brownout.as_deref().map_or(DegradeOptions::NONE, BrownoutState::degrade);
+        let jobs = batch.len() as u64;
+        let start = Instant::now();
+        execute_recommend(batch, &state, &metrics, &mut cache, degrade);
+        metrics.observe_service(start.elapsed().as_micros() as u64 / jobs);
     }
 }
 
@@ -174,6 +190,7 @@ fn execute_recommend(
     state: &ServingState,
     metrics: &Metrics,
     cache: &mut LruCache<Vec<u32>, Vec<f32>>,
+    degrade: DegradeOptions,
 ) {
     let num_items = state.fitted.num_items() as u32;
     let d = state.fitted.model.config().embed_dim;
@@ -237,6 +254,7 @@ fn execute_recommend(
     }
 
     // one ANN search per distinct k, jobs kept in arrival order within each
+    let content_degraded = state.fitted.degrade_affects_content(degrade);
     let mut by_k: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for (i, job) in valid.iter().enumerate() {
         by_k.entry(job.k).or_default().push(i);
@@ -247,12 +265,24 @@ fn execute_recommend(
             flat.extend_from_slice(&queries[i]);
         }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.fitted.recommend_by_embeddings(&flat, k)
+            state.fitted.recommend_by_embeddings_checked(&flat, k, degrade)
         }));
         match result {
-            Ok(hits) => {
+            Ok(Ok((hits, health))) => {
+                for &(shard, _) in &health.failures {
+                    metrics.shard_error(shard as usize);
+                }
+                let flag = health.degraded() || content_degraded;
                 for (&i, h) in indices.iter().zip(hits) {
-                    let _ = valid[i].reply.send(Ok(h));
+                    if flag {
+                        metrics.degraded_response(health.degraded());
+                    }
+                    let _ = valid[i].reply.send(Ok((h, flag)));
+                }
+            }
+            Ok(Err(quorum)) => {
+                for &i in &indices {
+                    let _ = valid[i].reply.send(Err(JobError::Internal(quorum.to_string())));
                 }
             }
             Err(_) => {
@@ -274,6 +304,7 @@ pub fn run_target_batcher(
     metrics: Arc<Metrics>,
     cfg: BatchConfig,
     depth: Arc<AtomicUsize>,
+    brownout: Option<Arc<BrownoutState>>,
 ) {
     while let Some(batch) = collect_batch(&rx, &cfg, &depth) {
         BATCH_FAULT.inject_latency();
@@ -290,11 +321,20 @@ pub fn run_target_batcher(
         }
         metrics.batch(Route::Target, batch.len());
         let state = handle.current();
-        execute_target(batch, &state);
+        let degrade = brownout.as_deref().map_or(DegradeOptions::NONE, BrownoutState::degrade);
+        let jobs = batch.len() as u64;
+        let start = Instant::now();
+        execute_target(batch, &state, &metrics, degrade);
+        metrics.observe_service(start.elapsed().as_micros() as u64 / jobs);
     }
 }
 
-fn execute_target(batch: Vec<TargetJob>, state: &ServingState) {
+fn execute_target(
+    batch: Vec<TargetJob>,
+    state: &ServingState,
+    metrics: &Metrics,
+    degrade: DegradeOptions,
+) {
     let num_items = state.fitted.num_items() as u32;
     let mut valid: Vec<TargetJob> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -316,15 +356,28 @@ fn execute_target(batch: Vec<TargetJob>, state: &ServingState) {
     for (i, job) in valid.iter().enumerate() {
         by_k.entry(job.k).or_default().push(i);
     }
+    let content_degraded = state.fitted.degrade_affects_content(degrade);
     for (k, indices) in by_k {
         let items: Vec<u32> = indices.iter().map(|&i| valid[i].item).collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.fitted.target_users_batch(&items, k)
+            state.fitted.target_users_batch_checked(&items, k, degrade)
         }));
         match result {
-            Ok(lists) => {
+            Ok(Ok((lists, health))) => {
+                for &(shard, _) in &health.failures {
+                    metrics.shard_error(shard as usize);
+                }
+                let flag = health.degraded() || content_degraded;
                 for (&i, users) in indices.iter().zip(lists) {
-                    let _ = valid[i].reply.send(Ok(users));
+                    if flag {
+                        metrics.degraded_response(health.degraded());
+                    }
+                    let _ = valid[i].reply.send(Ok((users, flag)));
+                }
+            }
+            Ok(Err(quorum)) => {
+                for &i in &indices {
+                    let _ = valid[i].reply.send(Err(JobError::Internal(quorum.to_string())));
                 }
             }
             Err(_) => {

@@ -1,0 +1,432 @@
+//! Brownout control: graceful quality degradation under sustained load.
+//!
+//! Instead of the binary choice between full-quality responses and load
+//! shedding, a brownout ladder orders a set of *quality concessions* from
+//! cheapest to most drastic. A small control loop samples queue pressure
+//! and walks the ladder one rung at a time:
+//!
+//! * **level 0** — full quality (the ladder is inactive);
+//! * **level n** — the first `n` rungs are applied to every batch.
+//!
+//! The shipped rungs map onto [`DegradeOptions`]: drop the seeded
+//! exploration stage, drop MMR diversity re-ranking, shrink the rerank
+//! over-fetch, relax the shard quorum to "any one shard", and — last
+//! resort — shed new work at admission with a `503`.
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! --brownout 'drop-explore,shrink-overfetch,relax-quorum,shed;high=64;low=4;up=3;down=20;interval-ms=100'
+//! ```
+//!
+//! The first `;`-separated component is the comma-separated rung list (in
+//! escalation order, no duplicates); the rest are `key=value` tuning
+//! parameters:
+//!
+//! | key | meaning | default |
+//! |-----|---------|---------|
+//! | `high` | queue depth above which a sample counts as *pressured* | 32 |
+//! | `low` | queue depth at or below which a sample counts as *calm* | 4 |
+//! | `up` | consecutive pressured samples before escalating one rung | 3 |
+//! | `down` | consecutive calm samples before recovering one rung | 20 |
+//! | `interval-ms` | controller sampling period | 100 |
+//!
+//! A deadline miss observed in the sampling window always counts as
+//! pressure, whatever the queue depth. Samples between `low` and `high`
+//! are the hysteresis dead band: they reset both streaks and hold the
+//! current level, so a load hovering at the threshold cannot make the
+//! controller oscillate. `down` defaults much larger than `up` —
+//! escalation should be fast and recovery cautious.
+//!
+//! The current level is exported as the `unimatch_brownout_level` gauge
+//! and in the `/healthz` body; when no ladder is configured the gauge
+//! stays 0 and the whole plane is dead code on the hot path (one relaxed
+//! atomic load per batch).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use unimatch_core::DegradeOptions;
+
+/// One rung of the brownout ladder — a single quality concession.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrownoutStep {
+    /// Skip the seeded `explore` rerank stage.
+    DropExplore,
+    /// Skip the `mmr` diversity rerank stage.
+    DropMmr,
+    /// Shrink the rerank over-fetch from `4k` to `2k`.
+    ShrinkOverfetch,
+    /// Relax the shard quorum to "any one shard answered".
+    RelaxQuorum,
+    /// Shed new work at admission with `503` + `Retry-After`.
+    Shed,
+}
+
+impl BrownoutStep {
+    /// All rungs, in canonical (mildest-first) order.
+    pub const ALL: [BrownoutStep; 5] = [
+        BrownoutStep::DropExplore,
+        BrownoutStep::DropMmr,
+        BrownoutStep::ShrinkOverfetch,
+        BrownoutStep::RelaxQuorum,
+        BrownoutStep::Shed,
+    ];
+
+    /// The spec-grammar name of this rung.
+    pub fn name(self) -> &'static str {
+        match self {
+            BrownoutStep::DropExplore => "drop-explore",
+            BrownoutStep::DropMmr => "drop-mmr",
+            BrownoutStep::ShrinkOverfetch => "shrink-overfetch",
+            BrownoutStep::RelaxQuorum => "relax-quorum",
+            BrownoutStep::Shed => "shed",
+        }
+    }
+
+    fn parse(name: &str) -> Option<BrownoutStep> {
+        BrownoutStep::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// A parse error from [`BrownoutSpec::parse`], with the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrownoutSpecError(String);
+
+impl fmt::Display for BrownoutSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid brownout spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for BrownoutSpecError {}
+
+/// A parsed `--brownout` ladder: the rung list plus controller tuning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BrownoutSpec {
+    /// Quality concessions in escalation order; level `n` applies the
+    /// first `n`.
+    pub ladder: Vec<BrownoutStep>,
+    /// Queue depth above which a sample counts as pressured.
+    pub high: usize,
+    /// Queue depth at or below which a sample counts as calm.
+    pub low: usize,
+    /// Consecutive pressured samples before escalating one rung.
+    pub up_hold: u32,
+    /// Consecutive calm samples before recovering one rung.
+    pub down_hold: u32,
+    /// Controller sampling period.
+    pub interval: Duration,
+}
+
+impl BrownoutSpec {
+    /// Parses the `--brownout` grammar (see the module docs).
+    pub fn parse(spec: &str) -> Result<BrownoutSpec, BrownoutSpecError> {
+        let mut parts = spec.split(';');
+        let rungs = parts.next().unwrap_or("");
+        let mut ladder = Vec::new();
+        for name in rungs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let step = BrownoutStep::parse(name)
+                .ok_or_else(|| BrownoutSpecError(format!("unknown step {name:?}")))?;
+            if ladder.contains(&step) {
+                return Err(BrownoutSpecError(format!("duplicate step {name:?}")));
+            }
+            ladder.push(step);
+        }
+        if ladder.is_empty() {
+            return Err(BrownoutSpecError("ladder has no steps".into()));
+        }
+        let mut out = BrownoutSpec { ladder, ..BrownoutSpec::default() };
+        for param in parts.map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = param
+                .split_once('=')
+                .ok_or_else(|| BrownoutSpecError(format!("expected key=value, got {param:?}")))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| BrownoutSpecError(format!("{key}={value:?} is not an integer")))?;
+            match key.trim() {
+                "high" => out.high = n as usize,
+                "low" => out.low = n as usize,
+                "up" => out.up_hold = n as u32,
+                "down" => out.down_hold = n as u32,
+                "interval-ms" => out.interval = Duration::from_millis(n),
+                other => {
+                    return Err(BrownoutSpecError(format!("unknown parameter {other:?}")));
+                }
+            }
+        }
+        if out.low > out.high {
+            return Err(BrownoutSpecError(format!(
+                "low ({}) must not exceed high ({})",
+                out.low, out.high
+            )));
+        }
+        if out.up_hold == 0 || out.down_hold == 0 {
+            return Err(BrownoutSpecError("up and down holds must be at least 1".into()));
+        }
+        if out.interval.is_zero() {
+            return Err(BrownoutSpecError("interval-ms must be at least 1".into()));
+        }
+        Ok(out)
+    }
+}
+
+impl Default for BrownoutSpec {
+    /// The full ladder with default tuning (used when `--brownout` is
+    /// given bare step names only).
+    fn default() -> BrownoutSpec {
+        BrownoutSpec {
+            ladder: BrownoutStep::ALL.to_vec(),
+            high: 32,
+            low: 4,
+            up_hold: 3,
+            down_hold: 20,
+            interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The pure hysteresis state machine behind the controller thread —
+/// separated from clocks and atomics so the no-oscillation property is
+/// pinned by plain unit tests.
+#[derive(Debug)]
+pub struct BrownoutControl {
+    rungs: usize,
+    high: usize,
+    low: usize,
+    up_hold: u32,
+    down_hold: u32,
+    level: usize,
+    pressured_streak: u32,
+    calm_streak: u32,
+}
+
+impl BrownoutControl {
+    /// A controller at level 0 with `spec`'s thresholds.
+    pub fn new(spec: &BrownoutSpec) -> BrownoutControl {
+        BrownoutControl {
+            rungs: spec.ladder.len(),
+            high: spec.high,
+            low: spec.low,
+            up_hold: spec.up_hold,
+            down_hold: spec.down_hold,
+            level: 0,
+            pressured_streak: 0,
+            calm_streak: 0,
+        }
+    }
+
+    /// The current ladder level (0 = full quality).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Feeds one sample — current queue depth plus deadline misses since
+    /// the previous sample — and returns the (possibly updated) level.
+    ///
+    /// Escalates one rung after `up_hold` consecutive pressured samples,
+    /// recovers one rung after `down_hold` consecutive calm samples, and
+    /// holds steady (resetting both streaks) in the dead band between
+    /// `low` and `high`.
+    pub fn observe(&mut self, queue_depth: usize, deadline_misses: u64) -> usize {
+        let pressured = queue_depth > self.high || deadline_misses > 0;
+        let calm = !pressured && queue_depth <= self.low;
+        if pressured {
+            self.pressured_streak += 1;
+            self.calm_streak = 0;
+        } else if calm {
+            self.calm_streak += 1;
+            self.pressured_streak = 0;
+        } else {
+            self.pressured_streak = 0;
+            self.calm_streak = 0;
+        }
+        if self.pressured_streak >= self.up_hold && self.level < self.rungs {
+            self.level += 1;
+            self.pressured_streak = 0;
+        }
+        if self.calm_streak >= self.down_hold && self.level > 0 {
+            self.level -= 1;
+            self.calm_streak = 0;
+        }
+        self.level
+    }
+}
+
+/// The shared brownout plane: the parsed ladder plus the current level,
+/// written by the controller thread and read by batchers and routes.
+#[derive(Debug)]
+pub struct BrownoutState {
+    spec: BrownoutSpec,
+    level: AtomicUsize,
+}
+
+impl BrownoutState {
+    /// A state at level 0 over `spec`'s ladder.
+    pub fn new(spec: BrownoutSpec) -> BrownoutState {
+        BrownoutState { spec, level: AtomicUsize::new(0) }
+    }
+
+    /// The parsed spec this state was built from.
+    pub fn spec(&self) -> &BrownoutSpec {
+        &self.spec
+    }
+
+    /// The current ladder level (0 = full quality).
+    pub fn level(&self) -> usize {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a new level (controller thread only).
+    pub fn set_level(&self, level: usize) {
+        self.level.store(level.min(self.spec.ladder.len()), Ordering::Relaxed);
+    }
+
+    /// The rungs active at the current level.
+    pub fn active(&self) -> &[BrownoutStep] {
+        &self.spec.ladder[..self.level().min(self.spec.ladder.len())]
+    }
+
+    /// The [`DegradeOptions`] implied by the active rungs ([`Shed`]
+    /// rungs act at admission, not here).
+    ///
+    /// [`Shed`]: BrownoutStep::Shed
+    pub fn degrade(&self) -> DegradeOptions {
+        let mut d = DegradeOptions::NONE;
+        for step in self.active() {
+            match step {
+                BrownoutStep::DropExplore => d.skip_explore = true,
+                BrownoutStep::DropMmr => d.skip_mmr = true,
+                BrownoutStep::ShrinkOverfetch => d.shrink_overfetch = true,
+                BrownoutStep::RelaxQuorum => d.relax_quorum = true,
+                BrownoutStep::Shed => {}
+            }
+        }
+        d
+    }
+
+    /// Whether the `shed` rung is active — new work should be turned
+    /// away at admission.
+    pub fn shedding(&self) -> bool {
+        self.active().contains(&BrownoutStep::Shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ladder_and_parameters() {
+        let spec = BrownoutSpec::parse(
+            "drop-explore,shrink-overfetch,shed;high=64;low=8;up=2;down=5;interval-ms=50",
+        )
+        .expect("valid spec");
+        assert_eq!(
+            spec.ladder,
+            vec![BrownoutStep::DropExplore, BrownoutStep::ShrinkOverfetch, BrownoutStep::Shed]
+        );
+        assert_eq!((spec.high, spec.low), (64, 8));
+        assert_eq!((spec.up_hold, spec.down_hold), (2, 5));
+        assert_eq!(spec.interval, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn bare_ladder_gets_default_tuning() {
+        let spec = BrownoutSpec::parse("drop-mmr,relax-quorum").expect("valid spec");
+        let defaults = BrownoutSpec::default();
+        assert_eq!(spec.ladder, vec![BrownoutStep::DropMmr, BrownoutStep::RelaxQuorum]);
+        assert_eq!((spec.high, spec.low), (defaults.high, defaults.low));
+        assert_eq!((spec.up_hold, spec.down_hold), (defaults.up_hold, defaults.down_hold));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "warp-speed",
+            "drop-explore,drop-explore",
+            "shed;high=3;low=9",
+            "shed;up=0",
+            "shed;interval-ms=0",
+            "shed;frequency=9",
+            "shed;high=many",
+        ] {
+            assert!(BrownoutSpec::parse(bad).is_err(), "spec {bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn escalates_after_sustained_pressure_only() {
+        let spec = BrownoutSpec::parse("drop-explore,shed;high=10;low=2;up=3;down=4")
+            .expect("valid spec");
+        let mut c = BrownoutControl::new(&spec);
+        // two pressured samples — below the hold, still level 0
+        assert_eq!(c.observe(50, 0), 0);
+        assert_eq!(c.observe(50, 0), 0);
+        // a calm sample resets the streak
+        assert_eq!(c.observe(0, 0), 0);
+        assert_eq!(c.observe(50, 0), 0);
+        assert_eq!(c.observe(50, 0), 0);
+        // third consecutive pressured sample escalates
+        assert_eq!(c.observe(50, 0), 1);
+        // and the ladder is walked rung by rung, capped at its length
+        assert_eq!(c.observe(50, 0), 1);
+        assert_eq!(c.observe(50, 0), 1);
+        assert_eq!(c.observe(50, 0), 2);
+        for _ in 0..10 {
+            assert_eq!(c.observe(50, 0), 2, "level must cap at the ladder length");
+        }
+    }
+
+    #[test]
+    fn deadline_misses_count_as_pressure_at_any_depth() {
+        let spec =
+            BrownoutSpec::parse("shed;high=10;low=2;up=2;down=4").expect("valid spec");
+        let mut c = BrownoutControl::new(&spec);
+        assert_eq!(c.observe(0, 1), 0);
+        assert_eq!(c.observe(0, 3), 1);
+    }
+
+    #[test]
+    fn dead_band_holds_level_without_oscillation() {
+        let spec = BrownoutSpec::parse("drop-explore,shed;high=10;low=2;up=2;down=3")
+            .expect("valid spec");
+        let mut c = BrownoutControl::new(&spec);
+        c.observe(50, 0);
+        assert_eq!(c.observe(50, 0), 1);
+        // depth hovering in (low, high] — neither streak accumulates, the
+        // level is pinned: no step-up, no step-down, however long it lasts
+        for _ in 0..100 {
+            assert_eq!(c.observe(5, 0), 1, "dead-band samples must hold the level");
+        }
+        // recovery needs `down` *consecutive* calm samples
+        assert_eq!(c.observe(0, 0), 1);
+        assert_eq!(c.observe(0, 0), 1);
+        assert_eq!(c.observe(5, 0), 1, "dead band resets the calm streak");
+        assert_eq!(c.observe(0, 0), 1);
+        assert_eq!(c.observe(0, 0), 1);
+        assert_eq!(c.observe(0, 0), 0);
+        assert_eq!(c.observe(0, 0), 0, "level floors at 0");
+    }
+
+    #[test]
+    fn state_maps_levels_to_degrade_options() {
+        let spec = BrownoutSpec::parse("drop-explore,drop-mmr,shrink-overfetch,relax-quorum,shed")
+            .expect("valid spec");
+        let state = BrownoutState::new(spec);
+        assert!(state.degrade() == DegradeOptions::NONE && !state.shedding());
+        state.set_level(2);
+        let d = state.degrade();
+        assert!(d.skip_explore && d.skip_mmr && !d.shrink_overfetch && !d.relax_quorum);
+        assert!(!state.shedding());
+        state.set_level(5);
+        let d = state.degrade();
+        assert!(d.skip_explore && d.skip_mmr && d.shrink_overfetch && d.relax_quorum);
+        assert!(state.shedding());
+        // set_level clamps to the ladder length
+        state.set_level(99);
+        assert_eq!(state.level(), 5);
+    }
+}

@@ -41,11 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod brownout;
 pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod server;
 
+pub use brownout::{BrownoutControl, BrownoutSpec, BrownoutState, BrownoutStep};
 pub use cache::LruCache;
 pub use metrics::{Metrics, Route};
-pub use server::{recommend_body, target_body, ServeConfig, Server};
+pub use server::{
+    recommend_body, recommend_body_degraded, target_body, target_body_degraded, ServeConfig,
+    Server,
+};

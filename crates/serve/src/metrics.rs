@@ -11,7 +11,30 @@
 //! per observation and the exposition renders a consistent-enough snapshot
 //! without stopping traffic.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use unimatch_obs::{Counter, Histogram, LATENCY_BOUNDS_US};
+
+/// Interned `shard="…"` label bodies for the per-shard error counters
+/// (indices past the table share the overflow bucket).
+const SHARD_ERROR_LABELS: [&str; 17] = [
+    "shard=\"0\"",
+    "shard=\"1\"",
+    "shard=\"2\"",
+    "shard=\"3\"",
+    "shard=\"4\"",
+    "shard=\"5\"",
+    "shard=\"6\"",
+    "shard=\"7\"",
+    "shard=\"8\"",
+    "shard=\"9\"",
+    "shard=\"10\"",
+    "shard=\"11\"",
+    "shard=\"12\"",
+    "shard=\"13\"",
+    "shard=\"14\"",
+    "shard=\"15\"",
+    "shard=\"16+\"",
+];
 
 /// The served routes, used as metric labels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +108,21 @@ pub struct Metrics {
     /// Admitted jobs dropped by the batcher because their deadline passed
     /// while they queued (→ 503).
     shed_deadline: Counter,
+    /// Requests turned away at admission because the brownout ladder
+    /// reached its `shed` step (→ 503).
+    shed_brownout: Counter,
+    /// Per-shard retrieval failures absorbed by the quorum policy; index
+    /// 16 is the `16+` overflow bucket.
+    shard_errors: [Counter; 17],
+    /// 200 responses flagged `degraded:true` because a shard was missing
+    /// from the merge.
+    degraded_shard: Counter,
+    /// 200 responses flagged `degraded:true` because an active brownout
+    /// step changed response content.
+    degraded_brownout: Counter,
+    /// EWMA of per-job batcher service time, µs — feeds the dynamic
+    /// `Retry-After` estimate. Zero until the first batch executes.
+    service_ewma_us: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -103,6 +141,11 @@ impl Default for Metrics {
             connections_rejected: Counter::new(),
             shed_queue_full: Counter::new(),
             shed_deadline: Counter::new(),
+            shed_brownout: Counter::new(),
+            shard_errors: Default::default(),
+            degraded_shard: Counter::new(),
+            degraded_brownout: Counter::new(),
+            service_ewma_us: AtomicU64::new(0),
         }
     }
 }
@@ -189,9 +232,58 @@ impl Metrics {
         self.shed_deadline.inc();
     }
 
-    /// Requests shed so far, across both reasons.
+    /// Counts a request shed at admission by the brownout `shed` step.
+    pub fn shed_brownout(&self) {
+        self.shed_brownout.inc();
+    }
+
+    /// Requests shed so far, across all reasons.
     pub fn sheds(&self) -> u64 {
-        self.shed_queue_full.get() + self.shed_deadline.get()
+        self.shed_queue_full.get() + self.shed_deadline.get() + self.shed_brownout.get()
+    }
+
+    /// Deadline sheds so far — sampled by the brownout controller as its
+    /// deadline-miss pressure signal.
+    pub fn shed_deadlines(&self) -> u64 {
+        self.shed_deadline.get()
+    }
+
+    /// Counts one shard failure absorbed by the quorum policy.
+    pub fn shard_error(&self, shard: usize) {
+        self.shard_errors[shard.min(SHARD_ERROR_LABELS.len() - 1)].inc();
+    }
+
+    /// Shard failures absorbed so far, summed across shards.
+    pub fn shard_errors(&self) -> u64 {
+        self.shard_errors.iter().map(Counter::get).sum()
+    }
+
+    /// Counts one degraded 200 response; `shard` distinguishes a missing
+    /// shard from a content-affecting brownout step.
+    pub fn degraded_response(&self, shard: bool) {
+        if shard {
+            self.degraded_shard.inc();
+        } else {
+            self.degraded_brownout.inc();
+        }
+    }
+
+    /// Degraded responses served so far, across both reasons.
+    pub fn degraded_responses(&self) -> u64 {
+        self.degraded_shard.get() + self.degraded_brownout.get()
+    }
+
+    /// Folds one per-job service-time observation (µs) into the EWMA
+    /// (α = 1/4) behind the dynamic `Retry-After` estimate.
+    pub fn observe_service(&self, per_job_us: u64) {
+        let prev = self.service_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 { per_job_us } else { (3 * prev + per_job_us) / 4 };
+        self.service_ewma_us.store(next, Ordering::Relaxed);
+    }
+
+    /// Recent per-job service time, µs (0 before any batch has run).
+    pub fn recent_service_us(&self) -> u64 {
+        self.service_ewma_us.load(Ordering::Relaxed)
     }
 
     /// Renders the text exposition. `model_version` is sampled by the
@@ -228,6 +320,16 @@ impl Metrics {
         self.connections_rejected.render("unimatch_connections_rejected_total", "", &mut out);
         self.shed_queue_full.render("unimatch_requests_shed_total", "reason=\"queue_full\"", &mut out);
         self.shed_deadline.render("unimatch_requests_shed_total", "reason=\"deadline\"", &mut out);
+        self.shed_brownout.render("unimatch_requests_shed_total", "reason=\"brownout\"", &mut out);
+        for (counter, labels) in self.shard_errors.iter().zip(SHARD_ERROR_LABELS) {
+            counter.render("unimatch_shard_errors_total", labels, &mut out);
+        }
+        self.degraded_shard.render("unimatch_degraded_responses_total", "reason=\"shard\"", &mut out);
+        self.degraded_brownout.render(
+            "unimatch_degraded_responses_total",
+            "reason=\"brownout\"",
+            &mut out,
+        );
         writeln!(out, "unimatch_model_version {model_version}").expect("write to String");
         out
     }
@@ -252,6 +354,11 @@ mod tests {
         m.connection_rejected();
         m.shed_queue_full();
         m.shed_deadline();
+        m.shed_brownout();
+        m.shard_error(1);
+        m.shard_error(99);
+        m.degraded_response(true);
+        m.degraded_response(false);
         let text = m.render(3);
         for needle in [
             "unimatch_requests_total{route=\"recommend\"} 1",
@@ -266,9 +373,33 @@ mod tests {
             "unimatch_connections_rejected_total 1",
             "unimatch_requests_shed_total{reason=\"queue_full\"} 1",
             "unimatch_requests_shed_total{reason=\"deadline\"} 1",
+            "unimatch_requests_shed_total{reason=\"brownout\"} 1",
+            "unimatch_shard_errors_total{shard=\"0\"} 0",
+            "unimatch_shard_errors_total{shard=\"1\"} 1",
+            "unimatch_shard_errors_total{shard=\"16+\"} 1",
+            "unimatch_degraded_responses_total{reason=\"shard\"} 1",
+            "unimatch_degraded_responses_total{reason=\"brownout\"} 1",
             "unimatch_model_version 3",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        assert_eq!(m.sheds(), 3);
+        assert_eq!(m.shard_errors(), 2);
+        assert_eq!(m.degraded_responses(), 2);
+    }
+
+    #[test]
+    fn service_ewma_tracks_recent_observations() {
+        let m = Metrics::new();
+        assert_eq!(m.recent_service_us(), 0);
+        m.observe_service(1000);
+        assert_eq!(m.recent_service_us(), 1000);
+        m.observe_service(2000);
+        // (3*1000 + 2000) / 4 = 1250 — moves toward the new sample
+        assert_eq!(m.recent_service_us(), 1250);
+        for _ in 0..32 {
+            m.observe_service(5000);
+        }
+        assert!(m.recent_service_us() > 4900, "EWMA should converge to the plateau");
     }
 }

@@ -23,6 +23,7 @@
 use crate::batcher::{
     run_recommend_batcher, run_target_batcher, BatchConfig, JobError, RecommendJob, TargetJob,
 };
+use crate::brownout::{BrownoutControl, BrownoutSpec, BrownoutState};
 use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::metrics::{Metrics, Route};
 use std::io;
@@ -61,6 +62,10 @@ pub struct ServeConfig {
     /// dequeues after this much waiting are answered `503` (with
     /// `Retry-After`) instead of executed for a client that gave up.
     pub request_deadline: Duration,
+    /// Brownout ladder (see [`crate::brownout`]): `None` disables the
+    /// controller entirely — no thread, level pinned at 0, responses
+    /// bitwise identical to a build without the brownout plane.
+    pub brownout: Option<BrownoutSpec>,
 }
 
 impl Default for ServeConfig {
@@ -73,8 +78,18 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             queue_bound: 1024,
             request_deadline: Duration::from_secs(2),
+            brownout: None,
         }
     }
+}
+
+/// The outcome of the most recent `POST /reload`, surfaced on `/healthz`.
+struct ReloadOutcome {
+    accepted: bool,
+    /// The serving version after the attempt (unchanged on rejection).
+    version: u64,
+    /// Checkpoint path on success, the error on rejection.
+    detail: String,
 }
 
 /// Everything a connection thread needs; dropping the last `Shared` closes
@@ -91,6 +106,12 @@ struct Shared {
     target_depth: Arc<AtomicUsize>,
     queue_bound: usize,
     request_deadline: Duration,
+    /// The brownout plane, present when a ladder is configured.
+    brownout: Option<Arc<BrownoutState>>,
+    /// When the server started accepting, for `/healthz` uptime.
+    started: Instant,
+    /// The most recent `/reload` outcome, for `/healthz`.
+    last_reload: Mutex<Option<ReloadOutcome>>,
 }
 
 /// A running server. Obtain with [`Server::start`], stop with
@@ -99,6 +120,7 @@ pub struct Server {
     addr: SocketAddr,
     shutdown_flag: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    brownout_thread: Option<JoinHandle<()>>,
     batcher_threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shared: Option<Arc<Shared>>,
@@ -128,23 +150,45 @@ impl Server {
         let (target_tx, target_rx) = channel::<TargetJob>();
         let recommend_depth = Arc::new(AtomicUsize::new(0));
         let target_depth = Arc::new(AtomicUsize::new(0));
+        let brownout = config.brownout.map(|spec| Arc::new(BrownoutState::new(spec)));
         let mut batcher_threads = Vec::with_capacity(2);
         {
             let (h, m, d) = (handle.clone(), metrics.clone(), recommend_depth.clone());
+            let b = brownout.clone();
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-recommend".into())
-                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg, d))?,
+                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg, d, b))?,
             );
         }
         {
             let (h, m, d) = (handle.clone(), metrics.clone(), target_depth.clone());
+            let b = brownout.clone();
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-target".into())
-                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg, d))?,
+                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg, d, b))?,
             );
         }
+
+        let brownout_thread = match &brownout {
+            Some(state) => {
+                let state = state.clone();
+                let metrics = metrics.clone();
+                let shutdown = shutdown_flag.clone();
+                let (rec_depth, tgt_depth) = (recommend_depth.clone(), target_depth.clone());
+                Some(
+                    std::thread::Builder::new().name("unimatch-brownout".into()).spawn(
+                        move || {
+                            run_brownout_controller(
+                                state, metrics, shutdown, rec_depth, tgt_depth,
+                            )
+                        },
+                    )?,
+                )
+            }
+            None => None,
+        };
 
         let shared = Arc::new(Shared {
             handle: handle.clone(),
@@ -156,6 +200,9 @@ impl Server {
             target_depth,
             queue_bound: config.queue_bound,
             request_deadline: config.request_deadline,
+            brownout,
+            started: Instant::now(),
+            last_reload: Mutex::new(None),
         });
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -173,6 +220,7 @@ impl Server {
             addr,
             shutdown_flag,
             accept_thread: Some(accept_thread),
+            brownout_thread,
             batcher_threads,
             conn_threads,
             shared: Some(shared),
@@ -209,6 +257,10 @@ impl Server {
         // unblock the accept loop with a no-op connection
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // the controller polls the shutdown flag between short sleeps
+        if let Some(t) = self.brownout_thread.take() {
             let _ = t.join();
         }
         // every accepted connection runs to completion (bounded by the
@@ -248,11 +300,12 @@ fn accept_loop(
         if active.load(Ordering::SeqCst) >= max_connections {
             shared.metrics.connection_rejected();
             let body = error_body("server at connection capacity");
+            let retry = retry_after_secs(&shared).to_string();
             let _ = write_response_with(
                 &mut stream,
                 503,
                 "application/json",
-                RETRY_AFTER,
+                &[("Retry-After", retry.as_str())],
                 &body,
             );
             continue;
@@ -277,48 +330,86 @@ fn accept_loop(
     }
 }
 
+/// The brownout control loop: samples queue pressure every
+/// [`BrownoutSpec::interval`], feeds it through the hysteresis state
+/// machine, and publishes the resulting ladder level for the batchers and
+/// admission to read. Sleeps in short slices so shutdown never waits a
+/// full interval.
+fn run_brownout_controller(
+    state: Arc<BrownoutState>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    recommend_depth: Arc<AtomicUsize>,
+    target_depth: Arc<AtomicUsize>,
+) {
+    let spec = state.spec().clone();
+    let mut control = BrownoutControl::new(&spec);
+    let mut last_misses = metrics.shed_deadlines();
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut remaining = spec.interval;
+        while !remaining.is_zero() && !shutdown.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let depth =
+            recommend_depth.load(Ordering::SeqCst) + target_depth.load(Ordering::SeqCst);
+        let misses = metrics.shed_deadlines();
+        let level = control.observe(depth, misses - last_misses);
+        last_misses = misses;
+        state.set_level(level);
+    }
+}
+
 /// Serializes a `/recommend` result body. Public so integration tests can
 /// assert the server's bytes are identical to a direct in-process call.
 pub fn recommend_body(k: usize, hits: &[Hit]) -> Vec<u8> {
-    Json::obj(vec![
-        ("k", Json::int(k)),
-        (
-            "items",
-            Json::Arr(
-                hits.iter()
-                    .map(|h| {
-                        Json::obj(vec![
-                            ("id", Json::int(h.id as usize)),
-                            ("score", Json::F32(h.score)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-    .to_bytes()
+    query_body(k, false, "items", hits.iter().map(|h| (h.id, h.score)))
+}
+
+/// [`recommend_body`] with the `"degraded":true` marker — emitted only
+/// when a quorum-tolerated shard failure or an active brownout rung
+/// touched this answer. Healthy responses never carry the key, keeping
+/// them bitwise identical to the pre-brownout wire format.
+pub fn recommend_body_degraded(k: usize, hits: &[Hit]) -> Vec<u8> {
+    query_body(k, true, "items", hits.iter().map(|h| (h.id, h.score)))
 }
 
 /// Serializes a `/target` result body (see [`recommend_body`]).
 pub fn target_body(k: usize, users: &[(u32, f32)]) -> Vec<u8> {
-    Json::obj(vec![
-        ("k", Json::int(k)),
-        (
-            "users",
-            Json::Arr(
-                users
-                    .iter()
-                    .map(|&(id, score)| {
-                        Json::obj(vec![
-                            ("id", Json::int(id as usize)),
-                            ("score", Json::F32(score)),
-                        ])
-                    })
-                    .collect(),
-            ),
+    query_body(k, false, "users", users.iter().copied())
+}
+
+/// [`target_body`] with the `"degraded":true` marker (see
+/// [`recommend_body_degraded`]).
+pub fn target_body_degraded(k: usize, users: &[(u32, f32)]) -> Vec<u8> {
+    query_body(k, true, "users", users.iter().copied())
+}
+
+fn query_body(
+    k: usize,
+    degraded: bool,
+    list_key: &str,
+    entries: impl Iterator<Item = (u32, f32)>,
+) -> Vec<u8> {
+    let mut fields = vec![("k", Json::int(k))];
+    if degraded {
+        fields.push(("degraded", Json::Bool(true)));
+    }
+    fields.push((
+        list_key,
+        Json::Arr(
+            entries
+                .map(|(id, score)| {
+                    Json::obj(vec![("id", Json::int(id as usize)), ("score", Json::F32(score))])
+                })
+                .collect(),
         ),
-    ])
-    .to_bytes()
+    ));
+    Json::obj(fields).to_bytes()
 }
 
 fn error_body(message: &str) -> Vec<u8> {
@@ -355,14 +446,33 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     shared.metrics.response(status);
     // Overload answers tell the client when to come back; everything else
     // uses the plain writer.
-    let extra = if status == 429 || status == 503 { RETRY_AFTER } else { &[] };
+    let retry: String;
+    let retry_header: [(&str, &str); 1];
+    let extra: &[(&str, &str)] = if status == 429 || status == 503 {
+        retry = retry_after_secs(shared).to_string();
+        retry_header = [("Retry-After", retry.as_str())];
+        &retry_header
+    } else {
+        &[]
+    };
     let _ = write_response_with(&mut stream, status, content_type, extra, &body);
 }
 
-/// The `Retry-After` hint attached to every load-shedding response
-/// (429 and 503): one second is long enough for a micro-batched backlog
-/// to clear and short enough to keep well-behaved clients responsive.
-const RETRY_AFTER: &[(&str, &str)] = &[("Retry-After", "1")];
+/// The `Retry-After` hint attached to every load-shedding response (429
+/// and 503): the estimated time to drain the current backlog — queue
+/// depth × the recent per-job service time (EWMA) — clamped to [1, 30] s.
+/// An idle or lightly loaded server answers the floor of 1 s; the cap
+/// keeps a transient spike from parking well-behaved clients for minutes.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    let depth = shared.recommend_depth.load(Ordering::SeqCst)
+        + shared.target_depth.load(Ordering::SeqCst);
+    drain_estimate_secs(depth, shared.metrics.recent_service_us())
+}
+
+/// The pure arithmetic behind [`retry_after_secs`], separated for tests.
+fn drain_estimate_secs(depth: usize, per_job_us: u64) -> u64 {
+    (depth as u64).saturating_mul(per_job_us).div_ceil(1_000_000).clamp(1, 30)
+}
 
 type Dispatch = (Option<Route>, u16, &'static str, Vec<u8>);
 
@@ -373,9 +483,18 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
         ("POST", "/reload") => route_reload(request, shared),
         ("GET", "/healthz") => {
             let state = shared.handle.current();
+            let last_reload = match &*shared.last_reload.lock().expect("reload state poisoned") {
+                None => Json::str("none"),
+                Some(o) => Json::obj(vec![
+                    ("outcome", Json::str(if o.accepted { "accepted" } else { "rejected" })),
+                    ("version", Json::int(o.version as usize)),
+                    ("detail", Json::str(o.detail.clone())),
+                ]),
+            };
             let body = Json::obj(vec![
                 ("status", Json::str("ok")),
                 ("version", Json::int(state.version as usize)),
+                ("uptime_s", Json::int(shared.started.elapsed().as_secs() as usize)),
                 ("items", Json::int(state.fitted.num_items())),
                 ("pool_users", Json::int(state.fitted.num_pool_users())),
                 ("retriever", Json::str(state.fitted.retriever_backend())),
@@ -383,6 +502,8 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("rerank", Json::str(state.fitted.rerank_spec())),
                 ("store", Json::str(state.fitted.store_format().name())),
                 ("backing", Json::str(state.fitted.store_backing().name())),
+                ("brownout", Json::int(shared.brownout.as_ref().map_or(0, |b| b.level()))),
+                ("last_reload", last_reload),
             ])
             .to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)
@@ -398,6 +519,10 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
             text.push_str(&format!(
                 "unimatch_faults_fired_total {}\n",
                 unimatch_faults::fired_total()
+            ));
+            text.push_str(&format!(
+                "unimatch_brownout_level {}\n",
+                shared.brownout.as_ref().map_or(0, |b| b.level())
             ));
             (Some(Route::Metrics), 200, "text/plain; version=0.0.4", text.into_bytes())
         }
@@ -445,6 +570,9 @@ fn route_recommend(request: &Request, shared: &Shared) -> Dispatch {
         Ok(p) => p,
         Err(msg) => return (route, 400, "application/json", error_body(&msg)),
     };
+    if let Some(shed) = brownout_shed(shared, route) {
+        return shed;
+    }
     let Some(deadline) = admit(shared, &shared.recommend_depth) else {
         return (route, 429, "application/json", error_body("admission queue full"));
     };
@@ -454,12 +582,26 @@ fn route_recommend(request: &Request, shared: &Shared) -> Dispatch {
         return (route, 503, "application/json", error_body("server shutting down"));
     }
     match reply_rx.recv() {
-        Ok(Ok(hits)) => (route, 200, "application/json", recommend_body(k, &hits)),
+        Ok(Ok((hits, degraded))) => {
+            let body =
+                if degraded { recommend_body_degraded(k, &hits) } else { recommend_body(k, &hits) };
+            (route, 200, "application/json", body)
+        }
         Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
         Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
         Ok(Err(JobError::Expired)) => expired_dispatch(route),
         Err(_) => (route, 500, "application/json", error_body("batch executor unavailable")),
     }
+}
+
+/// Sheds the request with `503` + `Retry-After` when the brownout ladder
+/// has escalated to its `shed` rung; `None` admits.
+fn brownout_shed(shared: &Shared, route: Option<Route>) -> Option<Dispatch> {
+    if shared.brownout.as_ref().is_some_and(|b| b.shedding()) {
+        shared.metrics.shed_brownout();
+        return Some((route, 503, "application/json", error_body("brownout: shedding load")));
+    }
+    None
 }
 
 /// Admission control: claims one queue slot and stamps the job's deadline,
@@ -493,6 +635,9 @@ fn route_target(request: &Request, shared: &Shared) -> Dispatch {
         Ok(p) => p,
         Err(msg) => return (route, 400, "application/json", error_body(&msg)),
     };
+    if let Some(shed) = brownout_shed(shared, route) {
+        return shed;
+    }
     let Some(deadline) = admit(shared, &shared.target_depth) else {
         return (route, 429, "application/json", error_body("admission queue full"));
     };
@@ -502,7 +647,11 @@ fn route_target(request: &Request, shared: &Shared) -> Dispatch {
         return (route, 503, "application/json", error_body("server shutting down"));
     }
     match reply_rx.recv() {
-        Ok(Ok(users)) => (route, 200, "application/json", target_body(k, &users)),
+        Ok(Ok((users, degraded))) => {
+            let body =
+                if degraded { target_body_degraded(k, &users) } else { target_body(k, &users) };
+            (route, 200, "application/json", body)
+        }
         Ok(Err(JobError::BadRequest(msg))) => (route, 400, "application/json", error_body(&msg)),
         Ok(Err(JobError::Internal(msg))) => (route, 500, "application/json", error_body(&msg)),
         Ok(Err(JobError::Expired)) => expired_dispatch(route),
@@ -536,6 +685,11 @@ fn route_reload(request: &Request, shared: &Shared) -> Dispatch {
     match shared.handle.reload(checkpoint.as_deref().map(Path::new)) {
         Ok(state) => {
             shared.metrics.reload();
+            *shared.last_reload.lock().expect("reload state poisoned") = Some(ReloadOutcome {
+                accepted: true,
+                version: state.version,
+                detail: state.checkpoint.display().to_string(),
+            });
             let body = Json::obj(vec![
                 ("version", Json::int(state.version as usize)),
                 ("checkpoint", Json::str(state.checkpoint.display().to_string())),
@@ -543,6 +697,35 @@ fn route_reload(request: &Request, shared: &Shared) -> Dispatch {
             .to_bytes();
             (route, 200, "application/json", body)
         }
-        Err(e) => (route, 500, "application/json", error_body(&e.to_string())),
+        Err(e) => {
+            *shared.last_reload.lock().expect("reload state poisoned") = Some(ReloadOutcome {
+                accepted: false,
+                version: shared.handle.version(),
+                detail: e.to_string(),
+            });
+            (route, 500, "application/json", error_body(&e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::drain_estimate_secs;
+
+    #[test]
+    fn retry_after_scales_with_backlog_within_clamps() {
+        // idle or unmeasured servers answer the floor — the historical "1"
+        assert_eq!(drain_estimate_secs(0, 0), 1);
+        assert_eq!(drain_estimate_secs(100, 0), 1);
+        assert_eq!(drain_estimate_secs(0, 5_000), 1);
+        // sub-second backlogs round up to the floor, not down to zero
+        assert_eq!(drain_estimate_secs(10, 5_000), 1);
+        // 1000 queued jobs × 5 ms each ≈ 5 s of drain
+        assert_eq!(drain_estimate_secs(1000, 5_000), 5);
+        // partial seconds round up (2.5 s → 3)
+        assert_eq!(drain_estimate_secs(500, 5_000), 3);
+        // a pathological backlog is capped so clients are not parked
+        assert_eq!(drain_estimate_secs(1_000_000, 50_000), 30);
+        assert_eq!(drain_estimate_secs(usize::MAX, u64::MAX), 30);
     }
 }

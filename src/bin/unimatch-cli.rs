@@ -23,14 +23,14 @@ use std::sync::Arc;
 use std::time::Duration;
 use unimatch_core::{
     evaluate, evaluate_ir_rerank, load_model, save_checkpoint_with_table, DurableConfig,
-    ModelHandle, RerankConfig, RetrieverKind, RowFormat, UniMatch, UniMatchConfig,
+    ModelHandle, RerankConfig, RetrieverKind, RowFormat, ShardPolicy, UniMatch, UniMatchConfig,
 };
 use unimatch_data::json::Json;
 use unimatch_data::vocab::Vocab;
 use unimatch_data::{DatasetProfile, InteractionLog};
 use unimatch_eval::ProtocolConfig;
 use unimatch_rerank::{BusinessRules, RerankChain};
-use unimatch_serve::{ServeConfig, Server};
+use unimatch_serve::{BrownoutSpec, ServeConfig, Server};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -83,7 +83,8 @@ fn usage(msg: &str) -> ! {
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
          \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
-         \u{20}         [--shards N] [--obs true] [--rerank SPEC] [--rerank-rules FILE]\n\
+         \u{20}         [--shards N] [--min-shards N] [--shard-deadline-ms F] [--obs true]\n\
+         \u{20}         [--rerank SPEC] [--rerank-rules FILE] [--brownout LADDER]\n\
          \u{20}         [--store f32|f16|i8] [--mmap true]\n\
          \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
          \u{20}         (--store: row format of the serving embedding arenas — f16/i8 are\n\
@@ -91,6 +92,12 @@ fn usage(msg: &str) -> ! {
          \u{20}          --mmap true memory-maps the sidecar table, zero-copy load)\n\
          \u{20}         (--shards N: split each tower's index into N row-range shards,\n\
          \u{20}          searched in parallel and merged exactly; default 1)\n\
+         \u{20}         (--min-shards N: quorum — answer degraded while ≥N shards are\n\
+         \u{20}          healthy; --shard-deadline-ms: per-shard time budget; defaults\n\
+         \u{20}          are strict: every shard must answer, no deadline)\n\
+         \u{20}         (--brownout LADDER: graceful degradation under load, e.g.\n\
+         \u{20}          'drop-explore,shrink-overfetch,shed;high=64;low=4' —\n\
+         \u{20}          see docs/OPERATIONS.md for the grammar and tuning)\n\
          \u{20}         (SPEC: point=kind[@prob][xMAX][+SKIP];… — e.g. ann.search=latency:2000@0.5)\n\
          \u{20}         (--rerank SPEC: post-retrieval chain, stage[@w][:k=v],… —\n\
          \u{20}          e.g. 'debias@0.5,mmr@0.3,cap:category=3,explore@0.1';\n\
@@ -99,10 +106,12 @@ fn usage(msg: &str) -> ! {
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
          loadgen   --addr HOST:PORT --qps F [--seconds F] [--concurrency N] [--k N]\n\
          \u{20}         [--route recommend|target|mixed] [--seed N] [--out DIR] [--smoke]\n\
-         \u{20}         [--rerank-mix]\n\
+         \u{20}         [--rerank-mix] [--retries N]\n\
          \u{20}         (open-loop Poisson load against a running unimatch-serve;\n\
          \u{20}          writes BENCH_load.json for bench diff; --rerank-mix varies\n\
-         \u{20}          histories and k to exercise a server's --rerank chain)\n\
+         \u{20}          histories and k to exercise a server's --rerank chain;\n\
+         \u{20}          --retries N: retry sheds/transport failures with backoff,\n\
+         \u{20}          honoring Retry-After, behind a circuit breaker)\n\
          \n\
          every command also accepts --threads N (worker threads for the\n\
          compute kernels; 0 = auto-detect, 1 = exact sequential execution)"
@@ -152,6 +161,24 @@ fn shards_flag(flags: &HashMap<String, String>) -> usize {
         usage("--shards must be at least 1");
     }
     shards
+}
+
+/// Shard failure-isolation policy (`--min-shards N` quorum +
+/// `--shard-deadline-ms F`). The default (no flags) is strict: no
+/// deadline, every shard must answer — the historical behavior.
+fn shard_policy_flag(flags: &HashMap<String, String>) -> ShardPolicy {
+    let min_shards = match flag_or(flags, "min-shards", 0usize) {
+        0 => None,
+        n => Some(n),
+    };
+    let deadline = match flag_or(flags, "shard-deadline-ms", 0.0f64) {
+        ms if !(0.0..=600_000.0).contains(&ms) => {
+            usage("--shard-deadline-ms must be between 0 and 600000")
+        }
+        0.0 => None,
+        ms => Some(Duration::from_micros((ms * 1000.0) as u64)),
+    };
+    ShardPolicy { deadline, min_shards }
 }
 
 /// Serving-store row format (`--store f32|f16|i8`, default f32).
@@ -271,6 +298,7 @@ fn cmd_fit(flags: &HashMap<String, String>) {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        shard_policy: shard_policy_flag(flags),
         rerank: rerank_flag(flags),
         store: store_flag(flags),
         mmap: mmap_flag(flags),
@@ -326,6 +354,7 @@ fn load_serving(flags: &HashMap<String, String>) -> (unimatch_core::FittedUniMat
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        shard_policy: shard_policy_flag(flags),
         rerank: rerank_flag(flags),
         store: store_format,
         mmap,
@@ -403,6 +432,7 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
             parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
             retriever: retriever_flag(flags),
             shards: shards_flag(flags),
+            shard_policy: shard_policy_flag(flags),
             rerank,
             ..Default::default()
         };
@@ -605,6 +635,7 @@ fn cmd_loadgen(args: &[String]) {
         out_dir: flags.get("out").cloned().unwrap_or_else(|| ".".to_string()).into(),
         smoke,
         rerank_mix,
+        retries: flag_or(&flags, "retries", 0),
     };
     let (report, path) = unimatch_bench::loadgen::run(&opts)
         .unwrap_or_else(|e| usage(&format!("loadgen failed: {e}")));
@@ -625,6 +656,13 @@ fn cmd_loadgen(args: &[String]) {
         100.0 * report.error_rate,
         report.schedule_lag_p99_us
     );
+    if opts.retries > 0 {
+        println!(
+            "retries {:.3}/req  breaker fast-fails {:.2}%",
+            report.retry_rate,
+            100.0 * report.breaker_fast_fail_rate
+        );
+    }
     println!("wrote {} (schema-valid)", path.display());
 }
 
@@ -655,6 +693,9 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         eprintln!("warning: fault injection armed ({} rule(s), seed {seed})", plan.rules.len());
         unimatch_faults::set_plan(plan);
     }
+    let brownout = flags.get("brownout").map(|spec| {
+        BrownoutSpec::parse(spec).unwrap_or_else(|e| usage(&format!("--brownout: {e}")))
+    });
     let serve_cfg = ServeConfig {
         batch_window: Duration::from_micros((window_ms * 1000.0) as u64),
         max_batch: flag_or(flags, "batch-max", 64),
@@ -662,12 +703,14 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         max_connections: flag_or(flags, "max-conns", 256),
         queue_bound: flag_or(flags, "queue-bound", 1024),
         request_deadline: Duration::from_micros((deadline_ms * 1000.0) as u64),
+        brownout,
         ..ServeConfig::default()
     };
     let framework = UniMatch::new(UniMatchConfig {
         parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
         retriever: retriever_flag(flags),
         shards: shards_flag(flags),
+        shard_policy: shard_policy_flag(flags),
         rerank: rerank_flag(flags),
         store: store_flag(flags),
         mmap: mmap_flag(flags),
