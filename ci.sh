@@ -21,17 +21,26 @@
 #    edge cases, fused dequant-dot oracle) and the recall-gated
 #    differential suite (every backend x shard count x store format vs
 #    the exact-f32 oracle, plus mmap==owned bitwise parity)
-# 8. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
-#    end, including the rerank and quant suites) plus a report-only diff
-#    against the committed baselines
-# 9. a smoke open-loop load run (loadgen --rerank-mix) against a live
+# 8. the pipeline parity suite (every public query wrapper vs the
+#    composed MatchPipeline stages, bitwise, across backend x shards x
+#    store format x rerank chain) and the shadow-deployment e2e (shadow-
+#    off byte identity, A/A overlap 1.0, divergent-shadow comparison)
+# 9. a smoke benchmark snapshot (validates the BENCH_*.json schema end to
+#    end, including the rerank, quant, and shadow suites) plus a
+#    report-only diff against the committed baselines
+# 10. a smoke open-loop load run (loadgen --rerank-mix) against a live
 #    loopback server running a re-ranking chain over a quantized,
 #    mmap-backed store (--store i8 --mmap), diffed report-only against
 #    the committed BENCH_load.json; then a second smoke run with client
 #    retries against a server whose shard 0 is wedged by an armed fault,
 #    proving quorum keeps the 200s flowing under partial failure
-# 10. clippy over every target with warnings denied
-# 11. rustdoc for the workspace's own crates, failing on any doc warning
+# 11. a smoke load run against a server with an A/A shadow armed at
+#    --shadow-sample-rate 0.1, asserting the mirror actually pairs
+#    answers (nonzero unimatch_shadow_pairs_total on /metrics)
+# 12. on machines with >= 4 cores only: a report-only sharded-vs-
+#    unsharded loadgen ladder (--shards 1 vs 4), per docs/OPERATIONS.md
+# 13. clippy over every target with warnings denied
+# 14. rustdoc for the workspace's own crates, failing on any doc warning
 set -eu
 
 cd "$(dirname "$0")"
@@ -75,6 +84,12 @@ echo "==> quantization suites (codec properties + recall-gated differential)"
 cargo test -q -p unimatch-ann --test quant_properties
 cargo test -q -p unimatch-ann --test quant_differential
 cargo test -q --test determinism
+
+echo "==> pipeline parity suite (wrappers vs composed MatchPipeline, bitwise)"
+cargo test -q --test pipeline_parity
+
+echo "==> shadow deployment e2e (off = byte-identical, A/A = overlap 1.0)"
+cargo test -q -p unimatch-serve --test shadow
 
 echo "==> bench snapshot --smoke (schema-validated perf baselines)"
 SNAP_DIR="$(mktemp -d)"
@@ -144,6 +159,72 @@ done
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
+
+echo "==> loadgen --smoke vs an armed A/A shadow (mirror must pair answers)"
+# The shadow serves the same checkpoint (an A/A test); 10% of answered
+# queries are mirrored off the critical path. The smoke passes only if
+# the scrape shows the mirror actually produced pairs.
+target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
+    --log "$LOAD_DIR/log.csv" --addr 127.0.0.1:7981 \
+    --shadow-sample-rate 0.1 &
+SERVE_PID=$!
+tries=0
+until target/release/unimatch-cli loadgen --addr 127.0.0.1:7981 --smoke \
+    --out "$LOAD_DIR" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 15 ]; then
+        echo "shadow smoke: server never became reachable" >&2
+        exit 1
+    fi
+    sleep 1
+done
+# let the mirror queue drain, then require nonzero shadow pairs
+sleep 1
+SHADOW_PAIRS="$(curl -sf http://127.0.0.1:7981/metrics \
+    | awk '/^unimatch_shadow_pairs_total/ { sum += $2 } END { print sum + 0 }')"
+echo "shadow smoke: unimatch_shadow_pairs_total = $SHADOW_PAIRS"
+if [ "$SHADOW_PAIRS" -le 0 ]; then
+    echo "shadow smoke: mirror produced no pairs" >&2
+    exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Report-only sharded-vs-unsharded ladder: shard fan-out only pays for
+# itself with cores to fan out onto (docs/OPERATIONS.md), so the ladder
+# runs only on machines with at least 4 and never gates.
+if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
+    echo "==> loadgen ladder: --shards 1 vs --shards 4 (report-only)"
+    LADDER_A="$(mktemp -d)"
+    LADDER_B="$(mktemp -d)"
+    for SHARDS in 1 4; do
+        OUT_DIR="$LADDER_A"; PORT=7982
+        if [ "$SHARDS" = 4 ]; then OUT_DIR="$LADDER_B"; PORT=7983; fi
+        target/release/unimatch-cli serve --checkpoint "$LOAD_DIR/model.json" \
+            --log "$LOAD_DIR/log.csv" --addr "127.0.0.1:$PORT" \
+            --shards "$SHARDS" &
+        SERVE_PID=$!
+        tries=0
+        until target/release/unimatch-cli loadgen --addr "127.0.0.1:$PORT" \
+            --smoke --out "$OUT_DIR" 2>/dev/null; do
+            tries=$((tries + 1))
+            if [ "$tries" -ge 15 ]; then
+                echo "ladder smoke (--shards $SHARDS): server never became reachable" >&2
+                exit 1
+            fi
+            sleep 1
+        done
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+        SERVE_PID=""
+    done
+    echo "ladder: unsharded (baseline) vs 4-way sharded (current), report-only"
+    target/release/unimatch-cli bench diff --baseline "$LADDER_A" --current "$LADDER_B" || true
+    rm -rf "$LADDER_A" "$LADDER_B"
+else
+    echo "==> loadgen ladder skipped ($(nproc 2>/dev/null || echo 1) cores < 4)"
+fi
 
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -95,21 +95,17 @@ impl TopK {
         }
     }
 
-    /// Drains into a list sorted by score descending, ids ascending on
-    /// ties (the same order a stable descending sort of the full score
-    /// array would produce).
+    /// Drains into a list sorted under the engine's canonical
+    /// [`crate::order`] (score descending, ids ascending on ties — the
+    /// same order a stable descending sort of the full score array would
+    /// produce).
     pub fn into_sorted(self) -> Vec<Hit> {
         let mut v: Vec<Hit> = self
             .heap
             .into_iter()
             .map(|std::cmp::Reverse(HeapHit(score, id))| Hit { id, score })
             .collect();
-        v.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        crate::order::sort_canonical(&mut v);
         v
     }
 }

@@ -40,6 +40,7 @@ pub mod hnsw;
 pub mod index;
 pub mod ivf;
 pub mod kernel;
+pub mod order;
 pub mod sharded;
 pub mod store;
 pub mod table;
@@ -52,6 +53,7 @@ pub use index::{
 };
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kernel::{dot, top_k_exact, top_k_exact_store};
+pub use order::{canonical, sort_canonical};
 pub use sharded::{ShardPolicy, ShardedRetriever};
 pub use store::{
     f16_to_f32, f32_to_f16, i8_decode, i8_encode, i8_row_params, EmbeddingStore, RowFormat,

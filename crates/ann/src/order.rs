@@ -1,0 +1,120 @@
+//! The canonical candidate order of the retrieval engine, in one place.
+//!
+//! Every surface that emits or merges ranked hits — the blocked exact
+//! kernel, each backend's result drain, the sharded k-way merge, and the
+//! re-ranking chain's re-sorts — must agree on a single total order, or
+//! the workspace's bitwise differential suites cannot compare them.
+//! That order is:
+//!
+//! * **score descending**, compared with [`f32::total_cmp`] so every bit
+//!   pattern (NaN, ±inf, ±0.0) has a deterministic place — a NaN that
+//!   slips out of a backend sorts *above* `+inf` instead of comparing
+//!   "equal to everything" and destabilizing the sort;
+//! * **lowest id first** on score ties.
+//!
+//! [`canonical`] is the comparator (best candidate orders `Less`, so an
+//! ascending sort yields best-first) and [`sort_canonical`] the sort
+//! built on it.
+
+use crate::index::Hit;
+use std::cmp::Ordering;
+
+/// Compares two hits under the canonical `(score desc, id asc)` order.
+///
+/// Returns [`Ordering::Less`] when `a` is the *better* candidate (higher
+/// score, or equal score with the lower id), so sorting ascending by
+/// this comparator produces a best-first list. This is a total order:
+/// `Equal` only for bit-identical scores on the same id.
+#[inline]
+pub fn canonical(a: &Hit, b: &Hit) -> Ordering {
+    b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
+}
+
+/// Sorts hits best-first under [`canonical`].
+#[inline]
+pub fn sort_canonical(hits: &mut [Hit]) {
+    hits.sort_by(canonical);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_hit() -> impl Strategy<Value = Hit> {
+        // drive the score through raw bit patterns so NaNs (both signs),
+        // infinities, zeros and subnormals all appear in the corpus
+        (proptest::num::u32::ANY, proptest::num::u32::ANY)
+            .prop_map(|(id, bits)| Hit { id: id % 64, score: f32::from_bits(bits) })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn comparator_is_a_total_order(
+            a in arbitrary_hit(),
+            b in arbitrary_hit(),
+            c in arbitrary_hit(),
+        ) {
+            // antisymmetry
+            prop_assert_eq!(canonical(&a, &b), canonical(&b, &a).reverse());
+            // Equal only for identical (bit-level) hits
+            if canonical(&a, &b) == Ordering::Equal {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            // transitivity of `<=`
+            if canonical(&a, &b) != Ordering::Greater
+                && canonical(&b, &c) != Ordering::Greater
+            {
+                prop_assert_ne!(canonical(&a, &c), Ordering::Greater);
+            }
+        }
+
+        #[test]
+        fn sort_is_deterministic_and_permutation_preserving(
+            mut hits in proptest::collection::vec(arbitrary_hit(), 0..48),
+        ) {
+            let mut shuffled: Vec<Hit> = hits.iter().rev().copied().collect();
+            sort_canonical(&mut hits);
+            sort_canonical(&mut shuffled);
+            // same multiset in, same bytes out, independent of input order
+            prop_assert_eq!(hits.len(), shuffled.len());
+            for (h, s) in hits.iter().zip(&shuffled) {
+                prop_assert_eq!(h.id, s.id);
+                prop_assert_eq!(h.score.to_bits(), s.score.to_bits());
+            }
+            // pairwise order holds: never a strictly-better hit after a worse one
+            for w in hits.windows(2) {
+                prop_assert_ne!(canonical(&w[0], &w[1]), Ordering::Greater);
+            }
+        }
+
+        #[test]
+        fn ties_break_by_lowest_id(score in proptest::num::u32::ANY, x in 0u32..1000, y in 0u32..1000) {
+            prop_assume!(x != y);
+            let score = f32::from_bits(score);
+            let (lo, hi) = (x.min(y), x.max(y));
+            let mut hits = vec![Hit { id: hi, score }, Hit { id: lo, score }];
+            sort_canonical(&mut hits);
+            prop_assert_eq!(hits[0].id, lo);
+            prop_assert_eq!(hits[1].id, hi);
+        }
+    }
+
+    #[test]
+    fn nan_orders_above_infinity() {
+        // total_cmp: positive NaN > +inf > finite > -inf > negative NaN
+        let mut hits = vec![
+            Hit { id: 0, score: f32::INFINITY },
+            Hit { id: 1, score: f32::NAN },
+            Hit { id: 2, score: 1.0 },
+            Hit { id: 3, score: f32::NEG_INFINITY },
+            Hit { id: 4, score: -f32::NAN },
+        ];
+        sort_canonical(&mut hits);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 0, 2, 3, 4]);
+    }
+}

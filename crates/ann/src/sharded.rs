@@ -365,9 +365,10 @@ impl ShardedRetriever {
 
 /// K-way merges per-shard top-k lists (each sorted by `(score desc, id
 /// asc)` with globally unique ids) into the global top-k under the same
-/// order. Scores compare under [`f32::total_cmp`], so a NaN that slips
-/// out of a backend orders deterministically (above +inf) instead of
-/// comparing "equal to everything" and destabilizing the merge.
+/// order. Candidates compare under [`crate::order::canonical`]
+/// (`f32::total_cmp`), so a NaN that slips out of a backend orders
+/// deterministically (above +inf) instead of comparing "equal to
+/// everything" and destabilizing the merge.
 fn merge_topk(lists: &[&[Hit]], k: usize) -> Vec<Hit> {
     use std::cmp::Ordering;
     if lists.len() == 1 {
@@ -384,11 +385,7 @@ fn merge_topk(lists: &[&[Hit]], k: usize) -> Vec<Hit> {
             if let Some(&h) = list.get(cursors[li]) {
                 let better = match &best {
                     None => true,
-                    Some((_, b)) => match h.score.total_cmp(&b.score) {
-                        Ordering::Greater => true,
-                        Ordering::Less => false,
-                        Ordering::Equal => h.id < b.id,
-                    },
+                    Some((_, b)) => crate::order::canonical(&h, b) == Ordering::Less,
                 };
                 if better {
                     best = Some((li, h));

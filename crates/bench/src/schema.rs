@@ -26,9 +26,9 @@ use unimatch_data::json::Json;
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The suites a snapshot can describe. `train`/`ann`/`serve`/`rerank`/
-/// `quant` come from `bench snapshot`; `load` from the open-loop
-/// `loadgen` harness.
-pub const SUITES: [&str; 6] = ["train", "ann", "serve", "rerank", "quant", "load"];
+/// `quant`/`shadow` come from `bench snapshot`; `load` from the
+/// open-loop `loadgen` harness.
+pub const SUITES: [&str; 7] = ["train", "ann", "serve", "rerank", "quant", "shadow", "load"];
 
 /// Which way a metric improves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

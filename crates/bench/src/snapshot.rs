@@ -1,6 +1,6 @@
-//! The `bench snapshot` runner: measures the five hot paths — training,
-//! ANN retrieval, post-retrieval re-ranking, online serving, and the
-//! quantized-store kernel — and
+//! The `bench snapshot` runner: measures the six hot paths — training,
+//! ANN retrieval, post-retrieval re-ranking, online serving, the
+//! quantized-store kernel, and the shadow deployment plane — and
 //! emits one schema-validated `BENCH_<suite>.json` per suite (see
 //! [`crate::schema`]).
 //!
@@ -31,7 +31,7 @@ use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{ModelConfig, TwoTower};
 use unimatch_obs as obs;
 use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext};
-use unimatch_serve::{ServeConfig, Server};
+use unimatch_serve::{ServeConfig, Server, ShadowSpec};
 use unimatch_train::{AdamConfig, TrainConfig, TrainLoss, Trainer};
 
 use crate::schema::{validate, Direction, Snapshot, SnapshotConfig};
@@ -63,13 +63,19 @@ impl SnapshotOptions {
     }
 }
 
-/// Runs all five suites and writes their snapshot files. Returns the
+/// Runs all six suites and writes their snapshot files. Returns the
 /// paths written. Enables observability for the duration — a snapshot
 /// is exactly the place to exercise the instrumented paths.
 pub fn run_all(opts: &SnapshotOptions) -> std::io::Result<Vec<PathBuf>> {
     obs::set_enabled(true);
-    let snaps =
-        [run_train(opts), run_ann(opts), run_rerank(opts), run_serve(opts), run_quant(opts)];
+    let snaps = [
+        run_train(opts),
+        run_ann(opts),
+        run_rerank(opts),
+        run_serve(opts),
+        run_quant(opts),
+        run_shadow(opts),
+    ];
     obs::set_enabled(false);
     let mut paths = Vec::new();
     for snap in snaps {
@@ -520,6 +526,145 @@ pub fn run_serve(opts: &SnapshotOptions) -> Snapshot {
     snap
 }
 
+/// Measures what arming a shadow deployment costs the primary serving
+/// path: the same request ladder is driven against a server without a
+/// shadow and against one with an A/A shadow (same checkpoint) at
+/// sample rate 0.5, and the p99 ratio is the suite's headline metric —
+/// the shadow plane's contract is that this stays ~1.0. The mirror
+/// queue's own lag (primary answer → shadow dequeue) is reported from
+/// the `unimatch_shadow_lag_us` histogram after the queue drains.
+pub fn run_shadow(opts: &SnapshotOptions) -> Snapshot {
+    let data_scale = (if opts.smoke { 0.1 } else { 0.25 }) * opts.scale;
+    let n_requests = if opts.smoke { 40 } else { 300 };
+    let log = DatasetProfile::EComp.generate(data_scale, 2).filter_min_interactions(2);
+    let cfg = UniMatchConfig {
+        max_seq_len: 8,
+        epochs_per_month: 1,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+    let dir = std::env::temp_dir()
+        .join(format!("unimatch_bench_shadow_{}_{}", std::process::id(), opts.seed));
+    std::fs::create_dir_all(&dir).expect("snapshot tmp dir");
+    let ckpt = dir.join("model.json");
+    save_model(&fitted.model, &ckpt).expect("save checkpoint");
+
+    // one phase = one fresh server; the request ladder is identical so
+    // the only variable between phases is the armed shadow
+    let drive = |shadow: Option<f64>| -> (Vec<Duration>, Option<String>) {
+        let handle = std::sync::Arc::new(
+            ModelHandle::from_checkpoint(UniMatch::new(cfg.clone()), &ckpt, log.clone())
+                .expect("load checkpoint"),
+        );
+        let spec = shadow.map(|rate| {
+            let mirror = std::sync::Arc::new(
+                ModelHandle::from_checkpoint(UniMatch::new(cfg.clone()), &ckpt, log.clone())
+                    .expect("load shadow checkpoint"),
+            );
+            ShadowSpec::new(mirror, rate)
+        });
+        let num_items = handle.current().fitted.num_items() as u32;
+        let server = Server::start_with_shadow(
+            "127.0.0.1:0",
+            handle,
+            ServeConfig { batch_window: Duration::from_millis(1), ..Default::default() },
+            spec,
+        )
+        .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let mut latencies = Vec::with_capacity(n_requests);
+        for i in 0..n_requests as u32 {
+            let history: Vec<String> =
+                (0..3).map(|j| ((i * 7 + j * 3) % num_items).to_string()).collect();
+            let body = format!("{{\"history\":[{}],\"k\":10}}", history.join(","));
+            let t0 = Instant::now();
+            let (status, _) = http_request(&addr, "POST", "/recommend", body.as_bytes());
+            latencies.push(t0.elapsed());
+            assert_eq!(status, 200, "recommend request failed during shadow snapshot");
+        }
+        // with a shadow armed, let the mirror queue drain (two identical
+        // consecutive pair counts) before the final scrape
+        let text = shadow.map(|_| {
+            let mut last = -1.0;
+            for _ in 0..200 {
+                let (status, body) = http_request(&addr, "GET", "/metrics", b"");
+                assert_eq!(status, 200, "metrics scrape failed during shadow snapshot");
+                let text = String::from_utf8(body).expect("metrics body is utf8");
+                let pairs = scrape_value(&text, "unimatch_shadow_pairs_total{route=\"recommend\"}");
+                let drained = scrape_value(&text, "unimatch_shadow_lag_us_count");
+                if pairs > 0.0 && (pairs - last).abs() < f64::EPSILON && drained >= pairs {
+                    return text;
+                }
+                last = pairs;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            panic!("shadow queue never drained during snapshot");
+        });
+        (latencies, text)
+    };
+
+    let (off_lat, _) = drive(None);
+    let (on_lat, scrape) = drive(Some(0.5));
+    std::fs::remove_dir_all(&dir).ok();
+    let scrape = scrape.expect("shadow phase scrapes metrics");
+    let pairs = scrape_value(&scrape, "unimatch_shadow_pairs_total{route=\"recommend\"}");
+    assert!(pairs > 0.0, "sample rate 0.5 mirrored nothing across {n_requests} requests");
+
+    let off_p99 = percentile_us(&off_lat, 0.99);
+    let on_p99 = percentile_us(&on_lat, 0.99);
+    let mut snap = Snapshot::new("shadow", opts.config());
+    snap.push("primary_p99_off_us", off_p99, "us", Direction::LowerBetter);
+    snap.push("primary_p99_on_us", on_p99, "us", Direction::LowerBetter);
+    snap.push(
+        "primary_overhead_ratio",
+        on_p99 / off_p99.max(f64::MIN_POSITIVE),
+        "ratio",
+        Direction::LowerBetter,
+    );
+    snap.push("shadow_pairs", pairs, "count", Direction::HigherBetter);
+    snap.push(
+        "shadow_lag_p99_us",
+        histogram_p99(&scrape, "unimatch_shadow_lag_us_bucket"),
+        "us",
+        Direction::LowerBetter,
+    );
+    snap
+}
+
+/// Reads one single-sample line (`name value`) from an exposition body.
+fn scrape_value(metrics: &str, prefix: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {prefix} missing from scrape"))
+}
+
+/// Nearest-rank p99 from a rendered `_bucket{le="…"}` family (coarse —
+/// the bucket's upper bound), for metrics only the server can observe.
+fn histogram_p99(metrics: &str, family: &str) -> f64 {
+    let buckets: Vec<(f64, f64)> = metrics
+        .lines()
+        .filter(|l| l.starts_with(family))
+        .filter_map(|l| {
+            let le = l.split("le=\"").nth(1)?.split('"').next()?;
+            let cumulative: f64 = l.rsplit(' ').next()?.parse().ok()?;
+            Some((le.parse().unwrap_or(f64::INFINITY), cumulative))
+        })
+        .collect();
+    let total = buckets.last().map(|&(_, c)| c).unwrap_or(0.0);
+    assert!(total > 0.0, "{family} has no observations");
+    let rank = (0.99 * total).ceil();
+    for &(bound, cumulative) in &buckets {
+        if cumulative >= rank && bound.is_finite() {
+            return bound;
+        }
+    }
+    buckets.iter().rev().find(|(b, _)| b.is_finite()).map(|&(b, _)| b).unwrap_or(0.0)
+}
+
 /// One HTTP/1.1 request over a fresh connection (the server closes after
 /// each response, so read-to-EOF is the framing).
 fn http_request(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
@@ -572,7 +717,7 @@ mod tests {
             out_dir: dir.clone(),
         };
         let paths = run_all(&opts).expect("snapshot run");
-        assert_eq!(paths.len(), 5);
+        assert_eq!(paths.len(), 6);
         for path in &paths {
             let bytes = std::fs::read(path).expect("read snapshot");
             let doc = Json::parse(&bytes).expect("parse snapshot");

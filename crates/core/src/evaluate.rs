@@ -2,11 +2,17 @@
 //! with the trained towers and runs the IR / UT ranking tasks.
 
 use crate::framework::{FittedUniMatch, RetrieverKind, UniMatch, UniMatchConfig};
+use crate::pipeline::MatchPipeline;
 use crate::prepare::PreparedData;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use unimatch_ann::RowFormat;
+use std::sync::Arc;
+use unimatch_ann::{
+    BruteForceIndex, EmbeddingStore, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
+    RowFormat,
+};
 use unimatch_data::{InteractionLog, SeqBatch, TemporalSplit};
+use unimatch_rerank::RerankChain;
 use unimatch_eval::{
     build_ir_cases, build_ut_cases, catalog_coverage, evaluate_single_positive_cases,
     exposure_gini, popularity_stats, retrieved_popularity, score_candidates, top_n_candidates,
@@ -201,10 +207,13 @@ pub fn evaluate_ir_rerank(
     let clamped = protocol.clamped(unimatch_eval::item_pool(split).len());
     let cases = build_ir_cases(split, &clamped, &mut rng);
     let histories: Vec<&[u32]> = cases.iter().map(|c| c.history.as_slice()).collect();
-    let queries = fitted.embed_users(&histories);
+    // both sides drive the same canonical pipeline — the chain-off side
+    // runs the retrieve stage bare, the chain-on side the full sequence
+    let pipeline = fitted.item_pipeline();
+    let queries = pipeline.embed(&histories);
 
-    let raw_lists = fitted.recommend_by_embeddings_raw(&queries, top_n);
-    let reranked_lists = fitted.recommend_by_embeddings(&queries, top_n);
+    let raw_lists = pipeline.run_raw(&queries, top_n);
+    let reranked_lists = pipeline.run(&queries, top_n);
 
     let score_side = |lists: &[Vec<unimatch_ann::Hit>]| {
         let mut acc = MetricAccumulator::new();
@@ -299,7 +308,7 @@ pub fn evaluate_store_formats(
         };
         let fitted = UniMatch::new(cfg).serve(copy, log.clone());
         let top_n = clamped.top_n.min(fitted.num_items()).max(1);
-        let lists = fitted.recommend_by_embeddings_raw(&queries, top_n);
+        let lists = fitted.item_pipeline().run_raw(&queries, top_n);
         let mut acc = MetricAccumulator::new();
         for (case, hits) in cases.iter().zip(&lists) {
             let positive = case.candidates[0];
@@ -317,6 +326,185 @@ pub fn evaluate_store_formats(
     for e in &mut out {
         e.delta_recall = e.ir.recall - oracle.recall;
         e.delta_ndcg = e.ir.ndcg - oracle.ndcg;
+    }
+    out
+}
+
+/// End-metric accuracy of one index backend at one operating point: the
+/// same seeded full-catalog IR and UT cases answered by that backend's
+/// indexes over one shared pair of embedding stores, plus deltas against
+/// the exact (brute-force) oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendEval {
+    /// Stable backend name (`"bruteforce"` / `"hnsw"` / `"ivf"`).
+    pub backend: &'static str,
+    /// The swept search-time parameter (`"ef_search"` / `"nprobe"`,
+    /// empty for the exact oracle).
+    pub param: &'static str,
+    /// The parameter's value at this operating point (0 for the oracle).
+    pub value: usize,
+    /// Mean IR ranking metrics over all cases.
+    pub ir: CaseMetrics,
+    /// Mean UT ranking metrics over all cases.
+    pub ut: CaseMetrics,
+    /// `ir.recall − ir.recall(exact)`. Exactly `0.0` for the oracle.
+    pub delta_ir_recall: f64,
+    /// `ir.ndcg − ir.ndcg(exact)`.
+    pub delta_ir_ndcg: f64,
+    /// `ut.recall − ut.recall(exact)`.
+    pub delta_ut_recall: f64,
+    /// `ut.ndcg − ut.ndcg(exact)`.
+    pub delta_ut_ndcg: f64,
+}
+
+impl BackendEval {
+    /// `"bruteforce"` or `"hnsw ef_search=32"`-style display label.
+    pub fn label(&self) -> String {
+        if self.param.is_empty() {
+            self.backend.to_string()
+        } else {
+            format!("{} {}={}", self.backend, self.param, self.value)
+        }
+    }
+}
+
+/// One backend × operating-point of the sweep.
+enum SweepPoint {
+    Exact,
+    Hnsw(HnswConfig),
+    Ivf(IvfConfig),
+}
+
+impl SweepPoint {
+    fn build(&self, store: Arc<EmbeddingStore>, rng: &mut StdRng) -> Box<dyn Retriever> {
+        match self {
+            SweepPoint::Exact => Box::new(BruteForceIndex::over(store)),
+            SweepPoint::Hnsw(cfg) => Box::new(HnswIndex::build_over(store, *cfg, rng)),
+            SweepPoint::Ivf(cfg) => Box::new(IvfIndex::build_over(store, *cfg, rng)),
+        }
+    }
+}
+
+/// The index backend's end-metric cost, measured end to end (the second
+/// slice of the retriever-aware evaluation, after
+/// [`evaluate_store_formats`]): one exact-retriever deployment is built
+/// over the model and log, and then the *same* seeded full-catalog IR
+/// **and** UT cases are answered through a [`MatchPipeline`] per backend
+/// operating point — HNSW at an `ef_search` sweep and IVF at an `nprobe`
+/// sweep, at realistic (not effectively-exact) settings — each over the
+/// very same pair of embedding stores. The first entry is the
+/// brute-force oracle; every entry carries recall/NDCG deltas against
+/// it, so `recall@N(hnsw, ef=8) − recall@N(exact)` reads off directly.
+///
+/// Indexes are built unsharded: exact results are shard-invariant by
+/// construction, and sharding an approximate backend changes its graph/
+/// list layout — a deployment knob, not a search-quality knob, so it is
+/// held fixed here. `base` supplies the non-model-shaped knobs (seed,
+/// …); its model-shaped fields and store/mmap/retriever settings are
+/// overridden (f32 store, owned, exact) so index approximation is the
+/// only variable.
+pub fn evaluate_backend_deltas(
+    model: &TwoTower,
+    log: &InteractionLog,
+    base: &UniMatchConfig,
+    protocol: &ProtocolConfig,
+    seed: u64,
+) -> Vec<BackendEval> {
+    let max_seq_len = model.config().max_seq_len;
+    let split = PreparedData::from_log(log.clone(), max_seq_len).split;
+
+    // one deployment materializes both towers' stores; every sweep point
+    // indexes these exact same arenas
+    let mut cfg = base.clone();
+    cfg.embed_dim = model.config().embed_dim;
+    cfg.max_seq_len = max_seq_len;
+    cfg.extractor = model.config().extractor;
+    cfg.aggregator = model.config().aggregator;
+    cfg.retriever = RetrieverKind::Exact;
+    cfg.shards = 1;
+    cfg.store = RowFormat::F32;
+    cfg.mmap = false;
+    let copy = {
+        let mut init_rng = StdRng::seed_from_u64(0);
+        let mut m = TwoTower::new(model.config().clone(), &mut init_rng);
+        m.params = model.params.clone();
+        m
+    };
+    let fitted = UniMatch::new(cfg.clone()).serve(copy, log.clone());
+    let item_store = fitted.item_store().clone();
+    let user_store = fitted.user_store().clone();
+
+    // the shared case set: IR histories through the towers, UT queries
+    // gathered from the item store — identical for every sweep point
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ir_protocol = protocol.clamped(unimatch_eval::item_pool(&split).len());
+    let ir_cases = build_ir_cases(&split, &ir_protocol, &mut rng);
+    let histories: Vec<&[u32]> = ir_cases.iter().map(|c| c.history.as_slice()).collect();
+    let ir_queries = embed_histories(model, &histories, max_seq_len);
+    let ir_top_n = ir_protocol.top_n.min(fitted.num_items()).max(1);
+
+    let ut_protocol = protocol.clamped(fitted.user_pool.len());
+    let ut_cases = build_ut_cases(&split, &fitted.user_pool, &ut_protocol, &mut rng);
+    let ut_queries: Vec<f32> = ut_cases
+        .iter()
+        .flat_map(|c| item_store.decode_row(c.item as usize).into_owned())
+        .collect();
+    let ut_top_n = ut_protocol.top_n.min(fitted.num_pool_users()).max(1);
+
+    let sweep: Vec<(&'static str, &'static str, usize, SweepPoint)> = {
+        let mut s = vec![("bruteforce", "", 0, SweepPoint::Exact)];
+        for ef in [8usize, 32, 128] {
+            let hnsw = HnswConfig { ef_search: ef, ..HnswConfig::default() };
+            s.push(("hnsw", "ef_search", ef, SweepPoint::Hnsw(hnsw)));
+        }
+        for nprobe in [1usize, 2, 8] {
+            let ivf = IvfConfig { nprobe, ..IvfConfig::default() };
+            s.push(("ivf", "nprobe", nprobe, SweepPoint::Ivf(ivf)));
+        }
+        s
+    };
+
+    let score = |lists: &[Vec<unimatch_ann::Hit>], positives: &[u32], top_n: usize| {
+        let mut acc = MetricAccumulator::new();
+        for (&positive, hits) in positives.iter().zip(lists) {
+            let relevant: Vec<bool> = hits.iter().map(|h| h.id == positive).collect();
+            acc.add(unimatch_eval::case_metrics(&relevant, 1, top_n));
+        }
+        acc.mean()
+    };
+    let ir_positives: Vec<u32> = ir_cases.iter().map(|c| c.candidates[0]).collect();
+    let ut_positives: Vec<u32> = ut_cases.iter().map(|c| c.candidates[0] as u32).collect();
+
+    let chain = RerankChain::identity();
+    let mut out = Vec::with_capacity(sweep.len());
+    for (backend, param, value, point) in &sweep {
+        // mirror the deployment builder's index seeding: item index
+        // first, user index second, off one derived rng
+        let mut idx_rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d);
+        let item_index = point.build(item_store.clone(), &mut idx_rng);
+        let user_index = point.build(user_store.clone(), &mut idx_rng);
+        let ir_lists =
+            MatchPipeline::over(item_index.as_ref(), &item_store, &chain).run_raw(&ir_queries, ir_top_n);
+        let ut_lists =
+            MatchPipeline::over(user_index.as_ref(), &user_store, &chain).run_raw(&ut_queries, ut_top_n);
+        out.push(BackendEval {
+            backend,
+            param,
+            value: *value,
+            ir: score(&ir_lists, &ir_positives, ir_top_n),
+            ut: score(&ut_lists, &ut_positives, ut_top_n),
+            delta_ir_recall: 0.0,
+            delta_ir_ndcg: 0.0,
+            delta_ut_recall: 0.0,
+            delta_ut_ndcg: 0.0,
+        });
+    }
+    let oracle = out[0];
+    for e in &mut out {
+        e.delta_ir_recall = e.ir.recall - oracle.ir.recall;
+        e.delta_ir_ndcg = e.ir.ndcg - oracle.ir.ndcg;
+        e.delta_ut_recall = e.ut.recall - oracle.ut.recall;
+        e.delta_ut_ndcg = e.ut.ndcg - oracle.ut.ndcg;
     }
     out
 }
@@ -541,6 +729,45 @@ mod tests {
         let again = evaluate_store_formats(&fitted.model, &log, &cfg, &protocol, 5);
         for (a, b) in evals.iter().zip(&again) {
             assert_eq!(a.ir, b.ir);
+        }
+    }
+
+    #[test]
+    fn backend_delta_eval_reports_deltas_vs_exact() {
+        let log = DatasetProfile::EComp.generate(0.15, 11).filter_min_interactions(3);
+        let cfg = UniMatchConfig { max_seq_len: 8, epochs_per_month: 1, ..Default::default() };
+        let fitted = UniMatch::new(cfg.clone()).fit(log.clone());
+        let protocol = ProtocolConfig { top_n: 10, negatives: 20 };
+        let evals = evaluate_backend_deltas(&fitted.model, &log, &cfg, &protocol, 5);
+        // exact oracle + 3 hnsw ef points + 3 ivf nprobe points
+        assert_eq!(evals.len(), 7);
+        assert_eq!(evals[0].backend, "bruteforce");
+        assert_eq!(evals[0].delta_ir_recall, 0.0);
+        assert_eq!(evals[0].delta_ut_ndcg, 0.0);
+        for e in &evals {
+            for m in [e.ir, e.ut] {
+                assert!((0.0..=1.0).contains(&m.recall), "{}: recall {}", e.label(), m.recall);
+                assert!((0.0..=1.0).contains(&m.ndcg), "{}: ndcg {}", e.label(), m.ndcg);
+            }
+            assert_eq!(e.delta_ir_recall, e.ir.recall - evals[0].ir.recall);
+            assert_eq!(e.delta_ut_recall, e.ut.recall - evals[0].ut.recall);
+        }
+        // the sweep covers both approximate backends at 3 points each,
+        // and a generous ef keeps HNSW within shouting distance of exact
+        let hnsw: Vec<&BackendEval> =
+            evals.iter().filter(|e| e.backend == "hnsw").collect();
+        assert_eq!(hnsw.len(), 3);
+        assert_eq!(evals.iter().filter(|e| e.backend == "ivf").count(), 3);
+        assert!(
+            hnsw[2].delta_ir_recall.abs() <= 0.5,
+            "ef=128 delta {} suspiciously far from exact",
+            hnsw[2].delta_ir_recall
+        );
+        // deterministic under a fixed seed
+        let again = evaluate_backend_deltas(&fitted.model, &log, &cfg, &protocol, 5);
+        for (a, b) in evals.iter().zip(&again) {
+            assert_eq!(a.ir, b.ir);
+            assert_eq!(a.ut, b.ut);
         }
     }
 

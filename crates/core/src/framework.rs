@@ -8,21 +8,24 @@
 
 use crate::evaluate::embed_histories;
 use crate::hyper::{Hyperparams, Pathway};
+use crate::pipeline::{MatchPipeline, QuerySource};
 use crate::prepare::PreparedData;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use unimatch_ann::{
-    BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, QuorumError,
-    Retriever, RowFormat, SearchOptions, ShardHealth, ShardPolicy, ShardedRetriever, StoreBacking,
+    BruteForceIndex, EmbeddingStore, Hit, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Retriever,
+    RowFormat, ShardPolicy, ShardedRetriever, StoreBacking,
 };
-use unimatch_data::{InteractionLog, Marginals, SeqBatch};
+use unimatch_data::{InteractionLog, Marginals};
 use unimatch_eval::UserPool;
-use unimatch_rerank::{query_tag, BusinessRules, RerankChain, RerankContext, StageSkip};
+use unimatch_rerank::{BusinessRules, RerankChain};
 use unimatch_losses::{BiasConfig, MultinomialLoss};
 use unimatch_models::{Aggregator, ContextExtractor, ModelConfig, TwoTower};
 use unimatch_parallel::Parallelism;
 use unimatch_train::{AdamConfig, TrainConfig, TrainError, TrainLoss, Trainer};
+
+pub use crate::pipeline::{CheckedBatch, DegradeOptions};
 
 /// Framework configuration. Defaults follow the paper's production choice:
 /// Youtube-DNN + mean pooling trained with bbcNCE, d = 16.
@@ -467,111 +470,43 @@ impl UniMatch {
     }
 }
 
-/// What a fallible, degradable batch query returns: per-query result
-/// lists plus the fan-out's [`ShardHealth`], or a [`QuorumError`] when
-/// too few shards answered.
-pub type CheckedBatch<T> = Result<(Vec<Vec<T>>, ShardHealth), QuorumError>;
-
-/// Serving-time degradation knobs for one batched answer — the brownout
-/// controller's hooks into [`FittedUniMatch`]. [`DegradeOptions::NONE`]
-/// (the default) is guaranteed bitwise invisible: every checked call
-/// with it produces exactly the bytes of its unchecked counterpart.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DegradeOptions {
-    /// Skip `explore` re-ranking stages.
-    pub skip_explore: bool,
-    /// Skip `mmr` re-ranking stages.
-    pub skip_mmr: bool,
-    /// Over-fetch with [`RerankChain::fetch_k_reduced`] instead of the
-    /// full headroom.
-    pub shrink_overfetch: bool,
-    /// Accept an answer from a single healthy shard (overrides the
-    /// configured quorum for this call).
-    pub relax_quorum: bool,
-}
-
-impl DegradeOptions {
-    /// Full quality — no degradation.
-    pub const NONE: DegradeOptions = DegradeOptions {
-        skip_explore: false,
-        skip_mmr: false,
-        shrink_overfetch: false,
-        relax_quorum: false,
-    };
-
-    /// The rerank-stage skip set these options imply.
-    fn stage_skip(self) -> StageSkip {
-        StageSkip { explore: self.skip_explore, mmr: self.skip_mmr }
-    }
-}
-
 impl FittedUniMatch {
-    /// Runs the configured chain over an item-tower retrieval result.
-    /// Identity chains return `hits` untouched — same allocation, same
-    /// bytes — so an unconfigured deployment is bitwise unchanged.
-    fn rerank_items(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
-        self.rerank_items_degraded(query, hits, k, StageSkip::NONE)
+    /// The item-tower (IR) view of the canonical query pipeline: embeds
+    /// histories through the user tower, retrieves from the item index,
+    /// re-ranks with the configured chain over the item store's
+    /// marginals and business rules. Every `recommend_*` method below is
+    /// a thin wrapper over this object.
+    pub fn item_pipeline(&self) -> MatchPipeline<'_> {
+        MatchPipeline::over(self.item_index.as_ref(), &self.item_store, &self.rerank)
+            .with_source(QuerySource::Tower {
+                model: &self.model,
+                max_seq_len: self.max_seq_len,
+            })
+            .with_marginals(&self.item_log_p)
+            .with_rules(self.rerank_rules.as_deref())
+            .with_seed(self.rerank_seed)
     }
 
-    /// [`FittedUniMatch::rerank_items`] minus the stages in `skip`.
-    fn rerank_items_degraded(
-        &self,
-        query: &[f32],
-        hits: Vec<Hit>,
-        k: usize,
-        skip: StageSkip,
-    ) -> Vec<Hit> {
-        if self.rerank.is_identity() {
-            return hits;
-        }
-        let ctx = RerankContext {
-            store: Some(&self.item_store),
-            log_marginals: Some(&self.item_log_p),
-            external_ids: None,
-            rules: self.rerank_rules.as_deref(),
-            seed: self.rerank_seed,
-            query_tag: query_tag(query),
-            k,
-        };
-        self.rerank.apply_degraded(&ctx, hits, skip)
-    }
-
-    /// Runs the configured chain over a user-tower retrieval result (hit
-    /// ids are still pool rows here — translation to user ids happens
-    /// after). Business rules describe items, so UT runs without them.
-    fn rerank_users(&self, query: &[f32], hits: Vec<Hit>, k: usize) -> Vec<Hit> {
-        self.rerank_users_degraded(query, hits, k, StageSkip::NONE)
-    }
-
-    /// [`FittedUniMatch::rerank_users`] minus the stages in `skip`.
-    fn rerank_users_degraded(
-        &self,
-        query: &[f32],
-        hits: Vec<Hit>,
-        k: usize,
-        skip: StageSkip,
-    ) -> Vec<Hit> {
-        if self.rerank.is_identity() {
-            return hits;
-        }
-        let ctx = RerankContext {
-            store: Some(&self.user_store),
-            log_marginals: Some(&self.user_log_p),
-            external_ids: Some(self.user_pool.users()),
-            rules: None,
-            seed: self.rerank_seed,
-            query_tag: query_tag(query),
-            k,
-        };
-        self.rerank.apply_degraded(&ctx, hits, skip)
+    /// The user-tower (UT) view of the canonical query pipeline: gathers
+    /// query rows from the item store, retrieves from the user index,
+    /// re-ranks over the user store's marginals (business rules describe
+    /// items, so UT runs without them), and translates pool rows to user
+    /// ids. Every `target_*` method below is a thin wrapper over this
+    /// object.
+    pub fn user_pipeline(&self) -> MatchPipeline<'_> {
+        MatchPipeline::over(self.user_index.as_ref(), &self.user_store, &self.rerank)
+            .with_source(QuerySource::Rows(&self.item_store))
+            .with_marginals(&self.user_log_p)
+            .with_external_ids(self.user_pool.users())
+            .with_seed(self.rerank_seed)
     }
 
     /// IR: top-k items for a user's purchase history.
     pub fn recommend_items(&self, history: &[u32], k: usize) -> Vec<Hit> {
         assert!(!history.is_empty(), "recommend_items needs a non-empty history");
-        let query = self.user_embedding(history);
-        let hits = self.item_index.search(&query, self.rerank.fetch_k(k));
-        self.rerank_items(&query, hits, k)
+        let pipeline = self.item_pipeline();
+        let query = pipeline.embed_one(history);
+        pipeline.run_one(&query, k)
     }
 
     /// UT: top-k `(user_id, score)` targets for an item. The query row
@@ -586,11 +521,9 @@ impl FittedUniMatch {
     /// user store's id mapping, after the re-ranking chain has run over
     /// the raw pool rows.
     pub fn target_users_by_embedding(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        let hits = self.user_index.search(query, self.rerank.fetch_k(k));
-        self.rerank_users(query, hits, k)
-            .into_iter()
-            .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
-            .collect()
+        let pipeline = self.user_pipeline();
+        let hits = pipeline.run_one(query, k);
+        pipeline.translate(hits)
     }
 
     /// Batched IR: top-k items for each history, in input order.
@@ -612,29 +545,18 @@ impl FittedUniMatch {
     /// and answered through one [`Retriever::search_batch`] call; results
     /// are identical to calling [`FittedUniMatch::target_users`] per item.
     pub fn target_users_batch(&self, items: &[u32], k: usize) -> Vec<Vec<(u32, f32)>> {
-        let queries: Vec<f32> = items
-            .iter()
-            .flat_map(|&i| self.item_store.decode_row(i as usize).into_owned())
-            .collect();
-        let dim = self.user_store.dim();
-        self.user_index
-            .search_batch(&queries, self.rerank.fetch_k(k))
+        let pipeline = self.user_pipeline();
+        let queries = pipeline.gather(items);
+        pipeline
+            .run(&queries, k)
             .into_iter()
-            .enumerate()
-            .map(|(q, hits)| {
-                let query = &queries[q * dim..(q + 1) * dim];
-                self.rerank_users(query, hits, k)
-                    .into_iter()
-                    .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
-                    .collect()
-            })
+            .map(|hits| pipeline.translate(hits))
             .collect()
     }
 
     /// The normalized user embedding for an arbitrary history.
     pub fn user_embedding(&self, history: &[u32]) -> Vec<f32> {
-        let batch = SeqBatch::from_histories(&[history], self.max_seq_len);
-        self.model.infer_users(&batch).into_vec()
+        self.item_pipeline().embed_one(history)
     }
 
     /// Normalized user embeddings for a batch of histories, flattened in
@@ -654,20 +576,14 @@ impl FittedUniMatch {
     /// serving layer can cache the (expensive) embedding half per user
     /// while always answering the search half fresh.
     pub fn recommend_by_embeddings(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
-        let dim = self.item_store.dim();
-        self.item_index
-            .search_batch(queries, self.rerank.fetch_k(k))
-            .into_iter()
-            .enumerate()
-            .map(|(q, hits)| self.rerank_items(&queries[q * dim..(q + 1) * dim], hits, k))
-            .collect()
+        self.item_pipeline().run(queries, k)
     }
 
     /// Fallible, degradable form of
     /// [`FittedUniMatch::recommend_by_embeddings`]: the retrieval fan-out
     /// runs under shard failure isolation (see
     /// [`Retriever::search_batch_checked`]) and the returned
-    /// [`ShardHealth`] reports any dropped shards; `degrade` applies the
+    /// [`unimatch_ann::ShardHealth`] reports any dropped shards; `degrade` applies the
     /// brownout ladder's quality reductions. With
     /// [`DegradeOptions::NONE`] and a healthy fan-out the hit lists are
     /// bitwise identical to the unchecked call.
@@ -677,23 +593,7 @@ impl FittedUniMatch {
         k: usize,
         degrade: DegradeOptions,
     ) -> CheckedBatch<Hit> {
-        let dim = self.item_store.dim();
-        let fetch = if degrade.shrink_overfetch {
-            self.rerank.fetch_k_reduced(k)
-        } else {
-            self.rerank.fetch_k(k)
-        };
-        let opts = SearchOptions { relax_quorum: degrade.relax_quorum };
-        let (lists, health) = self.item_index.search_batch_checked(queries, fetch, opts)?;
-        let skip = degrade.stage_skip();
-        let reranked = lists
-            .into_iter()
-            .enumerate()
-            .map(|(q, hits)| {
-                self.rerank_items_degraded(&queries[q * dim..(q + 1) * dim], hits, k, skip)
-            })
-            .collect();
-        Ok((reranked, health))
+        self.item_pipeline().run_checked(queries, k, degrade)
     }
 
     /// Fallible, degradable form of [`FittedUniMatch::target_users_batch`];
@@ -704,30 +604,10 @@ impl FittedUniMatch {
         k: usize,
         degrade: DegradeOptions,
     ) -> CheckedBatch<(u32, f32)> {
-        let queries: Vec<f32> = items
-            .iter()
-            .flat_map(|&i| self.item_store.decode_row(i as usize).into_owned())
-            .collect();
-        let dim = self.user_store.dim();
-        let fetch = if degrade.shrink_overfetch {
-            self.rerank.fetch_k_reduced(k)
-        } else {
-            self.rerank.fetch_k(k)
-        };
-        let opts = SearchOptions { relax_quorum: degrade.relax_quorum };
-        let (lists, health) = self.user_index.search_batch_checked(&queries, fetch, opts)?;
-        let skip = degrade.stage_skip();
-        let translated = lists
-            .into_iter()
-            .enumerate()
-            .map(|(q, hits)| {
-                let query = &queries[q * dim..(q + 1) * dim];
-                self.rerank_users_degraded(query, hits, k, skip)
-                    .into_iter()
-                    .map(|h| (self.user_store.id_of_row(h.id as usize), h.score))
-                    .collect()
-            })
-            .collect();
+        let pipeline = self.user_pipeline();
+        let queries = pipeline.gather(items);
+        let (lists, health) = pipeline.run_checked(&queries, k, degrade)?;
+        let translated = lists.into_iter().map(|hits| pipeline.translate(hits)).collect();
         Ok((translated, health))
     }
 
@@ -736,7 +616,7 @@ impl FittedUniMatch {
     /// over-fetch or skips a stage the chain actually runs. Quorum
     /// relaxation alone never changes bytes on a healthy fan-out, so it
     /// does not count; a fan-out that actually lost shards is flagged
-    /// through [`ShardHealth`] instead.
+    /// through [`unimatch_ann::ShardHealth`] instead.
     pub fn degrade_affects_content(&self, degrade: DegradeOptions) -> bool {
         (degrade.shrink_overfetch && !self.rerank.is_identity())
             || self.rerank.skip_affects(degrade.stage_skip())
@@ -769,12 +649,6 @@ impl FittedUniMatch {
     /// The user-tower embedding arena (row = pool index, id = user id).
     pub fn user_store(&self) -> &Arc<EmbeddingStore> {
         &self.user_store
-    }
-
-    /// Batched IR *without* the re-ranking chain — the raw retrieval
-    /// baseline the chain's eval gate compares against.
-    pub(crate) fn recommend_by_embeddings_raw(&self, queries: &[f32], k: usize) -> Vec<Vec<Hit>> {
-        self.item_index.search_batch(queries, k)
     }
 
     /// Canonical spec of the configured re-ranking chain (`""` for the
@@ -873,8 +747,9 @@ mod tests {
         let hists: Vec<&[u32]> = vec![&[1, 2, 3], &[4, 5]];
         let queries = f.embed_users(&hists);
         // the public APIs and the raw index search must agree byte for byte
-        assert_eq!(f.recommend_by_embeddings(&queries, 5), f.recommend_by_embeddings_raw(&queries, 5));
-        assert_eq!(f.recommend_items(&[1, 2, 3], 5), f.recommend_by_embeddings_raw(&queries, 5)[0]);
+        let raw = f.item_pipeline().run_raw(&queries, 5);
+        assert_eq!(f.recommend_by_embeddings(&queries, 5), raw);
+        assert_eq!(f.recommend_items(&[1, 2, 3], 5), raw[0]);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod framework;
 pub mod grid;
 pub mod hyper;
 pub mod persist;
+pub mod pipeline;
 pub mod prepare;
 pub mod serving;
 
@@ -48,12 +49,13 @@ pub use cost::{CostComparison, Regime};
 pub use durable::{
     train_durable, DurableConfig, DurableError, DurableRun, MonthRecord, RunManifest,
 };
-pub use evaluate::{evaluate, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_store_formats, evaluate_with_audit, EvalOutcome, RerankEval, RerankSide, RetrievalAudit, StoreFormatEval};
+pub use evaluate::{evaluate, evaluate_backend_deltas, evaluate_ir_rerank, evaluate_multi_ir_model, evaluate_params, evaluate_store_formats, evaluate_with_audit, BackendEval, EvalOutcome, RerankEval, RerankSide, RetrievalAudit, StoreFormatEval};
 pub use experiment::{run_experiment, run_experiment_on, CurvePoint, ExperimentOptions, ExperimentOutcome, ExperimentSpec};
 pub use framework::{
     CheckedBatch, DegradeOptions, FittedUniMatch, RerankConfig, RetrieverKind, UniMatch,
     UniMatchConfig,
 };
+pub use pipeline::{MatchPipeline, QuerySource};
 pub use unimatch_ann::{QuorumError, RowFormat, ShardHealth, ShardPolicy, StoreBacking};
 pub use unimatch_parallel::Parallelism;
 pub use grid::{grid_search, GridPoint, GridSpec};

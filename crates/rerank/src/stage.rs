@@ -110,10 +110,11 @@ pub trait RerankStage: Send + Sync {
 
 /// The canonical candidate order used across the retrieval engine:
 /// score descending, lowest id first on ties. Stages that re-score must
-/// re-sort with this exact comparator so chain output stays aligned
-/// with the engine's differential suites.
+/// re-sort with this exact comparator — the engine's shared
+/// [`unimatch_ann::order`] — so chain output stays aligned with the
+/// differential suites.
 pub(crate) fn sort_canonical(hits: &mut [Hit]) {
-    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    unimatch_ann::order::sort_canonical(hits);
 }
 
 #[cfg(test)]

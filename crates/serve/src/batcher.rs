@@ -12,8 +12,10 @@
 //! * one model snapshot per batch — the batcher pins `ModelHandle::current`
 //!   once per batch, so a hot-swap never splits a batch across versions;
 //! * results are identical to unbatched calls — jobs are grouped by `k`
-//!   and answered through `recommend_by_embeddings` / `target_users_batch`,
-//!   whose outputs match the per-request APIs element for element;
+//!   and answered through the tower's
+//!   [`MatchPipeline`](unimatch_core::MatchPipeline) handle (the same
+//!   stage sequence behind the per-request APIs), so outputs match them
+//!   element for element;
 //! * the embedding LRU cache is keyed by history and cleared whenever the
 //!   pinned model version changes;
 //! * every job carries an admission deadline — jobs that out-wait it in
@@ -23,11 +25,16 @@
 //! * every answer carries a `degraded` flag — `true` when a shard was
 //!   missing from the merge (quorum-tolerated failure) or an active
 //!   brownout rung changed response content; healthy full-quality
-//!   batches are bitwise identical to the unchecked serving APIs.
+//!   batches are bitwise identical to the unchecked serving APIs;
+//! * when a shadow is armed ([`crate::shadow`]), each successful answer
+//!   is considered for deterministic sampling *after* its result is
+//!   final — mirroring never changes a reply and never blocks (a full
+//!   mirror queue drops and counts).
 
 use crate::brownout::BrownoutState;
 use crate::cache::LruCache;
 use crate::metrics::{Metrics, Route};
+use crate::shadow::ShadowState;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -153,6 +160,7 @@ pub fn run_recommend_batcher(
     cfg: BatchConfig,
     depth: Arc<AtomicUsize>,
     brownout: Option<Arc<BrownoutState>>,
+    shadow: Option<Arc<ShadowState>>,
 ) {
     let mut cache: LruCache<Vec<u32>, Vec<f32>> = LruCache::new(cfg.cache_capacity);
     let mut cache_version = 0u64;
@@ -180,7 +188,7 @@ pub fn run_recommend_batcher(
         let degrade = brownout.as_deref().map_or(DegradeOptions::NONE, BrownoutState::degrade);
         let jobs = batch.len() as u64;
         let start = Instant::now();
-        execute_recommend(batch, &state, &metrics, &mut cache, degrade);
+        execute_recommend(batch, &state, &metrics, &mut cache, degrade, shadow.as_deref());
         metrics.observe_service(start.elapsed().as_micros() as u64 / jobs);
     }
 }
@@ -191,9 +199,14 @@ fn execute_recommend(
     metrics: &Metrics,
     cache: &mut LruCache<Vec<u32>, Vec<f32>>,
     degrade: DegradeOptions,
+    shadow: Option<&ShadowState>,
 ) {
+    // The batcher executes a pipeline handle: *embed* and *retrieve +
+    // rerank* run as explicit stages so the embedding cache can sit
+    // between them (see `unimatch_core::pipeline`).
+    let pipeline = state.fitted.item_pipeline();
     let num_items = state.fitted.num_items() as u32;
-    let d = state.fitted.model.config().embed_dim;
+    let d = pipeline.dim();
 
     // validate; invalid jobs are answered immediately and drop out
     let mut valid: Vec<RecommendJob> = Vec::with_capacity(batch.len());
@@ -234,7 +247,7 @@ fn execute_recommend(
         let histories: Vec<&[u32]> =
             miss_idx.iter().map(|&i| valid[i].history.as_slice()).collect();
         let flat = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.fitted.embed_users(&histories)
+            pipeline.embed(&histories)
         })) {
             Ok(flat) => flat,
             Err(_) => {
@@ -265,7 +278,7 @@ fn execute_recommend(
             flat.extend_from_slice(&queries[i]);
         }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.fitted.recommend_by_embeddings_checked(&flat, k, degrade)
+            pipeline.run_checked(&flat, k, degrade)
         }));
         match result {
             Ok(Ok((hits, health))) => {
@@ -276,6 +289,9 @@ fn execute_recommend(
                 for (&i, h) in indices.iter().zip(hits) {
                     if flag {
                         metrics.degraded_response(health.degraded());
+                    }
+                    if let Some(sh) = shadow.filter(|s| s.sample()) {
+                        sh.submit_recommend(&valid[i].history, k, &h);
                     }
                     let _ = valid[i].reply.send(Ok((h, flag)));
                 }
@@ -305,6 +321,7 @@ pub fn run_target_batcher(
     cfg: BatchConfig,
     depth: Arc<AtomicUsize>,
     brownout: Option<Arc<BrownoutState>>,
+    shadow: Option<Arc<ShadowState>>,
 ) {
     while let Some(batch) = collect_batch(&rx, &cfg, &depth) {
         BATCH_FAULT.inject_latency();
@@ -324,7 +341,7 @@ pub fn run_target_batcher(
         let degrade = brownout.as_deref().map_or(DegradeOptions::NONE, BrownoutState::degrade);
         let jobs = batch.len() as u64;
         let start = Instant::now();
-        execute_target(batch, &state, &metrics, degrade);
+        execute_target(batch, &state, &metrics, degrade, shadow.as_deref());
         metrics.observe_service(start.elapsed().as_micros() as u64 / jobs);
     }
 }
@@ -334,7 +351,11 @@ fn execute_target(
     state: &ServingState,
     metrics: &Metrics,
     degrade: DegradeOptions,
+    shadow: Option<&ShadowState>,
 ) {
+    // gather → retrieve (checked) → rerank → translate, all through the
+    // user-tower pipeline handle
+    let pipeline = state.fitted.user_pipeline();
     let num_items = state.fitted.num_items() as u32;
     let mut valid: Vec<TargetJob> = Vec::with_capacity(batch.len());
     for job in batch {
@@ -360,7 +381,11 @@ fn execute_target(
     for (k, indices) in by_k {
         let items: Vec<u32> = indices.iter().map(|&i| valid[i].item).collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.fitted.target_users_batch_checked(&items, k, degrade)
+            let queries = pipeline.gather(&items);
+            let (lists, health) = pipeline.run_checked(&queries, k, degrade)?;
+            let translated: Vec<Vec<(u32, f32)>> =
+                lists.into_iter().map(|hits| pipeline.translate(hits)).collect();
+            Ok::<_, unimatch_ann::QuorumError>((translated, health))
         }));
         match result {
             Ok(Ok((lists, health))) => {
@@ -371,6 +396,9 @@ fn execute_target(
                 for (&i, users) in indices.iter().zip(lists) {
                     if flag {
                         metrics.degraded_response(health.degraded());
+                    }
+                    if let Some(sh) = shadow.filter(|s| s.sample()) {
+                        sh.submit_target(valid[i].item, k, &users);
                     }
                     let _ = valid[i].reply.send(Ok((users, flag)));
                 }

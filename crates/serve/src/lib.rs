@@ -23,7 +23,11 @@
 //!   exposed as text on `GET /metrics`;
 //! * **bounded intake** ([`http`]) — capped header/body sizes, a
 //!   per-connection read timeout, a connection cap, and graceful shutdown
-//!   that drains every admitted request.
+//!   that drains every admitted request;
+//! * **shadow deployments** ([`shadow`]) — a deterministic sample of
+//!   answered traffic mirrored to a second pipeline (its own checkpoint,
+//!   retriever, store format, or rerank chain) off the critical path,
+//!   with paired overlap/score/lag deltas on `/metrics`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,6 +50,7 @@ pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod shadow;
 
 pub use brownout::{BrownoutControl, BrownoutSpec, BrownoutState, BrownoutStep};
 pub use cache::LruCache;
@@ -54,3 +59,4 @@ pub use server::{
     recommend_body, recommend_body_degraded, target_body, target_body_degraded, ServeConfig,
     Server,
 };
+pub use shadow::{ShadowSpec, ShadowState};

@@ -123,6 +123,22 @@ pub struct Metrics {
     /// EWMA of per-job batcher service time, µs — feeds the dynamic
     /// `Retry-After` estimate. Zero until the first batch executes.
     service_ewma_us: AtomicU64,
+    /// Paired primary/shadow comparisons completed, per query route.
+    shadow_pairs_recommend: Counter,
+    /// See [`Metrics::shadow_pairs_recommend`].
+    shadow_pairs_target: Counter,
+    /// Sampled mirrors lost: mirror queue full, shadow vocabulary too
+    /// small for the request, or shadow execution panicked.
+    shadow_dropped: Counter,
+    /// Sum of per-pair overlap@k in milli-units (identical lists add
+    /// 1000); divide by `pairs × 1000` for the mean overlap ratio.
+    shadow_overlap_milli: Counter,
+    /// Sum of per-pair mean |score delta| over the overlap, micro-units.
+    shadow_score_delta_micro: Counter,
+    /// Queue wait of mirrored jobs (primary answer → shadow dequeue), µs.
+    shadow_lag_us: Histogram,
+    /// Shadow pipeline execution time per mirrored job, µs.
+    shadow_exec_us: Histogram,
 }
 
 impl Default for Metrics {
@@ -146,6 +162,13 @@ impl Default for Metrics {
             degraded_shard: Counter::new(),
             degraded_brownout: Counter::new(),
             service_ewma_us: AtomicU64::new(0),
+            shadow_pairs_recommend: Counter::new(),
+            shadow_pairs_target: Counter::new(),
+            shadow_dropped: Counter::new(),
+            shadow_overlap_milli: Counter::new(),
+            shadow_score_delta_micro: Counter::new(),
+            shadow_lag_us: Histogram::new(LATENCY_BOUNDS_US),
+            shadow_exec_us: Histogram::new(LATENCY_BOUNDS_US),
         }
     }
 }
@@ -286,6 +309,98 @@ impl Metrics {
         self.service_ewma_us.load(Ordering::Relaxed)
     }
 
+    /// Records one completed primary/shadow comparison: overlap@k in
+    /// milli-units and the mean |score delta| over the overlap in
+    /// micro-units (see [`crate::shadow::paired_deltas`]). Non-query
+    /// routes are ignored.
+    pub fn shadow_pair(&self, route: Route, overlap_milli: u64, score_delta_micro: u64) {
+        match route {
+            Route::Recommend => self.shadow_pairs_recommend.inc(),
+            Route::Target => self.shadow_pairs_target.inc(),
+            _ => return,
+        }
+        self.shadow_overlap_milli.add(overlap_milli);
+        self.shadow_score_delta_micro.add(score_delta_micro);
+    }
+
+    /// Counts one sampled mirror that was lost (queue full, shadow
+    /// vocabulary too small, or shadow execution panicked).
+    pub fn shadow_dropped(&self) {
+        self.shadow_dropped.inc();
+    }
+
+    /// Records a mirrored job's queue wait (primary answer → shadow
+    /// dequeue), µs.
+    pub fn shadow_lag(&self, micros: u64) {
+        self.shadow_lag_us.observe(micros);
+    }
+
+    /// Records one shadow pipeline execution, µs.
+    pub fn shadow_exec(&self, micros: u64) {
+        self.shadow_exec_us.observe(micros);
+    }
+
+    /// Paired comparisons completed so far, across both routes.
+    pub fn shadow_pairs(&self) -> u64 {
+        self.shadow_pairs_recommend.get() + self.shadow_pairs_target.get()
+    }
+
+    /// Sampled mirrors lost so far.
+    pub fn shadow_dropped_total(&self) -> u64 {
+        self.shadow_dropped.get()
+    }
+
+    /// Mean overlap@k over all completed pairs (0.0 before the first;
+    /// 1.0 means every shadow answer matched its primary exactly).
+    pub fn shadow_overlap_ratio(&self) -> f64 {
+        let pairs = self.shadow_pairs();
+        if pairs == 0 {
+            0.0
+        } else {
+            self.shadow_overlap_milli.get() as f64 / (pairs as f64 * 1000.0)
+        }
+    }
+
+    /// Mean |score delta| over all completed pairs' overlaps.
+    pub fn shadow_score_delta_mean(&self) -> f64 {
+        let pairs = self.shadow_pairs();
+        if pairs == 0 {
+            0.0
+        } else {
+            self.shadow_score_delta_micro.get() as f64 / (pairs as f64 * 1e6)
+        }
+    }
+
+    /// Renders the `unimatch_shadow_*` families. Separate from
+    /// [`Metrics::render`] so a shadow-less server's scrape stays
+    /// byte-identical to builds without the shadow plane — the server
+    /// appends this only when a shadow is armed.
+    pub fn render_shadow(&self, sample_rate: f64) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        writeln!(out, "unimatch_shadow_sample_rate {sample_rate}").expect("write to String");
+        self.shadow_pairs_recommend.render(
+            "unimatch_shadow_pairs_total",
+            "route=\"recommend\"",
+            &mut out,
+        );
+        self.shadow_pairs_target.render("unimatch_shadow_pairs_total", "route=\"target\"", &mut out);
+        self.shadow_dropped.render("unimatch_shadow_dropped_total", "", &mut out);
+        self.shadow_overlap_milli.render("unimatch_shadow_overlap_sum_milli", "", &mut out);
+        writeln!(out, "unimatch_shadow_overlap_ratio {}", self.shadow_overlap_ratio())
+            .expect("write to String");
+        self.shadow_score_delta_micro.render(
+            "unimatch_shadow_score_delta_sum_micro",
+            "",
+            &mut out,
+        );
+        writeln!(out, "unimatch_shadow_score_delta_mean {}", self.shadow_score_delta_mean())
+            .expect("write to String");
+        self.shadow_lag_us.render("unimatch_shadow_lag_us", "", &mut out);
+        self.shadow_exec_us.render("unimatch_shadow_exec_us", "", &mut out);
+        out
+    }
+
     /// Renders the text exposition. `model_version` is sampled by the
     /// caller from the serving handle at scrape time.
     pub fn render(&self, model_version: u64) -> String {
@@ -386,6 +501,38 @@ mod tests {
         assert_eq!(m.sheds(), 3);
         assert_eq!(m.shard_errors(), 2);
         assert_eq!(m.degraded_responses(), 2);
+    }
+
+    #[test]
+    fn shadow_families_render_only_through_the_dedicated_section() {
+        let m = Metrics::new();
+        assert!(
+            !m.render(1).contains("unimatch_shadow"),
+            "the base exposition must stay shadow-free (shadow-off byte identity)"
+        );
+        m.shadow_pair(Route::Recommend, 1000, 0);
+        m.shadow_pair(Route::Target, 500, 250_000);
+        m.shadow_pair(Route::Healthz, 999, 999); // non-query routes ignored
+        m.shadow_dropped();
+        m.shadow_lag(120);
+        m.shadow_exec(450);
+        let text = m.render_shadow(0.25);
+        for needle in [
+            "unimatch_shadow_sample_rate 0.25",
+            "unimatch_shadow_pairs_total{route=\"recommend\"} 1",
+            "unimatch_shadow_pairs_total{route=\"target\"} 1",
+            "unimatch_shadow_dropped_total 1",
+            "unimatch_shadow_overlap_sum_milli 1500",
+            "unimatch_shadow_overlap_ratio 0.75",
+            "unimatch_shadow_score_delta_sum_micro 250000",
+            "unimatch_shadow_score_delta_mean 0.125",
+            "unimatch_shadow_lag_us_count 1",
+            "unimatch_shadow_exec_us_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(m.shadow_pairs(), 2);
+        assert_eq!(m.shadow_dropped_total(), 1);
     }
 
     #[test]

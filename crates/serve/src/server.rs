@@ -26,6 +26,7 @@ use crate::batcher::{
 use crate::brownout::{BrownoutControl, BrownoutSpec, BrownoutState};
 use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::metrics::{Metrics, Route};
+use crate::shadow::{run_shadow_worker, ShadowSpec, ShadowState};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -92,6 +93,14 @@ struct ReloadOutcome {
     detail: String,
 }
 
+/// The armed shadow plane, as the endpoints see it: the sampler state
+/// (pair/drop counts live in [`Metrics`]) plus the shadow deployment's
+/// own hot-swappable handle.
+struct ShadowShared {
+    state: Arc<ShadowState>,
+    handle: Arc<ModelHandle>,
+}
+
 /// Everything a connection thread needs; dropping the last `Shared` closes
 /// the admission queues, which lets the batchers drain and exit.
 struct Shared {
@@ -108,6 +117,8 @@ struct Shared {
     request_deadline: Duration,
     /// The brownout plane, present when a ladder is configured.
     brownout: Option<Arc<BrownoutState>>,
+    /// The shadow plane, present when a shadow deployment is armed.
+    shadow: Option<ShadowShared>,
     /// When the server started accepting, for `/healthz` uptime.
     started: Instant,
     /// The most recent `/reload` outcome, for `/healthz`.
@@ -121,6 +132,7 @@ pub struct Server {
     shutdown_flag: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     brownout_thread: Option<JoinHandle<()>>,
+    shadow_thread: Option<JoinHandle<()>>,
     batcher_threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shared: Option<Arc<Shared>>,
@@ -136,10 +148,40 @@ impl Server {
         handle: Arc<ModelHandle>,
         config: ServeConfig,
     ) -> io::Result<Server> {
+        Server::start_with_shadow(addr, handle, config, None)
+    }
+
+    /// [`Server::start`] with an optional shadow deployment
+    /// ([`crate::shadow`]): a deterministic sample of answered query
+    /// traffic is mirrored to `shadow.handle`'s pipeline off the
+    /// critical path, and the paired overlap/score/lag deltas surface as
+    /// `unimatch_shadow_*` series on `/metrics` and a `"shadow"` block
+    /// on `/healthz`. `None` (or a zero sample rate) arms nothing —
+    /// serving is byte-identical to [`Server::start`].
+    pub fn start_with_shadow(
+        addr: impl ToSocketAddrs,
+        handle: Arc<ModelHandle>,
+        config: ServeConfig,
+        shadow: Option<ShadowSpec>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
         let shutdown_flag = Arc::new(AtomicBool::new(false));
+
+        let (shadow_shared, shadow_thread) = match shadow {
+            Some(spec) if spec.sample_rate > 0.0 => {
+                let (state, shadow_rx) =
+                    ShadowState::new(spec.sample_rate, spec.queue_bound, metrics.clone());
+                let (h, m) = (spec.handle.clone(), metrics.clone());
+                let worker = std::thread::Builder::new()
+                    .name("unimatch-shadow".into())
+                    .spawn(move || run_shadow_worker(shadow_rx, h, m))?;
+                (Some(ShadowShared { state, handle: spec.handle }), Some(worker))
+            }
+            _ => (None, None),
+        };
+        let shadow_state = shadow_shared.as_ref().map(|s| s.state.clone());
 
         let batch_cfg = BatchConfig {
             window: config.batch_window,
@@ -154,20 +196,20 @@ impl Server {
         let mut batcher_threads = Vec::with_capacity(2);
         {
             let (h, m, d) = (handle.clone(), metrics.clone(), recommend_depth.clone());
-            let b = brownout.clone();
+            let (b, s) = (brownout.clone(), shadow_state.clone());
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-recommend".into())
-                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg, d, b))?,
+                    .spawn(move || run_recommend_batcher(recommend_rx, h, m, batch_cfg, d, b, s))?,
             );
         }
         {
             let (h, m, d) = (handle.clone(), metrics.clone(), target_depth.clone());
-            let b = brownout.clone();
+            let (b, s) = (brownout.clone(), shadow_state);
             batcher_threads.push(
                 std::thread::Builder::new()
                     .name("unimatch-batch-target".into())
-                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg, d, b))?,
+                    .spawn(move || run_target_batcher(target_rx, h, m, batch_cfg, d, b, s))?,
             );
         }
 
@@ -201,6 +243,7 @@ impl Server {
             queue_bound: config.queue_bound,
             request_deadline: config.request_deadline,
             brownout,
+            shadow: shadow_shared,
             started: Instant::now(),
             last_reload: Mutex::new(None),
         });
@@ -221,6 +264,7 @@ impl Server {
             shutdown_flag,
             accept_thread: Some(accept_thread),
             brownout_thread,
+            shadow_thread,
             batcher_threads,
             conn_threads,
             shared: Some(shared),
@@ -273,6 +317,11 @@ impl Server {
         // what is left and exit
         self.shared = None;
         for t in self.batcher_threads.drain(..) {
+            let _ = t.join();
+        }
+        // with the batchers and Shared gone, every mirror sender is
+        // dropped; the shadow worker drains what is queued and exits
+        if let Some(t) = self.shadow_thread.take() {
             let _ = t.join();
         }
     }
@@ -491,7 +540,7 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                     ("detail", Json::str(o.detail.clone())),
                 ]),
             };
-            let body = Json::obj(vec![
+            let mut fields = vec![
                 ("status", Json::str("ok")),
                 ("version", Json::int(state.version as usize)),
                 ("uptime_s", Json::int(shared.started.elapsed().as_secs() as usize)),
@@ -503,9 +552,32 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 ("store", Json::str(state.fitted.store_format().name())),
                 ("backing", Json::str(state.fitted.store_backing().name())),
                 ("brownout", Json::int(shared.brownout.as_ref().map_or(0, |b| b.level()))),
-                ("last_reload", last_reload),
-            ])
-            .to_bytes();
+            ];
+            // only an armed shadow adds the key — a shadow-less server's
+            // body stays byte-identical to builds without the plane
+            if let Some(sh) = &shared.shadow {
+                let shadow_state = sh.handle.current();
+                fields.push((
+                    "shadow",
+                    Json::obj(vec![
+                        ("sample_rate", Json::F32(sh.state.sample_rate() as f32)),
+                        ("version", Json::int(shadow_state.version as usize)),
+                        ("checkpoint", Json::str(shadow_state.checkpoint.display().to_string())),
+                        ("retriever", Json::str(shadow_state.fitted.retriever_backend())),
+                        ("shards", Json::int(shadow_state.fitted.retriever_shards())),
+                        ("rerank", Json::str(shadow_state.fitted.rerank_spec())),
+                        ("store", Json::str(shadow_state.fitted.store_format().name())),
+                        ("pairs", Json::int(shared.metrics.shadow_pairs() as usize)),
+                        ("dropped", Json::int(shared.metrics.shadow_dropped_total() as usize)),
+                        (
+                            "overlap",
+                            Json::F32(shared.metrics.shadow_overlap_ratio() as f32),
+                        ),
+                    ]),
+                ));
+            }
+            fields.push(("last_reload", last_reload));
+            let body = Json::obj(fields).to_bytes();
             (Some(Route::Healthz), 200, "application/json", body)
         }
         ("GET", "/metrics") => {
@@ -524,6 +596,13 @@ fn dispatch(request: &Request, shared: &Shared) -> Dispatch {
                 "unimatch_brownout_level {}\n",
                 shared.brownout.as_ref().map_or(0, |b| b.level())
             ));
+            if let Some(sh) = &shared.shadow {
+                text.push_str(&shared.metrics.render_shadow(sh.state.sample_rate()));
+                text.push_str(&format!(
+                    "unimatch_shadow_model_version {}\n",
+                    sh.handle.version()
+                ));
+            }
             (Some(Route::Metrics), 200, "text/plain; version=0.0.4", text.into_bytes())
         }
         (_, "/recommend" | "/target" | "/reload" | "/healthz" | "/metrics") => {

@@ -30,7 +30,7 @@ use unimatch_data::vocab::Vocab;
 use unimatch_data::{DatasetProfile, InteractionLog};
 use unimatch_eval::ProtocolConfig;
 use unimatch_rerank::{BusinessRules, RerankChain};
-use unimatch_serve::{BrownoutSpec, ServeConfig, Server};
+use unimatch_serve::{BrownoutSpec, ServeConfig, Server, ShadowSpec};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -80,12 +80,15 @@ fn usage(msg: &str) -> ! {
          \u{20}         [--rerank SPEC] [--rerank-rules FILE]   (gates a chain before rollout:\n\
          \u{20}          prints raw vs reranked recall/NDCG/coverage/gini + popularity lift)\n\
          \u{20}         [--store-deltas true]   (per-format recall/NDCG deltas vs exact f32)\n\
+         \u{20}         [--backend-deltas true] (per-index-backend IR/UT deltas vs the exact\n\
+         \u{20}          oracle at realistic hnsw ef / ivf nprobe operating points)\n\
          serve     --checkpoint FILE --log FILE [--addr HOST:PORT] [--batch-window-ms F]\n\
          \u{20}         [--batch-max N] [--cache N] [--max-conns N] [--deadline-ms F]\n\
          \u{20}         [--queue-bound N] [--faults SPEC] [--fault-seed N] [--retriever KIND]\n\
          \u{20}         [--shards N] [--min-shards N] [--shard-deadline-ms F] [--obs true]\n\
          \u{20}         [--rerank SPEC] [--rerank-rules FILE] [--brownout LADDER]\n\
-         \u{20}         [--store f32|f16|i8] [--mmap true]\n\
+         \u{20}         [--store f32|f16|i8] [--mmap true] [--shadow-sample-rate F]\n\
+         \u{20}         [--shadow-ckpt FILE] [--shadow-spec 'key=value;…']\n\
          \u{20}         (KIND: exact|hnsw|ivf — the serving index backend; default hnsw)\n\
          \u{20}         (--store: row format of the serving embedding arenas — f16/i8 are\n\
          \u{20}          2×/4× smaller, scored by the fused dequant-dot kernel;\n\
@@ -102,6 +105,13 @@ fn usage(msg: &str) -> ! {
          \u{20}         (--rerank SPEC: post-retrieval chain, stage[@w][:k=v],… —\n\
          \u{20}          e.g. 'debias@0.5,mmr@0.3,cap:category=3,explore@0.1';\n\
          \u{20}          --rerank-rules: JSON sidecar with allow/deny/categories)\n\
+         \u{20}         (--shadow-sample-rate F: mirror that fraction of answered\n\
+         \u{20}          queries to a second pipeline off the critical path;\n\
+         \u{20}          --shadow-ckpt defaults to the primary checkpoint (an A/A);\n\
+         \u{20}          --shadow-spec overrides knobs vs the primary, `;`-separated:\n\
+         \u{20}          retriever|shards|min-shards|shard-deadline-ms|store|mmap|\n\
+         \u{20}          rerank|rerank-rules — paired overlap@k / score-delta / lag\n\
+         \u{20}          series land on /metrics as unimatch_shadow_*)\n\
          bench snapshot [--smoke] [--scale F] [--seed N] [--out DIR]\n\
          bench diff [--baseline DIR] [--current DIR] [--tolerance F] [--fail-on-regression]\n\
          loadgen   --addr HOST:PORT --qps F [--seconds F] [--concurrency N] [--k N]\n\
@@ -490,6 +500,37 @@ fn cmd_evaluate(flags: &HashMap<String, String>) {
         }
         return;
     }
+    // --backend-deltas true prints what each index backend costs in end
+    // metrics: one deployment materializes both towers' stores, then
+    // HNSW / IVF indexes at realistic operating points answer the same
+    // seeded IR and UT cases, reported as deltas against the exact
+    // (brute-force) oracle over those very arenas.
+    if flag_or(flags, "backend-deltas", false) {
+        let config = UniMatchConfig {
+            parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+            ..Default::default()
+        };
+        let evals =
+            unimatch_core::evaluate_backend_deltas(&model, &filtered, &config, &protocol, seed);
+        println!("index-backend end metrics (top-{}):", protocol.top_n);
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "", "IR-Rec", "IR-NDCG", "UT-Rec", "UT-NDCG", "ΔIR-Rec", "ΔUT-Rec"
+        );
+        for e in &evals {
+            println!(
+                "{:<22} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>+8.2}% {:>+8.2}%",
+                e.label(),
+                100.0 * e.ir.recall,
+                100.0 * e.ir.ndcg,
+                100.0 * e.ut.recall,
+                100.0 * e.ut.ndcg,
+                100.0 * e.delta_ir_recall,
+                100.0 * e.delta_ut_recall
+            );
+        }
+        return;
+    }
     let out = evaluate(&model, &prepared.split, &protocol, prepared.max_seq_len, seed);
     println!(
         "IR : Recall@{} {:.2}%  NDCG@{} {:.2}%  ({} cases)",
@@ -718,7 +759,56 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     });
     let handle = ModelHandle::from_checkpoint(framework, checkpoint, log.filter_min_interactions(3))
         .unwrap_or_else(|e| usage(&format!("cannot serve {checkpoint}: {e}")));
-    let server = Server::start(addr.as_str(), Arc::new(handle), serve_cfg)
+    // --shadow-sample-rate > 0 arms a shadow deployment: a second full
+    // pipeline (checkpoint + retriever + store + rerank chain) that a
+    // deterministic sample of answered query traffic is mirrored to, off
+    // the critical path. Its flags start as a copy of the primary's;
+    // --shadow-spec overrides individual knobs (`;`-separated so a
+    // rerank chain may contain commas) and --shadow-ckpt points it at a
+    // different checkpoint (defaulting to the primary's — an A/A test).
+    let shadow_rate: f64 = flag_or(flags, "shadow-sample-rate", 0.0);
+    if !(0.0..=1.0).contains(&shadow_rate) {
+        usage("--shadow-sample-rate must be between 0 and 1");
+    }
+    let shadow = (shadow_rate > 0.0).then(|| {
+        let mut sflags = flags.clone();
+        if let Some(spec) = flags.get("shadow-spec") {
+            for pair in spec.split(';').filter(|s| !s.is_empty()) {
+                let Some((key, value)) = pair.split_once('=') else {
+                    usage(&format!("--shadow-spec entries must be key=value, got {pair}"));
+                };
+                match key {
+                    "retriever" | "shards" | "min-shards" | "shard-deadline-ms" | "store"
+                    | "mmap" | "rerank" | "rerank-rules" => {
+                        sflags.insert(key.to_string(), value.to_string());
+                    }
+                    other => usage(&format!(
+                        "unknown --shadow-spec knob {other} (retriever|shards|min-shards|\
+                         shard-deadline-ms|store|mmap|rerank|rerank-rules)"
+                    )),
+                }
+            }
+        }
+        let shadow_ckpt = flags.get("shadow-ckpt").map(String::as_str).unwrap_or(checkpoint);
+        let shadow_framework = UniMatch::new(UniMatchConfig {
+            parallelism: unimatch_parallel::Parallelism::threads(flag_or(flags, "threads", 0)),
+            retriever: retriever_flag(&sflags),
+            shards: shards_flag(&sflags),
+            shard_policy: shard_policy_flag(&sflags),
+            rerank: rerank_flag(&sflags),
+            store: store_flag(&sflags),
+            mmap: mmap_flag(&sflags),
+            ..Default::default()
+        });
+        let shadow_handle = ModelHandle::from_checkpoint(
+            shadow_framework,
+            shadow_ckpt,
+            log.filter_min_interactions(3),
+        )
+        .unwrap_or_else(|e| usage(&format!("cannot shadow {shadow_ckpt}: {e}")));
+        ShadowSpec::new(Arc::new(shadow_handle), shadow_rate)
+    });
+    let server = Server::start_with_shadow(addr.as_str(), Arc::new(handle), serve_cfg, shadow)
         .unwrap_or_else(|e| usage(&format!("cannot bind {addr}: {e}")));
     println!(
         "unimatch-serve listening on http://{} (model version {}, {} items, {} pool users)",
@@ -732,6 +822,13 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         "rerank chain: {}",
         if chain.is_empty() { "identity (raw top-k)" } else { chain.as_str() }
     );
+    if shadow_rate > 0.0 {
+        println!(
+            "shadow: mirroring {:.1}% of answered queries off the critical path \
+             (paired deltas on /metrics as unimatch_shadow_*)",
+            100.0 * shadow_rate
+        );
+    }
     println!("routes: POST /recommend /target /reload — GET /healthz /metrics");
     // serve until the process is killed
     loop {

@@ -1,0 +1,279 @@
+//! Differential suite for the `MatchPipeline` refactor.
+//!
+//! Every public query surface — `recommend_items[_batch]`,
+//! `target_users[_batch[_checked]]`, `recommend_by_embeddings[_checked]`
+//! — is now a thin wrapper over `FittedUniMatch::{item,user}_pipeline()`.
+//! This suite proves the refactor is **bitwise invisible**: composing
+//! the pipeline's public stages by hand (embed/gather → retrieve →
+//! rerank → translate) reproduces every wrapper's bytes exactly, across
+//! the full deployment matrix
+//!
+//! * index backend: exact / HNSW / IVF,
+//! * shard fan-out: 1 / 3,
+//! * store row format: f32 / i8,
+//! * re-ranking: identity / full chain (debias + mmr + explore),
+//!
+//! for single, batched, and checked (quorum + degrade) call shapes.
+//! Scores are compared via `f32::to_bits`, not `==`, so `-0.0`/`NaN`
+//! drift or a re-accumulated dot product would fail the suite.
+
+use unimatch::ann::Hit;
+use unimatch::core::{
+    load_checkpoint_with_format, save_model_with_marginals, DegradeOptions, FittedUniMatch,
+    RerankConfig, RetrieverKind, RowFormat, UniMatch, UniMatchConfig,
+};
+use unimatch::data::{DatasetProfile, InteractionLog};
+
+const SEED: u64 = 42;
+const FULL_CHAIN: &str = "debias@0.5,mmr@0.3,explore@0.1";
+
+fn base_config(
+    kind: RetrieverKind,
+    shards: usize,
+    store: RowFormat,
+    spec: &str,
+) -> UniMatchConfig {
+    UniMatchConfig {
+        epochs_per_month: 1,
+        max_seq_len: 8,
+        seed: SEED,
+        retriever: kind,
+        shards,
+        store,
+        rerank: RerankConfig { spec: spec.to_string(), rules: None },
+        ..Default::default()
+    }
+}
+
+/// Trains once and persists a marginals-bearing checkpoint; every
+/// deployment variant reloads from this single artifact (re-encoding the
+/// store per format), so a divergence between a wrapper and the composed
+/// pipeline cannot be blamed on training noise.
+fn checkpoint() -> (std::path::PathBuf, InteractionLog) {
+    static CKPT: std::sync::OnceLock<(std::path::PathBuf, InteractionLog)> =
+        std::sync::OnceLock::new();
+    CKPT.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("unimatch_pipeline_parity_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.json");
+        let log = DatasetProfile::EComp.generate(0.1, 4).filter_min_interactions(3);
+        let fitted =
+            UniMatch::new(base_config(RetrieverKind::Exact, 1, RowFormat::F32, "")).fit(log.clone());
+        save_model_with_marginals(&fitted.model, Some(fitted.marginals()), &path)
+            .expect("save checkpoint");
+        (path, log)
+    })
+    .clone()
+}
+
+fn serve_variant(
+    kind: RetrieverKind,
+    shards: usize,
+    store: RowFormat,
+    spec: &str,
+) -> FittedUniMatch {
+    let (path, log) = checkpoint();
+    let (model, item_store, marginals) =
+        load_checkpoint_with_format(&path, store, false).expect("load checkpoint");
+    let mut cfg = base_config(kind, shards, store, spec);
+    cfg.embed_dim = model.config().embed_dim;
+    cfg.max_seq_len = model.config().max_seq_len;
+    UniMatch::new(cfg).serve_with_store_and_marginals(model, log, item_store, marginals)
+}
+
+fn assert_hits_bitwise(got: &[Hit], want: &[Hit], site: &str) {
+    assert_eq!(got.len(), want.len(), "{site}: length diverged");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!((g.id, g.score.to_bits()), (w.id, w.score.to_bits()), "{site}");
+    }
+}
+
+fn assert_pairs_bitwise(got: &[(u32, f32)], want: &[(u32, f32)], site: &str) {
+    assert_eq!(got.len(), want.len(), "{site}: length diverged");
+    for ((gu, gs), (wu, ws)) in got.iter().zip(want) {
+        assert_eq!((gu, gs.to_bits()), (wu, ws.to_bits()), "{site}");
+    }
+}
+
+/// The deployment matrix every parity check below runs over.
+fn matrix() -> Vec<(RetrieverKind, usize, RowFormat, &'static str)> {
+    let mut out = Vec::new();
+    for kind in [RetrieverKind::Exact, RetrieverKind::Hnsw, RetrieverKind::Ivf] {
+        for shards in [1usize, 3] {
+            for store in [RowFormat::F32, RowFormat::I8] {
+                for spec in ["", FULL_CHAIN] {
+                    out.push((kind, shards, store, spec));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn recommend_wrappers_equal_the_composed_item_pipeline() {
+    let histories: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5], vec![0], vec![7, 8, 9, 10]];
+    let refs: Vec<&[u32]> = histories.iter().map(|h| h.as_slice()).collect();
+    let k = 10;
+    for (kind, shards, store, spec) in matrix() {
+        let fitted = serve_variant(kind, shards, store, spec);
+        let site = format!("{}/shards={shards}/{}/chain={spec:?}", kind.name(), store.name());
+        let pipeline = fitted.item_pipeline();
+        if spec.is_empty() {
+            assert_eq!(pipeline.fetch_k(k), k, "{site}: identity chain must not over-fetch");
+        } else {
+            assert!(pipeline.fetch_k(k) > k, "{site}: chain must over-fetch");
+        }
+
+        // single: embed_one → run_one is the wrapper, composed by hand
+        for h in &refs {
+            let query = pipeline.embed_one(h);
+            assert_eq!(
+                fitted.user_embedding(h).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                query.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{site}: user_embedding"
+            );
+            let hits = pipeline.retrieve_one(&query, pipeline.fetch_k(k));
+            let want = pipeline.rerank(&query, hits, k);
+            assert_hits_bitwise(&fitted.recommend_items(h, k), &want, &format!("{site} single"));
+            assert_hits_bitwise(&pipeline.run_one(&query, k), &want, &format!("{site} run_one"));
+        }
+
+        // batched: embed → run, and each batch row equals its single
+        let queries = pipeline.embed(&refs);
+        let want = pipeline.run(&queries, k);
+        let got = fitted.recommend_items_batch(&refs, k);
+        let d = pipeline.dim();
+        for (i, h) in refs.iter().enumerate() {
+            assert_hits_bitwise(&got[i], &want[i], &format!("{site} batch row {i}"));
+            let row = &queries[i * d..(i + 1) * d];
+            assert_hits_bitwise(
+                &pipeline.run_one(row, k),
+                &want[i],
+                &format!("{site} batch-vs-single row {i}"),
+            );
+            assert_hits_bitwise(
+                &fitted.recommend_items(h, k),
+                &want[i],
+                &format!("{site} wrapper-vs-batch row {i}"),
+            );
+        }
+
+        // checked with no degradation: same bytes + a healthy fan-out
+        let (lists, health) = fitted
+            .recommend_by_embeddings_checked(&queries, k, DegradeOptions::NONE)
+            .expect("all shards healthy");
+        assert!(!health.degraded(), "{site}: healthy run reported degraded");
+        for (i, list) in lists.iter().enumerate() {
+            assert_hits_bitwise(list, &want[i], &format!("{site} checked row {i}"));
+        }
+        let (lists, _) =
+            pipeline.run_checked(&queries, k, DegradeOptions::NONE).expect("pipeline checked");
+        for (i, list) in lists.iter().enumerate() {
+            assert_hits_bitwise(list, &want[i], &format!("{site} pipeline-checked row {i}"));
+        }
+    }
+}
+
+#[test]
+fn target_wrappers_equal_the_composed_user_pipeline() {
+    let items = [1u32, 2, 5, 9];
+    let k = 12;
+    for (kind, shards, store, spec) in matrix() {
+        let fitted = serve_variant(kind, shards, store, spec);
+        let site = format!("{}/shards={shards}/{}/chain={spec:?}", kind.name(), store.name());
+        let pipeline = fitted.user_pipeline();
+
+        // single: gather → run_one → translate composed by hand
+        for &item in &items {
+            let query = pipeline.gather(&[item]);
+            let hits = pipeline.run_one(&query, k);
+            let want = pipeline.translate(hits);
+            assert_pairs_bitwise(&fitted.target_users(item, k), &want, &format!("{site} single"));
+            assert_pairs_bitwise(
+                &fitted.target_users_by_embedding(&query, k),
+                &want,
+                &format!("{site} by-embedding"),
+            );
+        }
+
+        // batched + checked: one gather feeds both shapes
+        let queries = pipeline.gather(&items);
+        let want: Vec<Vec<(u32, f32)>> =
+            pipeline.run(&queries, k).into_iter().map(|hits| pipeline.translate(hits)).collect();
+        let got = fitted.target_users_batch(&items, k);
+        let (checked, health) = fitted
+            .target_users_batch_checked(&items, k, DegradeOptions::NONE)
+            .expect("all shards healthy");
+        assert!(!health.degraded(), "{site}: healthy run reported degraded");
+        for i in 0..items.len() {
+            assert_pairs_bitwise(&got[i], &want[i], &format!("{site} batch row {i}"));
+            assert_pairs_bitwise(&checked[i], &want[i], &format!("{site} checked row {i}"));
+        }
+    }
+}
+
+#[test]
+fn composed_runners_equal_manual_stage_sequences() {
+    // One chained deployment, stages interleaved by hand exactly as the
+    // composed runners document themselves: `run` must be `run_one` per
+    // row, `run_raw` must be retrieval at exactly k with no chain.
+    let fitted = serve_variant(RetrieverKind::Exact, 1, RowFormat::F32, FULL_CHAIN);
+    let pipeline = fitted.item_pipeline();
+    let histories: Vec<Vec<u32>> = (0..6u32).map(|i| vec![i, i + 1, i + 2]).collect();
+    let refs: Vec<&[u32]> = histories.iter().map(|h| h.as_slice()).collect();
+    let k = 8;
+    let queries = pipeline.embed(&refs);
+    let d = pipeline.dim();
+
+    let raw = pipeline.run_raw(&queries, k);
+    let composed = pipeline.run(&queries, k);
+    for (i, _) in refs.iter().enumerate() {
+        let row = &queries[i * d..(i + 1) * d];
+        assert_hits_bitwise(
+            &pipeline.retrieve_one(row, k),
+            &raw[i],
+            &format!("run_raw row {i} must be plain k-deep retrieval"),
+        );
+        let over = pipeline.retrieve_one(row, pipeline.fetch_k(k));
+        let manual = pipeline.rerank(row, over, k);
+        assert_hits_bitwise(&composed[i], &manual, &format!("run row {i} vs manual stages"));
+        assert_eq!(composed[i].len(), k.min(pipeline.len()), "row {i} truncated to k");
+    }
+    assert!(!pipeline.is_empty(), "fixture index must not be empty");
+    assert_eq!(pipeline.len(), fitted.num_items(), "item pipeline indexes the catalog");
+}
+
+#[test]
+fn degrade_none_is_bitwise_invisible_and_skips_change_content() {
+    let fitted = serve_variant(RetrieverKind::Exact, 1, RowFormat::F32, FULL_CHAIN);
+    let pipeline = fitted.item_pipeline();
+    let histories: Vec<Vec<u32>> = (0..8u32).map(|i| vec![i, i + 3]).collect();
+    let refs: Vec<&[u32]> = histories.iter().map(|h| h.as_slice()).collect();
+    let queries = pipeline.embed(&refs);
+    let k = 10;
+
+    let clean = pipeline.run(&queries, k);
+    let (none, _) =
+        pipeline.run_checked(&queries, k, DegradeOptions::NONE).expect("healthy");
+    for (i, list) in none.iter().enumerate() {
+        assert_hits_bitwise(list, &clean[i], &format!("DegradeOptions::NONE row {i}"));
+    }
+
+    // skipping explore must actually change bytes somewhere (the chain
+    // has an explore stage) and must be flagged as content-affecting
+    let degrade = DegradeOptions { skip_explore: true, ..DegradeOptions::NONE };
+    assert!(fitted.degrade_affects_content(degrade), "skip_explore must affect content");
+    let (skipped, _) = pipeline.run_checked(&queries, k, degrade).expect("healthy");
+    let diverged = skipped
+        .iter()
+        .zip(&clean)
+        .any(|(s, c)| {
+            s.len() != c.len()
+                || s.iter().zip(c.iter()).any(|(a, b)| {
+                    (a.id, a.score.to_bits()) != (b.id, b.score.to_bits())
+                })
+        });
+    assert!(diverged, "skipping explore changed nothing across 8 queries");
+}
